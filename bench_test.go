@@ -1,0 +1,646 @@
+// Benchmark harness regenerating the paper's evaluation (section 4.3).
+//
+// Table 1 / figure 15 benches re-run the full generator + technology
+// mapper + timing model and attach the paper's metrics (MHz, Gbps, LUTs,
+// LUTs/byte) to the benchmark output via ReportMetric, so
+//
+//	go test -bench Table1 -benchmem
+//	go test -bench Figure15
+//
+// prints the rows the paper reports. Throughput benches compare the
+// engines the reproduction provides: the bit-parallel software tagger, the
+// gate-level simulation, the LL(1) lexer+parser baseline and the
+// Aho–Corasick naive matcher, all over the same generated XML-RPC corpus.
+// Ablation benches quantify the design choices called out in DESIGN.md.
+package cfgtag
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/fpga"
+	"cfgtag/internal/fpx"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/lexer"
+	"cfgtag/internal/match"
+	"cfgtag/internal/parser"
+	"cfgtag/internal/router"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+	"cfgtag/internal/xmlrpc"
+)
+
+// synthesize runs grammar scaling → spec → netlist → mapping once.
+func synthesize(b *testing.B, scale int, dev fpga.Device, hopts hwgen.Options) fpga.Report {
+	b.Helper()
+	g, err := workload.Scale(grammar.XMLRPC(), scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := core.Compile(g, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := hwgen.Generate(spec, hopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := fpga.Synthesize(d.Netlist, dev, spec.PatternBytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func reportRow(b *testing.B, rep fpga.Report) {
+	b.ReportMetric(rep.FrequencyMHz, "MHz")
+	b.ReportMetric(rep.BandwidthGbps(), "Gbps")
+	b.ReportMetric(float64(rep.LUTs), "LUTs")
+	b.ReportMetric(float64(rep.PatternBytes), "patternB")
+	b.ReportMetric(rep.LUTsPerByte(), "LUTs/B")
+}
+
+// BenchmarkTable1 regenerates every row of table 1: the VirtexE-2000 at
+// ~300 pattern bytes and the Virtex-4 LX200 at the five grammar sizes.
+func BenchmarkTable1(b *testing.B) {
+	rows := []struct {
+		name  string
+		scale int
+		dev   fpga.Device
+	}{
+		{"VirtexE2000/300B", 1, fpga.VirtexE2000},
+		{"Virtex4LX200/300B", 1, fpga.Virtex4LX200},
+		{"Virtex4LX200/600B", 2, fpga.Virtex4LX200},
+		{"Virtex4LX200/1200B", 4, fpga.Virtex4LX200},
+		{"Virtex4LX200/2100B", 7, fpga.Virtex4LX200},
+		{"Virtex4LX200/3000B", 10, fpga.Virtex4LX200},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			var rep fpga.Report
+			for i := 0; i < b.N; i++ {
+				rep = synthesize(b, row.scale, row.dev, hwgen.Options{})
+			}
+			reportRow(b, rep)
+		})
+	}
+}
+
+// BenchmarkFigure15 sweeps the frequency-vs-pattern-bytes curve on the
+// Virtex-4 LX200 at a finer grain than table 1.
+func BenchmarkFigure15(b *testing.B) {
+	for scale := 1; scale <= 10; scale++ {
+		b.Run(fmt.Sprintf("x%02d", scale), func(b *testing.B) {
+			var rep fpga.Report
+			for i := 0; i < b.N; i++ {
+				rep = synthesize(b, scale, fpga.Virtex4LX200, hwgen.Options{})
+			}
+			reportRow(b, rep)
+			b.ReportMetric(float64(rep.MaxFanout), "fanout")
+		})
+	}
+}
+
+// corpus builds a deterministic XML-RPC message stream shared by the
+// throughput benches.
+func corpus(b *testing.B, messages int) []byte {
+	b.Helper()
+	gen := xmlrpc.NewGenerator(424242, xmlrpc.Options{})
+	text, _ := gen.Corpus(messages)
+	return []byte(text)
+}
+
+// BenchmarkSoftwareTagger measures the bit-parallel engine — the software
+// stand-in for the 1-byte-per-cycle hardware — over XML-RPC traffic.
+func BenchmarkSoftwareTagger(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg := stream.NewTagger(spec)
+	data := corpus(b, 200)
+	count := 0
+	tg.OnMatch = func(stream.Match) { count++ }
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Reset()
+		tg.Write(data)
+		tg.Close()
+	}
+	if count == 0 {
+		b.Fatal("tagger found nothing")
+	}
+}
+
+// BenchmarkParallelTagger scales the software engine across cores with a
+// tagger pool (one message stream per borrowed tagger) — the software
+// analogue of replicating the hardware engine.
+func BenchmarkParallelTagger(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := stream.NewPool(spec, 0)
+	data := corpus(b, 200)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if ms := pool.Tag(data); len(ms) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+// BenchmarkGateSim measures the cycle-accurate gate-level simulation of
+// the same design — the fidelity-over-speed end of the spectrum.
+func BenchmarkGateSim(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := hwgen.Generate(spec, hwgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := hwgen.NewRunner(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpus(b, 5)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := r.Run(data); len(ms) == 0 {
+			b.Fatal("no detections")
+		}
+	}
+}
+
+// BenchmarkLL1Baseline measures the conventional software path: reference
+// lexer + table-driven LL(1) predictive parse per message.
+func BenchmarkLL1Baseline(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := parser.BuildTable(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := xmlrpc.NewGenerator(424242, xmlrpc.Options{})
+	var msgs [][]byte
+	total := 0
+	for i := 0; i < 200; i++ {
+		m, _ := gen.Message()
+		msgs = append(msgs, []byte(m))
+		total += len(m) + 1
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			if _, err := tbl.Parse(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkContextFreeLexer measures the plain longest-match scanner —
+// tokenization without any syntactic narrowing.
+func BenchmarkContextFreeLexer(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpus(b, 200)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lexer.ScanAll(spec, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveMatcher measures the context-free Aho–Corasick baseline
+// over the literal token set (the deep-packet-inspection comparison).
+func BenchmarkNaiveMatcher(b *testing.B) {
+	g := grammar.XMLRPC()
+	var pats []string
+	for _, t := range g.Tokens {
+		if t.Literal {
+			pats = append(pats, t.Name)
+		}
+	}
+	m, err := match.New(pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpus(b, 200)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Count(data) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkRouter measures the full figure 12 pipeline: tagging + service
+// recovery + message switching.
+func BenchmarkRouter(b *testing.B) {
+	data := corpus(b, 200)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r, err := router.New(router.FigureTwelve(), -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		r.Write(data)
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if r.Stats().Messages != 200 {
+			b.Fatalf("routed %d", r.Stats().Messages)
+		}
+	}
+}
+
+// BenchmarkFalsePositives quantifies the section 1 motivation: how often
+// the naive matcher fires on service keywords outside methodName, versus
+// the context-gated tagger. Reported as metrics, not time.
+func BenchmarkFalsePositives(b *testing.B) {
+	// Traffic whose parameter strings frequently spell service names.
+	gen := xmlrpc.NewGenerator(7, xmlrpc.Options{Service: "price"})
+	var buf []byte
+	realOccurrences := 0
+	for i := 0; i < 100; i++ {
+		m, _ := gen.Message()
+		// Inject a decoy parameter containing a bank service name.
+		decoy := "<param> <string>withdraw</string> </param> "
+		m = m[:len(m)-len("</params> </methodCall>")] + decoy + "</params> </methodCall>"
+		buf = append(buf, m...)
+		buf = append(buf, '\n')
+		realOccurrences++ // one real "price" per message
+	}
+	services := append(append([]string{}, xmlrpc.BankServices...), xmlrpc.ShoppingServices...)
+	m, err := match.New(services)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nameIDs []int
+	for _, in := range spec.Instances {
+		if in.Rule >= 0 && spec.Grammar.Rules[in.Rule].LHS == "methodName" && in.Term == "STRING" {
+			nameIDs = append(nameIDs, in.ID)
+		}
+	}
+	tg := stream.NewTagger(spec)
+
+	var naive, contextual int
+	for i := 0; i < b.N; i++ {
+		naive = m.Count(buf)
+		contextual = 0
+		tg.Reset()
+		tg.OnMatch = func(mt stream.Match) {
+			for _, id := range nameIDs {
+				if mt.InstanceID == id {
+					contextual++
+				}
+			}
+		}
+		tg.Write(buf)
+		tg.Close()
+	}
+	b.ReportMetric(float64(naive-realOccurrences), "naiveFP")
+	b.ReportMetric(float64(contextual-realOccurrences), "taggerFP")
+	if contextual != realOccurrences {
+		b.Fatalf("tagger fired %d times, want %d", contextual, realOccurrences)
+	}
+	if naive <= realOccurrences {
+		b.Fatalf("decoys did not trip the naive matcher (%d)", naive)
+	}
+}
+
+// BenchmarkNIDSScale sweeps the section 1 motivation across signature-set
+// sizes: a command protocol with N signatures, traffic whose LOG payloads
+// frequently mention signature names harmlessly. The naive matcher's false
+// positives grow with the decoy traffic; the context-wired tagger's stay
+// at zero. Throughput of both engines is measured on the same corpus.
+func BenchmarkNIDSScale(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		g, sigs := workload.SignatureGrammar(n)
+		// Anchored start: the stream is one session, so command position
+		// is defined by the wiring alone (free-running would re-arm the
+		// signature tokenizers at every byte and fire on payloads too).
+		spec, err := core.Compile(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		data, real := workload.SignatureCorpus(rng, sigs, 2000, 0.5)
+
+		// Which instances are signature keywords in command position?
+		sigInstance := make(map[int]bool)
+		for _, in := range spec.Instances {
+			if in.Term != "WORD" && in.Term != "LOG" {
+				sigInstance[in.ID] = true
+			}
+		}
+		m, err := match.New(sigs)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("tagger/%dsigs", n), func(b *testing.B) {
+			tg := stream.NewTagger(spec)
+			hits := 0
+			tg.OnMatch = func(mt stream.Match) {
+				if sigInstance[mt.InstanceID] {
+					hits++
+				}
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits = 0
+				tg.Reset()
+				tg.Write(data)
+				tg.Close()
+			}
+			if hits != real {
+				b.Fatalf("tagger hits %d, want %d real", hits, real)
+			}
+			b.ReportMetric(0, "falsePos")
+		})
+		b.Run(fmt.Sprintf("naive/%dsigs", n), func(b *testing.B) {
+			hits := 0
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits = m.Count(data)
+			}
+			if hits <= real {
+				b.Fatalf("naive hits %d; decoys missing (real %d)", hits, real)
+			}
+			b.ReportMetric(float64(hits-real), "falsePos")
+		})
+	}
+}
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+// BenchmarkAblationEncoder compares the pipelined OR-tree encoder with the
+// naive combinational chain (section 3.4): same function, but the chain's
+// logic depth wrecks the achievable clock.
+func BenchmarkAblationEncoder(b *testing.B) {
+	b.Run("pipelined-tree", func(b *testing.B) {
+		var rep fpga.Report
+		for i := 0; i < b.N; i++ {
+			rep = synthesize(b, 1, fpga.Virtex4LX200, hwgen.Options{})
+		}
+		b.ReportMetric(float64(rep.LogicDepth), "depth")
+		b.ReportMetric(rep.FrequencyMHz, "MHz")
+	})
+	b.Run("naive-chain", func(b *testing.B) {
+		var rep fpga.Report
+		for i := 0; i < b.N; i++ {
+			rep = synthesize(b, 1, fpga.Virtex4LX200, hwgen.Options{NaiveEncoder: true})
+		}
+		b.ReportMetric(float64(rep.LogicDepth), "depth")
+		b.ReportMetric(1000/rep.PeriodNs(rep.LogicDepth), "MHz")
+	})
+}
+
+// BenchmarkAblationDecoderSharing quantifies the paper's LUT/byte
+// observation: shared decoders amortize, private ones do not.
+func BenchmarkAblationDecoderSharing(b *testing.B) {
+	b.Run("shared", func(b *testing.B) {
+		var rep fpga.Report
+		for i := 0; i < b.N; i++ {
+			rep = synthesize(b, 1, fpga.Virtex4LX200, hwgen.Options{})
+		}
+		b.ReportMetric(float64(rep.LUTs), "LUTs")
+	})
+	b.Run("private", func(b *testing.B) {
+		var rep fpga.Report
+		for i := 0; i < b.N; i++ {
+			rep = synthesize(b, 1, fpga.Virtex4LX200, hwgen.Options{NoDecoderSharing: true})
+		}
+		b.ReportMetric(float64(rep.LUTs), "LUTs")
+	})
+}
+
+// BenchmarkAblationWiring compares the follow-set wiring against enabling
+// every tokenizer all the time: area and (more importantly) precision.
+func BenchmarkAblationWiring(b *testing.B) {
+	data := corpus(b, 50)
+	run := func(b *testing.B, copts core.Options) int {
+		spec, err := core.Compile(grammar.XMLRPC(), copts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tg := stream.NewTagger(spec)
+		count := 0
+		tg.OnMatch = func(stream.Match) { count++ }
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			tg.Reset()
+			tg.Write(data)
+			tg.Close()
+		}
+		return count
+	}
+	var wired, unwired int
+	b.Run("follow-wiring", func(b *testing.B) {
+		wired = run(b, core.Options{FreeRunningStart: true})
+		b.ReportMetric(float64(wired), "detections")
+	})
+	b.Run("all-enabled", func(b *testing.B) {
+		unwired = run(b, core.Options{AllEnabled: true})
+		b.ReportMetric(float64(unwired), "detections")
+	})
+}
+
+// BenchmarkAblationLongestMatch shows the figure 7 lookahead suppressing
+// per-cycle over-tagging on runs.
+func BenchmarkAblationLongestMatch(b *testing.B) {
+	data := corpus(b, 50)
+	run := func(b *testing.B, copts core.Options) int {
+		spec, err := core.Compile(grammar.XMLRPC(), copts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tg := stream.NewTagger(spec)
+		count := 0
+		tg.OnMatch = func(stream.Match) { count++ }
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			tg.Reset()
+			tg.Write(data)
+			tg.Close()
+		}
+		return count
+	}
+	b.Run("lookahead", func(b *testing.B) {
+		n := run(b, core.Options{FreeRunningStart: true})
+		b.ReportMetric(float64(n), "detections")
+	})
+	b.Run("no-lookahead", func(b *testing.B) {
+		n := run(b, core.Options{FreeRunningStart: true, NoLongestMatch: true})
+		b.ReportMetric(float64(n), "detections")
+	})
+}
+
+// BenchmarkAblationFanoutCap evaluates the section 4.3 improvement the
+// paper proposes but does not build: replicating decoders to bound the
+// decoded-wire fanout. On the ≈3000-byte grammar the baseline loses the
+// clock to routing (316 MHz); capping recovers frequency for a small LUT
+// overhead until some non-decoder net becomes critical.
+func BenchmarkAblationFanoutCap(b *testing.B) {
+	for _, cap := range []int{0, 256, 128, 64, 32} {
+		b.Run(fmt.Sprintf("cap%03d", cap), func(b *testing.B) {
+			var rep fpga.Report
+			for i := 0; i < b.N; i++ {
+				rep = synthesize(b, 10, fpga.Virtex4LX200, hwgen.Options{MaxFanout: cap})
+			}
+			b.ReportMetric(rep.FrequencyMHz, "MHz")
+			b.ReportMetric(float64(rep.LUTs), "LUTs")
+			b.ReportMetric(float64(rep.MaxFanout), "fanout")
+		})
+	}
+}
+
+// BenchmarkWideDatapath projects the section 5.2 datapath scaling ("32-bits
+// or 64-bits per clock cycle") for the XML-RPC design.
+func BenchmarkWideDatapath(b *testing.B) {
+	base := synthesize(b, 1, fpga.Virtex4LX200, hwgen.Options{})
+	for _, lanes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dB", lanes), func(b *testing.B) {
+			var p fpga.WideProjection
+			for i := 0; i < b.N; i++ {
+				var err error
+				p, err = fpga.ProjectWide(base, lanes)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p.FrequencyMHz, "MHz")
+			b.ReportMetric(p.BandwidthGbps(), "Gbps")
+			b.ReportMetric(float64(p.LUTs), "LUTs")
+		})
+	}
+}
+
+// BenchmarkWide2Synthesis maps the actually-built 2-byte datapath (not the
+// analytical projection): area and modeled clock for the XML-RPC design,
+// with throughput at 2 bytes per cycle.
+func BenchmarkWide2Synthesis(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep fpga.Report
+	for i := 0; i < b.N; i++ {
+		d, err := hwgen.GenerateWide2(spec, hwgen.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = fpga.Synthesize(d.Netlist, fpga.Virtex4LX200, spec.PatternBytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.FrequencyMHz, "MHz")
+	b.ReportMetric(rep.FrequencyMHz*16/1000, "Gbps") // 2 bytes per cycle
+	b.ReportMetric(float64(rep.LUTs), "LUTs")
+}
+
+// BenchmarkFPXPipeline measures the full packets-in, routed-messages-out
+// path of the section 5.2 FPX integration: IPv4/TCP parsing, per-flow
+// reassembly, tagging and content-based routing.
+func BenchmarkFPXPipeline(b *testing.B) {
+	gen := xmlrpc.NewGenerator(31, xmlrpc.Options{})
+	corpusText, _ := gen.Corpus(100)
+	key := fpx.FlowKey{
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 8700,
+	}
+	pkts := fpx.Segmentize(key, 1, []byte(corpusText+"\n"), 1400)
+	total := 0
+	for _, p := range pkts {
+		total += len(p)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sp := fpx.NewSplitter()
+		routed := 0
+		sp.NewFlow = func(fpx.FlowKey) io.WriteCloser {
+			r, err := router.New(router.FigureTwelve(), -1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.OnRoute = func(int, string, []byte) { routed++ }
+			return r
+		}
+		b.StartTimer()
+		for _, p := range pkts {
+			if err := sp.Process(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sp.CloseAll(); err != nil {
+			b.Fatal(err)
+		}
+		if routed != 100 {
+			b.Fatalf("routed %d", routed)
+		}
+	}
+}
+
+// BenchmarkCompile measures end-to-end generator latency: grammar text to
+// ready spec (the paper's "automatically generated" claim, timed).
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := grammar.Parse("xml-rpc", grammar.XMLRPCSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Compile(g, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHardwareGenerate measures spec-to-netlist lowering.
+func BenchmarkHardwareGenerate(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := hwgen.Generate(spec, hwgen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package cfgtag is the public API of the CFG-based token tagger — a
+// reproduction of "Context-Free-Grammar based Token Tagger in
+// Reconfigurable Devices" (Cho, Moscola, Lockwood; ICDE 2006).
+//
+// An Engine is compiled from a Lex/Yacc-style grammar (see the grammar
+// file format in the README). It exposes the paper's full pipeline:
+//
+//   - Tagger: the streaming token tagger (bit-parallel software execution
+//     of the generated hardware's exact semantics),
+//   - Synthesize: technology mapping + timing model for the two FPGA
+//     devices of table 1,
+//   - VHDL: the structural VHDL the paper's generator emits,
+//   - Parser: the LL(1) predictive-parser baseline ("true parser"),
+//   - GateRunner: cycle-accurate simulation of the generated netlist.
+//
+// The quickstart example:
+//
+//	engine, _ := cfgtag.Compile("demo", cfgtag.IfThenElseSource)
+//	tg := engine.NewTagger()
+//	tg.OnMatch = func(m cfgtag.Match) { fmt.Println(m.Term, m.Context, m.End) }
+//	tg.Write([]byte("if true then go else stop"))
+//	tg.Close()
+package cfgtag
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/fpga"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/parser"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/validate"
+	"cfgtag/internal/vhdl"
+)
+
+// Built-in grammar sources from the paper.
+const (
+	// BalancedParensSource is the figure 1 grammar.
+	BalancedParensSource = grammar.BalancedParensSrc
+	// IfThenElseSource is the figure 9 grammar.
+	IfThenElseSource = grammar.IfThenElseSrc
+	// XMLRPCSource is the figure 14 grammar (XML-RPC).
+	XMLRPCSource = grammar.XMLRPCSrc
+	// XMLRPCFullSource is the real-wire-format XML-RPC grammar (with the
+	// <value> wrapper tags figure 14 omits).
+	XMLRPCFullSource = grammar.XMLRPCFullSrc
+)
+
+// Option tunes compilation; the defaults select the paper's design.
+type Option func(*core.Options)
+
+// FreeRunningStart keeps the start tokenizers always enabled so sentences
+// are found anywhere in the stream (section 3.3's unanchored mode). Use it
+// for long-lived streams carrying many messages.
+func FreeRunningStart() Option { return func(o *core.Options) { o.FreeRunningStart = true } }
+
+// WithoutContextDuplication builds one tokenizer per terminal instead of
+// one per grammar occurrence (ablation).
+func WithoutContextDuplication() Option {
+	return func(o *core.Options) { o.NoContextDuplication = true }
+}
+
+// WithoutLongestMatch drops the figure 7 lookahead (ablation).
+func WithoutLongestMatch() Option { return func(o *core.Options) { o.NoLongestMatch = true } }
+
+// AllEnabled discards the syntactic wiring, leaving a naive parallel
+// pattern matcher (ablation).
+func AllEnabled() Option { return func(o *core.Options) { o.AllEnabled = true } }
+
+// IndexBits fixes the encoder output width.
+func IndexBits(n int) Option { return func(o *core.Options) { o.IndexBits = n } }
+
+// RecoverRestart enables the section 5.2 error recovery in its restart
+// flavor: when the engine goes dead on non-conforming input, the start
+// tokenizers re-arm so the next sentence is tagged. Tagger.Errors counts
+// the recovery events.
+func RecoverRestart() Option { return func(o *core.Options) { o.Recovery = core.RecoveryRestart } }
+
+// RecoverResync enables the stronger section 5.2 recovery: every tokenizer
+// re-arms at the error, resuming mid-structure right after the damage (at
+// the cost of some noisy tags while context re-locks).
+func RecoverResync() Option { return func(o *core.Options) { o.Recovery = core.RecoveryResync } }
+
+// Engine is a compiled tagging engine for one grammar.
+type Engine struct {
+	spec *core.Spec
+}
+
+// Compile parses the grammar source and compiles the engine.
+func Compile(name, grammarSrc string, opts ...Option) (*Engine, error) {
+	g, err := grammar.Parse(name, grammarSrc)
+	if err != nil {
+		return nil, err
+	}
+	return CompileGrammar(g, opts...)
+}
+
+// CompileGrammar compiles a pre-parsed grammar.
+func CompileGrammar(g *grammar.Grammar, opts ...Option) (*Engine, error) {
+	var copts core.Options
+	for _, o := range opts {
+		o(&copts)
+	}
+	spec, err := core.Compile(g, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{spec: spec}, nil
+}
+
+// Spec exposes the compiled specification for advanced integration
+// (instance wiring, encoder indices).
+func (e *Engine) Spec() *core.Spec { return e.spec }
+
+// Match is one token detection.
+type Match struct {
+	// Term is the terminal name.
+	Term string
+	// Context is the grammatical context, e.g. "methodName[1]" — the
+	// paper's semantic tag.
+	Context string
+	// Index is the token index the hardware encoder would emit.
+	Index int
+	// End is the offset of the lexeme's last byte.
+	End int64
+	// SentenceEnd reports that a complete sentence of the grammar may end
+	// at this token (the back-end's message-boundary signal).
+	SentenceEnd bool
+	// InstanceID identifies the tokenizer instance (Spec().Instances).
+	InstanceID int
+}
+
+// Tagger streams bytes and emits matches. Not safe for concurrent use.
+type Tagger struct {
+	engine *Engine
+	inner  *stream.Tagger
+	// OnMatch receives detections in input order.
+	OnMatch func(Match)
+}
+
+// NewTagger creates a streaming tagger.
+func (e *Engine) NewTagger() *Tagger {
+	t := &Tagger{engine: e, inner: stream.NewTagger(e.spec)}
+	t.inner.OnMatch = func(m stream.Match) {
+		if t.OnMatch != nil {
+			t.OnMatch(t.engine.match(m))
+		}
+	}
+	return t
+}
+
+func (e *Engine) match(m stream.Match) Match {
+	in := e.spec.Instances[m.InstanceID]
+	return Match{
+		Term:        in.Term,
+		Context:     in.Context(e.spec.Grammar),
+		Index:       in.Index,
+		End:         m.End,
+		SentenceEnd: in.CanEnd,
+		InstanceID:  in.ID,
+	}
+}
+
+// Errors returns the number of section 5.2 recovery events so far (always
+// zero unless a Recover option was used at compile time).
+func (t *Tagger) Errors() int64 { return t.inner.Errors }
+
+// Write feeds stream bytes (io.Writer-compatible).
+func (t *Tagger) Write(p []byte) (int, error) { return t.inner.Write(p) }
+
+// Close flushes the final byte's pending detection.
+func (t *Tagger) Close() error { return t.inner.Close() }
+
+// Reset rewinds to stream start for reuse.
+func (t *Tagger) Reset() { t.inner.Reset() }
+
+// Tag runs a whole buffer and returns all matches (Reset + Close implied).
+func (t *Tagger) Tag(data []byte) []Match {
+	ms := t.inner.Tag(data)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = t.engine.match(m)
+	}
+	return out
+}
+
+// Pool tags independent buffers concurrently (one borrowed engine state
+// per call); safe for concurrent use, unlike Tagger.
+type Pool struct {
+	engine *Engine
+	inner  *stream.Pool
+}
+
+// NewPool builds a pool of size concurrent taggers (0 = GOMAXPROCS).
+func (e *Engine) NewPool(size int) *Pool {
+	return &Pool{engine: e, inner: stream.NewPool(e.spec, size)}
+}
+
+// Tag tags one buffer; concurrent calls proceed in parallel up to the pool
+// size.
+func (p *Pool) Tag(data []byte) []Match {
+	ms := p.inner.Tag(data)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = p.engine.match(m)
+	}
+	return out
+}
+
+// Report is a synthesis result (a table 1 row).
+type Report = fpga.Report
+
+// Devices of table 1.
+var (
+	Virtex4LX200 = fpga.Virtex4LX200
+	VirtexE2000  = fpga.VirtexE2000
+)
+
+// Synthesize generates the hardware netlist, maps it to 4-input LUTs on
+// the device and models its clock rate — one row of table 1.
+func (e *Engine) Synthesize(dev fpga.Device) (Report, error) {
+	d, err := hwgen.Generate(e.spec, hwgen.Options{})
+	if err != nil {
+		return Report{}, err
+	}
+	return fpga.Synthesize(d.Netlist, dev, e.spec.PatternBytes())
+}
+
+// VHDL emits the generated design as structural VHDL.
+func (e *Engine) VHDL(entity string) (string, error) {
+	d, err := hwgen.Generate(e.spec, hwgen.Options{})
+	if err != nil {
+		return "", err
+	}
+	return vhdl.Emit(d.Netlist, vhdl.Options{Entity: entity, Comment: e.spec.Grammar.Name})
+}
+
+// GateRunner simulates the generated netlist cycle by cycle — the
+// gate-level reference for the Tagger's semantics.
+type GateRunner struct {
+	engine *Engine
+	runner *hwgen.Runner
+}
+
+// NewGateRunner generates and instantiates the hardware simulation.
+func (e *Engine) NewGateRunner() (*GateRunner, error) {
+	d, err := hwgen.Generate(e.spec, hwgen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := hwgen.NewRunner(d)
+	if err != nil {
+		return nil, err
+	}
+	return &GateRunner{engine: e, runner: r}, nil
+}
+
+// Run feeds the input at one byte per cycle and returns the detections.
+func (g *GateRunner) Run(input []byte) []Match {
+	ms := g.runner.Run(input)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = g.engine.match(m)
+	}
+	return out
+}
+
+// Wide2Runner simulates the 2-bytes-per-clock datapath (the section 5.2
+// scaling, actually built for the first doubling).
+type Wide2Runner struct {
+	engine *Engine
+	runner *hwgen.RunnerWide2
+}
+
+// NewWide2Runner generates and instantiates the 2-byte datapath; not
+// available with Recover options.
+func (e *Engine) NewWide2Runner() (*Wide2Runner, error) {
+	d, err := hwgen.GenerateWide2(e.spec, hwgen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := hwgen.NewRunnerWide2(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Wide2Runner{engine: e, runner: r}, nil
+}
+
+// Run feeds the input two bytes per cycle and returns the detections.
+func (w *Wide2Runner) Run(input []byte) []Match {
+	ms := w.runner.Run(input)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = w.engine.match(m)
+	}
+	return out
+}
+
+// SelfTest cross-checks both generated hardware datapaths against the
+// software engine on randomly generated conforming sentences; it returns
+// the number of sentences verified.
+func (e *Engine) SelfTest(seed int64, sentences int) (int, error) {
+	return hwgen.SelfTest(e.spec, seed, sentences)
+}
+
+// Parser is the LL(1) predictive-parser baseline.
+type Parser struct {
+	engine *Engine
+	table  *parser.Table
+}
+
+// NewParser builds the LL(1) parse table; it fails if the grammar is not
+// LL(1).
+func (e *Engine) NewParser() (*Parser, error) {
+	tbl, err := parser.BuildTable(e.spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{engine: e, table: tbl}, nil
+}
+
+// Parse validates the input as a complete sentence, returning the tagged
+// tokens (comparable to Tagger output on conforming input).
+func (p *Parser) Parse(input []byte) ([]Match, error) {
+	tags, err := p.table.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(tags))
+	for _, tag := range tags {
+		in := p.engine.spec.InstanceAt(tag.Rule, tag.Pos)
+		if in == nil {
+			return nil, fmt.Errorf("cfgtag: internal: no instance at rule %d pos %d", tag.Rule, tag.Pos)
+		}
+		out = append(out, Match{
+			Term:        in.Term,
+			Context:     in.Context(p.engine.spec.Grammar),
+			Index:       in.Index,
+			End:         int64(tag.End),
+			SentenceEnd: in.CanEnd,
+			InstanceID:  in.ID,
+		})
+	}
+	return out, nil
+}
+
+// Accepts reports whether the input is a sentence of the grammar.
+func (p *Parser) Accepts(input []byte) bool { return p.table.Accepts(input) }
+
+// CheckedTagger is a tagger coupled with the section 5.2 stack extension:
+// a bounded LL(1) stack machine audits the tag stream, restoring exact
+// grammar recognition on top of the stack-less engine (nesting violations
+// the parallel hardware cannot see surface on OnViolation).
+type CheckedTagger struct {
+	engine *Engine
+	inner  *validate.CheckedTagger
+	// OnMatch receives every detection, as with Tagger.
+	OnMatch func(Match)
+	// OnViolation receives each recursion/nesting violation: the offset of
+	// the offending token's last byte (-1 at end of input), its terminal
+	// name ("" at end of input) and the cause.
+	OnViolation func(end int64, term string, err error)
+}
+
+// NewCheckedTagger builds the stack-extended pipeline. maxStackDepth
+// bounds the modeled hardware stack (0 = 4096); the grammar must be LL(1).
+func (e *Engine) NewCheckedTagger(maxStackDepth int) (*CheckedTagger, error) {
+	inner, err := validate.NewCheckedTagger(e.spec, maxStackDepth)
+	if err != nil {
+		return nil, err
+	}
+	ct := &CheckedTagger{engine: e, inner: inner}
+	inner.OnMatch = func(m stream.Match) {
+		if ct.OnMatch != nil {
+			ct.OnMatch(e.match(m))
+		}
+	}
+	inner.Validator.OnViolation = func(v *validate.Violation) {
+		if ct.OnViolation != nil {
+			end := v.End
+			if v.Term == "" {
+				end = -1
+			}
+			ct.OnViolation(end, v.Term, v.Err)
+		}
+	}
+	return ct, nil
+}
+
+// Write feeds stream bytes.
+func (c *CheckedTagger) Write(p []byte) (int, error) { return c.inner.Write(p) }
+
+// Close flushes the tagger and runs the end-of-input check; an unfinished
+// sentence is returned (and reported) as a violation.
+func (c *CheckedTagger) Close() error { return c.inner.Close() }
+
+// Reset rewinds both the tagger and the stack machine.
+func (c *CheckedTagger) Reset() {
+	c.inner.Tagger.Reset()
+	c.inner.Validator.Reset()
+}
+
+// Violations counts the nesting violations seen since Reset.
+func (c *CheckedTagger) Violations() int64 { return c.inner.Validator.Violations() }
+
+// Errors returns the tagger's section 5.2 recovery-event count (nonzero
+// only when the engine was compiled with a Recover option); bytes the
+// tagger could not place in any context never reach the validator, so a
+// full well-formedness verdict is Violations() == 0 && Errors() == 0 &&
+// Close() == nil.
+func (c *CheckedTagger) Errors() int64 { return c.inner.Tagger.Errors }
+
+// StackDepth reports the stack high-water mark — the capacity a hardware
+// stack would have needed for this stream.
+func (c *CheckedTagger) StackDepth() int { return c.inner.Validator.StackDepth() }
+
+// Lexeme recovers the matched text of m from the input it was tagged in.
+// The hardware reports only where a token ends; the lexeme is the longest
+// suffix of input[:End+1] matching the token's pattern (exact for every
+// deterministic token, and for the built-in grammars).
+func (e *Engine) Lexeme(input []byte, m Match) string {
+	in := e.spec.Instances[m.InstanceID]
+	end := int(m.End) + 1
+	if end > len(input) {
+		return ""
+	}
+	n := in.Program.LongestSuffix(input[:end])
+	if n <= 0 {
+		return ""
+	}
+	return string(input[end-n : end])
+}
+
+// Lint reports non-fatal design smells in the compiled grammar (delimiter
+// overlaps, encoder conflict sets, barely-constraining wiring).
+func (e *Engine) Lint() []string { return e.spec.Lint() }
+
+// FollowTable renders the per-terminal Follow sets (figure 10).
+func (e *Engine) FollowTable() string { return e.spec.Sets.TerminalFollowTable() }
+
+// Wiring renders the tokenizer instances and their Follow wiring
+// (figure 11 in text form).
+func (e *Engine) Wiring() string { return e.spec.DumpWiring() }

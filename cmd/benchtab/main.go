@@ -1,0 +1,219 @@
+// Command benchtab regenerates the paper's evaluation artifacts:
+//
+//	benchtab -table1      table 1 (device utilization across grammar sizes)
+//	benchtab -fig15       figure 15 (frequency vs pattern bytes, Virtex-4)
+//	benchtab -breakdown   per-group LUT split for the XML-RPC design
+//	benchtab -ablations   design-choice ablations (encoder, sharing, wiring)
+//
+// Without flags it prints everything. Absolute LUT counts run above the
+// paper's (our mapper is a greedy packer, Synplify is not); the shape —
+// which rows win, the LUTs/byte decline, the frequency curve — is the
+// reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/fpga"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/workload"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "regenerate table 1")
+		fig15     = flag.Bool("fig15", false, "regenerate figure 15")
+		breakdown = flag.Bool("breakdown", false, "LUT breakdown of the XML-RPC design")
+		ablations = flag.Bool("ablations", false, "design-choice ablations")
+		csvDir    = flag.String("csv", "", "also write table1.csv and fig15.csv into this directory")
+	)
+	flag.Parse()
+	all := !*table1 && !*fig15 && !*breakdown && !*ablations
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fail(err)
+		}
+	}
+
+	if *table1 || all {
+		if err := printTable1(); err != nil {
+			fail(err)
+		}
+	}
+	if *fig15 || all {
+		if err := printFig15(); err != nil {
+			fail(err)
+		}
+	}
+	if *breakdown || all {
+		if err := printBreakdown(); err != nil {
+			fail(err)
+		}
+	}
+	if *ablations || all {
+		if err := printAblations(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}
+
+// writeCSVs emits the table 1 and figure 15 series as CSV for plotting.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	t1, err := os.Create(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		return err
+	}
+	defer t1.Close()
+	fmt.Fprintln(t1, "device,freq_mhz,bw_gbps,pattern_bytes,luts,luts_per_byte")
+	ve, err := synth(1, fpga.VirtexE2000, hwgen.Options{})
+	if err != nil {
+		return err
+	}
+	writeCSVRow(t1, ve)
+	for _, n := range []int{1, 2, 4, 7, 10} {
+		r, err := synth(n, fpga.Virtex4LX200, hwgen.Options{})
+		if err != nil {
+			return err
+		}
+		writeCSVRow(t1, r)
+	}
+
+	f15, err := os.Create(filepath.Join(dir, "fig15.csv"))
+	if err != nil {
+		return err
+	}
+	defer f15.Close()
+	fmt.Fprintln(f15, "pattern_bytes,freq_mhz,luts_per_byte,max_fanout")
+	for n := 1; n <= 10; n++ {
+		r, err := synth(n, fpga.Virtex4LX200, hwgen.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f15, "%d,%.1f,%.3f,%d\n", r.PatternBytes, r.FrequencyMHz, r.LUTsPerByte(), r.MaxFanout)
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %s and %s\n",
+		filepath.Join(dir, "table1.csv"), filepath.Join(dir, "fig15.csv"))
+	return nil
+}
+
+func writeCSVRow(w io.Writer, r fpga.Report) {
+	fmt.Fprintf(w, "%s,%.1f,%.3f,%d,%d,%.3f\n",
+		r.Device.Name, r.FrequencyMHz, r.BandwidthGbps(), r.PatternBytes, r.LUTs, r.LUTsPerByte())
+}
+
+// synth builds and maps the design for one scaled grammar.
+func synth(scale int, dev fpga.Device, hopts hwgen.Options) (fpga.Report, error) {
+	g, err := workload.Scale(grammar.XMLRPC(), scale)
+	if err != nil {
+		return fpga.Report{}, err
+	}
+	spec, err := core.Compile(g, core.Options{})
+	if err != nil {
+		return fpga.Report{}, err
+	}
+	d, err := hwgen.Generate(spec, hopts)
+	if err != nil {
+		return fpga.Report{}, err
+	}
+	return fpga.Synthesize(d.Netlist, dev, spec.PatternBytes())
+}
+
+func printTable1() error {
+	fmt.Println("== Table 1: device utilization for XML token taggers of varying sizes ==")
+	var reports []fpga.Report
+	ve, err := synth(1, fpga.VirtexE2000, hwgen.Options{})
+	if err != nil {
+		return err
+	}
+	reports = append(reports, ve)
+	for _, n := range []int{1, 2, 4, 7, 10} {
+		r, err := synth(n, fpga.Virtex4LX200, hwgen.Options{})
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r)
+	}
+	fmt.Print(fpga.FormatTable(reports))
+	fmt.Println()
+	return nil
+}
+
+func printFig15() error {
+	fmt.Println("== Figure 15: frequency vs pattern bytes (Virtex-4 LX200) ==")
+	fmt.Printf("%8s %10s %10s %12s\n", "Bytes", "Freq(MHz)", "LUT/Byte", "MaxFanout")
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		r, err := synth(n, fpga.Virtex4LX200, hwgen.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %10.0f %10.2f %12d\n", r.PatternBytes, r.FrequencyMHz, r.LUTsPerByte(), r.MaxFanout)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printBreakdown() error {
+	fmt.Println("== LUT breakdown, XML-RPC design (Virtex-4) ==")
+	r, err := synth(1, fpga.Virtex4LX200, hwgen.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.BreakdownString())
+	fmt.Printf("total    %6d LUTs, %d registers\n\n", r.LUTs, r.Registers)
+	return nil
+}
+
+func printAblations() error {
+	fmt.Println("== Ablations (XML-RPC design, Virtex-4) ==")
+	base, err := synth(1, fpga.Virtex4LX200, hwgen.Options{})
+	if err != nil {
+		return err
+	}
+	naive, err := synth(1, fpga.Virtex4LX200, hwgen.Options{NaiveEncoder: true})
+	if err != nil {
+		return err
+	}
+	private, err := synth(1, fpga.Virtex4LX200, hwgen.Options{NoDecoderSharing: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %6d LUTs  depth %2d  -> %4.0f MHz pipelined\n",
+		"pipelined OR-tree encoder", base.LUTs, base.LogicDepth, base.FrequencyMHz)
+	fmt.Printf("%-28s %6d LUTs  depth %2d  -> %4.0f MHz at that depth\n",
+		"naive chain encoder", naive.LUTs, naive.LogicDepth, 1000/naive.PeriodNs(naive.LogicDepth))
+	fmt.Printf("%-28s %6d LUTs (decoder sharing off: +%d)\n",
+		"private decoders", private.LUTs, private.LUTs-base.LUTs)
+
+	// Wiring ablation: what the syntactic control flow saves vs enabling
+	// every tokenizer all the time.
+	gAll, err := core.Compile(grammar.XMLRPC(), core.Options{AllEnabled: true})
+	if err != nil {
+		return err
+	}
+	dAll, err := hwgen.Generate(gAll, hwgen.Options{})
+	if err != nil {
+		return err
+	}
+	rAll, err := fpga.Synthesize(dAll.Netlist, fpga.Virtex4LX200, gAll.PatternBytes())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %6d LUTs (all tokenizers always enabled)\n", "no follow wiring", rAll.LUTs)
+	fmt.Println()
+	return nil
+}

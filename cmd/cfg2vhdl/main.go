@@ -1,0 +1,88 @@
+// Command cfg2vhdl is the paper's automatic hardware generator as a CLI:
+// it reads a grammar and emits the complete structural VHDL for the token
+// tagger, optionally with the synthesis estimate for a table 1 device.
+//
+// Usage:
+//
+//	cfg2vhdl -builtin xmlrpc -entity xmlrpc_tagger -o tagger.vhd
+//	cfg2vhdl -grammar my.y -device virtex4 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cfgtag"
+)
+
+func main() {
+	var (
+		grammarFile = flag.String("grammar", "", "grammar file in the Lex/Yacc-style format")
+		builtin     = flag.String("builtin", "", "built-in grammar: xmlrpc, ifthenelse or parens")
+		entity      = flag.String("entity", "cfg_tagger", "VHDL entity name")
+		outFile     = flag.String("o", "", "output file (default stdout)")
+		device      = flag.String("device", "virtex4", "device for -stats: virtex4 or virtexe")
+		stats       = flag.Bool("stats", false, "print the synthesis estimate to stderr")
+		selftest    = flag.Int("selftest", 0, "cross-check the generated hardware against the software engine on N random sentences before emitting")
+	)
+	flag.Parse()
+
+	engine, err := load(*grammarFile, *builtin)
+	if err != nil {
+		fail(err)
+	}
+	if *selftest > 0 {
+		n, err := engine.SelfTest(1, *selftest)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "selftest: %d sentences verified on both datapaths\n", n)
+	}
+	src, err := engine.VHDL(*entity)
+	if err != nil {
+		fail(err)
+	}
+	if *outFile == "" {
+		fmt.Print(src)
+	} else if err := os.WriteFile(*outFile, []byte(src), 0o644); err != nil {
+		fail(err)
+	}
+
+	if *stats {
+		dev := cfgtag.Virtex4LX200
+		if *device == "virtexe" {
+			dev = cfgtag.VirtexE2000
+		}
+		rep, err := engine.Synthesize(dev)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, rep)
+		fmt.Fprint(os.Stderr, rep.BreakdownString())
+	}
+}
+
+func load(grammarFile, builtin string) (*cfgtag.Engine, error) {
+	switch {
+	case grammarFile != "":
+		src, err := os.ReadFile(grammarFile)
+		if err != nil {
+			return nil, err
+		}
+		return cfgtag.Compile(grammarFile, string(src))
+	case builtin == "xmlrpc":
+		return cfgtag.Compile("xml-rpc", cfgtag.XMLRPCSource)
+	case builtin == "ifthenelse":
+		return cfgtag.Compile("if-then-else", cfgtag.IfThenElseSource)
+	case builtin == "parens":
+		return cfgtag.Compile("balanced-parens", cfgtag.BalancedParensSource)
+	default:
+		return nil, fmt.Errorf("need -grammar FILE or -builtin {xmlrpc,ifthenelse,parens}")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cfg2vhdl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,253 @@
+// Command xmlrouter is the figure 12 demo: an XML-RPC content-based
+// message router. It accepts TCP connections carrying streams of XML-RPC
+// methodCall messages (figure 14 dialect) and forwards each message to the
+// back-end address registered for its service — bank services (deposit,
+// withdraw, acctinfo) to one server, shopping services (buy, sell, price)
+// to another.
+//
+// With -demo it is fully self-contained: it starts two sink servers and a
+// traffic generator, routes the generated messages, and prints the per-
+// port tallies.
+//
+// Usage:
+//
+//	xmlrouter -listen :8700 -bank bank.internal:9000 -shop shop.internal:9001
+//	xmlrouter -demo -messages 200
+//	xmlrouter -stdin           # read one stream from stdin, print routes
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"cfgtag/internal/router"
+	"cfgtag/internal/xmlrpc"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8700", "address to accept message streams on")
+		bank         = flag.String("bank", "", "bank server address (deposit, withdraw, acctinfo)")
+		shop         = flag.String("shop", "", "shopping server address (buy, sell, price)")
+		fallback     = flag.String("default", "", "address for unknown services (default: drop)")
+		demo         = flag.Bool("demo", false, "self-contained demo: sinks + generator + router")
+		stdin        = flag.Bool("stdin", false, "route a single stream from stdin to stdout")
+		messages     = flag.Int("messages", 100, "messages to generate in -demo mode")
+		seed         = flag.Int64("seed", 1, "generator seed in -demo mode")
+		validateMsgs = flag.Bool("validate", false, "stack-validate messages; malformed ones route to the quarantine port")
+	)
+	flag.Parse()
+
+	switch {
+	case *stdin:
+		if err := routeStdin(*validateMsgs); err != nil {
+			fail(err)
+		}
+	case *demo:
+		if err := runDemo(*messages, *seed); err != nil {
+			fail(err)
+		}
+	default:
+		if *bank == "" || *shop == "" {
+			fail(fmt.Errorf("need -bank and -shop addresses (or -demo / -stdin)"))
+		}
+		if err := serve(*listen, *bank, *shop, *fallback); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xmlrouter:", err)
+	os.Exit(1)
+}
+
+// routeStdin routes one stream from stdin, printing "port service bytes"
+// per message. With validate, malformed messages route to port -2.
+func routeStdin(validate bool) error {
+	r, err := router.New(router.FigureTwelve(), -1)
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := r.EnableValidation(0, -2); err != nil {
+			return err
+		}
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	r.OnRoute = func(port int, service string, message []byte) {
+		fmt.Fprintf(out, "port=%d service=%s bytes=%d\n", port, service, len(message))
+	}
+	if _, err := io.Copy(r, bufio.NewReader(os.Stdin)); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	st := r.Stats()
+	fmt.Fprintf(out, "routed %d messages (%d unknown, %d invalid)\n", st.Messages, st.Unknown, st.Invalid)
+	return nil
+}
+
+// serve runs the production shape: one router per inbound connection,
+// forwarding messages over persistent connections to the back ends.
+func serve(listen, bank, shop, fallback string) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s)\n", ln.Addr(), bank, shop)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := routeConn(c, bank, shop, fallback); err != nil {
+				fmt.Fprintln(os.Stderr, "xmlrouter:", err)
+			}
+		}(conn)
+	}
+}
+
+func routeConn(c net.Conn, bank, shop, fallback string) error {
+	addrs := map[int]string{0: bank, 1: shop}
+	if fallback != "" {
+		addrs[2] = fallback
+	}
+	conns := make(map[int]net.Conn)
+	defer func() {
+		for _, bc := range conns {
+			bc.Close()
+		}
+	}()
+	backend := func(port int) (net.Conn, error) {
+		if bc, ok := conns[port]; ok {
+			return bc, nil
+		}
+		addr, ok := addrs[port]
+		if !ok {
+			return nil, nil // drop
+		}
+		bc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		conns[port] = bc
+		return bc, nil
+	}
+
+	r, err := router.New(router.FigureTwelve(), 2)
+	if err != nil {
+		return err
+	}
+	var routeErr error
+	r.OnRoute = func(port int, service string, message []byte) {
+		if routeErr != nil {
+			return
+		}
+		bc, err := backend(port)
+		if err != nil || bc == nil {
+			routeErr = err
+			return
+		}
+		if _, err := bc.Write(append(message, '\n')); err != nil {
+			routeErr = err
+		}
+	}
+	if _, err := io.Copy(r, c); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	return routeErr
+}
+
+// runDemo spins up two sink servers, routes generated traffic through a
+// TCP round trip, and prints what each sink received.
+func runDemo(messages int, seed int64) error {
+	sinkCounts := [2]int64{}
+	var wg sync.WaitGroup
+	sinkAddr := [2]string{}
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		sinkAddr[i] = ln.Addr().String()
+		idx := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				atomic.AddInt64(&sinkCounts[idx], 1)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	routerDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			routerDone <- err
+			return
+		}
+		defer conn.Close()
+		routerDone <- routeConn(conn, sinkAddr[0], sinkAddr[1], "")
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	gen := xmlrpc.NewGenerator(seed, xmlrpc.Options{})
+	corpus, services := gen.Corpus(messages)
+	if _, err := client.Write(append([]byte(corpus), '\n')); err != nil {
+		return err
+	}
+	client.Close()
+	if err := <-routerDone; err != nil {
+		return err
+	}
+	wg.Wait()
+
+	wantBank, wantShop := 0, 0
+	for _, s := range services {
+		if xmlrpc.ServiceDestination(s) == 0 {
+			wantBank++
+		} else {
+			wantShop++
+		}
+	}
+	fmt.Printf("generated %d messages\n", messages)
+	fmt.Printf("bank sink     received %d (expected %d)\n", sinkCounts[0], wantBank)
+	fmt.Printf("shopping sink received %d (expected %d)\n", sinkCounts[1], wantShop)
+	if int(sinkCounts[0]) != wantBank || int(sinkCounts[1]) != wantShop {
+		return fmt.Errorf("demo routing mismatch")
+	}
+	fmt.Println("demo OK: every message reached the server its content selects")
+	return nil
+}

@@ -1,0 +1,98 @@
+package cfgtag_test
+
+import (
+	"fmt"
+
+	"cfgtag"
+)
+
+// The quickstart: compile the paper's figure 9 grammar and tag a stream.
+func ExampleCompile() {
+	engine, err := cfgtag.Compile("demo", cfgtag.IfThenElseSource)
+	if err != nil {
+		panic(err)
+	}
+	tg := engine.NewTagger()
+	tg.OnMatch = func(m cfgtag.Match) {
+		fmt.Printf("%q at byte %d in context %s\n", m.Term, m.End, m.Context)
+	}
+	tg.Write([]byte("if true then go"))
+	tg.Close()
+	// Output:
+	// "if" at byte 1 in context E[0]
+	// "true" at byte 6 in context C[0]
+	// "then" at byte 11 in context E[2]
+	// "go" at byte 14 in context E[0]
+}
+
+// Context tells token types apart even when their texts match: a digit run
+// is INT inside <i4> but would be STRING inside <string>.
+func ExampleEngine_Lexeme() {
+	engine, err := cfgtag.Compile("xmlrpc", cfgtag.XMLRPCSource)
+	if err != nil {
+		panic(err)
+	}
+	input := []byte("<methodCall> <methodName>deposit</methodName> <params> " +
+		"<param> <i4>42</i4> </param> </params> </methodCall>")
+	for _, m := range engine.NewTagger().Tag(input) {
+		if m.Term == "INT" || m.Term == "STRING" {
+			fmt.Printf("%s %q in %s\n", m.Term, engine.Lexeme(input, m), m.Context)
+		}
+	}
+	// Output:
+	// STRING "deposit" in methodName[1]
+	// INT "42" in i4[1]
+}
+
+// Synthesize reproduces a table 1 row for any grammar.
+func ExampleEngine_Synthesize() {
+	engine, err := cfgtag.Compile("demo", cfgtag.BalancedParensSource)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := engine.Synthesize(cfgtag.Virtex4LX200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pattern bytes: %d, registers ≥ pattern bytes: %v\n",
+		rep.PatternBytes, rep.Registers >= rep.PatternBytes)
+	fmt.Printf("throughput is 8×frequency: %v\n",
+		rep.BandwidthGbps() == rep.FrequencyMHz*8/1000)
+	// Output:
+	// pattern bytes: 3, registers ≥ pattern bytes: true
+	// throughput is 8×frequency: true
+}
+
+// The stack extension restores exact recognition over the stack-less
+// engine's superset acceptance.
+func ExampleEngine_NewCheckedTagger() {
+	engine, err := cfgtag.Compile("parens", cfgtag.BalancedParensSource)
+	if err != nil {
+		panic(err)
+	}
+	for _, input := range []string{"( ( 0 ) )", "( 0 ) )"} {
+		ct, err := engine.NewCheckedTagger(0)
+		if err != nil {
+			panic(err)
+		}
+		ct.Write([]byte(input))
+		ct.Close()
+		fmt.Printf("%-12q violations: %d\n", input, ct.Violations())
+	}
+	// Output:
+	// "( ( 0 ) )"  violations: 0
+	// "( 0 ) )"    violations: 1
+}
+
+// Error recovery (section 5.2) lets the engine resume after garbage.
+func ExampleRecoverRestart() {
+	engine, err := cfgtag.Compile("demo", cfgtag.IfThenElseSource, cfgtag.RecoverRestart())
+	if err != nil {
+		panic(err)
+	}
+	tg := engine.NewTagger()
+	ms := tg.Tag([]byte("@@garbage@@ if true then stop"))
+	fmt.Printf("recovered and tagged %d tokens after %d error events\n", len(ms), tg.Errors())
+	// Output:
+	// recovered and tagged 4 tokens after 9 error events
+}

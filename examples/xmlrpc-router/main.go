@@ -1,0 +1,49 @@
+// XML-RPC content-based router (figure 12): generated methodCall traffic
+// is switched to a bank or shopping "server" purely by the service name
+// detected inside the methodName production — including a decoy message
+// that carries a bank service name in the wrong context.
+package main
+
+import (
+	"fmt"
+
+	"cfgtag/internal/router"
+	"cfgtag/internal/xmlrpc"
+)
+
+func main() {
+	r, err := router.New(router.FigureTwelve(), 99)
+	if err != nil {
+		panic(err)
+	}
+	portName := map[int]string{0: "bank", 1: "shopping", 99: "default"}
+	r.OnRoute = func(port int, service string, message []byte) {
+		fmt.Printf("  -> %-8s  service=%-10s %d bytes\n", portName[port], service, len(message))
+	}
+
+	gen := xmlrpc.NewGenerator(2026, xmlrpc.Options{})
+	corpus, _ := gen.Corpus(8)
+	fmt.Println("Routing 8 generated messages:")
+	// The trailing newline lets the final message clear the one-byte
+	// longest-match lookahead before the next section prints.
+	if _, err := r.Write(append([]byte(corpus), '\n')); err != nil {
+		panic(err)
+	}
+
+	// The paper's motivating case: "withdraw" as *parameter data* must not
+	// steer the message — only the methodName occurrence counts, because
+	// only the STRING tokenizer wired inside methodName reports it.
+	decoy := "\n<methodCall> <methodName>price</methodName> <params> " +
+		"<param> <string>withdraw</string> </param> </params> </methodCall>"
+	fmt.Println("Routing a decoy (says 'withdraw', but only as a parameter):")
+	if _, err := r.Write([]byte(decoy)); err != nil {
+		panic(err)
+	}
+	if err := r.Close(); err != nil {
+		panic(err)
+	}
+
+	st := r.Stats()
+	fmt.Printf("\ntotals: %d messages — bank %d, shopping %d, default %d\n",
+		st.Messages, st.PerPort[0], st.PerPort[1], st.PerPort[99])
+}

@@ -1,0 +1,3 @@
+module cfgtag
+
+go 1.22

@@ -1,0 +1,12 @@
+# A delimiter-free grammar: comma-separated records. Structure comes
+# entirely from tokens (commas and newlines are tokens, not delimiters),
+# so %delim is pointed at a byte that never occurs in text.
+FIELD  [A-Za-z0-9 .;_-]+
+COMMA  ,
+NL     \n
+%delim [\0]
+%%
+file    : record records ;
+records : | record records ;
+record  : FIELD fields NL ;
+fields  : | COMMA FIELD fields ;

@@ -1,0 +1,11 @@
+# A small English fragment (section 5.1's natural-language application):
+# tagging a word reveals its part of speech via the production context.
+%%
+sentence : np vp ;
+np       : det nominal ;
+det      : "the" | "a" ;
+nominal  : "big" nominal | "old" nominal | noun ;
+noun     : "dog" | "cat" | "router" | "packet" ;
+vp       : verb object ;
+verb     : "sees" | "routes" | "parses" ;
+object   : | np ;

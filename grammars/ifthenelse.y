@@ -1,0 +1,5 @@
+# If-then-else statement — figure 9 of the paper. The generated Follow
+# sets reproduce figure 10 and the wiring reproduces figure 11.
+%%
+E : "if" C "then" E "else" E | "go" | "stop" ;
+C : "true" | "false" ;

@@ -1,0 +1,5 @@
+# Balanced parentheses around "0" — figure 1 of the paper. The stack-less
+# engine accepts a superset (unbalanced strings still tokenize); pair it
+# with the stack extension (NewCheckedTagger) for exact recognition.
+%%
+E : "(" E ")" | "0" ;

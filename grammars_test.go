@@ -1,0 +1,103 @@
+package cfgtag
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestShippedGrammarsCompile loads every grammar file under grammars/ and
+// runs it through the full pipeline: compile, tag a smoke input, and
+// synthesize.
+func TestShippedGrammarsCompile(t *testing.T) {
+	files, err := filepath.Glob("grammars/*.y")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no grammar files found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := Compile(f, string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if _, err := engine.Synthesize(Virtex4LX200); err != nil {
+			t.Fatalf("%s: synthesize: %v", f, err)
+		}
+	}
+}
+
+func TestCSVGrammar(t *testing.T) {
+	src, err := os.ReadFile("grammars/csv.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := Compile("csv", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := engine.NewTagger()
+	input := []byte("alpha,beta 2,gamma\nsecond row,x\n")
+	var got []string
+	for _, m := range tg.Tag(input) {
+		got = append(got, m.Term)
+	}
+	want := []string{
+		"FIELD", "COMMA", "FIELD", "COMMA", "FIELD", "NL",
+		"FIELD", "COMMA", "FIELD", "NL",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("csv tags = %v,\nwant %v", got, want)
+	}
+	// Lexemes include the embedded spaces (no whitespace delimiters).
+	ms := tg.Tag(input)
+	if lex := engine.Lexeme(input, ms[2]); lex != "beta 2" {
+		t.Errorf("field lexeme = %q, want %q (space inside a field)", lex, "beta 2")
+	}
+	if lex := engine.Lexeme(input, ms[6]); lex != "second row" {
+		t.Errorf("field lexeme = %q", lex)
+	}
+}
+
+func TestEnglishGrammarFileMatchesExample(t *testing.T) {
+	src, err := os.ReadFile("grammars/english.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := Compile("english", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := engine.NewTagger().Tag([]byte("the big dog routes a packet"))
+	if len(ms) != 6 {
+		t.Errorf("tags = %v", ms)
+	}
+	if !strings.HasPrefix(ms[1].Context, "nominal") {
+		t.Errorf("adjective context = %s", ms[1].Context)
+	}
+}
+
+func TestShippedXMLRPCMatchesBuiltin(t *testing.T) {
+	src, err := os.ReadFile("grammars/xmlrpc.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Compile("xml-rpc", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := Compile("xml-rpc", XMLRPCSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("<methodCall> <methodName>hi</methodName> <params> </params> </methodCall>")
+	a := fromFile.NewTagger().Tag(input)
+	b := builtin.NewTagger().Tag(input)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("shipped grammar file diverges from the built-in source")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cfgtag/internal/regex"
+)
+
+// This file implements the section 3.4 index assignment. The token index
+// encoder is a tree of OR gates, so if two tokenizers assert on the same
+// clock cycle the emitted index is the bitwise OR of their indices.
+// Equation 5 turns that into priority resolution: within a set of possibly
+// contending tokens, indices are nested bit masks (each higher-priority
+// index is a bitwise superset of every lower one), so the OR of any subset
+// equals the highest-priority member.
+
+// conflictPairs finds instance pairs that can assert simultaneously. Two
+// instances can collide when some single enabling event (stream start or
+// the completion of one instance) makes both pending at the same cycle and
+// their pattern languages share a string, so both reach an accepting
+// position on the same byte. This is the static approximation the
+// generator uses; the stream engine additionally reports any residual
+// runtime collision.
+func (s *Spec) conflictPairs() [][2]int {
+	groups := make([][]int, 0, len(s.Instances)+1)
+	if len(s.StartInstances) > 1 {
+		groups = append(groups, s.StartInstances)
+	}
+	for _, in := range s.Instances {
+		if len(in.Follow) > 1 {
+			groups = append(groups, in.Follow)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				a, b := g[i], g[j]
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if regex.Intersects(s.Instances[a].Program, s.Instances[b].Program) {
+					pairs = append(pairs, key)
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// conflictSets groups the conflict pairs into connected components, each a
+// set of instances needing equation 5 treatment. Members are ordered by
+// ascending priority: longer patterns win (they are the more specific
+// match), ties broken toward the earlier occurrence.
+func (s *Spec) conflictSets(pairs [][2]int) [][]int {
+	parent := make([]int, len(s.Instances))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range pairs {
+		ra, rb := find(p[0]), find(p[1])
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	comp := make(map[int][]int)
+	for _, p := range pairs {
+		for _, id := range p {
+			r := find(id)
+			found := false
+			for _, m := range comp[r] {
+				if m == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				comp[r] = append(comp[r], id)
+			}
+		}
+	}
+	var sets [][]int
+	for _, members := range comp {
+		sort.Slice(members, func(i, j int) bool {
+			a, b := s.Instances[members[i]], s.Instances[members[j]]
+			if a.Program.Len() != b.Program.Len() {
+				return a.Program.Len() < b.Program.Len() // ascending priority
+			}
+			return a.ID > b.ID
+		})
+		sets = append(sets, members)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		if len(sets[i]) != len(sets[j]) {
+			return len(sets[i]) > len(sets[j])
+		}
+		return sets[i][0] < sets[j][0]
+	})
+	return sets
+}
+
+// maxIndexBits bounds the encoder width; designs needing more than this
+// have outgrown the single-encoder architecture.
+const maxIndexBits = 24
+
+// assignIndices gives every instance a distinct nonzero encoder index.
+// Conflict-set members receive nested chains c<<m | (2^j − 1) sharing the
+// selector prefix c, which satisfies equation 5; remaining instances take
+// the smallest free values. Index 0 is reserved to mean "no detection".
+func (s *Spec) assignIndices() error {
+	pairs := s.conflictPairs()
+	s.ConflictSets = s.conflictSets(pairs)
+
+	width := s.Opts.IndexBits
+	minWidth := 1
+	for (1 << minWidth) <= len(s.Instances) {
+		minWidth++
+	}
+	if width == 0 {
+		width = minWidth
+	} else if width < minWidth {
+		return fmt.Errorf("core: IndexBits=%d cannot address %d instances (need ≥ %d)", width, len(s.Instances), minWidth)
+	}
+
+	for ; width <= maxIndexBits; width++ {
+		if assign, ok := s.tryAssign(width); ok {
+			for id, idx := range assign {
+				s.Instances[id].Index = idx
+			}
+			s.IndexBits = width
+			return nil
+		}
+		if s.Opts.IndexBits != 0 {
+			return fmt.Errorf("core: cannot satisfy equation 5 for %d conflict sets in %d index bits", len(s.ConflictSets), s.Opts.IndexBits)
+		}
+	}
+	return fmt.Errorf("core: index assignment exceeded %d bits", maxIndexBits)
+}
+
+// tryAssign attempts a full assignment at the given width.
+func (s *Spec) tryAssign(width int) (map[int]int, bool) {
+	limit := 1 << width
+	used := map[int]bool{0: true}
+	assign := make(map[int]int, len(s.Instances))
+
+	for _, set := range s.ConflictSets {
+		m := len(set)
+		if m > width {
+			// The paper's limitation: a conflict set larger than the number
+			// of index pins cannot get nested codes.
+			return nil, false
+		}
+		placed := false
+		for c := 0; (c<<m)|(1<<m-1) < limit; c++ {
+			ok := true
+			for j := 1; j <= m; j++ {
+				if used[(c<<m)|(1<<j-1)] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j, id := range set {
+				v := (c << m) | (1<<(j+1) - 1)
+				used[v] = true
+				assign[id] = v
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+
+	next := 1
+	for _, in := range s.Instances {
+		if _, done := assign[in.ID]; done {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		if next >= limit {
+			return nil, false
+		}
+		used[next] = true
+		assign[in.ID] = next
+	}
+	return assign, true
+}
+
+// InstanceByIndex returns the instance carrying the encoder index, or nil.
+// When idx is the OR of a conflict set subset, the highest-priority member
+// is returned (equation 5 makes its index equal that OR).
+func (s *Spec) InstanceByIndex(idx int) *Instance {
+	for _, in := range s.Instances {
+		if in.Index == idx {
+			return in
+		}
+	}
+	return nil
+}

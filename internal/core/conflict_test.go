@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/grammar"
+)
+
+// conflictGrammar builds a grammar whose start alternation holds k token
+// classes with nested languages, forcing one conflict set of size k.
+func conflictGrammar(t *testing.T, k int) *grammar.Grammar {
+	t.Helper()
+	var defs, alts []string
+	for i := 0; i < k; i++ {
+		// Nested classes: [a-a+i] all match "a", so all k collide.
+		defs = append(defs, fmt.Sprintf("T%d [a-%c]+", i, 'a'+byte(i)))
+		alts = append(alts, fmt.Sprintf("T%d", i))
+	}
+	src := strings.Join(defs, "\n") + "\n%%\nS : " + strings.Join(alts, " | ") + " ;\n"
+	g, err := grammar.Parse(fmt.Sprintf("conflict-%d", k), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEquation5Invariants checks the section 3.4 index assignment across
+// conflict-set sizes: indices distinct and nonzero, OR-dominance within
+// every set, and OR-resolution to the highest-priority member.
+func TestEquation5Invariants(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		s, err := Compile(conflictGrammar(t, k), Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(s.ConflictSets) != 1 || len(s.ConflictSets[0]) != k {
+			t.Fatalf("k=%d: conflict sets %v", k, s.ConflictSets)
+		}
+		seen := map[int]bool{0: true}
+		for _, in := range s.Instances {
+			if seen[in.Index] {
+				t.Fatalf("k=%d: duplicate/zero index %d", k, in.Index)
+			}
+			seen[in.Index] = true
+		}
+		set := s.ConflictSets[0]
+		// OR of every nonempty subset equals its highest-priority member.
+		for mask := 1; mask < 1<<k; mask++ {
+			or, top := 0, -1
+			for bit := 0; bit < k; bit++ {
+				if mask&(1<<bit) != 0 {
+					or |= s.Instances[set[bit]].Index
+					top = bit // set is ascending priority
+				}
+			}
+			if or != s.Instances[set[top]].Index {
+				t.Fatalf("k=%d subset %b: OR=%b, want %b", k, mask, or, s.Instances[set[top]].Index)
+			}
+		}
+	}
+}
+
+// TestEquation5WidthLimit reproduces the paper's stated limitation: "the
+// maximum number of indices for each set is equal to the number of index
+// output pins".
+func TestEquation5WidthLimit(t *testing.T) {
+	g := conflictGrammar(t, 5)
+	if _, err := Compile(g, Options{IndexBits: 4}); err == nil {
+		t.Error("a 5-member conflict set cannot fit 4 index bits")
+	}
+	if _, err := Compile(g, Options{IndexBits: 8}); err != nil {
+		t.Errorf("8 bits should suffice: %v", err)
+	}
+}
+
+// TestConflictsAcrossRandomGroupSplits fuzzes mixed grammars: several
+// alternation groups, some overlapping, some disjoint; indices must stay
+// globally unique and dominance must hold per set.
+func TestConflictsAcrossRandomGroupSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		nGroups := 1 + rng.Intn(3)
+		var defs []string
+		var rules []string
+		tokIdx := 0
+		for gi := 0; gi < nGroups; gi++ {
+			k := 1 + rng.Intn(4)
+			var alts []string
+			base := byte('a' + rng.Intn(3))
+			for i := 0; i < k; i++ {
+				name := fmt.Sprintf("T%d", tokIdx)
+				tokIdx++
+				defs = append(defs, fmt.Sprintf("%s [%c-%c]+", name, base, base+byte(rng.Intn(4))))
+				alts = append(alts, name)
+			}
+			rules = append(rules, fmt.Sprintf("G%d : %s ;", gi, strings.Join(alts, " | ")))
+		}
+		var starts []string
+		for gi := 0; gi < nGroups; gi++ {
+			starts = append(starts, fmt.Sprintf("G%d", gi))
+		}
+		src := strings.Join(defs, "\n") + "\n%%\nS : " + strings.Join(starts, " | ") + " ;\n" + strings.Join(rules, "\n") + "\n"
+		g, err := grammar.Parse("mix", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		s, err := Compile(g, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		seen := map[int]bool{0: true}
+		for _, in := range s.Instances {
+			if seen[in.Index] {
+				t.Fatalf("trial %d: duplicate index %d\n%s", trial, in.Index, s.DumpWiring())
+			}
+			seen[in.Index] = true
+		}
+		for _, set := range s.ConflictSets {
+			for i := 0; i < len(set); i++ {
+				for j := i + 1; j < len(set); j++ {
+					a, b := s.Instances[set[i]].Index, s.Instances[set[j]].Index
+					if a|b != b {
+						t.Fatalf("trial %d: dominance violated %b|%b != %b", trial, a, b, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConflictSetsDisjointLanguagesNotGrouped: tokens in one alternation
+// whose languages are disjoint must not be treated as conflicting.
+func TestConflictSetsDisjointLanguagesNotGrouped(t *testing.T) {
+	g, err := grammar.Parse("disjoint", `
+A [a-c]+
+B [x-z]+
+%%
+S : A | B ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ConflictSets) != 0 {
+		t.Errorf("disjoint tokens grouped: %v", s.ConflictSets)
+	}
+}

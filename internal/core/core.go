@@ -1,0 +1,478 @@
+// Package core implements the paper's primary contribution: compiling a
+// context-free grammar into the specification of a parallel token-tagging
+// engine — the set of tokenizer instances, the syntactic control flow
+// wiring between them (derived from the First and Follow sets of figure 8),
+// the delimiter class, and the index-encoder assignment.
+//
+// The compiled Spec is backend-neutral: internal/hwgen lowers it to a
+// gate-level netlist (the paper's VHDL), and internal/stream executes it
+// directly as a bit-parallel software engine. Both backends implement the
+// same stream semantics:
+//
+//   - A tokenizer instance is one occurrence of a terminal in the
+//     production list. Terminals used in several contexts are duplicated
+//     (section 3.2), so the asserted instance identifies the token's
+//     grammatical context.
+//   - An instance becomes pending when some instance in whose Follow set it
+//     appears completes, or — for instances in First(start) — at stream
+//     start. Pending survives delimiter bytes (the inverted-delimiter
+//     enable of section 3.2) and is consumed by the first non-delimiter
+//     byte.
+//   - An instance completes at input position i when its pattern automaton
+//     reaches an accepting position at i and, under longest-match, the byte
+//     at i+1 cannot extend the match (figure 7 lookahead).
+//   - The engine keeps no recursion stack: the wiring collapses the
+//     push-down automaton into a finite state automaton accepting a
+//     superset of the grammar (section 3.1, figure 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cfgtag/internal/firstfollow"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/regex"
+)
+
+// Instance is one tokenizer: an occurrence of a terminal in a production
+// (or, with context duplication disabled, a whole terminal).
+type Instance struct {
+	// ID is the instance's index in Spec.Instances.
+	ID int
+	// Term is the terminal name this instance recognizes.
+	Term string
+	// TokenIndex is the terminal's position in the grammar token list.
+	TokenIndex int
+	// Rule and Pos locate the occurrence: Spec.Grammar.Rules[Rule].RHS[Pos].
+	// They are -1 when context duplication is disabled.
+	Rule, Pos int
+	// Program is the compiled pattern automaton shared by all instances of
+	// the same terminal.
+	Program *regex.Program
+	// Follow lists the instance IDs whose tokenizers are enabled when this
+	// instance completes — the hardware wiring of figure 11.
+	Follow []int
+	// Start marks instances enabled at the beginning of the stream
+	// (First(start symbol), section 3.3).
+	Start bool
+	// CanEnd marks instances that may be the last token of a sentence
+	// (the ε entries of figure 10); the back-end uses it as a message
+	// boundary signal.
+	CanEnd bool
+	// Index is the value emitted by the token index encoder when this
+	// instance completes. Within a conflict set the assignment satisfies
+	// equation 5, so simultaneous detections OR into the highest-priority
+	// index.
+	Index int
+}
+
+// Context renders the grammatical context of the instance, e.g.
+// "methodName[1]" for the second symbol of the methodName production. This
+// is the "meaning" the paper's tagger attaches to a detection.
+func (in *Instance) Context(g *grammar.Grammar) string {
+	if in.Rule < 0 {
+		return in.Term
+	}
+	return fmt.Sprintf("%s[%d]", g.Rules[in.Rule].LHS, in.Pos)
+}
+
+// Options tune the compilation; the zero value selects the paper's design
+// (context duplication on, longest match on, anchored start).
+type Options struct {
+	// NoContextDuplication builds one tokenizer per terminal instead of
+	// one per occurrence and wires the terminal-level Follow sets. This is
+	// the ablation showing what context duplication buys.
+	NoContextDuplication bool
+	// NoLongestMatch drops the figure 7 lookahead so +/* tokenizers assert
+	// on every cycle of a run instead of only the last.
+	NoLongestMatch bool
+	// FreeRunningStart keeps the start tokenizers enabled at all times so
+	// the engine looks for sentences starting at every token boundary
+	// (section 3.3's alternative for unanchored data).
+	FreeRunningStart bool
+	// AllEnabled wires every tokenizer to be pending at all times,
+	// discarding the syntactic control flow. This is the "naive pattern
+	// matcher" ablation quantifying what the Follow wiring buys.
+	AllEnabled bool
+	// IndexBits fixes the encoder output width; 0 derives the minimum
+	// width covering all instances (and conflict priorities).
+	IndexBits int
+	// Recovery selects the error detection and recovery behavior of the
+	// paper's future-work section 5.2 ("gracefully recover from errors
+	// when the input data doesn't match the grammar ... continue
+	// processing from the point of the error").
+	Recovery RecoveryMode
+}
+
+// RecoveryMode enumerates the section 5.2 error-recovery policies.
+type RecoveryMode uint8
+
+const (
+	// RecoveryNone is the paper's baseline: once the engine goes dead (no
+	// active chain, no pending tokenizer) it stays dead.
+	RecoveryNone RecoveryMode = iota
+	// RecoveryRestart re-arms the start tokenizers when the engine goes
+	// dead, so the next sentence after the error is tagged.
+	RecoveryRestart
+	// RecoveryResync re-arms every tokenizer when the engine goes dead,
+	// resuming mid-structure right after the damaged token.
+	RecoveryResync
+)
+
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoveryNone:
+		return "none"
+	case RecoveryRestart:
+		return "restart"
+	case RecoveryResync:
+		return "resync"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", uint8(m))
+	}
+}
+
+// Spec is the compiled tagging engine description.
+type Spec struct {
+	Grammar *grammar.Grammar
+	Sets    *firstfollow.Sets
+	Opts    Options
+	// Instances in deterministic order: by rule, then position (with
+	// duplication), or token-list order (without).
+	Instances []*Instance
+	// Programs holds one compiled automaton per grammar token, indexed
+	// like Grammar.Tokens.
+	Programs []*regex.Program
+	// Delim is the delimiter byte class.
+	Delim regex.ByteClass
+	// StartInstances lists the IDs with Start set, ascending.
+	StartInstances []int
+	// ConflictSets groups instance IDs that may assert simultaneously and
+	// therefore received equation 5 priority indices (higher priority
+	// later in the slice).
+	ConflictSets [][]int
+	// IndexBits is the encoder output width in bits.
+	IndexBits int
+}
+
+// Compile builds the tagging-engine specification for a grammar.
+func Compile(g *grammar.Grammar, opts Options) (*Spec, error) {
+	s := &Spec{Grammar: g, Sets: firstfollow.Compute(g), Opts: opts}
+	if err := s.compilePrograms(); err != nil {
+		return nil, err
+	}
+	if err := s.compileDelim(); err != nil {
+		return nil, err
+	}
+	if opts.NoContextDuplication {
+		s.buildTerminalInstances()
+	} else {
+		s.buildOccurrenceInstances()
+	}
+	if opts.AllEnabled {
+		all := make([]int, len(s.Instances))
+		for i, in := range s.Instances {
+			all[i] = in.ID
+			in.Start = true
+		}
+		for _, in := range s.Instances {
+			in.Follow = append([]int(nil), all...)
+		}
+		s.StartInstances = all
+	}
+	if err := s.assignIndices(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Spec) compilePrograms() error {
+	s.Programs = make([]*regex.Program, len(s.Grammar.Tokens))
+	for i, t := range s.Grammar.Tokens {
+		p, err := regex.Compile(t.Pattern)
+		if err != nil {
+			return fmt.Errorf("core: token %q: %w", t.Name, err)
+		}
+		if p.Nullable {
+			return fmt.Errorf("core: token %q: pattern %q matches the empty string; tokens must consume at least one byte", t.Name, t.Pattern)
+		}
+		s.Programs[i] = p
+	}
+	return nil
+}
+
+func (s *Spec) compileDelim() error {
+	p, err := regex.Compile(s.Grammar.DelimPattern)
+	if err != nil {
+		return fmt.Errorf("core: delimiter pattern: %w", err)
+	}
+	if p.Len() != 1 {
+		return fmt.Errorf("core: delimiter pattern %q must be a single character class", s.Grammar.DelimPattern)
+	}
+	s.Delim = p.Classes[0]
+	return nil
+}
+
+// buildTerminalInstances creates one instance per terminal and wires the
+// symbol-level Follow sets (figure 10 exactly, no duplication).
+func (s *Spec) buildTerminalInstances() {
+	byTerm := make(map[string]*Instance, len(s.Grammar.Tokens))
+	for i, t := range s.Grammar.Tokens {
+		in := &Instance{
+			ID:         len(s.Instances),
+			Term:       t.Name,
+			TokenIndex: i,
+			Rule:       -1,
+			Pos:        -1,
+			Program:    s.Programs[i],
+			CanEnd:     s.Sets.CanEnd(t.Name),
+		}
+		byTerm[t.Name] = in
+		s.Instances = append(s.Instances, in)
+	}
+	for _, in := range s.Instances {
+		for _, f := range s.Sets.Follow(in.Term) {
+			if f == firstfollow.End {
+				continue
+			}
+			in.Follow = append(in.Follow, byTerm[f].ID)
+		}
+	}
+	for _, t := range s.Sets.StartTerminals() {
+		in := byTerm[t]
+		in.Start = true
+		s.StartInstances = append(s.StartInstances, in.ID)
+	}
+}
+
+// occKey locates a terminal occurrence in the production list.
+type occKey struct{ rule, pos int }
+
+// buildOccurrenceInstances creates one instance per terminal occurrence and
+// computes the occurrence-level Follow wiring: the First/Follow fixpoint of
+// figure 8 lifted from symbols to occurrences, which realizes the paper's
+// context duplication.
+func (s *Spec) buildOccurrenceInstances() {
+	g := s.Grammar
+	byOcc := make(map[occKey]*Instance)
+	for ri, r := range g.Rules {
+		for pi, sym := range r.RHS {
+			if sym.Kind != grammar.Terminal {
+				continue
+			}
+			ti := g.TokenIndex(sym.Name)
+			in := &Instance{
+				ID:         len(s.Instances),
+				Term:       sym.Name,
+				TokenIndex: ti,
+				Rule:       ri,
+				Pos:        pi,
+				Program:    s.Programs[ti],
+			}
+			byOcc[occKey{ri, pi}] = in
+			s.Instances = append(s.Instances, in)
+		}
+	}
+
+	// firstOcc(nt) = occurrences that can begin a string derived from nt.
+	firstOcc := make(map[string]map[int]bool)
+	for _, nt := range g.NonTerminals() {
+		firstOcc[nt] = make(map[int]bool)
+	}
+	firstOccSeq := func(ri int, from int) map[int]bool {
+		out := make(map[int]bool)
+		r := g.Rules[ri]
+		for pi := from; pi < len(r.RHS); pi++ {
+			sym := r.RHS[pi]
+			if sym.Kind == grammar.Terminal {
+				out[byOcc[occKey{ri, pi}].ID] = true
+				return out
+			}
+			for id := range firstOcc[sym.Name] {
+				out[id] = true
+			}
+			if !s.Sets.Nullable(sym.Name) {
+				return out
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for ri, r := range g.Rules {
+			set := firstOcc[r.LHS]
+			for id := range firstOccSeq(ri, 0) {
+				if !set[id] {
+					set[id] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// followOccNT(nt) = occurrences that can immediately follow nt, plus a
+	// can-end bit when nt can end a sentence.
+	type followInfo struct {
+		occs   map[int]bool
+		canEnd bool
+	}
+	followNT := make(map[string]*followInfo)
+	for _, nt := range g.NonTerminals() {
+		followNT[nt] = &followInfo{occs: make(map[int]bool)}
+	}
+	followNT[g.Start].canEnd = true
+	for changed := true; changed; {
+		changed = false
+		for ri, r := range g.Rules {
+			for pi, sym := range r.RHS {
+				if sym.Kind != grammar.NonTerminal {
+					continue
+				}
+				fi := followNT[sym.Name]
+				for id := range firstOccSeq(ri, pi+1) {
+					if !fi.occs[id] {
+						fi.occs[id] = true
+						changed = true
+					}
+				}
+				if restNullable(s, ri, pi+1) {
+					parent := followNT[r.LHS]
+					for id := range parent.occs {
+						if !fi.occs[id] {
+							fi.occs[id] = true
+							changed = true
+						}
+					}
+					if parent.canEnd && !fi.canEnd {
+						fi.canEnd = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Wire each occurrence: Follow = firstOcc of the rest of its rule,
+	// plus Follow(LHS) when the rest is nullable.
+	for _, in := range s.Instances {
+		set := firstOccSeq(in.Rule, in.Pos+1)
+		if restNullable(s, in.Rule, in.Pos+1) {
+			fi := followNT[g.Rules[in.Rule].LHS]
+			for id := range fi.occs {
+				set[id] = true
+			}
+			in.CanEnd = fi.canEnd
+		}
+		in.Follow = sortedIDs(set)
+	}
+	for id := range firstOcc[g.Start] {
+		s.Instances[id].Start = true
+	}
+	for _, in := range s.Instances {
+		if in.Start {
+			s.StartInstances = append(s.StartInstances, in.ID)
+		}
+	}
+	sort.Ints(s.StartInstances)
+}
+
+// restNullable reports whether RHS[from:] of the rule derives ε.
+func restNullable(s *Spec, ri, from int) bool {
+	r := s.Grammar.Rules[ri]
+	for pi := from; pi < len(r.RHS); pi++ {
+		sym := r.RHS[pi]
+		if sym.Kind == grammar.Terminal || !s.Sets.Nullable(sym.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedIDs(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumInstances returns the number of tokenizer instances.
+func (s *Spec) NumInstances() int { return len(s.Instances) }
+
+// InstanceAt returns the instance for a terminal occurrence (rule index,
+// RHS position), or nil. With NoContextDuplication it resolves to the
+// terminal's single instance.
+func (s *Spec) InstanceAt(rule, pos int) *Instance {
+	sym := s.Grammar.Rules[rule].RHS[pos]
+	if sym.Kind != grammar.Terminal {
+		return nil
+	}
+	for _, in := range s.Instances {
+		if s.Opts.NoContextDuplication {
+			if in.Term == sym.Name {
+				return in
+			}
+			continue
+		}
+		if in.Rule == rule && in.Pos == pos {
+			return in
+		}
+	}
+	return nil
+}
+
+// PatternBytes returns the total pattern positions across all instances —
+// the hardware area unit (each position is one pipeline register stage).
+// With context duplication this exceeds Grammar.PatternBytes when terminals
+// appear in several contexts.
+func (s *Spec) PatternBytes() int {
+	n := 0
+	for _, in := range s.Instances {
+		n += in.Program.Len()
+	}
+	return n
+}
+
+// Enablers returns, per instance, the IDs of the instances that enable it
+// (the reverse of Follow).
+func (s *Spec) Enablers() [][]int {
+	out := make([][]int, len(s.Instances))
+	for _, in := range s.Instances {
+		for _, f := range in.Follow {
+			out[f] = append(out[f], in.ID)
+		}
+	}
+	return out
+}
+
+// String summarizes the spec.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec %s: %d tokens, %d instances, %d pattern bytes, %d start, %d index bits",
+		s.Grammar.Name, len(s.Grammar.Tokens), len(s.Instances), s.PatternBytes(), len(s.StartInstances), s.IndexBits)
+	return b.String()
+}
+
+// DumpWiring renders the instance wiring for debugging: one line per
+// instance with its context, start/end flags and follow edges.
+func (s *Spec) DumpWiring() string {
+	var b strings.Builder
+	for _, in := range s.Instances {
+		flags := ""
+		if in.Start {
+			flags += " start"
+		}
+		if in.CanEnd {
+			flags += " end"
+		}
+		fmt.Fprintf(&b, "#%d %q @%s idx=%d%s ->", in.ID, in.Term, in.Context(s.Grammar), in.Index, flags)
+		for _, f := range in.Follow {
+			fmt.Fprintf(&b, " #%d", f)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/grammar"
+)
+
+func compile(t *testing.T, g *grammar.Grammar, opts Options) *Spec {
+	t.Helper()
+	s, err := Compile(g, opts)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", g.Name, err)
+	}
+	return s
+}
+
+// instance finds the unique instance of a terminal within the production of
+// the named nonterminal.
+func instance(t *testing.T, s *Spec, term, lhs string) *Instance {
+	t.Helper()
+	var found *Instance
+	for _, in := range s.Instances {
+		if in.Term == term && s.Grammar.Rules[in.Rule].LHS == lhs {
+			if found != nil {
+				t.Fatalf("instance(%s in %s) ambiguous", term, lhs)
+			}
+			found = in
+		}
+	}
+	if found == nil {
+		t.Fatalf("instance(%s in %s) not found", term, lhs)
+	}
+	return found
+}
+
+func followTerms(s *Spec, in *Instance) []string {
+	var out []string
+	for _, f := range in.Follow {
+		out = append(out, s.Instances[f].Term)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestIfThenElseWiring(t *testing.T) {
+	// Figure 11: the tokenizer wiring for the if-then-else grammar.
+	s := compile(t, grammar.IfThenElse(), Options{})
+	// One instance per occurrence: if C then E else E | go | stop → 4
+	// terminals in rule 0 (if, then, else ×1 each... if, then, else) plus
+	// go, stop, true, false = 7 occurrences total.
+	if len(s.Instances) != 7 {
+		t.Fatalf("instances = %d, want 7\n%s", len(s.Instances), s.DumpWiring())
+	}
+	iff := instance(t, s, "if", "E")
+	if got := followTerms(s, iff); !equal(got, []string{"false", "true"}) {
+		t.Errorf("follow(if) = %v", got)
+	}
+	then := instance(t, s, "then", "E")
+	if got := followTerms(s, then); !equal(got, []string{"go", "if", "stop"}) {
+		t.Errorf("follow(then) = %v", got)
+	}
+	els := instance(t, s, "else", "E")
+	if got := followTerms(s, els); !equal(got, []string{"go", "if", "stop"}) {
+		t.Errorf("follow(else) = %v", got)
+	}
+	gox := instance(t, s, "go", "E")
+	if got := followTerms(s, gox); !equal(got, []string{"else"}) {
+		t.Errorf("follow(go) = %v", got)
+	}
+	if !gox.CanEnd {
+		t.Error("go should be able to end the input")
+	}
+	tru := instance(t, s, "true", "C")
+	if got := followTerms(s, tru); !equal(got, []string{"then"}) {
+		t.Errorf("follow(true) = %v", got)
+	}
+	if tru.CanEnd {
+		t.Error("true cannot end the input")
+	}
+	// Start instances: FIRST(E) = if, go, stop.
+	var starts []string
+	for _, id := range s.StartInstances {
+		starts = append(starts, s.Instances[id].Term)
+	}
+	sort.Strings(starts)
+	if !equal(starts, []string{"go", "if", "stop"}) {
+		t.Errorf("start instances = %v", starts)
+	}
+}
+
+func TestBalancedParensCollapse(t *testing.T) {
+	// E -> ( E ) | 0. The recursion collapses: "(" is followed by "(" and
+	// "0"; ")" by ")" (and end); "0" by ")" (and end).
+	s := compile(t, grammar.BalancedParens(), Options{})
+	open := instance(t, s, "(", "E")
+	if got := followTerms(s, open); !equal(got, []string{"(", "0"}) {
+		t.Errorf("follow(() = %v", got)
+	}
+	closeP := instance(t, s, ")", "E")
+	if got := followTerms(s, closeP); !equal(got, []string{")"}) {
+		t.Errorf("follow()) = %v", got)
+	}
+	if !closeP.CanEnd {
+		t.Error(") should end input")
+	}
+	zero := instance(t, s, "0", "E")
+	if got := followTerms(s, zero); !equal(got, []string{")"}) {
+		t.Errorf("follow(0) = %v", got)
+	}
+	if !zero.CanEnd {
+		t.Error("0 should end input (bare \"0\" is a sentence)")
+	}
+}
+
+func TestContextDuplication(t *testing.T) {
+	// STRING is used in three XML-RPC contexts: methodName, string, name.
+	s := compile(t, grammar.XMLRPC(), Options{})
+	var contexts []string
+	for _, in := range s.Instances {
+		if in.Term == "STRING" {
+			contexts = append(contexts, s.Grammar.Rules[in.Rule].LHS)
+		}
+	}
+	sort.Strings(contexts)
+	if !equal(contexts, []string{"methodName", "name", "string"}) {
+		t.Errorf("STRING contexts = %v", contexts)
+	}
+	// Each STRING instance is followed only by its own closing tag.
+	mn := instance(t, s, "STRING", "methodName")
+	if got := followTerms(s, mn); !equal(got, []string{"</methodName>"}) {
+		t.Errorf("follow(STRING@methodName) = %v", got)
+	}
+	nm := instance(t, s, "STRING", "name")
+	if got := followTerms(s, nm); !equal(got, []string{"</name>"}) {
+		t.Errorf("follow(STRING@name) = %v", got)
+	}
+}
+
+func TestNoContextDuplication(t *testing.T) {
+	s := compile(t, grammar.XMLRPC(), Options{NoContextDuplication: true})
+	if len(s.Instances) != len(s.Grammar.Tokens) {
+		t.Fatalf("instances = %d, want one per token (%d)", len(s.Instances), len(s.Grammar.Tokens))
+	}
+	// STRING's single instance merges all three contexts.
+	var str *Instance
+	for _, in := range s.Instances {
+		if in.Term == "STRING" {
+			str = in
+		}
+	}
+	if got := followTerms(s, str); !equal(got, []string{"</methodName>", "</name>", "</string>"}) {
+		t.Errorf("follow(STRING) = %v", got)
+	}
+}
+
+func TestXMLRPCSpecShape(t *testing.T) {
+	s := compile(t, grammar.XMLRPC(), Options{})
+	// Exactly one start instance: <methodCall>.
+	if len(s.StartInstances) != 1 || s.Instances[s.StartInstances[0]].Term != "<methodCall>" {
+		t.Errorf("start instances wrong: %v", s.StartInstances)
+	}
+	// Only </methodCall> can end the document.
+	for _, in := range s.Instances {
+		if in.CanEnd != (in.Term == "</methodCall>") {
+			t.Errorf("CanEnd(%s@%s) = %v", in.Term, in.Context(s.Grammar), in.CanEnd)
+		}
+	}
+	// The corrected figure 14 grammar has no encoder conflicts: every
+	// simultaneous-enable group is pairwise language-disjoint.
+	if len(s.ConflictSets) != 0 {
+		t.Errorf("unexpected conflict sets: %v\n%s", s.ConflictSets, s.DumpWiring())
+	}
+	// All indices distinct and nonzero.
+	seen := map[int]bool{}
+	for _, in := range s.Instances {
+		if in.Index == 0 {
+			t.Errorf("instance %d has reserved index 0", in.ID)
+		}
+		if seen[in.Index] {
+			t.Errorf("duplicate index %d", in.Index)
+		}
+		seen[in.Index] = true
+		if in.Index >= 1<<s.IndexBits {
+			t.Errorf("index %d exceeds %d bits", in.Index, s.IndexBits)
+		}
+	}
+	// Pattern bytes with duplication exceed the grammar's raw count.
+	if s.PatternBytes() <= s.Grammar.PatternBytes() {
+		t.Errorf("instance pattern bytes %d should exceed grammar's %d (contexts duplicate)",
+			s.PatternBytes(), s.Grammar.PatternBytes())
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	// NUM and WORD overlap on digit strings and are enabled together at
+	// start → one conflict set holding both, with WORD (enabled by the
+	// tie-break on equal lengths? both are 1-position classes) resolved by
+	// nested indices.
+	g, err := grammar.Parse("amb", `
+NUM  [0-9]+
+WORD [a-z0-9]+
+%%
+S : NUM | WORD ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := compile(t, g, Options{})
+	if len(s.ConflictSets) != 1 || len(s.ConflictSets[0]) != 2 {
+		t.Fatalf("conflict sets = %v", s.ConflictSets)
+	}
+	set := s.ConflictSets[0]
+	lo, hi := s.Instances[set[0]].Index, s.Instances[set[1]].Index
+	if lo|hi != hi {
+		t.Errorf("equation 5 violated: %b | %b != %b", lo, hi, hi)
+	}
+}
+
+func TestConflictEquation5Chain(t *testing.T) {
+	// Three-way overlap: all of A ⊂ B ⊂ C classes can match "0".
+	g, err := grammar.Parse("amb3", `
+A [0-9]+
+B [0-9a-f]+
+C [0-9a-z]+
+%%
+S : A | B | C ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := compile(t, g, Options{})
+	if len(s.ConflictSets) != 1 || len(s.ConflictSets[0]) != 3 {
+		t.Fatalf("conflict sets = %v", s.ConflictSets)
+	}
+	set := s.ConflictSets[0]
+	// Ascending priority: every pair must OR to the higher one.
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			a, b := s.Instances[set[i]].Index, s.Instances[set[j]].Index
+			if a|b != b {
+				t.Errorf("equation 5 violated between ranks %d,%d: %b|%b != %b", i, j, a, b, b)
+			}
+		}
+	}
+}
+
+func TestConflictPriorityPrefersLongerPattern(t *testing.T) {
+	// "iff" and ID can both match "iff"; the longer literal must win.
+	g, err := grammar.Parse("kw", `
+ID [a-z]+
+%%
+S : "iff" | ID ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := compile(t, g, Options{})
+	if len(s.ConflictSets) != 1 {
+		t.Fatalf("conflicts = %v", s.ConflictSets)
+	}
+	set := s.ConflictSets[0]
+	top := s.Instances[set[len(set)-1]]
+	if top.Term != "iff" {
+		t.Errorf("highest priority = %q, want the longer literal \"iff\"", top.Term)
+	}
+}
+
+func TestNullableTokenRejected(t *testing.T) {
+	g, err := grammar.Parse("null", "A a*\n%%\nS : A ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(g, Options{}); err == nil || !strings.Contains(err.Error(), "empty string") {
+		t.Errorf("nullable token: err = %v", err)
+	}
+}
+
+func TestBadDelimRejected(t *testing.T) {
+	g, err := grammar.Parse("baddelim", "%delim ab\n%%\nS : \"x\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(g, Options{}); err == nil || !strings.Contains(err.Error(), "single character class") {
+		t.Errorf("multi-char delim: err = %v", err)
+	}
+}
+
+func TestAllEnabledOption(t *testing.T) {
+	s := compile(t, grammar.IfThenElse(), Options{AllEnabled: true, NoContextDuplication: true})
+	for _, in := range s.Instances {
+		if !in.Start {
+			t.Errorf("instance %d not start-enabled under AllEnabled", in.ID)
+		}
+		if len(in.Follow) != len(s.Instances) {
+			t.Errorf("instance %d follow = %d, want all %d", in.ID, len(in.Follow), len(s.Instances))
+		}
+	}
+}
+
+func TestEnablers(t *testing.T) {
+	s := compile(t, grammar.IfThenElse(), Options{})
+	en := s.Enablers()
+	// "true" is enabled exactly by "if".
+	tru := instance(t, s, "true", "C")
+	if len(en[tru.ID]) != 1 || s.Instances[en[tru.ID][0]].Term != "if" {
+		t.Errorf("enablers(true) = %v", en[tru.ID])
+	}
+}
+
+func TestNestedEndPropagation(t *testing.T) {
+	// S : A ; A : B ; B : "x" ;  — "x" ends the input through two levels.
+	g, err := grammar.Parse("nest", "%%\nS : A ;\nA : B ;\nB : \"x\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := compile(t, g, Options{})
+	x := s.Instances[0]
+	if !x.CanEnd {
+		t.Error("CanEnd should propagate through nested nonterminals")
+	}
+	if !x.Start {
+		t.Error("Start should propagate through nested nonterminals")
+	}
+}
+
+func TestTrailingNullableFollow(t *testing.T) {
+	// S : "a" OptB "c" ; OptB : | "b" ;
+	// "a" is followed by {b, c}; "b" by {c}.
+	g, err := grammar.Parse("optmid", "%%\nS : \"a\" OptB \"c\" ;\nOptB : | \"b\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := compile(t, g, Options{})
+	a := instance(t, s, "a", "S")
+	if got := followTerms(s, a); !equal(got, []string{"b", "c"}) {
+		t.Errorf("follow(a) = %v", got)
+	}
+	b := instance(t, s, "b", "OptB")
+	if got := followTerms(s, b); !equal(got, []string{"c"}) {
+		t.Errorf("follow(b) = %v", got)
+	}
+}
+
+func TestIndexBitsOption(t *testing.T) {
+	g := grammar.IfThenElse()
+	s := compile(t, g, Options{IndexBits: 8})
+	if s.IndexBits != 8 {
+		t.Errorf("IndexBits = %d, want 8", s.IndexBits)
+	}
+	if _, err := Compile(g, Options{IndexBits: 2}); err == nil {
+		t.Error("2 bits cannot address 7 instances; want error")
+	}
+}
+
+func TestInstanceByIndex(t *testing.T) {
+	s := compile(t, grammar.IfThenElse(), Options{})
+	for _, in := range s.Instances {
+		if got := s.InstanceByIndex(in.Index); got != in {
+			t.Errorf("InstanceByIndex(%d) = %v", in.Index, got)
+		}
+	}
+	if s.InstanceByIndex(0) != nil {
+		t.Error("index 0 should map to no instance")
+	}
+}
+
+func TestContextString(t *testing.T) {
+	s := compile(t, grammar.XMLRPC(), Options{})
+	mn := instance(t, s, "STRING", "methodName")
+	if got := mn.Context(s.Grammar); got != "methodName[1]" {
+		t.Errorf("Context = %q", got)
+	}
+	s2 := compile(t, grammar.XMLRPC(), Options{NoContextDuplication: true})
+	if got := s2.Instances[0].Context(s2.Grammar); got != s2.Instances[0].Term {
+		t.Errorf("Context without duplication = %q", got)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	s := compile(t, grammar.IfThenElse(), Options{})
+	d := s.DOT()
+	for _, want := range []string{
+		"digraph wiring",
+		"start [shape=plaintext",
+		"peripheries=2", // go/stop can end the sentence
+		`label="if\n`,   // node labels carry terminal + context
+		"start -> n",    // start arrows
+		"-> n",          // follow edges
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DOT missing %q:\n%s", want, d)
+		}
+	}
+	// Edge count = sum of follow list lengths + start arrows.
+	edges := 0
+	for _, in := range s.Instances {
+		edges += len(in.Follow)
+	}
+	edges += len(s.StartInstances)
+	if got := strings.Count(d, "->"); got != edges {
+		t.Errorf("DOT edges = %d, want %d", got, edges)
+	}
+	// Quotes in terminal names must be escaped.
+	g2, err := grammar.Parse("q", "%%\nS : '\"' ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := compile(t, g2, Options{})
+	if !strings.Contains(s2.DOT(), `\"`) {
+		t.Error("quote terminal not escaped in DOT")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := compile(t, grammar.IfThenElse(), Options{})
+	str := s.String()
+	if !strings.Contains(str, "7 instances") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

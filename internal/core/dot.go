@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tokenizer wiring as a Graphviz digraph — figure 11 as a
+// picture. Nodes are tokenizer instances (labeled with their terminal and
+// grammatical context); edges are the Follow wiring; start instances get a
+// Start arrow and sentence-enders a doubled border, matching the figure's
+// Start/End annotations.
+func (s *Spec) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph wiring {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	b.WriteString("  start [shape=plaintext, label=\"Start\"];\n")
+	for _, in := range s.Instances {
+		attrs := fmt.Sprintf("label=\"%s\\n%s  idx=%d\"",
+			escapeDot(in.Term), escapeDot(in.Context(s.Grammar)), in.Index)
+		if in.CanEnd {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", in.ID, attrs)
+	}
+	for _, id := range s.StartInstances {
+		fmt.Fprintf(&b, "  start -> n%d;\n", id)
+	}
+	for _, in := range s.Instances {
+		for _, f := range in.Follow {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, f)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lint reports non-fatal design smells in a compiled spec — conditions the
+// generator accepts but that usually surprise grammar authors or cost
+// hardware. Each warning is one human-readable line.
+func (s *Spec) Lint() []string {
+	var warns []string
+
+	// Token classes overlapping the delimiter class: a delimiter byte
+	// inside a lexeme interacts subtly with the pending hold (section
+	// 3.2) and usually indicates the delimiter set is wrong.
+	for ti, t := range s.Grammar.Tokens {
+		for _, c := range s.Programs[ti].Classes {
+			if c.Intersects(s.Delim) {
+				warns = append(warns, fmt.Sprintf(
+					"token %q: pattern class %s overlaps the delimiter class %s",
+					t.Name, c, s.Delim))
+				break
+			}
+		}
+	}
+
+	// Conflict sets: legal (equation 5 arbitrates) but each one means
+	// simultaneous detections whose distinction is lost at the encoder.
+	for _, set := range s.ConflictSets {
+		names := make([]string, len(set))
+		for i, id := range set {
+			in := s.Instances[id]
+			names[i] = fmt.Sprintf("%s@%s", in.Term, in.Context(s.Grammar))
+		}
+		warns = append(warns, fmt.Sprintf(
+			"conflict set (simultaneous detections, priority-resolved): %v", names))
+	}
+
+	// Instances with very large Follow sets create wide enable OR trees
+	// and erode the precision advantage of the wiring.
+	for _, in := range s.Instances {
+		if len(in.Follow) > 3*len(s.Grammar.Tokens)/4 && len(s.Grammar.Tokens) >= 8 {
+			warns = append(warns, fmt.Sprintf(
+				"instance %s@%s enables %d of %d tokenizers — the grammar barely constrains what follows it",
+				in.Term, in.Context(s.Grammar), len(in.Follow), len(s.Instances)))
+		}
+	}
+
+	// Note: identically-patterned tokens (the paper's MONTH/DAY/HOUR/…)
+	// are deliberately NOT warned about — distinguishing same-language
+	// tokens by context is the architecture's purpose; genuinely
+	// ambiguous cases surface through the conflict-set warning above.
+	sort.Strings(warns)
+	return warns
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/grammar"
+)
+
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	g, err := grammar.Parse("lint", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Lint()
+}
+
+func hasWarn(warns []string, substr string) bool {
+	for _, w := range warns {
+		if strings.Contains(w, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanGrammars(t *testing.T) {
+	for _, g := range []*grammar.Grammar{grammar.IfThenElse(), grammar.XMLRPC()} {
+		s, err := Compile(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warns := s.Lint(); len(warns) != 0 {
+			t.Errorf("%s: unexpected warnings: %v", g.Name, warns)
+		}
+	}
+}
+
+func TestLintDelimOverlap(t *testing.T) {
+	warns := lint(t, "TEXT [a-z ]+\n%%\nS : TEXT ;\n")
+	if !hasWarn(warns, "overlaps the delimiter") {
+		t.Errorf("warnings = %v", warns)
+	}
+}
+
+func TestLintConflictSet(t *testing.T) {
+	warns := lint(t, "A [0-9]+\nB [0-9a-f]+\n%%\nS : A | B ;\n")
+	if !hasWarn(warns, "conflict set") {
+		t.Errorf("warnings = %v", warns)
+	}
+}
+
+func TestLintSamePatternDifferentContextsClean(t *testing.T) {
+	// Identical patterns in disjoint contexts are the architecture's
+	// point (MONTH/DAY/HOUR in the paper) — no warning.
+	warns := lint(t, "A [0-9]+\nB [0-9]+\n%%\nS : A \"x\" B ;\n")
+	if len(warns) != 0 {
+		t.Errorf("warnings = %v", warns)
+	}
+}
+
+func TestLintAllEnabled(t *testing.T) {
+	g, err := grammar.Parse("wide", `
+%%
+S : A A A ;
+A : "t1" | "t2" | "t3" | "t4" | "t5" | "t6" | "t7" | "t8" ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(g, Options{AllEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warns := s.Lint(); !hasWarn(warns, "barely constrains") {
+		t.Errorf("warnings = %v", warns)
+	}
+}

@@ -1,0 +1,167 @@
+// Package firstfollow implements the nullable / First / Follow set
+// computation of figure 8 — the algorithm of predictive parser generators
+// that the paper reuses to derive the syntactic control flow between
+// tokenizers. Follow sets are computed for terminals as well as
+// nonterminals: the per-terminal Follow table (figure 10) is exactly what
+// the hardware generator wires (the output of token t enables every
+// tokenizer in Follow(t)).
+package firstfollow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cfgtag/internal/grammar"
+)
+
+// End is the pseudo-terminal marking end of input. It appears in Follow
+// sets of symbols that can end a sentence (rendered ε in figure 10).
+const End = "$end"
+
+// Sets holds the computed nullable, First and Follow sets of a grammar.
+type Sets struct {
+	g *grammar.Grammar
+	// nullable[nt] reports whether the nonterminal derives ε.
+	nullable map[string]bool
+	// first[sym] is the set of terminals that can begin a string derived
+	// from sym. For a terminal it is the singleton {sym}.
+	first map[string]map[string]bool
+	// follow[sym] is the set of terminals (or End) that can immediately
+	// follow sym in some sentential form derived from the start symbol.
+	follow map[string]map[string]bool
+}
+
+// Compute runs the figure 8 fixpoint over the grammar's production list.
+func Compute(g *grammar.Grammar) *Sets {
+	s := &Sets{
+		g:        g,
+		nullable: make(map[string]bool),
+		first:    make(map[string]map[string]bool),
+		follow:   make(map[string]map[string]bool),
+	}
+	// "For each terminal symbol Z, FIRST[Z] = {Z}".
+	for _, t := range g.Tokens {
+		s.first[t.Name] = map[string]bool{t.Name: true}
+		s.follow[t.Name] = make(map[string]bool)
+	}
+	for _, nt := range g.NonTerminals() {
+		s.first[nt] = make(map[string]bool)
+		s.follow[nt] = make(map[string]bool)
+	}
+	// The start symbol can be followed by end of input.
+	s.follow[g.Start][End] = true
+
+	// repeat until FIRST, FOLLOW and nullable no longer change.
+	for changed := true; changed; {
+		changed = false
+		add := func(dst map[string]bool, src map[string]bool) {
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+		}
+		for _, r := range g.Rules {
+			x, ys := r.LHS, r.RHS
+			// if Y1...Yk are all nullable (or k = 0) then nullable[X] = true
+			if !s.nullable[x] && s.seqNullable(ys) {
+				s.nullable[x] = true
+				changed = true
+			}
+			for i := range ys {
+				yi := ys[i].Name
+				// if Y1...Yi-1 are all nullable (or i = 1) then
+				// FIRST[X] ← FIRST[X] ∪ FIRST[Yi]
+				if s.seqNullable(ys[:i]) {
+					add(s.first[x], s.first[yi])
+				}
+				// if Yi+1...Yk are all nullable (or i = k) then
+				// FOLLOW[Yi] ← FOLLOW[Yi] ∪ FOLLOW[X]
+				if s.seqNullable(ys[i+1:]) {
+					add(s.follow[yi], s.follow[x])
+				}
+				// if Yi+1...Yj-1 are all nullable (or i+1 = j) then
+				// FOLLOW[Yi] ← FOLLOW[Yi] ∪ FIRST[Yj]
+				for j := i + 1; j < len(ys); j++ {
+					if s.seqNullable(ys[i+1 : j]) {
+						add(s.follow[yi], s.first[ys[j].Name])
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// seqNullable reports whether every symbol in the sequence is nullable
+// (trivially true for the empty sequence). Terminals are never nullable.
+func (s *Sets) seqNullable(syms []grammar.Symbol) bool {
+	for _, sym := range syms {
+		if sym.Kind == grammar.Terminal || !s.nullable[sym.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Nullable reports whether the symbol derives the empty string.
+func (s *Sets) Nullable(sym string) bool { return s.nullable[sym] }
+
+// First returns FIRST(sym) sorted. For a terminal this is {sym}.
+func (s *Sets) First(sym string) []string { return sorted(s.first[sym]) }
+
+// Follow returns FOLLOW(sym) sorted; it may include End.
+func (s *Sets) Follow(sym string) []string { return sorted(s.follow[sym]) }
+
+// FirstOfSeq returns FIRST of a symbol sequence and whether the whole
+// sequence is nullable.
+func (s *Sets) FirstOfSeq(syms []grammar.Symbol) ([]string, bool) {
+	set := make(map[string]bool)
+	for _, sym := range syms {
+		for t := range s.first[sym.Name] {
+			set[t] = true
+		}
+		if sym.Kind == grammar.Terminal || !s.nullable[sym.Name] {
+			return sorted(set), false
+		}
+	}
+	return sorted(set), true
+}
+
+// StartTerminals returns FIRST(start): the terminals whose tokenizers must
+// be enabled at the beginning of the data (section 3.3).
+func (s *Sets) StartTerminals() []string { return s.First(s.g.Start) }
+
+// CanEnd reports whether the terminal may be the last token of a sentence
+// (Follow contains End — the ε entries of figure 10).
+func (s *Sets) CanEnd(term string) bool { return s.follow[term][End] }
+
+// TerminalFollowTable renders the figure 10 table: one line per terminal in
+// token-list order with its Follow set, End shown as ε.
+func (s *Sets) TerminalFollowTable() string {
+	var b strings.Builder
+	for _, t := range s.g.Tokens {
+		items := s.Follow(t.Name)
+		disp := make([]string, len(items))
+		for i, it := range items {
+			if it == End {
+				disp[i] = "ε"
+			} else {
+				disp[i] = it
+			}
+		}
+		fmt.Fprintf(&b, "%s\t{%s}\n", t.Name, strings.Join(disp, ", "))
+	}
+	return b.String()
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

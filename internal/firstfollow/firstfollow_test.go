@@ -1,0 +1,211 @@
+package firstfollow
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/grammar"
+)
+
+// TestFigure10 checks the paper's worked example: the Follow set table for
+// every terminal of the if-then-else grammar (figure 9) must match
+// figure 10 exactly.
+func TestFigure10(t *testing.T) {
+	s := Compute(grammar.IfThenElse())
+	want := map[string][]string{
+		"if":    {"false", "true"},
+		"then":  {"go", "if", "stop"},
+		"else":  {"go", "if", "stop"},
+		"go":    {End, "else"},
+		"stop":  {End, "else"},
+		"true":  {"then"},
+		"false": {"then"},
+	}
+	for term, w := range want {
+		if got := s.Follow(term); !reflect.DeepEqual(got, w) {
+			t.Errorf("Follow(%s) = %v, want %v", term, got, w)
+		}
+	}
+	// Start terminals: FIRST(E) = {if, go, stop}.
+	if got := s.StartTerminals(); !reflect.DeepEqual(got, []string{"go", "if", "stop"}) {
+		t.Errorf("StartTerminals = %v", got)
+	}
+	if !s.CanEnd("go") || !s.CanEnd("stop") || s.CanEnd("if") {
+		t.Error("CanEnd wrong for figure 10 terminals")
+	}
+}
+
+func TestFirstSets(t *testing.T) {
+	s := Compute(grammar.IfThenElse())
+	if got := s.First("E"); !reflect.DeepEqual(got, []string{"go", "if", "stop"}) {
+		t.Errorf("First(E) = %v", got)
+	}
+	if got := s.First("C"); !reflect.DeepEqual(got, []string{"false", "true"}) {
+		t.Errorf("First(C) = %v", got)
+	}
+	if got := s.First("if"); !reflect.DeepEqual(got, []string{"if"}) {
+		t.Errorf("First(if) = %v, terminals are their own First", got)
+	}
+}
+
+func TestNullable(t *testing.T) {
+	g, err := grammar.Parse("t", `
+%%
+S : A B "x" ;
+A : | "a" ;
+B : A A ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Compute(g)
+	if !s.Nullable("A") {
+		t.Error("A should be nullable")
+	}
+	if !s.Nullable("B") {
+		t.Error("B (two nullables) should be nullable")
+	}
+	if s.Nullable("S") {
+		t.Error("S ends in a terminal; not nullable")
+	}
+	// First(S) must see through the nullables: {a, x}.
+	if got := s.First("S"); !reflect.DeepEqual(got, []string{"a", "x"}) {
+		t.Errorf("First(S) = %v", got)
+	}
+	// Follow(A): A is followed by B (nullable) then "x", and inside B by A
+	// then end-of-B context. So {a, x}.
+	if got := s.Follow("A"); !reflect.DeepEqual(got, []string{"a", "x"}) {
+		t.Errorf("Follow(A) = %v", got)
+	}
+}
+
+func TestBalancedParens(t *testing.T) {
+	s := Compute(grammar.BalancedParens())
+	// E -> ( E ) | 0
+	if got := s.First("E"); !reflect.DeepEqual(got, []string{"(", "0"}) {
+		t.Errorf("First(E) = %v", got)
+	}
+	// "(" is followed by FIRST(E); ")" by FOLLOW(E) = {), $end};
+	// "0" by FOLLOW(E) as well.
+	if got := s.Follow("("); !reflect.DeepEqual(got, []string{"(", "0"}) {
+		t.Errorf("Follow( ( ) = %v", got)
+	}
+	if got := s.Follow(")"); !reflect.DeepEqual(got, []string{End, ")"}) {
+		t.Errorf("Follow( ) ) = %v", got)
+	}
+	if got := s.Follow("0"); !reflect.DeepEqual(got, []string{End, ")"}) {
+		t.Errorf("Follow(0) = %v", got)
+	}
+}
+
+func TestXMLRPCFollow(t *testing.T) {
+	s := Compute(grammar.XMLRPC())
+	// After <methodName> comes exactly STRING.
+	if got := s.Follow("<methodName>"); !reflect.DeepEqual(got, []string{"STRING"}) {
+		t.Errorf("Follow(<methodName>) = %v", got)
+	}
+	// After </methodName> comes <params>.
+	if got := s.Follow("</methodName>"); !reflect.DeepEqual(got, []string{"<params>"}) {
+		t.Errorf("Follow(</methodName>) = %v", got)
+	}
+	// After <params>: param is nullable so either <param> or </params>.
+	if got := s.Follow("<params>"); !reflect.DeepEqual(got, []string{"</params>", "<param>"}) {
+		t.Errorf("Follow(<params>) = %v", got)
+	}
+	// </methodCall> ends the document.
+	if !s.CanEnd("</methodCall>") {
+		t.Error("</methodCall> should end input")
+	}
+	// A value can start with any of the eight type tags.
+	first, nullable := s.FirstOfSeq([]grammar.Symbol{{Kind: grammar.NonTerminal, Name: "value"}})
+	if nullable {
+		t.Error("value should not be nullable")
+	}
+	wantFirst := []string{"<array>", "<base64>", "<dateTime.iso8601>", "<double>", "<i4>", "<int>", "<string>", "<struct>"}
+	if !reflect.DeepEqual(first, wantFirst) {
+		t.Errorf("First(value) = %v", first)
+	}
+	// Inside dateTime the digit runs chain: YEAR's follow is MONTH.
+	if got := s.Follow("YEAR"); !reflect.DeepEqual(got, []string{"MONTH"}) {
+		t.Errorf("Follow(YEAR) = %v", got)
+	}
+	if got := s.Follow("DAY"); !reflect.DeepEqual(got, []string{"T"}) {
+		t.Errorf("Follow(DAY) = %v", got)
+	}
+	// Start terminal is the opening tag only.
+	if got := s.StartTerminals(); !reflect.DeepEqual(got, []string{"<methodCall>"}) {
+		t.Errorf("StartTerminals = %v", got)
+	}
+}
+
+func TestFirstOfSeq(t *testing.T) {
+	g := grammar.IfThenElse()
+	s := Compute(g)
+	seq := []grammar.Symbol{
+		{Kind: grammar.NonTerminal, Name: "C"},
+		{Kind: grammar.Terminal, Name: "then"},
+	}
+	first, nullable := s.FirstOfSeq(seq)
+	if nullable || !reflect.DeepEqual(first, []string{"false", "true"}) {
+		t.Errorf("FirstOfSeq = %v nullable=%v", first, nullable)
+	}
+	first, nullable = s.FirstOfSeq(nil)
+	if !nullable || len(first) != 0 {
+		t.Errorf("FirstOfSeq(ε) = %v nullable=%v", first, nullable)
+	}
+}
+
+func TestTerminalFollowTable(t *testing.T) {
+	s := Compute(grammar.IfThenElse())
+	table := s.TerminalFollowTable()
+	for _, want := range []string{
+		"if\t{false, true}",
+		"go\t{ε, else}",
+		"true\t{then}",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestFollowSoundness property: for every rule A -> α x β with x terminal,
+// FIRST(β) ⊆ FOLLOW(x), and if β is nullable FOLLOW(A) ⊆ FOLLOW(x).
+func TestFollowSoundness(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		s := Compute(g)
+		for _, r := range g.Rules {
+			for i, sym := range r.RHS {
+				if sym.Kind != grammar.Terminal {
+					continue
+				}
+				follow := toSet(s.Follow(sym.Name))
+				beta := r.RHS[i+1:]
+				first, nullable := s.FirstOfSeq(beta)
+				for _, f := range first {
+					if !follow[f] {
+						t.Errorf("%s: rule %v: %s missing %s in Follow", g.Name, r, sym.Name, f)
+					}
+				}
+				if nullable {
+					for _, f := range s.Follow(r.LHS) {
+						if !follow[f] {
+							t.Errorf("%s: rule %v: %s missing %s (from Follow(%s))", g.Name, r, sym.Name, f, r.LHS)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func toSet(items []string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}

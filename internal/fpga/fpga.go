@@ -1,0 +1,191 @@
+// Package fpga models the evaluation substrate of section 4.3: technology
+// mapping of the generated netlist into 4-input LUTs and a timing model
+// that reproduces the paper's synthesis results (table 1, figure 15)
+// without a vendor toolchain.
+//
+// Area is real: the mapper covers the AND/OR/NOT network with ≤ K input
+// cones (greedily absorbing single-fanout fanin gates, the core move of
+// FPGA technology mappers), so LUT counts — and the LUTs-per-byte trend
+// the paper highlights — emerge from the actual generated structure.
+//
+// Frequency is modeled: the paper's own timing analysis attributes the
+// critical path entirely to the routing fanout of decoded character wires
+// (~2 ns at 3000 pattern bytes). The model is
+//
+//	period(depth) = Tlut · depth + Tnet0 + Knet · maxFanout^FanExp
+//
+// with per-device constants calibrated against two published points
+// (Virtex-4 LX200 at 533 MHz / ~300 B and 316 MHz / ~3000 B; VirtexE
+// scaled by the published 533/196 process ratio). Report.FrequencyMHz uses
+// depth 1 — the paper's generator registers every gate ("one level of
+// logic between pipelined registers"), whereas this package's functional
+// netlist is deliberately not retimed; the mapped combinational depth is
+// reported separately and drives the naive-encoder ablation via PeriodNs.
+// EXPERIMENTS.md records paper-vs-model for every row.
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cfgtag/internal/netlist"
+)
+
+// Device is an FPGA device model.
+type Device struct {
+	// Name as in table 1, e.g. "Virtex4 LX200".
+	Name string
+	// LUTInputs is the LUT fan-in (4 for both paper devices).
+	LUTInputs int
+	// TotalLUTs is the device capacity, for utilization reporting.
+	TotalLUTs int
+	// Tlut is the LUT logic delay plus register setup, in ns.
+	Tlut float64
+	// Tnet0 is the fanout-independent net delay, in ns.
+	Tnet0 float64
+	// Knet scales the fanout-dependent routing delay, in ns.
+	Knet float64
+	// FanExp is the routing-delay fanout exponent.
+	FanExp float64
+}
+
+// The two devices of table 1. Calibration for Virtex-4: the generated
+// XML-RPC design maps with a maximum decoded-wire fanout of ≈ 46 and must
+// hit 533 MHz (period 1.876 ns); the ≈ 10× duplicated grammar maps with
+// fanout ≈ 460 and must hit 316 MHz (period 3.165 ns). A power law with
+// exponent 0.444 puts the fanout-routing term at 0.72 ns and 2.01 ns
+// respectively — the latter matching the paper's "just under 2 ns" routing
+// observation — leaving Tlut+Tnet0 ≈ 1.15 ns. VirtexE is the same fabric
+// scaled by the published 533/196 speed ratio (≈ 2.72).
+var (
+	Virtex4LX200 = Device{
+		Name:      "Virtex4 LX200",
+		LUTInputs: 4,
+		TotalLUTs: 178176,
+		Tlut:      0.55,
+		Tnet0:     0.602,
+		Knet:      0.1323,
+		FanExp:    0.444,
+	}
+	VirtexE2000 = Device{
+		Name:      "VirtexE 2000",
+		LUTInputs: 4,
+		TotalLUTs: 38400,
+		Tlut:      1.495,
+		Tnet0:     1.637,
+		Knet:      0.3597,
+		FanExp:    0.444,
+	}
+)
+
+// Report is one synthesis result — a row of table 1.
+type Report struct {
+	Device Device
+	// LUTs is the mapped 4-input LUT count.
+	LUTs int
+	// Registers is the flip-flop count (free in slice terms: every LUT
+	// site carries one, so they do not add area beyond LUTs).
+	Registers int
+	// PatternBytes is the grammar size metric (table 1 "# of Bytes").
+	PatternBytes int
+	// MaxFanout is the largest single-wire fanout after mapping; the
+	// critical net per the paper's timing analysis.
+	MaxFanout int
+	// MaxFanoutLabel names that wire.
+	MaxFanoutLabel string
+	// LogicDepth is the longest register-to-register LUT chain in this
+	// package's functional (un-retimed) netlist. The paper's generator
+	// pipelines every gate, so FrequencyMHz assumes depth 1; the ablation
+	// benches use PeriodNs(LogicDepth) to show what an unpipelined encoder
+	// costs.
+	LogicDepth int
+	// FrequencyMHz is the modeled clock rate of the fully pipelined design.
+	FrequencyMHz float64
+	// Breakdown maps label groups (dec/, tok/, wire/, enc/, out/) to LUT
+	// counts.
+	Breakdown map[string]int
+}
+
+// BandwidthGbps is the paper's throughput metric: one byte per cycle.
+func (r Report) BandwidthGbps() float64 { return r.FrequencyMHz * 8 / 1000 }
+
+// LUTsPerByte is the paper's area-efficiency metric.
+func (r Report) LUTsPerByte() float64 {
+	if r.PatternBytes == 0 {
+		return 0
+	}
+	return float64(r.LUTs) / float64(r.PatternBytes)
+}
+
+// Utilization is the fraction of the device consumed.
+func (r Report) Utilization() float64 { return float64(r.LUTs) / float64(r.Device.TotalLUTs) }
+
+// String renders the report as a table 1 row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-14s %4.0f MHz  %.2f Gbps  %5d B  %6d LUTs  %.2f LUT/B  depth %d  fanout %d",
+		r.Device.Name, r.FrequencyMHz, r.BandwidthGbps(), r.PatternBytes,
+		r.LUTs, r.LUTsPerByte(), r.LogicDepth, r.MaxFanout)
+}
+
+// Synthesize maps the netlist onto the device and applies the timing
+// model. patternBytes is the grammar-size metric carried into the report.
+func Synthesize(n *netlist.Netlist, dev Device, patternBytes int) (Report, error) {
+	if err := n.Validate(); err != nil {
+		return Report{}, fmt.Errorf("fpga: %w", err)
+	}
+	if err := checkArity(n, dev.LUTInputs); err != nil {
+		return Report{}, err
+	}
+	m := mapNetlist(n, dev.LUTInputs)
+	rep := Report{
+		Device:         dev,
+		LUTs:           m.lutCount,
+		Registers:      m.regCount,
+		PatternBytes:   patternBytes,
+		MaxFanout:      m.maxFanout,
+		MaxFanoutLabel: m.maxFanoutLabel,
+		LogicDepth:     m.maxDepth,
+		Breakdown:      m.breakdown,
+	}
+	rep.FrequencyMHz = 1000 / rep.PeriodNs(1)
+	return rep, nil
+}
+
+// PeriodNs evaluates the timing model at a given register-to-register LUT
+// depth: depth 1 for the fully pipelined design, Report.LogicDepth for an
+// un-retimed one.
+func (r Report) PeriodNs(depth int) float64 {
+	if depth < 1 {
+		depth = 1
+	}
+	d := r.Device
+	return d.Tlut*float64(depth) + d.Tnet0 + d.Knet*math.Pow(float64(r.MaxFanout), d.FanExp)
+}
+
+// FormatTable renders reports in the layout of table 1.
+func FormatTable(reports []Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %10s\n",
+		"Device", "Freq(MHz)", "BW(Gbps)", "Bytes", "LUTs", "LUTs/Byte")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-14s %10.0f %10.2f %10d %10d %10.2f\n",
+			r.Device.Name, r.FrequencyMHz, r.BandwidthGbps(), r.PatternBytes, r.LUTs, r.LUTsPerByte())
+	}
+	return b.String()
+}
+
+// BreakdownString renders the per-group LUT split, decoders first.
+func (r Report) BreakdownString() string {
+	keys := make([]string, 0, len(r.Breakdown))
+	for k := range r.Breakdown {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-8s %6d LUTs\n", k, r.Breakdown[k])
+	}
+	return b.String()
+}

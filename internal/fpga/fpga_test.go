@@ -1,0 +1,392 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/netlist"
+	"cfgtag/internal/workload"
+)
+
+func design(t *testing.T, g *grammar.Grammar, hopts hwgen.Options) *hwgen.Design {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hwgen.Generate(s, hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func synth(t *testing.T, d *hwgen.Design, dev Device) Report {
+	t.Helper()
+	rep, err := Synthesize(d.Netlist, dev, d.Spec.PatternBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestCalibrationPoints pins the two published calibration rows: the
+// XML-RPC design must synthesize at ≈ 533 MHz / 4.26 Gbps on Virtex-4 and
+// ≈ 196 MHz / 1.57 Gbps on VirtexE (table 1, paper rows 1 and 6).
+func TestCalibrationPoints(t *testing.T) {
+	d := design(t, grammar.XMLRPC(), hwgen.Options{})
+	v4 := synth(t, d, Virtex4LX200)
+	if v4.FrequencyMHz < 510 || v4.FrequencyMHz > 555 {
+		t.Errorf("Virtex-4 XML-RPC frequency = %.0f MHz, want ≈ 533", v4.FrequencyMHz)
+	}
+	if bw := v4.BandwidthGbps(); bw < 4.0 || bw > 4.5 {
+		t.Errorf("Virtex-4 bandwidth = %.2f Gbps, want ≈ 4.26", bw)
+	}
+	ve := synth(t, d, VirtexE2000)
+	if ve.FrequencyMHz < 185 || ve.FrequencyMHz > 210 {
+		t.Errorf("VirtexE frequency = %.0f MHz, want ≈ 196", ve.FrequencyMHz)
+	}
+	if bw := ve.BandwidthGbps(); bw < 1.45 || bw > 1.70 {
+		t.Errorf("VirtexE bandwidth = %.2f Gbps, want ≈ 1.57", bw)
+	}
+}
+
+// TestFrequencyFallsWithGrammarSize reproduces the figure 15 shape: the
+// clock degrades monotonically as pattern bytes grow, landing near the
+// published 316 MHz at the ≈ 3000 byte point.
+func TestFrequencyFallsWithGrammarSize(t *testing.T) {
+	var prev float64 = 1e9
+	for _, n := range []int{1, 2, 4, 7, 10} {
+		g, err := workload.Scale(grammar.XMLRPC(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := design(t, g, hwgen.Options{})
+		rep := synth(t, d, Virtex4LX200)
+		if rep.FrequencyMHz >= prev {
+			t.Errorf("x%d: frequency %.0f did not fall below %.0f", n, rep.FrequencyMHz, prev)
+		}
+		prev = rep.FrequencyMHz
+		if n == 10 {
+			if rep.FrequencyMHz < 295 || rep.FrequencyMHz > 340 {
+				t.Errorf("x10 frequency = %.0f MHz, want ≈ 316", rep.FrequencyMHz)
+			}
+		}
+	}
+}
+
+// TestLUTsPerByteDeclines reproduces the paper's area observation: the
+// decoders amortize, so LUTs/byte falls as the grammar grows, by roughly
+// the published ratio (1.01 → 0.77, i.e. ≈ 0.76×).
+func TestLUTsPerByteDeclines(t *testing.T) {
+	small := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{}), Virtex4LX200)
+	gBig, err := workload.Scale(grammar.XMLRPC(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := synth(t, design(t, gBig, hwgen.Options{}), Virtex4LX200)
+	if big.LUTsPerByte() >= small.LUTsPerByte() {
+		t.Fatalf("LUTs/byte did not decline: %.2f → %.2f", small.LUTsPerByte(), big.LUTsPerByte())
+	}
+	ratio := big.LUTsPerByte() / small.LUTsPerByte()
+	if ratio < 0.65 || ratio > 0.9 {
+		t.Errorf("LUTs/byte decline ratio = %.2f, paper shows ≈ 0.76", ratio)
+	}
+	// The decoder group must stay ~constant while everything else scales.
+	if big.Breakdown["dec"] > small.Breakdown["dec"]*5/4 {
+		t.Errorf("decoder LUTs should amortize: %d → %d", small.Breakdown["dec"], big.Breakdown["dec"])
+	}
+	if big.Breakdown["tok"] < small.Breakdown["tok"]*8 {
+		t.Errorf("token chain LUTs should scale ~linearly: %d → %d", small.Breakdown["tok"], big.Breakdown["tok"])
+	}
+}
+
+func TestCriticalNetIsDecodedCharacter(t *testing.T) {
+	g, err := workload.Scale(grammar.XMLRPC(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := synth(t, design(t, g, hwgen.Options{}), Virtex4LX200)
+	if !strings.HasPrefix(rep.MaxFanoutLabel, "dec/") {
+		t.Errorf("critical net = %q (fanout %d), want a decoder wire", rep.MaxFanoutLabel, rep.MaxFanout)
+	}
+	// Routing delay at the ≈ 10× point should be around the published
+	// "just under 2 ns".
+	g10, err := workload.Scale(grammar.XMLRPC(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep10 := synth(t, design(t, g10, hwgen.Options{}), Virtex4LX200)
+	routing := rep10.PeriodNs(1) - Virtex4LX200.Tlut - Virtex4LX200.Tnet0
+	if routing < 1.7 || routing > 2.2 {
+		t.Errorf("routing delay at 10× = %.2f ns, want ≈ 2", routing)
+	}
+}
+
+func TestNaiveEncoderDepth(t *testing.T) {
+	tree := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{}), Virtex4LX200)
+	naive := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{NaiveEncoder: true}), Virtex4LX200)
+	if naive.LogicDepth <= 2*tree.LogicDepth {
+		t.Errorf("naive encoder depth %d should dwarf tree depth %d", naive.LogicDepth, tree.LogicDepth)
+	}
+	// An unpipelined naive encoder at its real depth is far slower than
+	// the pipelined design.
+	fNaive := 1000 / naive.PeriodNs(naive.LogicDepth)
+	if fNaive > tree.FrequencyMHz/3 {
+		t.Errorf("naive encoder at depth %d models %.0f MHz, expected < a third of %.0f",
+			naive.LogicDepth, fNaive, tree.FrequencyMHz)
+	}
+}
+
+func TestDecoderSharingAblation(t *testing.T) {
+	shared := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{}), Virtex4LX200)
+	private := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{NoDecoderSharing: true}), Virtex4LX200)
+	if private.LUTs <= shared.LUTs {
+		t.Errorf("private decoders should cost more: %d vs %d LUTs", private.LUTs, shared.LUTs)
+	}
+}
+
+func TestMapperSmallCircuits(t *testing.T) {
+	// A single 2-input AND feeding a register: exactly one LUT.
+	n := netlist.New()
+	a, b := n.Input("a"), n.Input("b")
+	r := n.Reg(n.And(a, b), "r")
+	n.Output("q", r)
+	rep, err := Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 1 || rep.Registers != 1 || rep.LogicDepth != 1 {
+		t.Errorf("AND+reg: %+v", rep)
+	}
+
+	// A 2-level tree that fits one LUT cone: Or(And(a,b), c) = 3 inputs.
+	n = netlist.New()
+	a, b = n.Input("a"), n.Input("b")
+	c := n.Input("c")
+	r = n.Reg(n.Or(n.And(a, b), c), "r")
+	n.Output("q", r)
+	rep, err = Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 1 {
+		t.Errorf("3-input cone should be 1 LUT, got %d", rep.LUTs)
+	}
+
+	// Five inputs cannot fit one 4-LUT: Or(And(a,b,c,d), e) → 2 LUTs.
+	n = netlist.New()
+	var ins []netlist.Wire
+	for _, name := range []string{"a", "b", "c", "d"} {
+		ins = append(ins, n.Input(name))
+	}
+	e := n.Input("e")
+	r = n.Reg(n.Or(n.And(ins...), e), "r")
+	n.Output("q", r)
+	rep, err = Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 2 || rep.LogicDepth != 2 {
+		t.Errorf("5-input cone: LUTs=%d depth=%d, want 2 and 2", rep.LUTs, rep.LogicDepth)
+	}
+}
+
+func TestMapperInverterAbsorption(t *testing.T) {
+	// NOT gates are free: And(a, Not(b)) is one LUT.
+	n := netlist.New()
+	a, b := n.Input("a"), n.Input("b")
+	r := n.Reg(n.And(a, n.Not(b)), "r")
+	n.Output("q", r)
+	rep, err := Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 1 {
+		t.Errorf("inverter not absorbed: %d LUTs", rep.LUTs)
+	}
+	// A shared inverter is duplicated rather than becoming its own LUT.
+	n = netlist.New()
+	a, b = n.Input("a"), n.Input("b")
+	nb := n.Not(b)
+	n.Output("q1", n.Reg(n.And(a, nb), "r1"))
+	n.Output("q2", n.Reg(n.Or(a, nb), "r2"))
+	rep, err = Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 2 {
+		t.Errorf("shared inverter: %d LUTs, want 2", rep.LUTs)
+	}
+}
+
+func TestMapperSharedGateIsRoot(t *testing.T) {
+	// A shared AND feeds two consumers: 3 LUTs total (itself + 2), and its
+	// net fanout is 2.
+	n := netlist.New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	d := n.Input("d")
+	shared := n.And(a, b)
+	n.Gates[shared].Label = "shared/x"
+	n.Output("q1", n.Reg(n.Or(shared, c), "r1"))
+	n.Output("q2", n.Reg(n.And(shared, c), "r2"))
+	n.Output("q3", n.Reg(n.Or(shared, d), "r3"))
+	rep, err := Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 4 {
+		t.Errorf("shared cone: %d LUTs, want 4", rep.LUTs)
+	}
+	if rep.MaxFanout != 3 || rep.MaxFanoutLabel != "shared/x" {
+		t.Errorf("fanout = %d (%s), want 3 (shared/x)", rep.MaxFanout, rep.MaxFanoutLabel)
+	}
+	if rep.LogicDepth != 2 {
+		t.Errorf("depth = %d, want 2", rep.LogicDepth)
+	}
+}
+
+func TestMapperWideOrTree(t *testing.T) {
+	// 16 inputs through an arity-4 OR tree: 4 + 1 = 5 LUTs, depth 2.
+	n := netlist.New()
+	var level []netlist.Wire
+	for i := 0; i < 4; i++ {
+		var ins []netlist.Wire
+		for j := 0; j < 4; j++ {
+			ins = append(ins, n.Input(string(rune('a'+i*4+j))))
+		}
+		level = append(level, n.Or(ins...))
+	}
+	n.Output("q", n.Reg(n.Or(level...), "r"))
+	rep, err := Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 5 || rep.LogicDepth != 2 {
+		t.Errorf("16-wide OR: LUTs=%d depth=%d, want 5 and 2", rep.LUTs, rep.LogicDepth)
+	}
+}
+
+func TestArityGuard(t *testing.T) {
+	n := netlist.New()
+	var ins []netlist.Wire
+	for i := 0; i < 6; i++ {
+		ins = append(ins, n.Input(string(rune('a'+i))))
+	}
+	n.Output("q", n.Reg(n.And(ins...), "r"))
+	if _, err := Synthesize(n, Virtex4LX200, 1); err == nil {
+		t.Error("6-input gate should be rejected by the 4-LUT mapper")
+	}
+}
+
+func TestUtilizationAndFormatting(t *testing.T) {
+	d := design(t, grammar.XMLRPC(), hwgen.Options{})
+	rep := synth(t, d, VirtexE2000)
+	if u := rep.Utilization(); u <= 0 || u >= 1 {
+		t.Errorf("utilization = %f", u)
+	}
+	table := FormatTable([]Report{rep})
+	if !strings.Contains(table, "VirtexE 2000") || !strings.Contains(table, "LUTs/Byte") {
+		t.Errorf("table:\n%s", table)
+	}
+	if s := rep.String(); !strings.Contains(s, "MHz") {
+		t.Errorf("String() = %q", s)
+	}
+	if bd := rep.BreakdownString(); !strings.Contains(bd, "dec") {
+		t.Errorf("breakdown:\n%s", bd)
+	}
+}
+
+// TestBreakdownSumsToTotal: every mapped LUT is attributed to exactly one
+// label group.
+func TestBreakdownSumsToTotal(t *testing.T) {
+	for _, scale := range []int{1, 3} {
+		g, err := workload.Scale(grammar.XMLRPC(), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := synth(t, design(t, g, hwgen.Options{}), Virtex4LX200)
+		sum := 0
+		for _, v := range rep.Breakdown {
+			sum += v
+		}
+		if sum != rep.LUTs {
+			t.Errorf("x%d: breakdown sums to %d, total %d (%v)", scale, sum, rep.LUTs, rep.Breakdown)
+		}
+		if rep.Breakdown["other"] != 0 {
+			t.Errorf("x%d: %d unattributed LUTs", scale, rep.Breakdown["other"])
+		}
+	}
+}
+
+// TestMapperBounds: the LUT count is sandwiched by obvious bounds — at
+// most one LUT per combinational gate, at least gates/…; and depth ≥ 1.
+func TestMapperBounds(t *testing.T) {
+	d := design(t, grammar.XMLRPC(), hwgen.Options{})
+	rep := synth(t, d, Virtex4LX200)
+	stats := d.Netlist.ComputeStats()
+	comb := stats.And + stats.Or + stats.Not
+	if rep.LUTs > comb {
+		t.Errorf("LUTs %d exceed combinational gates %d", rep.LUTs, comb)
+	}
+	if rep.LUTs < comb/8 {
+		t.Errorf("LUTs %d implausibly small for %d gates", rep.LUTs, comb)
+	}
+	if rep.LogicDepth < 1 || rep.Registers != stats.Reg {
+		t.Errorf("depth=%d regs=%d/%d", rep.LogicDepth, rep.Registers, stats.Reg)
+	}
+}
+
+func TestProjectWide(t *testing.T) {
+	base := synth(t, design(t, grammar.XMLRPC(), hwgen.Options{}), Virtex4LX200)
+	var prev float64
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := ProjectWide(base, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.BandwidthGbps() <= prev {
+			t.Errorf("%d-byte datapath bandwidth %.2f did not improve on %.2f", k, p.BandwidthGbps(), prev)
+		}
+		prev = p.BandwidthGbps()
+		if k == 1 {
+			if p.LUTs != base.LUTs || p.FrequencyMHz != base.FrequencyMHz {
+				t.Errorf("1-byte projection must equal the base: %+v", p)
+			}
+		} else {
+			if p.LUTs <= base.LUTs*k/2 {
+				t.Errorf("%d-byte area %d implausibly small", k, p.LUTs)
+			}
+			if p.FrequencyMHz >= base.FrequencyMHz {
+				t.Errorf("%d-byte clock %f should drop below the base %f", k, p.FrequencyMHz, base.FrequencyMHz)
+			}
+		}
+	}
+	// The paper's 64-bit target: ≥ 4× the single-byte bandwidth.
+	p8, _ := ProjectWide(base, 8)
+	if p8.BandwidthGbps() < 4*base.BandwidthGbps() {
+		t.Errorf("8-byte projection %.2f Gbps < 4× base %.2f", p8.BandwidthGbps(), base.BandwidthGbps())
+	}
+	if _, err := ProjectWide(base, 3); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+}
+
+func TestRegistersDoNotCountAsLUTs(t *testing.T) {
+	// A pure shift register consumes no LUTs.
+	n := netlist.New()
+	d := n.Input("d")
+	r1 := n.Reg(d, "r1")
+	r2 := n.Reg(r1, "r2")
+	n.Output("q", r2)
+	rep, err := Synthesize(n, Virtex4LX200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LUTs != 0 || rep.Registers != 2 {
+		t.Errorf("shift register: LUTs=%d regs=%d", rep.LUTs, rep.Registers)
+	}
+}

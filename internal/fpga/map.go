@@ -1,0 +1,242 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+
+	"cfgtag/internal/netlist"
+)
+
+// mapNetlist covers the combinational network with K-input LUT cones.
+// A combinational gate becomes a LUT root when it drives a register or
+// primary output, or is shared (fanout ≥ 2, inverters excepted — LUT
+// inputs invert for free, so NOT gates are absorbed into consumers and
+// duplicated where shared). Non-root single-fanout gates are absorbed into
+// their consumer's cone; when a cone would exceed K inputs, the offending
+// child is promoted to a root of its own. This is the classic greedy cone
+// packing of FPGA technology mappers — enough fidelity for the area trend
+// the paper reports.
+//
+// Precondition (checked by Synthesize): every gate has fanin ≤ K. The
+// hardware generator builds bounded-arity trees, so this always holds for
+// generated designs.
+type mapResult struct {
+	lutCount       int
+	regCount       int
+	maxDepth       int
+	maxFanout      int
+	maxFanoutLabel string
+	breakdown      map[string]int
+}
+
+func isComb(g netlist.Gate) bool {
+	return g.Op == netlist.OpAnd || g.Op == netlist.OpOr || g.Op == netlist.OpNot
+}
+
+func mapNetlist(n *netlist.Netlist, k int) *mapResult {
+	gates := n.Gates
+	fanout := n.Fanout()
+	root := make([]bool, len(gates))
+
+	// Seed roots: combinational drivers of registers (D and enable) and of
+	// primary outputs, plus shared non-inverter gates.
+	for i, g := range gates {
+		if g.Op == netlist.OpReg {
+			seedRoot(n, g.In[0], root)
+			if g.Enable != netlist.Invalid {
+				seedRoot(n, g.Enable, root)
+			}
+		}
+		if isComb(g) && g.Op != netlist.OpNot && fanout[i] >= 2 {
+			root[i] = true
+		}
+	}
+	for _, p := range n.Outputs {
+		seedRoot(n, p.Wire, root)
+	}
+
+	// Build cones, promoting children when a cone overflows K inputs;
+	// promotion only adds roots, so iteration terminates.
+	var cones map[netlist.Wire][]netlist.Wire
+	for {
+		cones = make(map[netlist.Wire][]netlist.Wire)
+		promotedAny := false
+		for i := range gates {
+			if !root[i] {
+				continue
+			}
+			leaves, promoted := buildCone(n, netlist.Wire(i), root, k)
+			promotedAny = promotedAny || promoted
+			cones[netlist.Wire(i)] = leaves
+		}
+		if !promotedAny {
+			break
+		}
+	}
+
+	res := &mapResult{breakdown: make(map[string]int)}
+	leafRefs := make([]int, len(gates))
+	for w, leaves := range cones {
+		res.lutCount++
+		res.breakdown[groupOf(n, w)]++
+		for _, leaf := range leaves {
+			leafRefs[leaf]++
+		}
+	}
+	for _, g := range gates {
+		if g.Op == netlist.OpReg {
+			res.regCount++
+			leafRefs[passNot(n, g.In[0])]++
+			if g.Enable != netlist.Invalid {
+				leafRefs[passNot(n, g.Enable)]++
+			}
+		}
+	}
+	for i, refs := range leafRefs {
+		if refs > res.maxFanout {
+			res.maxFanout = refs
+			res.maxFanoutLabel = gates[i].Label
+		}
+	}
+
+	// Depth: LUT levels from sequential/primary sources to each root.
+	depth := make(map[netlist.Wire]int)
+	var depthOf func(w netlist.Wire) int
+	depthOf = func(w netlist.Wire) int {
+		if d, ok := depth[w]; ok {
+			return d
+		}
+		depth[w] = 1 // guards against malformed recursion
+		d := 1
+		for _, leaf := range cones[w] {
+			if root[leaf] {
+				if dd := depthOf(leaf) + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[w] = d
+		return d
+	}
+	for w := range cones {
+		if d := depthOf(w); d > res.maxDepth {
+			res.maxDepth = d
+		}
+	}
+	if res.lutCount > 0 && res.maxDepth == 0 {
+		res.maxDepth = 1
+	}
+	return res
+}
+
+// seedRoot marks the combinational driver behind w (through inverters) as
+// a LUT root.
+func seedRoot(n *netlist.Netlist, w netlist.Wire, root []bool) {
+	w = passNot(n, w)
+	if isComb(n.Gates[w]) {
+		root[w] = true
+	}
+}
+
+// buildCone collects the leaf set of one root's cone. walk returns false
+// when the K-input budget is exhausted; the caller then promotes the
+// absorbable child it was descending into and re-adds it as a leaf.
+func buildCone(n *netlist.Netlist, w netlist.Wire, root []bool, k int) (leaves []netlist.Wire, promoted bool) {
+	gates := n.Gates
+	seen := make(map[netlist.Wire]bool)
+	addLeaf := func(c netlist.Wire) bool {
+		if seen[c] {
+			return true
+		}
+		if len(leaves) >= k {
+			return false
+		}
+		seen[c] = true
+		leaves = append(leaves, c)
+		return true
+	}
+	var walk func(c netlist.Wire) bool
+	walk = func(c netlist.Wire) bool {
+		c = passNot(n, c)
+		g := gates[c]
+		if !isComb(g) || root[c] {
+			return addLeaf(c)
+		}
+		// Absorbable gate: take its fanin instead; on overflow, roll back
+		// and promote it to a root of its own.
+		mark := len(leaves)
+		for _, in := range g.In {
+			if !walk(in) {
+				for _, l := range leaves[mark:] {
+					delete(seen, l)
+				}
+				leaves = leaves[:mark]
+				root[c] = true
+				promoted = true
+				return addLeaf(c)
+			}
+		}
+		return true
+	}
+
+	g := gates[w]
+	if g.Op == netlist.OpNot {
+		// A root inverter (driving a register directly) is a 1-input LUT;
+		// whatever it inverts must itself be a mappable net.
+		target := passNot(n, g.In[0])
+		if isComb(gates[target]) && !root[target] {
+			root[target] = true
+			promoted = true
+		}
+		return []netlist.Wire{target}, promoted
+	}
+	for _, in := range g.In {
+		if !walk(in) {
+			// Even direct fanin does not fit (can only happen while
+			// promotions are still propagating): fall back to mapping the
+			// root over its immediate fanin nets.
+			leaves = leaves[:0]
+			for _, in2 := range g.In {
+				c := passNot(n, in2)
+				if isComb(gates[c]) && !root[c] {
+					root[c] = true
+					promoted = true
+				}
+				leaves = append(leaves, c)
+			}
+			return leaves, promoted
+		}
+	}
+	return leaves, promoted
+}
+
+// passNot skips inverters to the driven wire.
+func passNot(n *netlist.Netlist, w netlist.Wire) netlist.Wire {
+	for n.Gates[w].Op == netlist.OpNot {
+		w = n.Gates[w].In[0]
+	}
+	return w
+}
+
+// groupOf buckets a gate by its label prefix (text before the first '/').
+func groupOf(n *netlist.Netlist, w netlist.Wire) string {
+	l := n.Gates[w].Label
+	if l == "" {
+		return "other"
+	}
+	if i := strings.IndexByte(l, '/'); i >= 0 {
+		return l[:i]
+	}
+	return l
+}
+
+// checkArity enforces the mapper's fanin precondition.
+func checkArity(n *netlist.Netlist, k int) error {
+	for i, g := range n.Gates {
+		if isComb(g) && len(g.In) > k {
+			return fmt.Errorf("fpga: gate %d (%s, %q) has fanin %d > LUT inputs %d",
+				i, g.Op, g.Label, len(g.In), k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package fpga
+
+import "fmt"
+
+// WideProjection models the section 5.2 future-work scaling: "improvements
+// in speed can be gained by scaling the design to process 32-bits or
+// 64-bits per clock cycle". The paper gives no measurements, so this is an
+// analytical projection, documented rather than calibrated:
+//
+//   - every lane needs its own decoder column and the per-position
+//     transition logic must compose k single-byte steps per cycle; a
+//     parallel-prefix (doubling) composition costs ceil(log2 k) extra LUT
+//     levels and ≈ k× the base area plus composition overhead,
+//   - the decoded-wire fanout per lane is unchanged, so the routing term
+//     of the timing model carries over,
+//   - throughput multiplies by k bytes per cycle.
+type WideProjection struct {
+	Base Report
+	// LanesBytes is the datapath width in bytes per cycle.
+	LanesBytes int
+	// LUTs is the projected area.
+	LUTs int
+	// FrequencyMHz is the projected clock after the extra pipeline levels.
+	FrequencyMHz float64
+}
+
+// compositionDepth is the extra LUT levels per doubling of the datapath.
+const compositionOverhead = 1.25 // area factor per composition stage
+
+// ProjectWide scales a synthesized single-byte report to a k-byte datapath.
+// k must be a power of two between 1 and 8 (the paper's 64-bit ceiling).
+func ProjectWide(base Report, lanesBytes int) (WideProjection, error) {
+	switch lanesBytes {
+	case 1, 2, 4, 8:
+	default:
+		return WideProjection{}, fmt.Errorf("fpga: datapath width %d bytes unsupported (1, 2, 4 or 8)", lanesBytes)
+	}
+	p := WideProjection{Base: base, LanesBytes: lanesBytes}
+	// Doublings: 1→0, 2→1, 4→2, 8→3.
+	doublings := 0
+	for 1<<doublings < lanesBytes {
+		doublings++
+	}
+	area := float64(base.LUTs) * float64(lanesBytes)
+	for i := 0; i < doublings; i++ {
+		area *= compositionOverhead
+	}
+	p.LUTs = int(area)
+	// Each doubling adds one LUT level of step composition between
+	// registers; the routing term is unchanged.
+	p.FrequencyMHz = 1000 / base.PeriodNs(1+doublings)
+	return p, nil
+}
+
+// BandwidthGbps is the projected throughput.
+func (p WideProjection) BandwidthGbps() float64 {
+	return p.FrequencyMHz * 8 * float64(p.LanesBytes) / 1000
+}
+
+func (p WideProjection) String() string {
+	return fmt.Sprintf("%d-byte datapath: %4.0f MHz, %5.2f Gbps, %6d LUTs",
+		p.LanesBytes, p.FrequencyMHz, p.BandwidthGbps(), p.LUTs)
+}

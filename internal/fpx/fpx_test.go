@@ -1,0 +1,344 @@
+package fpx
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"cfgtag/internal/router"
+	"cfgtag/internal/xmlrpc"
+)
+
+var testKey = FlowKey{
+	Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+	SrcPort: 40000, DstPort: 8700,
+}
+
+func TestParseBuildRoundTrip(t *testing.T) {
+	payload := []byte("hello tagger")
+	pkt := BuildIPv4TCP(testKey, 1234, FlagACK|FlagPSH, payload)
+	ip, ipPayload, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Protocol != ProtoTCP || ip.Src != testKey.Src || ip.Dst != testKey.Dst {
+		t.Errorf("ip = %+v", ip)
+	}
+	tcp, data, err := ParseTCP(ipPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.SrcPort != 40000 || tcp.DstPort != 8700 || tcp.Seq != 1234 {
+		t.Errorf("tcp = %+v", tcp)
+	}
+	if tcp.Flags != FlagACK|FlagPSH {
+		t.Errorf("flags = %02x", tcp.Flags)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("payload = %q", data)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	good := BuildIPv4TCP(testKey, 1, FlagSYN, nil)
+	cases := map[string][]byte{
+		"short":        good[:10],
+		"bad version":  append([]byte{6<<4 | 5}, good[1:]...),
+		"bad ihl":      append([]byte{4<<4 | 2}, good[1:]...),
+		"bad checksum": flipByte(good, 12),
+		"bad totallen": flipByte(good, 2),
+	}
+	for name, pkt := range cases {
+		if _, _, err := ParseIPv4(pkt); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func flipByte(pkt []byte, i int) []byte {
+	out := append([]byte(nil), pkt...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestParseTCPErrors(t *testing.T) {
+	if _, _, err := ParseTCP(make([]byte, 10)); err == nil {
+		t.Error("short segment accepted")
+	}
+	seg := make([]byte, 20)
+	seg[12] = 2 << 4 // data offset below minimum
+	if _, _, err := ParseTCP(seg); err == nil {
+		t.Error("bad data offset accepted")
+	}
+}
+
+func TestChecksum16(t *testing.T) {
+	// Known vector: RFC 1071 style.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum16(b); got != 0x220d {
+		t.Errorf("checksum = %04x, want 220d", got)
+	}
+	// A buffer with its checksum inserted sums to zero.
+	pkt := BuildIPv4TCP(testKey, 1, FlagSYN, nil)
+	if Checksum16(pkt[:20]) != 0 {
+		t.Error("header+checksum does not sum to zero")
+	}
+}
+
+// sinkBuf collects a flow's delivered bytes.
+type sinkBuf struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (s *sinkBuf) Close() error { s.closed = true; return nil }
+
+func splitInto(t *testing.T, pkts [][]byte) (*Splitter, map[FlowKey]*sinkBuf) {
+	t.Helper()
+	sinks := make(map[FlowKey]*sinkBuf)
+	sp := NewSplitter()
+	sp.NewFlow = func(key FlowKey) io.WriteCloser {
+		b := &sinkBuf{}
+		sinks[key] = b
+		return b
+	}
+	for _, p := range pkts {
+		if err := sp.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sp, sinks
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	stream := []byte("the quick brown fox jumps over the lazy dog")
+	pkts := Segmentize(testKey, 7000, stream, 8)
+	sp, sinks := splitInto(t, pkts)
+	got := sinks[testKey]
+	if got == nil || !bytes.Equal(got.Bytes(), stream) {
+		t.Fatalf("delivered %q", got.Bytes())
+	}
+	if !got.closed {
+		t.Error("FIN did not close the sink")
+	}
+	st := sp.Stats()
+	if st.Delivered != int64(len(stream)) || st.FlowsClosed != 1 || st.OutOfOrder != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReorderedDelivery(t *testing.T) {
+	stream := make([]byte, 2000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range stream {
+		stream[i] = byte('a' + rng.Intn(26))
+	}
+	pkts := Segmentize(testKey, 1, stream, 100)
+	// Shuffle the data segments (keep SYN first so the ISN is known).
+	data := pkts[1 : len(pkts)-1]
+	rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	sp, sinks := splitInto(t, pkts)
+	if !bytes.Equal(sinks[testKey].Bytes(), stream) {
+		t.Fatal("reordered stream reassembled wrong")
+	}
+	if sp.Stats().OutOfOrder == 0 {
+		t.Error("shuffle produced no out-of-order segments?")
+	}
+}
+
+func TestRetransmissionsAndOverlap(t *testing.T) {
+	stream := []byte("abcdefghijklmnopqrstuvwxyz")
+	pkts := Segmentize(testKey, 100, stream, 10)
+	// Duplicate a data segment and add an overlapping retransmission.
+	dup := pkts[1]
+	overlap := BuildIPv4TCP(testKey, 101+5, FlagACK, stream[5:15]) // covers old+new
+	all := [][]byte{pkts[0], pkts[1], dup, overlap, pkts[2], pkts[3], pkts[4]}
+	sp, sinks := splitInto(t, all)
+	if !bytes.Equal(sinks[testKey].Bytes(), stream) {
+		t.Fatalf("delivered %q", sinks[testKey].Bytes())
+	}
+	if sp.Stats().Duplicates == 0 {
+		t.Error("duplicate not counted")
+	}
+}
+
+func TestMidStreamPickup(t *testing.T) {
+	// No SYN seen (capture started late): synchronize on first segment.
+	stream := []byte("0123456789")
+	pkt := BuildIPv4TCP(testKey, 5555, FlagACK, stream)
+	_, sinks := splitInto(t, [][]byte{pkt})
+	if !bytes.Equal(sinks[testKey].Bytes(), stream) {
+		t.Errorf("delivered %q", sinks[testKey].Bytes())
+	}
+}
+
+func TestRSTAbortsFlow(t *testing.T) {
+	pkts := [][]byte{
+		BuildIPv4TCP(testKey, 1, FlagSYN, nil),
+		BuildIPv4TCP(testKey, 2, FlagACK, []byte("partial")),
+		BuildIPv4TCP(testKey, 9, FlagRST, nil),
+		BuildIPv4TCP(testKey, 9, FlagACK, []byte("after reset")),
+	}
+	sp, sinks := splitInto(t, pkts)
+	if got := sinks[testKey].String(); got != "partial" {
+		t.Errorf("delivered %q", got)
+	}
+	if !sinks[testKey].closed {
+		t.Error("RST did not close")
+	}
+	if sp.Stats().FlowsClosed != 1 {
+		t.Errorf("stats = %+v", sp.Stats())
+	}
+}
+
+func TestBufferBound(t *testing.T) {
+	sp := NewSplitter()
+	sp.MaxBuffered = 16
+	var sink sinkBuf
+	sp.NewFlow = func(FlowKey) io.WriteCloser { return &sink }
+	sp.Process(BuildIPv4TCP(testKey, 1, FlagSYN, nil))
+	// Out-of-order segments beyond the bound are dropped.
+	sp.Process(BuildIPv4TCP(testKey, 100, FlagACK, bytes.Repeat([]byte("x"), 12)))
+	sp.Process(BuildIPv4TCP(testKey, 200, FlagACK, bytes.Repeat([]byte("y"), 12)))
+	if sp.Stats().Overflowed != 1 {
+		t.Errorf("stats = %+v", sp.Stats())
+	}
+}
+
+func TestTwoInterleavedFlows(t *testing.T) {
+	key2 := testKey
+	key2.SrcPort = 40001
+	a := Segmentize(testKey, 10, []byte("flow-A-bytes"), 4)
+	b := Segmentize(key2, 90, []byte("flow-B-payload"), 5)
+	var mixed [][]byte
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			mixed = append(mixed, a[i])
+		}
+		if i < len(b) {
+			mixed = append(mixed, b[i])
+		}
+	}
+	sp, sinks := splitInto(t, mixed)
+	if got := sinks[testKey].String(); got != "flow-A-bytes" {
+		t.Errorf("flow A = %q", got)
+	}
+	if got := sinks[key2].String(); got != "flow-B-payload" {
+		t.Errorf("flow B = %q", got)
+	}
+	if sp.Stats().Flows != 2 {
+		t.Errorf("flows = %d", sp.Stats().Flows)
+	}
+}
+
+func TestNonTCPSkipped(t *testing.T) {
+	pkt := BuildIPv4TCP(testKey, 1, FlagSYN, nil)
+	pkt[9] = ProtoUDP
+	// Recompute the header checksum after the protocol edit.
+	pkt[10], pkt[11] = 0, 0
+	cs := Checksum16(pkt[:20])
+	pkt[10], pkt[11] = byte(cs>>8), byte(cs)
+	sp := NewSplitter()
+	if err := sp.Process(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats().NonTCP != 1 {
+		t.Errorf("stats = %+v", sp.Stats())
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	stream := []byte("round trip payload across the capture format")
+	pkts := Segmentize(testKey, 9, stream, 7)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("packets = %d, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Fatalf("packet %d diverged", i)
+		}
+	}
+	// The reread capture still reassembles.
+	_, sinks := splitInto(t, got)
+	if !bytes.Equal(sinks[testKey].Bytes(), stream) {
+		t.Error("reread capture did not reassemble")
+	}
+}
+
+func TestPcapErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 24)
+	if _, err := ReadPcap(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Wrong linktype (Ethernet = 1).
+	var buf bytes.Buffer
+	WritePcap(&buf, nil)
+	hdr := buf.Bytes()
+	hdr[20] = 1
+	if _, err := ReadPcap(bytes.NewReader(hdr)); err == nil {
+		t.Error("ethernet linktype accepted")
+	}
+	// Truncated record body.
+	buf.Reset()
+	WritePcap(&buf, [][]byte{BuildIPv4TCP(testKey, 1, FlagSYN, nil)})
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadPcap(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated capture accepted")
+	}
+}
+
+// TestPacketsToRouter is the full section 5.2 FPX story: XML-RPC messages
+// ride TCP flows as raw packets; the splitter reassembles each flow and a
+// per-flow figure 12 router switches the messages — network packets in,
+// routed messages out.
+func TestPacketsToRouter(t *testing.T) {
+	gen := xmlrpc.NewGenerator(11, xmlrpc.Options{})
+	corpus, services := gen.Corpus(12)
+
+	routedPorts := make(map[FlowKey][]int)
+	sp := NewSplitter()
+	sp.NewFlow = func(key FlowKey) io.WriteCloser {
+		r, err := router.New(router.FigureTwelve(), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.OnRoute = func(port int, service string, message []byte) {
+			routedPorts[key] = append(routedPorts[key], port)
+		}
+		return r
+	}
+	pkts := Segmentize(testKey, 42, []byte(corpus+"\n"), 128)
+	// Light reordering to exercise reassembly in the same pass.
+	if len(pkts) > 6 {
+		pkts[3], pkts[5] = pkts[5], pkts[3]
+	}
+	for _, p := range pkts {
+		if err := sp.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := routedPorts[testKey]
+	if len(got) != len(services) {
+		t.Fatalf("routed %d messages, want %d", len(got), len(services))
+	}
+	for i, svc := range services {
+		if got[i] != xmlrpc.ServiceDestination(svc) {
+			t.Errorf("message %d (%s): port %d", i, svc, got[i])
+		}
+	}
+}

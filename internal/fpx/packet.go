@@ -1,0 +1,174 @@
+// Package fpx models the Field-programmable Port Extender substrate the
+// paper plans to port onto (section 5.2): "Modules have already been
+// developed for the FPX that aid in the processing of common protocols
+// such as IP and TCP. By using the available infrastructure, we can
+// quickly port our parsing hardware to process network packets."
+//
+// It provides the two wrappers that infrastructure supplies — IPv4 packet
+// parsing (the layered protocol wrappers) and per-flow TCP payload
+// reassembly (the TCP-Splitter role) — so a tagger or router receives the
+// in-order byte stream of each TCP flow extracted from raw packets.
+package fpx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4Header is a parsed IPv4 header (options retained raw).
+type IPv4Header struct {
+	Version  uint8
+	IHL      uint8 // header length in 32-bit words
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst [4]byte
+	Options  []byte
+}
+
+// Protocol numbers used here.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// HeaderLen returns the header size in bytes.
+func (h *IPv4Header) HeaderLen() int { return int(h.IHL) * 4 }
+
+// ParseIPv4 parses an IPv4 packet, verifying lengths and the header
+// checksum, and returns the header plus its payload.
+func ParseIPv4(pkt []byte) (*IPv4Header, []byte, error) {
+	if len(pkt) < 20 {
+		return nil, nil, fmt.Errorf("fpx: packet too short for IPv4 (%d bytes)", len(pkt))
+	}
+	h := &IPv4Header{
+		Version:  pkt[0] >> 4,
+		IHL:      pkt[0] & 0xf,
+		TotalLen: binary.BigEndian.Uint16(pkt[2:]),
+		ID:       binary.BigEndian.Uint16(pkt[4:]),
+		TTL:      pkt[8],
+		Protocol: pkt[9],
+		Checksum: binary.BigEndian.Uint16(pkt[10:]),
+	}
+	copy(h.Src[:], pkt[12:16])
+	copy(h.Dst[:], pkt[16:20])
+	if h.Version != 4 {
+		return nil, nil, fmt.Errorf("fpx: IP version %d, want 4", h.Version)
+	}
+	hl := h.HeaderLen()
+	if hl < 20 || hl > len(pkt) {
+		return nil, nil, fmt.Errorf("fpx: bad IHL %d for %d-byte packet", h.IHL, len(pkt))
+	}
+	if int(h.TotalLen) < hl || int(h.TotalLen) > len(pkt) {
+		return nil, nil, fmt.Errorf("fpx: total length %d outside packet (%d bytes, header %d)", h.TotalLen, len(pkt), hl)
+	}
+	if Checksum16(pkt[:hl]) != 0 {
+		return nil, nil, fmt.Errorf("fpx: IPv4 header checksum mismatch")
+	}
+	h.Options = append([]byte(nil), pkt[20:hl]...)
+	return h, pkt[hl:h.TotalLen], nil
+}
+
+// TCPHeader is a parsed TCP header.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8 // in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Options          []byte
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// HeaderLen returns the header size in bytes.
+func (h *TCPHeader) HeaderLen() int { return int(h.DataOff) * 4 }
+
+// ParseTCP parses a TCP segment (header + payload).
+func ParseTCP(seg []byte) (*TCPHeader, []byte, error) {
+	if len(seg) < 20 {
+		return nil, nil, fmt.Errorf("fpx: segment too short for TCP (%d bytes)", len(seg))
+	}
+	h := &TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(seg[0:]),
+		DstPort:  binary.BigEndian.Uint16(seg[2:]),
+		Seq:      binary.BigEndian.Uint32(seg[4:]),
+		Ack:      binary.BigEndian.Uint32(seg[8:]),
+		DataOff:  seg[12] >> 4,
+		Flags:    seg[13] & 0x3f,
+		Window:   binary.BigEndian.Uint16(seg[14:]),
+		Checksum: binary.BigEndian.Uint16(seg[16:]),
+	}
+	hl := h.HeaderLen()
+	if hl < 20 || hl > len(seg) {
+		return nil, nil, fmt.Errorf("fpx: bad TCP data offset %d for %d-byte segment", h.DataOff, len(seg))
+	}
+	h.Options = append([]byte(nil), seg[20:hl]...)
+	return h, seg[hl:], nil
+}
+
+// Checksum16 computes the ones-complement 16-bit checksum used by IPv4
+// and TCP. A buffer containing a correct checksum field sums to zero.
+func Checksum16(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// FlowKey identifies one TCP direction (the tagger consumes one side of a
+// conversation).
+type FlowKey struct {
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d",
+		k.Src[0], k.Src[1], k.Src[2], k.Src[3], k.SrcPort,
+		k.Dst[0], k.Dst[1], k.Dst[2], k.Dst[3], k.DstPort)
+}
+
+// BuildIPv4TCP assembles a well-formed IPv4+TCP packet — the test and
+// traffic-generation counterpart of the parsers. The IPv4 header checksum
+// is computed; the TCP checksum field is left zero (the reassembler does
+// not verify it, matching the FPX wrappers' division of labor).
+func BuildIPv4TCP(key FlowKey, seq uint32, flags uint8, payload []byte) []byte {
+	total := 20 + 20 + len(payload)
+	pkt := make([]byte, total)
+	pkt[0] = 4<<4 | 5
+	binary.BigEndian.PutUint16(pkt[2:], uint16(total))
+	pkt[8] = 64
+	pkt[9] = ProtoTCP
+	copy(pkt[12:16], key.Src[:])
+	copy(pkt[16:20], key.Dst[:])
+	binary.BigEndian.PutUint16(pkt[10:], 0)
+	binary.BigEndian.PutUint16(pkt[10:], Checksum16(pkt[:20]))
+
+	tcp := pkt[20:]
+	binary.BigEndian.PutUint16(tcp[0:], key.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:], key.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:], seq)
+	tcp[12] = 5 << 4
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:], 65535)
+	copy(tcp[20:], payload)
+	return pkt
+}

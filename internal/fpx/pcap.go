@@ -1,0 +1,92 @@
+package fpx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Classic libpcap capture files (the format tcpdump -w writes) with
+// linktype RAW (101): each record is a bare IPv4 packet, exactly what the
+// splitter consumes. Reader and writer round-trip, so captures can be
+// generated, replayed and inspected with standard tools.
+
+const (
+	pcapMagicLE = 0xa1b2c3d4
+	pcapMagicBE = 0xd4c3b2a1
+	pcapSnapLen = 65535
+	// LinkTypeRawIP is DLT_RAW: packets start at the IP header.
+	LinkTypeRawIP = 101
+)
+
+// WritePcap writes packets as a linktype-RAW capture. Timestamps are
+// synthetic: packet i is stamped i microseconds after epoch (capture
+// replay only needs ordering).
+func WritePcap(w io.Writer, packets [][]byte) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], 2)
+	binary.LittleEndian.PutUint16(hdr[6:], 4)
+	binary.LittleEndian.PutUint32(hdr[16:], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRawIP)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for i, pkt := range packets {
+		if len(pkt) > pcapSnapLen {
+			return fmt.Errorf("fpx: packet %d exceeds snaplen (%d bytes)", i, len(pkt))
+		}
+		binary.LittleEndian.PutUint32(rec[0:], uint32(i/1_000_000))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(i%1_000_000))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(pkt)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(pkt)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a classic capture file, returning its packets. Both byte
+// orders are accepted; the linktype must be RAW IP.
+func ReadPcap(r io.Reader) ([][]byte, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("fpx: pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case pcapMagicLE:
+		order = binary.LittleEndian
+	case pcapMagicBE:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("fpx: not a pcap file (magic %08x)", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if lt := order.Uint32(hdr[20:]); lt != LinkTypeRawIP {
+		return nil, fmt.Errorf("fpx: linktype %d unsupported (need RAW IP, %d)", lt, LinkTypeRawIP)
+	}
+	var packets [][]byte
+	var rec [16]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return packets, nil
+			}
+			return nil, fmt.Errorf("fpx: pcap record %d: %w", len(packets), err)
+		}
+		incl := order.Uint32(rec[8:])
+		if incl > pcapSnapLen {
+			return nil, fmt.Errorf("fpx: pcap record %d: implausible length %d", len(packets), incl)
+		}
+		pkt := make([]byte, incl)
+		if _, err := io.ReadFull(r, pkt); err != nil {
+			return nil, fmt.Errorf("fpx: pcap record %d body: %w", len(packets), err)
+		}
+		packets = append(packets, pkt)
+	}
+}

@@ -1,0 +1,221 @@
+package fpx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Splitter is the TCP-Splitter role: it consumes raw IPv4 packets,
+// demultiplexes TCP flows, reorders segments, and delivers each flow's
+// payload bytes in order to a per-flow sink (typically a tagger or
+// router). Non-TCP packets are counted and skipped; malformed packets are
+// counted and skipped. Not safe for concurrent use.
+type Splitter struct {
+	// NewFlow supplies the sink for each new flow; returning nil ignores
+	// the flow. The sink's Close is called on FIN/RST.
+	NewFlow func(key FlowKey) io.WriteCloser
+	// MaxBuffered bounds the out-of-order bytes held per flow (hardware
+	// reassembly buffers are finite); 0 means 1 MiB. Overflow drops the
+	// segment and counts it.
+	MaxBuffered int
+
+	flows map[FlowKey]*flowState
+	stats SplitStats
+}
+
+// SplitStats counts splitter outcomes.
+type SplitStats struct {
+	Packets     int64 // total packets offered
+	NonTCP      int64 // non-TCP IPv4 packets skipped
+	Malformed   int64 // unparseable packets
+	Flows       int64 // flows seen
+	Delivered   int64 // payload bytes delivered in order
+	OutOfOrder  int64 // segments buffered for later
+	Duplicates  int64 // fully redundant segments dropped
+	Overflowed  int64 // segments dropped by the buffer bound
+	FlowsClosed int64 // FIN/RST-closed flows
+}
+
+type flowState struct {
+	sink    io.WriteCloser
+	nextSeq uint32
+	started bool
+	closed  bool
+	// pending holds out-of-order segments keyed by absolute seq.
+	pending  map[uint32][]byte
+	buffered int
+}
+
+// NewSplitter returns an empty splitter; set NewFlow before Process.
+func NewSplitter() *Splitter {
+	return &Splitter{flows: make(map[FlowKey]*flowState)}
+}
+
+// Stats returns the counters so far.
+func (s *Splitter) Stats() SplitStats { return s.stats }
+
+// Process consumes one raw IPv4 packet.
+func (s *Splitter) Process(pkt []byte) error {
+	s.stats.Packets++
+	ip, ipPayload, err := ParseIPv4(pkt)
+	if err != nil {
+		s.stats.Malformed++
+		return err
+	}
+	if ip.Protocol != ProtoTCP {
+		s.stats.NonTCP++
+		return nil
+	}
+	tcp, payload, err := ParseTCP(ipPayload)
+	if err != nil {
+		s.stats.Malformed++
+		return err
+	}
+	key := FlowKey{Src: ip.Src, Dst: ip.Dst, SrcPort: tcp.SrcPort, DstPort: tcp.DstPort}
+	fl := s.flows[key]
+	if fl == nil {
+		var sink io.WriteCloser
+		if s.NewFlow != nil {
+			sink = s.NewFlow(key)
+		}
+		fl = &flowState{sink: sink, pending: make(map[uint32][]byte)}
+		s.flows[key] = fl
+		s.stats.Flows++
+	}
+	if fl.closed || fl.sink == nil {
+		return nil
+	}
+
+	if tcp.Flags&FlagSYN != 0 {
+		fl.nextSeq = tcp.Seq + 1 // SYN consumes one sequence number
+		fl.started = true
+	} else if !fl.started {
+		// Mid-stream pickup: synchronize on the first segment seen.
+		fl.nextSeq = tcp.Seq
+		fl.started = true
+	}
+	if tcp.Flags&FlagRST != 0 {
+		return s.closeFlow(key, fl)
+	}
+	if len(payload) > 0 {
+		if err := s.deliver(fl, tcp.Seq, payload); err != nil {
+			return err
+		}
+	}
+	if tcp.Flags&FlagFIN != 0 && tcp.Seq+uint32(len(payload)) == fl.nextSeq {
+		// FIN in order: the stream is complete.
+		return s.closeFlow(key, fl)
+	}
+	return nil
+}
+
+// deliver writes in-order bytes and drains any now-contiguous buffered
+// segments. Sequence arithmetic is modulo 2³², per TCP.
+func (s *Splitter) deliver(fl *flowState, seq uint32, payload []byte) error {
+	// Trim bytes already delivered (retransmission overlap).
+	if diff := int32(fl.nextSeq - seq); diff > 0 {
+		if int(diff) >= len(payload) {
+			s.stats.Duplicates++
+			return nil
+		}
+		payload = payload[diff:]
+		seq = fl.nextSeq
+	}
+	if seq != fl.nextSeq {
+		// Out of order: buffer for later (bounded).
+		limit := s.MaxBuffered
+		if limit == 0 {
+			limit = 1 << 20
+		}
+		if _, dup := fl.pending[seq]; dup {
+			s.stats.Duplicates++
+			return nil
+		}
+		if fl.buffered+len(payload) > limit {
+			s.stats.Overflowed++
+			return nil
+		}
+		fl.pending[seq] = append([]byte(nil), payload...)
+		fl.buffered += len(payload)
+		s.stats.OutOfOrder++
+		return nil
+	}
+	if err := s.write(fl, payload); err != nil {
+		return err
+	}
+	// Drain contiguous buffered segments.
+	for {
+		next, ok := fl.pending[fl.nextSeq]
+		if !ok {
+			return nil
+		}
+		delete(fl.pending, fl.nextSeq)
+		fl.buffered -= len(next)
+		if err := s.write(fl, next); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Splitter) write(fl *flowState, b []byte) error {
+	if _, err := fl.sink.Write(b); err != nil {
+		return fmt.Errorf("fpx: flow sink: %w", err)
+	}
+	fl.nextSeq += uint32(len(b))
+	s.stats.Delivered += int64(len(b))
+	return nil
+}
+
+func (s *Splitter) closeFlow(key FlowKey, fl *flowState) error {
+	fl.closed = true
+	s.stats.FlowsClosed++
+	if fl.sink != nil {
+		if err := fl.sink.Close(); err != nil {
+			return fmt.Errorf("fpx: closing flow %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// CloseAll closes every open flow sink (end of capture).
+func (s *Splitter) CloseAll() error {
+	keys := make([]FlowKey, 0, len(s.flows))
+	for k := range s.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var first error
+	for _, k := range keys {
+		fl := s.flows[k]
+		if fl.closed || fl.sink == nil {
+			continue
+		}
+		if err := s.closeFlow(k, fl); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Segmentize builds the packet train of one TCP flow carrying the stream:
+// SYN, data segments of at most mss bytes, FIN — the traffic-generation
+// counterpart of the splitter, used by tests and benchmarks.
+func Segmentize(key FlowKey, isn uint32, stream []byte, mss int) [][]byte {
+	if mss <= 0 {
+		mss = 536
+	}
+	var pkts [][]byte
+	pkts = append(pkts, BuildIPv4TCP(key, isn, FlagSYN, nil))
+	seq := isn + 1
+	for off := 0; off < len(stream); off += mss {
+		end := off + mss
+		if end > len(stream) {
+			end = len(stream)
+		}
+		pkts = append(pkts, BuildIPv4TCP(key, seq, FlagACK|FlagPSH, stream[off:end]))
+		seq += uint32(end - off)
+	}
+	pkts = append(pkts, BuildIPv4TCP(key, seq, FlagACK|FlagFIN, nil))
+	return pkts
+}

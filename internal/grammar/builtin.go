@@ -1,0 +1,120 @@
+package grammar
+
+// Built-in grammars taken from the paper. They double as test fixtures and
+// as the workloads for the evaluation harness.
+
+// BalancedParensSrc is the grammar of figure 1: "0" with balanced
+// parentheses. Its single recursive nonterminal exercises the PDA→FSA
+// collapse of section 3.1 (the generated hardware accepts a superset:
+// unbalanced strings still tokenize).
+const BalancedParensSrc = `
+// Figure 1: E -> ( E ) | 0
+%%
+E : "(" E ")" | "0" ;
+`
+
+// IfThenElseSrc is the grammar of figure 9, used throughout section 3.3 to
+// illustrate the Follow-set wiring (figures 10 and 11).
+const IfThenElseSrc = `
+// Figure 9: if-then-else statement
+%%
+E : "if" C "then" E "else" E | "go" | "stop" ;
+C : "true" | "false" ;
+`
+
+// XMLRPCSrc is the Yacc-style grammar for XML-RPC of figure 14, converted
+// from the DTD of figure 13. Two corrections to the figure as printed:
+//
+//   - the figure references member_list in the struct production but never
+//     defines it (the DTD says struct has member+); the "+" is lowered to a
+//     leading member plus an optional right-recursive tail, so no two
+//     instances of the same token are enabled by one event (that would make
+//     every <member> a gratuitous encoder conflict, section 3.4).
+//   - the figure's data production holds a single value; the DTD says
+//     value*, so a value_list is used.
+//   - BASE64 is printed as a single-character class; a "+" is added so the
+//     token covers a whole base64 run, and '=' padding is accepted.
+//   - DOUBLE's dot is escaped to mean a literal '.'.
+const XMLRPCSrc = `
+STRING   [a-zA-Z0-9]+
+INT      [+-]?[0-9]+
+DOUBLE   [+-]?[0-9]+\.[0-9]+
+YEAR     [0-9][0-9][0-9][0-9]
+MONTH    [0-9][0-9]
+DAY      [0-9][0-9]
+HOUR     [0-9][0-9]
+MIN      [0-9][0-9]
+SEC      [0-9][0-9]
+BASE64   [+/=A-Za-z0-9]+
+%%
+methodCall : "<methodCall>" methodName params "</methodCall>" ;
+methodName : "<methodName>" STRING "</methodName>" ;
+params     : "<params>" param "</params>" ;
+param      : | "<param>" value "</param>" param ;
+value      : i4 | int | string | dateTime | double | base64 | struct | array ;
+i4         : "<i4>" INT "</i4>" ;
+int        : "<int>" INT "</int>" ;
+string     : "<string>" STRING "</string>" ;
+dateTime   : "<dateTime.iso8601>" YEAR MONTH DAY 'T' HOUR ':' MIN ':' SEC "</dateTime.iso8601>" ;
+double     : "<double>" DOUBLE "</double>" ;
+base64     : "<base64>" BASE64 "</base64>" ;
+struct     : "<struct>" member member_list "</struct>" ;
+member_list: | member member_list ;
+member     : "<member>" name value "</member>" ;
+name       : "<name>" STRING "</name>" ;
+array      : "<array>" data "</array>" ;
+data       : "<data>" value_list "</data>" ;
+value_list : | value value_list ;
+%%
+`
+
+// XMLRPCFullSrc extends the figure 14 grammar to the real XML-RPC wire
+// format: every value is wrapped in <value>/</value> tags (the figure, and
+// the DTD of figure 13, leave value as a pure nonterminal — presumably the
+// authors' test traffic omitted the wrappers). Useful when feeding the
+// router real-world-shaped messages.
+const XMLRPCFullSrc = `
+STRING   [a-zA-Z0-9]+
+INT      [+-]?[0-9]+
+DOUBLE   [+-]?[0-9]+\.[0-9]+
+YEAR     [0-9][0-9][0-9][0-9]
+MONTH    [0-9][0-9]
+DAY      [0-9][0-9]
+HOUR     [0-9][0-9]
+MIN      [0-9][0-9]
+SEC      [0-9][0-9]
+BASE64   [+/=A-Za-z0-9]+
+%%
+methodCall : "<methodCall>" methodName params "</methodCall>" ;
+methodName : "<methodName>" STRING "</methodName>" ;
+params     : "<params>" param "</params>" ;
+param      : | "<param>" value "</param>" param ;
+value      : "<value>" typed "</value>" ;
+typed      : i4 | int | string | dateTime | double | base64 | struct | array ;
+i4         : "<i4>" INT "</i4>" ;
+int        : "<int>" INT "</int>" ;
+string     : "<string>" STRING "</string>" ;
+dateTime   : "<dateTime.iso8601>" YEAR MONTH DAY 'T' HOUR ':' MIN ':' SEC "</dateTime.iso8601>" ;
+double     : "<double>" DOUBLE "</double>" ;
+base64     : "<base64>" BASE64 "</base64>" ;
+struct     : "<struct>" member member_list "</struct>" ;
+member_list: | member member_list ;
+member     : "<member>" name value "</member>" ;
+name       : "<name>" STRING "</name>" ;
+array      : "<array>" data "</array>" ;
+data       : "<data>" value_list "</data>" ;
+value_list : | value value_list ;
+%%
+`
+
+// BalancedParens returns the figure 1 grammar.
+func BalancedParens() *Grammar { return MustParse("balanced-parens", BalancedParensSrc) }
+
+// IfThenElse returns the figure 9 grammar.
+func IfThenElse() *Grammar { return MustParse("if-then-else", IfThenElseSrc) }
+
+// XMLRPC returns the figure 14 grammar.
+func XMLRPC() *Grammar { return MustParse("xml-rpc", XMLRPCSrc) }
+
+// XMLRPCFull returns the real-wire-format grammar with <value> wrappers.
+func XMLRPCFull() *Grammar { return MustParse("xml-rpc-full", XMLRPCFullSrc) }

@@ -1,0 +1,384 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the figure 13 → figure 14 step: converting an XML
+// Document Type Definition into a grammar in the production format the
+// hardware generator consumes. Only the DTD subset needed for element
+// declarations is supported:
+//
+//	<!ELEMENT name (content)>
+//
+// where content is a sequence (a, b), a choice (a | b), an optionally
+// repeated group (x*, x+, x?) or #PCDATA. Comments (<!-- -->) are skipped.
+//
+// Each element E becomes a production  e : "<E>" content "</E>" ;  with
+// repetition operators lowered to fresh list nonterminals, exactly the shape
+// of figure 14. #PCDATA content maps to a terminal class chosen by the
+// caller per element (the paper assigns INT to i4, STRING to methodName,
+// and so on); unmapped PCDATA elements default to STRING.
+
+// DTDElement is one parsed <!ELEMENT> declaration.
+type DTDElement struct {
+	Name    string
+	Content *dtdNode
+}
+
+type dtdOp uint8
+
+const (
+	dtdName dtdOp = iota // reference to another element
+	dtdPCD               // #PCDATA
+	dtdSeq               // a, b, c
+	dtdAlt               // a | b | c
+	dtdStar              // x*
+	dtdPlus              // x+
+	dtdOpt               // x?
+)
+
+type dtdNode struct {
+	op   dtdOp
+	name string
+	kids []*dtdNode
+}
+
+// ParseDTD parses the element declarations of a DTD document.
+func ParseDTD(src string) ([]DTDElement, error) {
+	var out []DTDElement
+	rest := src
+	for {
+		i := strings.Index(rest, "<!")
+		if i < 0 {
+			break
+		}
+		rest = rest[i:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest, "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated comment")
+			}
+			rest = rest[end+3:]
+		case strings.HasPrefix(rest, "<!ELEMENT"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated <!ELEMENT")
+			}
+			decl := strings.TrimSpace(rest[len("<!ELEMENT"):end])
+			rest = rest[end+1:]
+			el, err := parseElementDecl(decl)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, el)
+		default:
+			// Unsupported declaration (<!ATTLIST etc.): skip it.
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated declaration")
+			}
+			rest = rest[end+1:]
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations found")
+	}
+	return out, nil
+}
+
+func parseElementDecl(decl string) (DTDElement, error) {
+	fields := strings.Fields(decl)
+	if len(fields) < 2 {
+		return DTDElement{}, fmt.Errorf("dtd: malformed element declaration %q", decl)
+	}
+	name := fields[0]
+	content := strings.TrimSpace(strings.TrimPrefix(decl, name))
+	node, rest, err := parseDTDContent(content)
+	if err != nil {
+		return DTDElement{}, fmt.Errorf("dtd: element %s: %w", name, err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return DTDElement{}, fmt.Errorf("dtd: element %s: trailing content %q", name, rest)
+	}
+	return DTDElement{Name: name, Content: node}, nil
+}
+
+// parseDTDContent parses one content particle: a parenthesized group, a
+// name, or #PCDATA, with an optional trailing * + ? modifier.
+func parseDTDContent(s string) (*dtdNode, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", fmt.Errorf("empty content model")
+	}
+	var node *dtdNode
+	switch {
+	case s[0] == '(':
+		inner, rest, err := parseDTDGroup(s[1:])
+		if err != nil {
+			return nil, "", err
+		}
+		node, s = inner, rest
+	case strings.HasPrefix(s, "#PCDATA"):
+		node, s = &dtdNode{op: dtdPCD}, s[len("#PCDATA"):]
+	default:
+		i := 0
+		for i < len(s) && (isIdentChar(s[i]) || s[i] == '-') {
+			i++
+		}
+		if i == 0 {
+			return nil, "", fmt.Errorf("unexpected character %q", s[0])
+		}
+		node, s = &dtdNode{op: dtdName, name: s[:i]}, s[i:]
+	}
+	if len(s) > 0 {
+		switch s[0] {
+		case '*':
+			node, s = &dtdNode{op: dtdStar, kids: []*dtdNode{node}}, s[1:]
+		case '+':
+			node, s = &dtdNode{op: dtdPlus, kids: []*dtdNode{node}}, s[1:]
+		case '?':
+			node, s = &dtdNode{op: dtdOpt, kids: []*dtdNode{node}}, s[1:]
+		}
+	}
+	return node, s, nil
+}
+
+// parseDTDGroup parses the inside of a parenthesized group up to and
+// including the closing ')'.
+func parseDTDGroup(s string) (*dtdNode, string, error) {
+	var parts []*dtdNode
+	sep := byte(0)
+	for {
+		node, rest, err := parseDTDContent(s)
+		if err != nil {
+			return nil, "", err
+		}
+		parts = append(parts, node)
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated group")
+		}
+		switch rest[0] {
+		case ')':
+			if len(parts) == 1 {
+				return parts[0], rest[1:], nil
+			}
+			op := dtdSeq
+			if sep == '|' {
+				op = dtdAlt
+			}
+			return &dtdNode{op: op, kids: parts}, rest[1:], nil
+		case ',', '|':
+			if sep != 0 && sep != rest[0] {
+				return nil, "", fmt.Errorf("mixed ',' and '|' in one group")
+			}
+			sep = rest[0]
+			s = rest[1:]
+		default:
+			return nil, "", fmt.Errorf("unexpected %q in group", rest[0])
+		}
+	}
+}
+
+// DTDOptions configures FromDTD.
+type DTDOptions struct {
+	// PCData maps element names with #PCDATA content to the named terminal
+	// class that should recognize their text (the paper assigns INT to i4
+	// and int, DOUBLE to double, and so on). Elements not listed use
+	// "STRING".
+	PCData map[string]string
+	// Classes supplies the terminal class definitions referenced by PCData.
+	// If nil, a STRING [a-zA-Z0-9]+ class is provided automatically.
+	Classes []TokenDef
+	// Start selects the root element; defaults to the first declaration.
+	Start string
+}
+
+// FromDTD converts parsed element declarations into a Grammar with the
+// figure 14 shape: every element becomes a production wrapped in its open
+// and close tags, and *, + and ? content is lowered to fresh list
+// nonterminals.
+func FromDTD(name string, elements []DTDElement, opts DTDOptions) (*Grammar, error) {
+	c := &dtdConverter{
+		opts:     opts,
+		elements: make(map[string]bool, len(elements)),
+		classes:  make(map[string]bool),
+	}
+	for _, t := range opts.Classes {
+		c.tokens = append(c.tokens, t)
+		c.classes[t.Name] = true
+	}
+	if !c.classes["STRING"] {
+		c.tokens = append(c.tokens, TokenDef{Name: "STRING", Pattern: `[a-zA-Z0-9]+`})
+		c.classes["STRING"] = true
+	}
+	for _, el := range elements {
+		c.elements[el.Name] = true
+	}
+	for _, el := range elements {
+		if err := c.element(el); err != nil {
+			return nil, err
+		}
+	}
+	start := opts.Start
+	if start == "" {
+		start = nonterminalFor(elements[0].Name)
+	} else {
+		start = nonterminalFor(start)
+	}
+	return New(name, c.tokens, c.rules, start, "")
+}
+
+type dtdConverter struct {
+	opts     DTDOptions
+	elements map[string]bool
+	classes  map[string]bool
+	tokens   []TokenDef
+	rules    []Rule
+	lits     map[string]bool
+	listSeq  int
+}
+
+// nonterminalFor converts an element name to a production name. Dots are
+// legal in identifiers in this grammar format, so names like
+// dateTime.iso8601 survive unchanged.
+func nonterminalFor(element string) string { return element }
+
+func (c *dtdConverter) literal(text string) Symbol {
+	if c.lits == nil {
+		c.lits = make(map[string]bool)
+	}
+	if !c.lits[text] {
+		c.lits[text] = true
+		c.tokens = append(c.tokens, TokenDef{Name: text, Pattern: EscapeLiteral(text), Literal: true})
+	}
+	return Symbol{Kind: Terminal, Name: text}
+}
+
+func (c *dtdConverter) class(name string) Symbol {
+	if !c.classes[name] {
+		c.classes[name] = true
+		c.tokens = append(c.tokens, TokenDef{Name: name, Pattern: `[a-zA-Z0-9]+`})
+	}
+	return Symbol{Kind: Terminal, Name: name}
+}
+
+func (c *dtdConverter) element(el DTDElement) error {
+	open := c.literal("<" + el.Name + ">")
+	closing := c.literal("</" + el.Name + ">")
+	body, err := c.lower(el.Name, el.Content)
+	if err != nil {
+		return err
+	}
+	for _, alt := range body {
+		rhs := append([]Symbol{open}, alt...)
+		rhs = append(rhs, closing)
+		c.rules = append(c.rules, Rule{LHS: nonterminalFor(el.Name), RHS: rhs})
+	}
+	return nil
+}
+
+// lower converts a content node into one or more alternative symbol
+// sequences, creating helper list nonterminals for repetition.
+func (c *dtdConverter) lower(elem string, n *dtdNode) ([][]Symbol, error) {
+	switch n.op {
+	case dtdPCD:
+		class := c.opts.PCData[elem]
+		if class == "" {
+			class = "STRING"
+		}
+		return [][]Symbol{{c.class(class)}}, nil
+	case dtdName:
+		if !c.elements[n.name] {
+			return nil, fmt.Errorf("dtd: element %s references undeclared element %s", elem, n.name)
+		}
+		return [][]Symbol{{Symbol{Kind: NonTerminal, Name: nonterminalFor(n.name)}}}, nil
+	case dtdSeq:
+		seqs := [][]Symbol{nil}
+		for _, kid := range n.kids {
+			alts, err := c.lower(elem, kid)
+			if err != nil {
+				return nil, err
+			}
+			var next [][]Symbol
+			for _, prefix := range seqs {
+				for _, alt := range alts {
+					row := make([]Symbol, 0, len(prefix)+len(alt))
+					row = append(row, prefix...)
+					row = append(row, alt...)
+					next = append(next, row)
+				}
+			}
+			seqs = next
+		}
+		return seqs, nil
+	case dtdAlt:
+		var out [][]Symbol
+		for _, kid := range n.kids {
+			alts, err := c.lower(elem, kid)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, alts...)
+		}
+		return out, nil
+	case dtdStar, dtdPlus, dtdOpt:
+		alts, err := c.lower(elem, n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(alts) != 1 || len(alts[0]) != 1 || alts[0][0].Kind != NonTerminal {
+			return nil, fmt.Errorf("dtd: element %s: repetition of non-trivial groups is not supported", elem)
+		}
+		item := alts[0][0]
+		switch n.op {
+		case dtdOpt:
+			return [][]Symbol{{}, {item}}, nil
+		case dtdStar:
+			list := c.freshList(item.Name)
+			c.rules = append(c.rules,
+				Rule{LHS: list, RHS: nil},
+				Rule{LHS: list, RHS: []Symbol{item, {Kind: NonTerminal, Name: list}}},
+			)
+			return [][]Symbol{{{Kind: NonTerminal, Name: list}}}, nil
+		default: // dtdPlus: a leading item followed by a star tail, so the
+			// item's tokenizers are never doubly enabled by one event.
+			list := c.freshList(item.Name)
+			c.rules = append(c.rules,
+				Rule{LHS: list, RHS: nil},
+				Rule{LHS: list, RHS: []Symbol{item, {Kind: NonTerminal, Name: list}}},
+			)
+			return [][]Symbol{{item, {Kind: NonTerminal, Name: list}}}, nil
+		}
+	default:
+		return nil, fmt.Errorf("dtd: element %s: unsupported content node", elem)
+	}
+}
+
+func (c *dtdConverter) freshList(item string) string {
+	c.listSeq++
+	return fmt.Sprintf("%s_list%d", item, c.listSeq)
+}
+
+// XMLRPCDTD is the DTD of figure 13.
+const XMLRPCDTD = `
+<!ELEMENT methodCall       (methodName, params)>
+<!ELEMENT methodName       (#PCDATA)>
+<!ELEMENT params           (param*)>
+<!ELEMENT param            (value)>
+<!ELEMENT value            (i4|int|string|dateTime.iso8601|double|base64|struct|array)>
+<!ELEMENT i4               (#PCDATA)>
+<!ELEMENT int              (#PCDATA)>
+<!ELEMENT string           (#PCDATA)>
+<!ELEMENT dateTime.iso8601 (#PCDATA)>
+<!ELEMENT double           (#PCDATA)>
+<!ELEMENT base64           (#PCDATA)>
+<!ELEMENT array            (data)>
+<!ELEMENT data             (value*)>
+<!ELEMENT struct           (member+)>
+<!ELEMENT member           (name, value)>
+<!ELEMENT name             (#PCDATA)>
+`

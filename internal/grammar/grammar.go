@@ -1,0 +1,399 @@
+// Package grammar defines the context-free-grammar model consumed by the
+// hardware generator, together with a parser for the Lex/Yacc-style grammar
+// file format used in the paper (figure 14) and a converter from the XML DTD
+// subset of figure 13.
+//
+// A grammar file has two sections separated by a line containing only "%%":
+//
+//	STRING   [a-zA-Z0-9]+
+//	INT      [+-]?[0-9]+
+//	%delim   [ \t\r\n]
+//	%%
+//	methodCall : "<methodCall>" methodName params "</methodCall>" ;
+//	value      : i4 | int | string ;
+//	param      : | "<param>" value "</param>" param ;
+//
+// The first section defines named terminal classes as regular expressions
+// (see package internal/regex for the accepted subset) and optional
+// directives (%delim, %start). The second section holds the productions.
+// Quoted strings and single-quoted character literals inside productions
+// define anonymous literal terminals. An empty alternative denotes epsilon.
+// Line comments start with "//" or "#". A trailing "%%" line, if present,
+// ends the production section; anything after it is ignored (Yacc trailer).
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SymbolKind distinguishes terminals from non-terminals in production
+// right-hand sides.
+type SymbolKind uint8
+
+const (
+	// Terminal symbols reference an entry in Grammar.Tokens.
+	Terminal SymbolKind = iota
+	// NonTerminal symbols reference the left-hand side of one or more rules.
+	NonTerminal
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case Terminal:
+		return "terminal"
+	case NonTerminal:
+		return "nonterminal"
+	default:
+		return fmt.Sprintf("SymbolKind(%d)", uint8(k))
+	}
+}
+
+// Symbol is one element of a production right-hand side.
+type Symbol struct {
+	Kind SymbolKind
+	// Name is the canonical symbol name. For named terminals and
+	// non-terminals it is the identifier; for literal terminals it is the
+	// literal text itself (e.g. `<methodCall>`).
+	Name string
+}
+
+// IsTerminal reports whether the symbol is a terminal.
+func (s Symbol) IsTerminal() bool { return s.Kind == Terminal }
+
+func (s Symbol) String() string {
+	if s.Kind == Terminal {
+		return fmt.Sprintf("%q", s.Name)
+	}
+	return s.Name
+}
+
+// TokenDef describes one terminal of the grammar: either a named regular
+// expression class from the definitions section or an anonymous literal that
+// appeared quoted inside a production.
+type TokenDef struct {
+	// Name is the canonical terminal name. For literal tokens it equals the
+	// literal text.
+	Name string
+	// Pattern is the regular-expression source recognizing the terminal.
+	// For literal tokens it is the literal text with regex metacharacters
+	// escaped.
+	Pattern string
+	// Literal records whether the terminal was written as a quoted string.
+	Literal bool
+}
+
+// Rule is a single production alternative: LHS -> RHS. Alternatives written
+// with "|" in the source are flattened into separate rules that share an
+// LHS, preserving source order. An empty RHS denotes an epsilon production.
+type Rule struct {
+	LHS string
+	RHS []Symbol
+}
+
+// String renders the rule in "lhs -> sym sym ..." form, with ε for an empty
+// right-hand side.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.LHS)
+	b.WriteString(" ->")
+	if len(r.RHS) == 0 {
+		b.WriteString(" ε")
+		return b.String()
+	}
+	for _, s := range r.RHS {
+		b.WriteByte(' ')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Grammar is a validated context-free grammar: the token list, the flattened
+// production list, the start symbol and the delimiter class.
+type Grammar struct {
+	// Name is an optional human-readable label (file name or builtin id).
+	Name string
+	// Tokens lists every terminal in definition order: named classes first
+	// (in file order), then literals in order of first appearance.
+	Tokens []TokenDef
+	// Rules is the flattened production list in source order.
+	Rules []Rule
+	// Start is the start symbol; defaults to the LHS of the first
+	// production unless overridden with %start.
+	Start string
+	// DelimPattern is the delimiter character class as a regex source.
+	// Defaults to "[ \t\r\n]". Delimiters separate tokens in the input
+	// stream and are consumed by no tokenizer.
+	DelimPattern string
+
+	tokenIndex map[string]int
+	ruleIndex  map[string][]int
+}
+
+// DefaultDelimPattern is the delimiter class used when a grammar file does
+// not override it with %delim.
+const DefaultDelimPattern = `[ \t\r\n]`
+
+// finish builds the lookup indexes and validates the grammar. It is called
+// by the parser and by New.
+func (g *Grammar) finish() error {
+	if g.DelimPattern == "" {
+		g.DelimPattern = DefaultDelimPattern
+	}
+	g.tokenIndex = make(map[string]int, len(g.Tokens))
+	for i, t := range g.Tokens {
+		if t.Name == "" {
+			return fmt.Errorf("grammar %s: token %d has empty name", g.Name, i)
+		}
+		if t.Pattern == "" {
+			return fmt.Errorf("grammar %s: token %q has empty pattern", g.Name, t.Name)
+		}
+		if _, dup := g.tokenIndex[t.Name]; dup {
+			return fmt.Errorf("grammar %s: duplicate token %q", g.Name, t.Name)
+		}
+		g.tokenIndex[t.Name] = i
+	}
+	g.ruleIndex = make(map[string][]int)
+	for i, r := range g.Rules {
+		if r.LHS == "" {
+			return fmt.Errorf("grammar %s: rule %d has empty LHS", g.Name, i)
+		}
+		if _, clash := g.tokenIndex[r.LHS]; clash {
+			return fmt.Errorf("grammar %s: %q is both a token and a nonterminal", g.Name, r.LHS)
+		}
+		g.ruleIndex[r.LHS] = append(g.ruleIndex[r.LHS], i)
+	}
+	if len(g.Rules) == 0 {
+		return fmt.Errorf("grammar %s: no productions", g.Name)
+	}
+	if g.Start == "" {
+		g.Start = g.Rules[0].LHS
+	}
+	if _, ok := g.ruleIndex[g.Start]; !ok {
+		return fmt.Errorf("grammar %s: start symbol %q has no production", g.Name, g.Start)
+	}
+	for _, r := range g.Rules {
+		for _, s := range r.RHS {
+			switch s.Kind {
+			case Terminal:
+				if _, ok := g.tokenIndex[s.Name]; !ok {
+					return fmt.Errorf("grammar %s: rule %q references undefined token %q", g.Name, r.LHS, s.Name)
+				}
+			case NonTerminal:
+				if _, ok := g.ruleIndex[s.Name]; !ok {
+					return fmt.Errorf("grammar %s: rule %q references undefined nonterminal %q", g.Name, r.LHS, s.Name)
+				}
+			default:
+				return fmt.Errorf("grammar %s: rule %q has symbol with invalid kind %d", g.Name, r.LHS, s.Kind)
+			}
+		}
+	}
+	if err := g.checkReachable(); err != nil {
+		return err
+	}
+	return g.checkProductive()
+}
+
+// checkProductive rejects grammars with nonterminals that cannot derive
+// any terminal string: they would hang sentence generation and synthesize
+// tokenizers that can never complete a parse.
+func (g *Grammar) checkProductive() error {
+	productive := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range g.Rules {
+			if productive[r.LHS] {
+				continue
+			}
+			ok := true
+			for _, s := range r.RHS {
+				if s.Kind == NonTerminal && !productive[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[r.LHS] = true
+				changed = true
+			}
+		}
+	}
+	var dead []string
+	for nt := range g.ruleIndex {
+		if !productive[nt] {
+			dead = append(dead, nt)
+		}
+	}
+	if len(dead) > 0 {
+		sort.Strings(dead)
+		return fmt.Errorf("grammar %s: nonterminals derive no terminal string (unproductive): %s",
+			g.Name, strings.Join(dead, ", "))
+	}
+	return nil
+}
+
+// checkReachable rejects grammars with nonterminals unreachable from the
+// start symbol: they would silently generate no hardware, which is almost
+// always a grammar-authoring mistake.
+func (g *Grammar) checkReachable() error {
+	reached := map[string]bool{g.Start: true}
+	work := []string{g.Start}
+	for len(work) > 0 {
+		nt := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, ri := range g.ruleIndex[nt] {
+			for _, s := range g.Rules[ri].RHS {
+				if s.Kind == NonTerminal && !reached[s.Name] {
+					reached[s.Name] = true
+					work = append(work, s.Name)
+				}
+			}
+		}
+	}
+	var dead []string
+	for nt := range g.ruleIndex {
+		if !reached[nt] {
+			dead = append(dead, nt)
+		}
+	}
+	if len(dead) > 0 {
+		sort.Strings(dead)
+		return fmt.Errorf("grammar %s: nonterminals unreachable from %q: %s",
+			g.Name, g.Start, strings.Join(dead, ", "))
+	}
+	return nil
+}
+
+// New builds and validates a Grammar from explicit parts. It is the
+// programmatic alternative to parsing a grammar file.
+func New(name string, tokens []TokenDef, rules []Rule, start, delim string) (*Grammar, error) {
+	g := &Grammar{Name: name, Tokens: tokens, Rules: rules, Start: start, DelimPattern: delim}
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Token returns the definition of the named terminal.
+func (g *Grammar) Token(name string) (TokenDef, bool) {
+	i, ok := g.tokenIndex[name]
+	if !ok {
+		return TokenDef{}, false
+	}
+	return g.Tokens[i], true
+}
+
+// TokenIndex returns the position of the named terminal in Tokens, or -1.
+func (g *Grammar) TokenIndex(name string) int {
+	i, ok := g.tokenIndex[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// RulesFor returns the indexes into Rules of every production whose LHS is
+// the given nonterminal, in source order.
+func (g *Grammar) RulesFor(nonterminal string) []int {
+	return g.ruleIndex[nonterminal]
+}
+
+// IsNonTerminal reports whether the name is a nonterminal of the grammar.
+func (g *Grammar) IsNonTerminal(name string) bool {
+	_, ok := g.ruleIndex[name]
+	return ok
+}
+
+// NonTerminals returns all nonterminal names sorted alphabetically.
+func (g *Grammar) NonTerminals() []string {
+	out := make([]string, 0, len(g.ruleIndex))
+	for nt := range g.ruleIndex {
+		out = append(out, nt)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PatternBytes returns the total number of pattern bytes across all
+// terminals, the paper's grammar-size metric ("# of Bytes" in table 1). It
+// counts the unescaped length of each token pattern once per token.
+func (g *Grammar) PatternBytes() int {
+	n := 0
+	for _, t := range g.Tokens {
+		n += patternLen(t.Pattern)
+	}
+	return n
+}
+
+// patternLen estimates the number of consuming characters in a regex
+// pattern: escapes count as one, a character class counts as one, and the
+// operators ( ) | * + ? contribute nothing. This matches the paper's "bytes
+// of pattern data" accounting, where a class occupies one decoder input.
+func patternLen(pattern string) int {
+	n := 0
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '\\':
+			i++
+			n++
+		case '[':
+			for i++; i < len(pattern) && pattern[i] != ']'; i++ {
+				if pattern[i] == '\\' {
+					i++
+				}
+			}
+			n++
+		case '(', ')', '|', '*', '+', '?':
+			// operators consume nothing
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the grammar back in file format (definitions, %%,
+// productions). Literal tokens are not repeated in the definitions section
+// since they are defined by their use in productions.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for _, t := range g.Tokens {
+		if !t.Literal {
+			fmt.Fprintf(&b, "%s\t%s\n", t.Name, t.Pattern)
+		}
+	}
+	if g.DelimPattern != DefaultDelimPattern {
+		fmt.Fprintf(&b, "%%delim\t%s\n", g.DelimPattern)
+	}
+	if g.Start != g.Rules[0].LHS {
+		fmt.Fprintf(&b, "%%start\t%s\n", g.Start)
+	}
+	b.WriteString("%%\n")
+	// Group consecutive rules with the same LHS back into alternatives.
+	for i := 0; i < len(g.Rules); {
+		lhs := g.Rules[i].LHS
+		fmt.Fprintf(&b, "%s:", lhs)
+		first := true
+		for ; i < len(g.Rules) && g.Rules[i].LHS == lhs; i++ {
+			if !first {
+				b.WriteString(" |")
+			}
+			first = false
+			for _, s := range g.Rules[i].RHS {
+				b.WriteByte(' ')
+				if s.Kind == Terminal {
+					if t, _ := g.Token(s.Name); t.Literal {
+						fmt.Fprintf(&b, "%q", s.Name)
+					} else {
+						b.WriteString(s.Name)
+					}
+				} else {
+					b.WriteString(s.Name)
+				}
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,355 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIfThenElse(t *testing.T) {
+	g := IfThenElse()
+	if g.Start != "E" {
+		t.Errorf("start = %q, want E", g.Start)
+	}
+	wantTokens := []string{"if", "then", "else", "go", "stop", "true", "false"}
+	if len(g.Tokens) != len(wantTokens) {
+		t.Fatalf("got %d tokens (%v), want %d", len(g.Tokens), g.Tokens, len(wantTokens))
+	}
+	for _, w := range wantTokens {
+		if _, ok := g.Token(w); !ok {
+			t.Errorf("missing token %q", w)
+		}
+	}
+	if n := len(g.Rules); n != 5 {
+		t.Errorf("got %d rules, want 5 (3 for E, 2 for C)", n)
+	}
+	if got := len(g.RulesFor("E")); got != 3 {
+		t.Errorf("E has %d alternatives, want 3", got)
+	}
+	if got := len(g.RulesFor("C")); got != 2 {
+		t.Errorf("C has %d alternatives, want 2", got)
+	}
+	// First alternative of E must be: if C then E else E.
+	r := g.Rules[g.RulesFor("E")[0]]
+	want := []Symbol{
+		{Terminal, "if"}, {NonTerminal, "C"}, {Terminal, "then"},
+		{NonTerminal, "E"}, {Terminal, "else"}, {NonTerminal, "E"},
+	}
+	if len(r.RHS) != len(want) {
+		t.Fatalf("E rule 0 RHS = %v", r.RHS)
+	}
+	for i := range want {
+		if r.RHS[i] != want[i] {
+			t.Errorf("E rule 0 symbol %d = %v, want %v", i, r.RHS[i], want[i])
+		}
+	}
+}
+
+func TestParseBalancedParens(t *testing.T) {
+	g := BalancedParens()
+	if g.Start != "E" {
+		t.Errorf("start = %q", g.Start)
+	}
+	if len(g.Tokens) != 3 {
+		t.Errorf("tokens = %v, want ( ) 0", g.Tokens)
+	}
+	// Literal tokens must have escaped patterns.
+	tok, ok := g.Token("(")
+	if !ok || tok.Pattern != `\(` || !tok.Literal {
+		t.Errorf("token ( = %+v", tok)
+	}
+}
+
+func TestParseXMLRPC(t *testing.T) {
+	g := XMLRPC()
+	if g.Start != "methodCall" {
+		t.Errorf("start = %q", g.Start)
+	}
+	// The paper counts 45 tokens for this grammar; with the member_list /
+	// value_list corrections the count stays in the same neighborhood.
+	if n := len(g.Tokens); n < 40 || n > 50 {
+		t.Errorf("token count = %d, want ~45", n)
+	}
+	// The paper reports approximately 300 bytes of pattern data.
+	if b := g.PatternBytes(); b < 250 || b > 360 {
+		t.Errorf("pattern bytes = %d, want ~300", b)
+	}
+	for _, name := range []string{"STRING", "INT", "DOUBLE", "YEAR", "BASE64", "<methodCall>", "</methodCall>", "T", ":"} {
+		if _, ok := g.Token(name); !ok {
+			t.Errorf("missing token %q", name)
+		}
+	}
+	// param has an epsilon alternative.
+	rules := g.RulesFor("param")
+	if len(rules) != 2 || len(g.Rules[rules[0]].RHS) != 0 {
+		t.Errorf("param alternatives wrong: %v", rules)
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	g, err := Parse("t", `
+A [ab]+
+%delim [;]
+%start S
+%%
+T : A ;
+S : "x" T ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "S" {
+		t.Errorf("start = %q, want S", g.Start)
+	}
+	if g.DelimPattern != "[;]" {
+		t.Errorf("delim = %q", g.DelimPattern)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"no sections", "A [a]\n", "missing %%"},
+		{"no productions", "%%\n", "no productions"},
+		{"missing colon", "%%\nS \"x\" ;", "expected ':'"},
+		{"missing semicolon", "%%\nS : \"x\"", "missing ';'"},
+		{"undefined nonterminal", "%%\nS : T ;", "undefined nonterminal"},
+		{"duplicate token def", "A [a]\nA [b]\n%%\nS : A ;", "duplicate definition"},
+		{"empty literal", "%%\nS : \"\" ;", "empty string literal"},
+		{"unterminated literal", "%%\nS : \"x ;", "unterminated"},
+		{"unknown directive", "%bogus x\n%%\nS : \"x\" ;", "unknown directive"},
+		{"missing pattern", "A\n%%\nS : A ;", "missing pattern"},
+		{"bad start", "%start Q\n%%\nS : \"x\" ;", `start symbol "Q"`},
+		{"unreachable", "%%\nS : \"x\" ; T : \"y\" ;", "unreachable"},
+		{"unproductive", "%%\nS : \"x\" T ;\nT : T \"y\" ;", "unproductive"},
+		{"mutually unproductive", "%%\nS : A ;\nA : B ;\nB : A ;", "unproductive"},
+		{"token as lhs", "A [a]\n%%\nA : \"x\" ;", "both a token and a nonterminal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("t", tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g, err := Parse("t", `
+# hash comment
+A [a]+   // trailing comment
+// full-line comment
+%%
+S : A   // comment inside productions
+  | "b" ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tokens) != 2 {
+		t.Errorf("tokens = %v", g.Tokens)
+	}
+	if got, _ := g.Token("A"); got.Pattern != "[a]+" {
+		t.Errorf("pattern = %q, comment not stripped", got.Pattern)
+	}
+}
+
+func TestParseCharLiterals(t *testing.T) {
+	// Both 'T' and the paper's backquote form must work.
+	g, err := Parse("t", "%%\nS : 'a' `b' ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Token("a"); !ok {
+		t.Error("missing token 'a'")
+	}
+	if _, ok := g.Token("b"); !ok {
+		t.Error("missing token `b'")
+	}
+}
+
+func TestParseTrailerIgnored(t *testing.T) {
+	g, err := Parse("t", "%%\nS : \"x\" ;\n%%\nthis is C code { not a grammar }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 1 {
+		t.Errorf("rules = %v", g.Rules)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, g := range []*Grammar{BalancedParens(), IfThenElse(), XMLRPC(), XMLRPCFull()} {
+		src := g.String()
+		g2, err := Parse(g.Name+"-rt", src)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\nsource:\n%s", g.Name, err, src)
+		}
+		if len(g2.Tokens) != len(g.Tokens) || len(g2.Rules) != len(g.Rules) {
+			t.Errorf("%s: round trip changed shape: %d/%d tokens, %d/%d rules",
+				g.Name, len(g2.Tokens), len(g.Tokens), len(g2.Rules), len(g.Rules))
+		}
+		if g2.Start != g.Start {
+			t.Errorf("%s: start %q != %q", g.Name, g2.Start, g.Start)
+		}
+		for i := range g.Tokens {
+			if g2.Tokens[i] != g.Tokens[i] {
+				t.Errorf("%s: token %d: %+v != %+v", g.Name, i, g2.Tokens[i], g.Tokens[i])
+			}
+		}
+	}
+}
+
+func TestEscapeLiteral(t *testing.T) {
+	cases := map[string]string{
+		"abc":           "abc",
+		"<tag>":         "<tag>",
+		"a.b":           `a\.b`,
+		"(x)|[y]*+?^$.": `\(x\)\|\[y\]\*\+\?\^\$\.`,
+		"a\nb\tc":       `a\nb\tc`,
+	}
+	for in, want := range cases {
+		if got := EscapeLiteral(in); got != want {
+			t.Errorf("EscapeLiteral(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPatternBytes(t *testing.T) {
+	g, err := Parse("t", "A [a-z]+x\\.y\n%%\nS : A \"hi\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A = class(1) + x(1) + dot(1) + y(1) = 4; "hi" = 2.
+	if got := g.PatternBytes(); got != 6 {
+		t.Errorf("PatternBytes = %d, want 6", got)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	g := IfThenElse()
+	r := g.Rules[g.RulesFor("C")[0]]
+	if got := r.String(); got != `C -> "true"` {
+		t.Errorf("rule string = %q", got)
+	}
+	eps := Rule{LHS: "x"}
+	if got := eps.String(); got != "x -> ε" {
+		t.Errorf("epsilon rule string = %q", got)
+	}
+}
+
+func TestDTDParse(t *testing.T) {
+	els, err := ParseDTD(XMLRPCDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 16 {
+		t.Fatalf("got %d elements, want 16", len(els))
+	}
+	if els[0].Name != "methodCall" {
+		t.Errorf("first element = %q", els[0].Name)
+	}
+	// methodCall content must be a sequence of two names.
+	c := els[0].Content
+	if c.op != dtdSeq || len(c.kids) != 2 || c.kids[0].name != "methodName" || c.kids[1].name != "params" {
+		t.Errorf("methodCall content parsed wrong: %+v", c)
+	}
+	// value is an 8-way alternation.
+	for _, el := range els {
+		if el.Name == "value" {
+			if el.Content.op != dtdAlt || len(el.Content.kids) != 8 {
+				t.Errorf("value content: %+v", el.Content)
+			}
+		}
+		if el.Name == "struct" {
+			if el.Content.op != dtdPlus {
+				t.Errorf("struct content should be member+: %+v", el.Content)
+			}
+		}
+		if el.Name == "params" {
+			if el.Content.op != dtdStar {
+				t.Errorf("params content should be param*: %+v", el.Content)
+			}
+		}
+	}
+}
+
+func TestDTDConvert(t *testing.T) {
+	els, err := ParseDTD(XMLRPCDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromDTD("xmlrpc-from-dtd", els, DTDOptions{
+		PCData: map[string]string{
+			"i4": "INT", "int": "INT", "double": "DOUBLE", "base64": "BASE64",
+			"dateTime.iso8601": "DATETIME",
+		},
+		Classes: []TokenDef{
+			{Name: "STRING", Pattern: `[a-zA-Z0-9]+`},
+			{Name: "INT", Pattern: `[+-]?[0-9]+`},
+			{Name: "DOUBLE", Pattern: `[+-]?[0-9]+\.[0-9]+`},
+			{Name: "BASE64", Pattern: `[+/=A-Za-z0-9]+`},
+			{Name: "DATETIME", Pattern: `[0-9]+T[0-9]+:[0-9]+:[0-9]+`},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "methodCall" {
+		t.Errorf("start = %q", g.Start)
+	}
+	for _, name := range []string{"<methodCall>", "</methodCall>", "<struct>", "</dateTime.iso8601>"} {
+		if _, ok := g.Token(name); !ok {
+			t.Errorf("missing tag token %q", name)
+		}
+	}
+	// struct had member+, lowered to a leading member plus a star tail:
+	// struct : "<struct>" member member_listN "</struct>".
+	found := false
+	for _, ri := range g.RulesFor("struct") {
+		rhs := g.Rules[ri].RHS
+		if len(rhs) == 4 && rhs[1].Name == "member" && strings.HasPrefix(rhs[2].Name, "member_list") {
+			found = true
+			tail := g.RulesFor(rhs[2].Name)
+			if len(tail) != 2 || len(g.Rules[tail[0]].RHS) != 0 {
+				t.Errorf("member+ tail alternatives wrong: %v", tail)
+			}
+		}
+	}
+	if !found {
+		t.Error("member+ not lowered to head + star tail")
+	}
+}
+
+func TestDTDErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"empty", "", "no element declarations"},
+		{"unterminated", "<!ELEMENT a (b)", "unterminated"},
+		{"mixed seps", "<!ELEMENT a (b, c | d)>", "mixed"},
+		{"undeclared ref", "<!ELEMENT a (b)>", "undeclared element"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			els, err := ParseDTD(tc.src)
+			if err == nil {
+				_, err = FromDTD("t", els, DTDOptions{})
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDTDCommentsSkipped(t *testing.T) {
+	els, err := ParseDTD("<!-- c --><!ELEMENT a (#PCDATA)><!-- d -->")
+	if err != nil || len(els) != 1 {
+		t.Fatalf("els=%v err=%v", els, err)
+	}
+}

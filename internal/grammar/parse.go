@@ -1,0 +1,429 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error in a grammar file with its position.
+type ParseError struct {
+	Name string // grammar name (file label)
+	Line int    // 1-based line
+	Col  int    // 1-based column
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.Name, e.Line, e.Col, e.Msg)
+}
+
+// Parse reads a grammar in the two-section Lex/Yacc-style file format
+// described in the package comment and returns the validated Grammar.
+func Parse(name, src string) (*Grammar, error) {
+	p := &parser{name: name, src: src, line: 1, col: 1}
+	g, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	g.Name = name
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParse is Parse for known-good built-in grammars; it panics on error.
+func MustParse(name, src string) *Grammar {
+	g, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	name string
+	src  string
+	pos  int
+	line int
+	col  int
+
+	tokens   []TokenDef
+	rules    []Rule
+	start    string
+	delim    string
+	defined  map[string]bool // named terminal classes
+	literals map[string]bool // anonymous literal terminals already added
+	lhsSeen  map[string]bool
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Name: p.name, Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+// skipSpace consumes blanks, newlines and comments. If sameLine is true it
+// stops at a newline (for the line-oriented definitions section).
+func (p *parser) skipSpace(sameLine bool) {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == '\n':
+			if sameLine {
+				return
+			}
+			p.advance()
+		case c == ' ' || c == '\t' || c == '\r':
+			p.advance()
+		case c == '#' || (c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/'):
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+func (p *parser) ident() string {
+	start := p.pos
+	for !p.eof() && isIdentChar(p.peek()) {
+		p.advance()
+	}
+	return p.src[start:p.pos]
+}
+
+// restOfLine consumes to end of line and returns the trimmed text with any
+// trailing comment removed.
+func (p *parser) restOfLine() string {
+	start := p.pos
+	for !p.eof() && p.peek() != '\n' {
+		p.advance()
+	}
+	text := p.src[start:p.pos]
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	if i := strings.IndexByte(text, '#'); i >= 0 {
+		text = text[:i]
+	}
+	return strings.TrimSpace(text)
+}
+
+func (p *parser) atSectionMark() bool {
+	if !strings.HasPrefix(p.src[p.pos:], "%%") {
+		return false
+	}
+	rest := p.src[p.pos+2:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case ' ', '\t', '\r':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // %% at EOF
+}
+
+func (p *parser) parse() (*Grammar, error) {
+	p.defined = make(map[string]bool)
+	p.literals = make(map[string]bool)
+	p.lhsSeen = make(map[string]bool)
+	if err := p.parseDefinitions(); err != nil {
+		return nil, err
+	}
+	if err := p.parseProductions(); err != nil {
+		return nil, err
+	}
+	return &Grammar{
+		Tokens:       p.tokens,
+		Rules:        p.rules,
+		Start:        p.start,
+		DelimPattern: p.delim,
+	}, nil
+}
+
+func (p *parser) parseDefinitions() error {
+	for {
+		p.skipSpace(false)
+		if p.eof() {
+			return p.errf("missing %%%% section separator")
+		}
+		if p.atSectionMark() {
+			p.advance()
+			p.advance()
+			return nil
+		}
+		c := p.peek()
+		switch {
+		case c == '%':
+			p.advance()
+			dir := p.ident()
+			p.skipSpace(true)
+			arg := p.restOfLine()
+			switch dir {
+			case "delim":
+				if arg == "" {
+					return p.errf("%%delim requires a pattern")
+				}
+				p.delim = arg
+			case "start":
+				if arg == "" {
+					return p.errf("%%start requires a nonterminal name")
+				}
+				p.start = arg
+			default:
+				return p.errf("unknown directive %%%s", dir)
+			}
+		case isIdentStart(c):
+			name := p.ident()
+			p.skipSpace(true)
+			pattern := p.restOfLine()
+			if pattern == "" {
+				return p.errf("token %s: missing pattern", name)
+			}
+			if p.defined[name] {
+				return p.errf("token %s: duplicate definition", name)
+			}
+			p.defined[name] = true
+			p.tokens = append(p.tokens, TokenDef{Name: name, Pattern: pattern})
+		default:
+			return p.errf("unexpected character %q in definitions section", c)
+		}
+	}
+}
+
+func (p *parser) parseProductions() error {
+	sawAny := false
+	for {
+		p.skipSpace(false)
+		if p.eof() {
+			if !sawAny {
+				return p.errf("no productions")
+			}
+			return nil
+		}
+		if p.atSectionMark() {
+			// Optional trailer section: ignore everything after it.
+			return nil
+		}
+		if !isIdentStart(p.peek()) {
+			return p.errf("expected production name, found %q", p.peek())
+		}
+		lhs := p.ident()
+		p.skipSpace(false)
+		if p.eof() || p.peek() != ':' {
+			return p.errf("production %s: expected ':'", lhs)
+		}
+		p.advance()
+		if err := p.parseAlternatives(lhs); err != nil {
+			return err
+		}
+		p.lhsSeen[lhs] = true
+		sawAny = true
+	}
+}
+
+func (p *parser) parseAlternatives(lhs string) error {
+	var rhs []Symbol
+	flush := func() {
+		p.rules = append(p.rules, Rule{LHS: lhs, RHS: rhs})
+		rhs = nil
+	}
+	for {
+		p.skipSpace(false)
+		if p.eof() {
+			return p.errf("production %s: missing ';'", lhs)
+		}
+		switch c := p.peek(); {
+		case c == ';':
+			p.advance()
+			flush()
+			return nil
+		case c == '|':
+			p.advance()
+			flush()
+		case c == '"':
+			lit, err := p.quoted('"')
+			if err != nil {
+				return err
+			}
+			p.addLiteral(lit)
+			rhs = append(rhs, Symbol{Kind: Terminal, Name: lit})
+		case c == '\'' || c == '`':
+			// Accept both 'T' and the paper's `T' form.
+			open := p.advance()
+			close := byte('\'')
+			_ = open
+			var sb strings.Builder
+			for {
+				if p.eof() {
+					return p.errf("production %s: unterminated character literal", lhs)
+				}
+				ch := p.advance()
+				if ch == close {
+					break
+				}
+				if ch == '\\' {
+					esc, err := p.unescape()
+					if err != nil {
+						return err
+					}
+					ch = esc
+				}
+				sb.WriteByte(ch)
+			}
+			lit := sb.String()
+			if lit == "" {
+				return p.errf("production %s: empty character literal", lhs)
+			}
+			p.addLiteral(lit)
+			rhs = append(rhs, Symbol{Kind: Terminal, Name: lit})
+		case isIdentStart(c):
+			name := p.ident()
+			kind := NonTerminal
+			if p.defined[name] {
+				kind = Terminal
+			}
+			rhs = append(rhs, Symbol{Kind: kind, Name: name})
+		default:
+			return p.errf("production %s: unexpected character %q", lhs, c)
+		}
+	}
+}
+
+func (p *parser) quoted(q byte) (string, error) {
+	p.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated string literal")
+		}
+		c := p.advance()
+		if c == q {
+			break
+		}
+		if c == '\\' {
+			esc, err := p.unescape()
+			if err != nil {
+				return "", err
+			}
+			c = esc
+		}
+		sb.WriteByte(c)
+	}
+	if sb.Len() == 0 {
+		return "", p.errf("empty string literal")
+	}
+	return sb.String(), nil
+}
+
+// unescape resolves the character after a backslash in a string or
+// character literal, matching the regex subset's escapes (including \xNN).
+func (p *parser) unescape() (byte, error) {
+	if p.eof() {
+		return 0, p.errf("dangling escape in literal")
+	}
+	c := p.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case 'x':
+		if p.pos+1 >= len(p.src) {
+			return 0, p.errf(`\x needs two hex digits`)
+		}
+		hi, ok1 := hexVal(p.advance())
+		lo, ok2 := hexVal(p.advance())
+		if !ok1 || !ok2 {
+			return 0, p.errf(`\x needs two hex digits`)
+		}
+		return hi<<4 | lo, nil
+	default:
+		return c, nil
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// addLiteral registers an anonymous literal terminal the first time it is
+// seen, escaping regex metacharacters so the literal text doubles as its
+// pattern.
+func (p *parser) addLiteral(lit string) {
+	if p.literals[lit] || p.defined[lit] {
+		p.literals[lit] = true
+		return
+	}
+	p.literals[lit] = true
+	p.tokens = append(p.tokens, TokenDef{Name: lit, Pattern: EscapeLiteral(lit), Literal: true})
+}
+
+// EscapeLiteral escapes regex metacharacters in a literal string so the
+// result matches the string exactly when compiled as a pattern.
+func EscapeLiteral(lit string) string {
+	var sb strings.Builder
+	for i := 0; i < len(lit); i++ {
+		c := lit[i]
+		switch c {
+		case '\\', '[', ']', '(', ')', '|', '*', '+', '?', '.', '^', '$':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}

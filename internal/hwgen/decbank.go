@@ -1,0 +1,110 @@
+package hwgen
+
+import (
+	"fmt"
+
+	"cfgtag/internal/netlist"
+	"cfgtag/internal/regex"
+)
+
+// decBank is one lane's character-decode column: the nibble pre-decoders,
+// per-character ANDs (figure 4) and class OR trees (figure 5), with
+// fanout-capped replication pools. The single-byte design has one bank;
+// the 2-byte datapath instantiates one per lane.
+type decBank struct {
+	g      *gen
+	data   [8]netlist.Wire
+	prefix string
+
+	chars        map[byte]*srcPool
+	loNib, hiNib [16]*srcPool
+	classes      map[regex.ByteClass]*srcPool
+}
+
+func newDecBank(g *gen, data [8]netlist.Wire, prefix string) *decBank {
+	return &decBank{
+		g:       g,
+		data:    data,
+		prefix:  prefix,
+		chars:   make(map[byte]*srcPool),
+		classes: make(map[regex.ByteClass]*srcPool),
+	}
+}
+
+// charUse returns a decoded wire for one byte value, counting one load:
+// the 8-input AND with inversions of figure 4, built from nibble
+// pre-decoders (two 4-input ANDs plus a 2-input AND), the pre-decoded CAM
+// structure the paper cites. Replicas open when the fanout cap is hit.
+func (b *decBank) charUse(by byte) netlist.Wire {
+	pool, ok := b.chars[by]
+	if !ok {
+		pool = newSrcPool(b.g.decoderCap, func() netlist.Wire {
+			lo, hi := by&0xf, by>>4
+			return b.g.labeled(b.g.n.And(b.nibUse(hi, 4), b.nibUse(lo, 0)),
+				fmt.Sprintf("%s/char/%02x", b.prefix, by))
+		})
+		b.chars[by] = pool
+	}
+	return pool.take()
+}
+
+// nibUse returns a nibble pre-decode wire, counting one load.
+func (b *decBank) nibUse(v byte, shift int) netlist.Wire {
+	bank := &b.loNib
+	if shift == 4 {
+		bank = &b.hiNib
+	}
+	if bank[v] == nil {
+		bank[v] = newSrcPool(b.g.decoderCap, func() netlist.Wire { return b.nibble(v, shift) })
+	}
+	return bank[v].take()
+}
+
+// nibble builds the 4-input AND matching one nibble value at a bit offset.
+func (b *decBank) nibble(v byte, shift int) netlist.Wire {
+	ins := make([]netlist.Wire, 4)
+	for i := 0; i < 4; i++ {
+		w := b.data[shift+i]
+		if v&(1<<i) == 0 {
+			w = b.g.n.Not(w)
+		}
+		ins[i] = w
+	}
+	return b.g.labeled(b.g.n.And(ins...), fmt.Sprintf("%s/nib%d/%x", b.prefix, shift/4, v))
+}
+
+// classUse returns a decoded wire for a byte class, counting one load: a
+// char wire for singletons, otherwise an OR tree over the member
+// characters (figure 5), or the inverted complement when that is smaller.
+func (b *decBank) classUse(c regex.ByteClass) netlist.Wire {
+	switch c.Count() {
+	case 0:
+		return b.g.n.Const(false)
+	case 256:
+		return b.g.n.Const(true)
+	case 1:
+		return b.charUse(c.Bytes()[0])
+	}
+	pool, ok := b.classes[c]
+	if !ok {
+		pool = newSrcPool(b.g.decoderCap, func() netlist.Wire {
+			if c.Count() > 128 {
+				inv := c
+				inv.Negate()
+				return b.g.labeled(b.g.n.Not(b.orChars(inv)), fmt.Sprintf("%s/class/%s", b.prefix, c))
+			}
+			return b.g.labeled(b.orChars(c), fmt.Sprintf("%s/class/%s", b.prefix, c))
+		})
+		b.classes[c] = pool
+	}
+	return pool.take()
+}
+
+func (b *decBank) orChars(c regex.ByteClass) netlist.Wire {
+	members := c.Bytes()
+	ws := make([]netlist.Wire, len(members))
+	for i, by := range members {
+		ws[i] = b.charUse(by)
+	}
+	return b.g.orTree(ws, b.prefix+"/or")
+}

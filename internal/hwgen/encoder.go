@@ -1,0 +1,118 @@
+package hwgen
+
+import (
+	"fmt"
+
+	"cfgtag/internal/netlist"
+)
+
+// buildEncoder creates the token index encoder of section 3.4. Each index
+// output bit is the OR of the detect wires whose assigned index has that
+// bit set (equations 1–4 are the special case of consecutive indices); a
+// "valid" output ORs every detect and a "msg_end" output ORs the detects
+// of instances that may end a sentence.
+//
+// The default encoder is the pipelined OR tree: one gate level between
+// registers, so the critical path stays at a single LUT regardless of the
+// rule count. All outputs are padded to the same register depth, recorded
+// as the design's EncoderLatency. The NaiveEncoder option instead builds
+// the long 2-input combinational chain the paper warns about, with a
+// single output register.
+func (g *gen) buildEncoder() {
+	spec := g.spec
+	var bitInputs = make([][]netlist.Wire, spec.IndexBits)
+	var all, enders []netlist.Wire
+	for k, in := range spec.Instances {
+		det := g.detects[k]
+		all = append(all, det)
+		if in.CanEnd {
+			enders = append(enders, det)
+		}
+		for b := 0; b < spec.IndexBits; b++ {
+			if in.Index&(1<<b) != 0 {
+				bitInputs[b] = append(bitInputs[b], det)
+			}
+		}
+	}
+
+	if g.opts.NaiveEncoder {
+		g.encLatency = 1
+		emit := func(name string, ins []netlist.Wire) {
+			acc := g.n.Const(false)
+			for _, w := range ins {
+				acc = g.labeled(g.n.Or(acc, w), "enc/chain")
+			}
+			g.n.Output(name, g.n.Reg(acc, "enc/out/"+name))
+		}
+		for b := 0; b < spec.IndexBits; b++ {
+			emit(fmt.Sprintf("index%d", b), bitInputs[b])
+		}
+		emit("valid", all)
+		emit("msg_end", enders)
+		return
+	}
+
+	// Pipelined trees: compute every tree, then pad to the deepest.
+	type tree struct {
+		name  string
+		wire  netlist.Wire
+		depth int
+	}
+	var trees []tree
+	add := func(name string, ins []netlist.Wire) {
+		w, d := g.pipeOrTree(ins, "enc/"+name)
+		trees = append(trees, tree{name, w, d})
+	}
+	for b := 0; b < spec.IndexBits; b++ {
+		add(fmt.Sprintf("index%d", b), bitInputs[b])
+	}
+	add("valid", all)
+	add("msg_end", enders)
+
+	max := 1
+	for _, t := range trees {
+		if t.depth > max {
+			max = t.depth
+		}
+	}
+	for _, t := range trees {
+		w := t.wire
+		for d := t.depth; d < max; d++ {
+			w = g.n.Reg(w, "enc/pad/"+t.name)
+		}
+		g.n.Output(t.name, w)
+	}
+	g.encLatency = max
+}
+
+// pipeOrTree builds an OR tree with a register after every level, the
+// "one level of logic between pipelined registers" structure of
+// section 3.4. The returned depth counts register stages; an empty input
+// list yields a constant-false wire behind one register.
+func (g *gen) pipeOrTree(ws []netlist.Wire, label string) (netlist.Wire, int) {
+	if len(ws) == 0 {
+		return g.n.Reg(g.n.Const(false), label), 1
+	}
+	depth := 0
+	for {
+		var next []netlist.Wire
+		for i := 0; i < len(ws); i += g.opts.TreeArity {
+			j := i + g.opts.TreeArity
+			if j > len(ws) {
+				j = len(ws)
+			}
+			var node netlist.Wire
+			if j-i == 1 {
+				node = ws[i]
+			} else {
+				node = g.labeled(g.n.Or(ws[i:j]...), label)
+			}
+			next = append(next, g.n.Reg(node, label))
+		}
+		depth++
+		ws = next
+		if len(ws) == 1 {
+			return ws[0], depth
+		}
+	}
+}

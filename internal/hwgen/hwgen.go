@@ -1,0 +1,292 @@
+// Package hwgen lowers a compiled tagger specification to a gate-level
+// netlist — the role the paper's VHDL code generator plays. The generated
+// design contains, exactly as in section 3:
+//
+//   - nibble-shared character decoders (figure 4) and class decoders
+//     (figure 5), labeled "dec/",
+//   - one pipelined detection chain per tokenizer instance with one
+//     register per pattern position (figure 6 templates composed via the
+//     Glushkov construction), the longest-match lookahead (figure 7), and
+//     the inverted-delimiter pending latch (section 3.2), labeled "tok/",
+//   - the syntactic control-flow wiring between chains (figure 11),
+//     labeled "wire/",
+//   - the pipelined OR-tree token index encoder (section 3.4, equations
+//     1–4), labeled "enc/".
+//
+// Cycle contract (verified against the stream engine by equivalence
+// tests): drive inputs d0..d7 with byte b(c) on cycle c and step; the
+// per-instance "det/<k>" outputs assert on cycle c+1 for a token whose
+// lexeme ends at byte c. After the last byte, drive "eof" high for one
+// cycle to flush tokens ending at stream end. Encoder outputs ("valid",
+// "index<i>", "msg_end") lag detects by Design.EncoderLatency cycles.
+package hwgen
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/netlist"
+	"cfgtag/internal/regex"
+)
+
+// Options tune the lowering.
+type Options struct {
+	// TreeArity is the maximum gate fanin used when building OR/AND trees;
+	// 0 means 4, matching a 4-input-LUT target.
+	TreeArity int
+	// NaiveEncoder replaces the pipelined OR-tree encoder with the long
+	// combinational priority chain the paper warns about (section 3.4) —
+	// the ablation showing why the tree is needed.
+	NaiveEncoder bool
+	// NoDecoderSharing gives every pattern position a private character
+	// decoder instead of sharing decoded wires — the ablation behind the
+	// paper's LUT/byte observation. Equivalent to MaxFanout = 1.
+	NoDecoderSharing bool
+	// MaxFanout, when > 0, replicates decoders so no decoded wire serves
+	// more than this many loads — the section 4.3 routing-delay
+	// improvement ("replicating decoders and balancing the fanout across
+	// them"). 0 means fully shared decoders, the paper's baseline.
+	MaxFanout int
+}
+
+// Design is the generated hardware plus its interface metadata.
+type Design struct {
+	Spec    *core.Spec
+	Netlist *netlist.Netlist
+	// EncoderLatency is the register depth between a det/<k> assertion and
+	// the corresponding valid/index output cycle.
+	EncoderLatency int
+
+	// DataInputs are the eight byte-input wires d0..d7, LSB first.
+	DataInputs [8]netlist.Wire
+	// EOF is the end-of-stream flush input.
+	EOF netlist.Wire
+	// Detects holds each instance's detect output wire, by instance ID.
+	Detects []netlist.Wire
+}
+
+// Generate lowers the spec into a netlist design.
+func Generate(spec *core.Spec, opts Options) (*Design, error) {
+	if opts.TreeArity == 0 {
+		opts.TreeArity = 4
+	}
+	if opts.TreeArity < 2 {
+		return nil, fmt.Errorf("hwgen: tree arity must be ≥ 2, got %d", opts.TreeArity)
+	}
+	decoderCap := opts.MaxFanout
+	if opts.NoDecoderSharing {
+		decoderCap = 1
+	}
+	g := &gen{
+		spec:       spec,
+		opts:       opts,
+		decoderCap: decoderCap,
+		n:          netlist.New(),
+	}
+	g.buildInputs()
+	g.buildChains()
+	g.buildWiring()
+	g.buildEncoder()
+	if err := g.n.Validate(); err != nil {
+		return nil, fmt.Errorf("hwgen: generated netlist invalid: %w", err)
+	}
+	d := &Design{
+		Spec:           spec,
+		Netlist:        g.n,
+		EncoderLatency: g.encLatency,
+		DataInputs:     g.data,
+		EOF:            g.eof,
+		Detects:        g.detOuts,
+	}
+	return d, nil
+}
+
+type gen struct {
+	spec *core.Spec
+	opts Options
+	n    *netlist.Netlist
+
+	data [8]netlist.Wire
+	eof  netlist.Wire
+
+	decoderCap int      // max loads per decoded wire; 0 = unbounded
+	dec        *decBank // the single-byte lane's decoders
+
+	// posRegs[k][i] is the pipeline register of instance k's position i.
+	posRegs [][]netlist.Wire
+	// pendingWire[k] is the instance's inject signal (detect OR + held).
+	pendingWire []netlist.Wire
+	detects     []netlist.Wire // combinational, for wiring and encoder
+	detOuts     []netlist.Wire // registered observable outputs
+	encLatency  int
+}
+
+func (g *gen) buildInputs() {
+	for i := 0; i < 8; i++ {
+		g.data[i] = g.n.Input(fmt.Sprintf("d%d", i))
+	}
+	g.eof = g.n.Input("eof")
+	g.dec = newDecBank(g, g.data, "dec")
+}
+
+// classUse counts one load of a class decoder on the single lane.
+func (g *gen) classUse(c regex.ByteClass) netlist.Wire { return g.dec.classUse(c) }
+
+// orTree builds a combinational OR tree with bounded arity.
+func (g *gen) orTree(ws []netlist.Wire, label string) netlist.Wire {
+	for len(ws) > 1 {
+		var next []netlist.Wire
+		for i := 0; i < len(ws); i += g.opts.TreeArity {
+			j := i + g.opts.TreeArity
+			if j > len(ws) {
+				j = len(ws)
+			}
+			next = append(next, g.labeled(g.n.Or(ws[i:j]...), label))
+		}
+		ws = next
+	}
+	return ws[0]
+}
+
+// buildChains creates the per-instance pipeline registers. The D input of
+// position p is (inject | OR(predecessor registers)) AND class(p); inject
+// reaches only first positions. The inject signals (pendingWire) are
+// patched in by buildWiring since detects do not exist yet — the registers
+// are created with a placeholder D and rewired afterwards.
+func (g *gen) buildChains() {
+	g.posRegs = make([][]netlist.Wire, len(g.spec.Instances))
+	for k, in := range g.spec.Instances {
+		p := in.Program
+		regs := make([]netlist.Wire, p.Len())
+		for i := 0; i < p.Len(); i++ {
+			regs[i] = g.n.Reg(g.n.Const(false), fmt.Sprintf("tok/%d/pos%d", k, i))
+		}
+		g.posRegs[k] = regs
+	}
+}
+
+// buildWiring constructs the syntactic control flow: per-instance pending
+// latches fed by the detect OR of the enabling instances, and the final D
+// expressions of every chain register. Detect wires are built first (they
+// depend only on chain registers and decoders), then the held latches (the
+// error detector needs all of them), then the injection into the chains.
+func (g *gen) buildWiring() {
+	g.buildDetectWires()
+	enablers := g.spec.Enablers()
+	g.pendingWire = make([]netlist.Wire, len(g.spec.Instances))
+
+	// Pass 1: held latches (placeholder D, patched in pass 2).
+	held := make([]netlist.Wire, len(g.spec.Instances))
+	for k, in := range g.spec.Instances {
+		held[k] = g.n.Reg(g.n.Const(false), fmt.Sprintf("wire/held%d", k))
+		if in.Start && !g.spec.Opts.FreeRunningStart {
+			// Anchored start: the held latch powers on set.
+			g.n.Gates[held[k]].Init = true
+		}
+	}
+
+	// Dead-state detector and recovery (section 5.2): the engine is in
+	// error when no chain position and no held latch is set; the recovery
+	// wire re-arms the chosen pending set combinationally, so behavior
+	// matches the stream engine cycle for cycle.
+	recoverWire := g.buildRecovery(held)
+
+	// Pass 2: pending wires, held D expressions and chain injection.
+	for k, in := range g.spec.Instances {
+		var sources []netlist.Wire
+		for _, e := range enablers[k] {
+			sources = append(sources, g.detects[e])
+		}
+		var detOr netlist.Wire = g.n.Const(false)
+		if len(sources) > 0 {
+			detOr = g.orTree(sources, fmt.Sprintf("wire/en%d", k))
+		}
+		pend := detOr
+		if in.Start && g.spec.Opts.FreeRunningStart {
+			pend = g.n.Or(pend, g.n.Const(true))
+		}
+		if w, armed := recoverWire[k]; armed {
+			pend = g.n.Or(pend, w)
+		}
+		// Held register: D = pending AND delim — pending survives
+		// delimiter runs and clears on the first non-delimiter byte
+		// (the inverted-delimiter enable of section 3.2).
+		pending := g.labeled(g.n.Or(pend, held[k]), fmt.Sprintf("wire/pend%d", k))
+		g.n.Gates[held[k]].In[0] = g.labeled(g.n.And(pending, g.classUse(g.spec.Delim)), fmt.Sprintf("wire/hold%d", k))
+		g.pendingWire[k] = pending
+
+		// Patch chain register D inputs.
+		p := in.Program
+		firstSet := make(map[int]bool, len(p.First))
+		for _, f := range p.First {
+			firstSet[f] = true
+		}
+		preds := make([][]netlist.Wire, p.Len())
+		for q, tos := range p.Follow {
+			for _, t := range tos {
+				preds[t] = append(preds[t], g.posRegs[k][q])
+			}
+		}
+		for i := 0; i < p.Len(); i++ {
+			var src []netlist.Wire
+			if firstSet[i] {
+				src = append(src, pending)
+			}
+			src = append(src, preds[i]...)
+			var d netlist.Wire
+			if len(src) == 0 {
+				d = g.n.Const(false)
+			} else {
+				d = g.labeled(
+					g.n.And(g.orTree(src, fmt.Sprintf("tok/%d/in%d", k, i)), g.classUse(p.Classes[i])),
+					fmt.Sprintf("tok/%d/d%d", k, i))
+			}
+			g.n.Gates[g.posRegs[k][i]].In[0] = d
+		}
+	}
+}
+
+// buildDetectWires creates det_k = OR over accepting positions p of
+// (reg_p AND NOT extend_p), where extend_p ORs the decoded classes of p's
+// follow positions and is forced low at EOF — the figure 7 longest-match
+// lookahead generalized to arbitrary patterns.
+func (g *gen) buildDetectWires() {
+	notEOF := g.n.Not(g.eof)
+	g.detects = make([]netlist.Wire, len(g.spec.Instances))
+	g.detOuts = make([]netlist.Wire, len(g.spec.Instances))
+	for k, in := range g.spec.Instances {
+		p := in.Program
+		var ends []netlist.Wire
+		for _, last := range p.Last {
+			regW := g.posRegs[k][last]
+			if g.spec.Opts.NoLongestMatch || len(p.Follow[last]) == 0 {
+				ends = append(ends, regW)
+				continue
+			}
+			var extends []netlist.Wire
+			for _, t := range p.Follow[last] {
+				extends = append(extends, g.classUse(p.Classes[t]))
+			}
+			ext := g.n.And(g.orTree(extends, fmt.Sprintf("tok/%d/ext", k)), notEOF)
+			ends = append(ends, g.labeled(g.n.And(regW, g.n.Not(ext)), fmt.Sprintf("tok/%d/end%d", k, last)))
+		}
+		det := g.orTree(ends, fmt.Sprintf("tok/%d/det", k))
+		g.detects[k] = det
+		// The observable output is registered so every det/<k> port has
+		// uniform one-cycle latency regardless of the tree shape (a
+		// single-input tree would otherwise expose a chain register
+		// directly). Internal wiring and the encoder keep using the
+		// combinational wire.
+		g.detOuts[k] = g.n.Reg(det, fmt.Sprintf("out/det%d", k))
+		g.n.Output(fmt.Sprintf("det/%d", k), g.detOuts[k])
+	}
+}
+
+// labeled stamps a gate with a group label (no-op for pass-through wires
+// that already carry one).
+func (g *gen) labeled(w netlist.Wire, label string) netlist.Wire {
+	if g.n.Gates[w].Label == "" {
+		g.n.Gates[w].Label = label
+	}
+	return w
+}

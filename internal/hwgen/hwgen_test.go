@@ -1,0 +1,485 @@
+package hwgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/netlist"
+	"cfgtag/internal/sim"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+func mustDesign(t *testing.T, g *grammar.Grammar, copts core.Options, hopts Options) *Design {
+	t.Helper()
+	s, err := core.Compile(g, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(s, hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func runner(t *testing.T, d *Design) *Runner {
+	t.Helper()
+	r, err := NewRunner(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		d := mustDesign(t, g, core.Options{}, Options{})
+		if err := d.Netlist.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		stats := d.Netlist.ComputeStats()
+		// One register per pattern position plus latches and encoder regs.
+		if stats.Reg < d.Spec.PatternBytes() {
+			t.Errorf("%s: %d regs < %d pattern positions", g.Name, stats.Reg, d.Spec.PatternBytes())
+		}
+	}
+}
+
+func TestHardwareMatchesStreamOnSentence(t *testing.T) {
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	input := []byte("if true then if false then go else stop else stop")
+	hw := r.Run(input)
+	sw := tg.Tag(input)
+	if !reflect.DeepEqual(hw, sw) {
+		t.Errorf("hardware %v\nsoftware %v", hw, sw)
+	}
+	if len(hw) == 0 {
+		t.Fatal("no matches at all")
+	}
+}
+
+// TestHardwareSoftwareEquivalence is the central property test: on random
+// conforming sentences of every built-in grammar, the gate-level netlist
+// and the bit-parallel engine must report identical (instance, offset)
+// streams — and both must equal the generator's expectation.
+func TestHardwareSoftwareEquivalence(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		d := mustDesign(t, g, core.Options{}, Options{})
+		r := runner(t, d)
+		tg := stream.NewTagger(d.Spec)
+		gen := workload.NewGenerator(d.Spec, 99, workload.SentenceOptions{})
+		trials := 40
+		if g.Name == "xml-rpc" {
+			trials = 15 // larger netlist, slower cycles
+		}
+		for trial := 0; trial < trials; trial++ {
+			text, want := gen.Sentence()
+			hw := r.Run(text)
+			sw := tg.Tag(text)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("%s trial %d: hw != sw\ninput %q\nhw %v\nsw %v", g.Name, trial, text, hw, sw)
+			}
+			if len(hw) != len(want) {
+				t.Fatalf("%s trial %d: %d matches, want %d\ninput %q", g.Name, trial, len(hw), len(want), text)
+			}
+			for i := range want {
+				if hw[i].InstanceID != want[i].InstanceID || hw[i].End != want[i].End {
+					t.Fatalf("%s trial %d: match %d = %+v, want %+v", g.Name, trial, i, hw[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHardwareSoftwareEquivalenceOnNoise feeds non-conforming byte soup:
+// the two implementations must still agree bit for bit (the engine accepts
+// a superset; what matters is that both accept the same superset).
+func TestHardwareSoftwareEquivalenceOnNoise(t *testing.T) {
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{FreeRunningStart: true}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	inputs := []string{
+		"",
+		" ",
+		"if",
+		"iftrue then",
+		"true go stop else if",
+		"if  true\tthen\n go",
+		"xxif truexx then go",
+		"((if true))",
+		"if tr\nue then go",
+		"stop stop stop",
+	}
+	for _, in := range inputs {
+		hw := r.Run([]byte(in))
+		sw := tg.Tag([]byte(in))
+		if !reflect.DeepEqual(hw, sw) {
+			t.Errorf("input %q: hw %v != sw %v", in, hw, sw)
+		}
+	}
+}
+
+// TestRecoveryEquivalence checks the section 5.2 error-recovery logic in
+// gates against the stream engine, on garbage-bearing inputs, for both
+// recovery policies.
+func TestRecoveryEquivalence(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("xx if true then go"),
+		[]byte("if true bogus stop go stop"),
+		[]byte("@@@"),
+		[]byte("go @@ stop"),
+		[]byte(""),
+	}
+	for _, mode := range []core.RecoveryMode{core.RecoveryRestart, core.RecoveryResync} {
+		d := mustDesign(t, grammar.IfThenElse(), core.Options{Recovery: mode}, Options{})
+		r := runner(t, d)
+		tg := stream.NewTagger(d.Spec)
+		for _, in := range inputs {
+			hw := r.Run(in)
+			sw := tg.Tag(in)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Errorf("mode %v input %q: hw %v != sw %v", mode, in, hw, sw)
+			}
+		}
+		// The error output must exist and assert during the garbage run.
+		if _, ok := d.Netlist.OutputWire("error"); !ok {
+			t.Errorf("mode %v: no error output", mode)
+		}
+	}
+	// XML-RPC with a corrupted tag, resync mode.
+	d := mustDesign(t, grammar.XMLRPC(), core.Options{Recovery: core.RecoveryResync}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	msg := []byte("<methodCall> <methodName>buy</methodName> <params> <par#m> <i4>4</i4> </param> </params> </methodCall>")
+	if hw, sw := r.Run(msg), tg.Tag(msg); !reflect.DeepEqual(hw, sw) {
+		t.Errorf("xml resync: hw %v != sw %v", hw, sw)
+	}
+}
+
+func TestRecoveryErrorOutputAsserts(t *testing.T) {
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart}, Options{})
+	sm, err := sim.New(d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errWire, err2 := sm.OutputWire("error")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	input := []byte("@@ go")
+	asserted := 0
+	for c := 0; c <= len(input); c++ {
+		if c < len(input) {
+			b := input[c]
+			for i := 0; i < 8; i++ {
+				sm.SetInputWire(d.DataInputs[i], b&(1<<i) != 0)
+			}
+			sm.SetInputWire(d.EOF, false)
+		} else {
+			for i := 0; i < 8; i++ {
+				sm.SetInputWire(d.DataInputs[i], false)
+			}
+			sm.SetInputWire(d.EOF, true)
+		}
+		sm.Step()
+		if sm.Value(errWire) {
+			asserted++
+		}
+	}
+	// Dead after '@' at cycle 1 and after the second '@' at cycle 2.
+	if asserted != 2 {
+		t.Errorf("error asserted %d cycles, want 2", asserted)
+	}
+}
+
+// TestBinaryProtocolEquivalence runs a TLV-flavored binary grammar (hex
+// escapes, NUL delimiters, negated classes) through both engines.
+func TestBinaryProtocolEquivalence(t *testing.T) {
+	g, err := grammar.Parse("tlv", `
+LEN   [\x01-\x08]
+DATA  [^\x00]+
+%delim [\x00]
+%%
+msgs  : msg msgs | msg ;
+msg   : hdr LEN DATA ;
+hdr   : "\x7fTLV" ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustDesign(t, g, core.Options{FreeRunningStart: true}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	inputs := [][]byte{
+		{0x7f, 'T', 'L', 'V', 0x03, 'a', 'b', 'c'},
+		{0x7f, 'T', 'L', 'V', 0x01, 0xfe, 0x00, 0x7f, 'T', 'L', 'V', 0x02, 'x', 'y'},
+		{0x00, 0x00, 0x7f, 'T', 'L', 'V', 0x08, 0xde, 0xad, 0xbe, 0xef},
+	}
+	for _, in := range inputs {
+		hw := r.Run(in)
+		sw := tg.Tag(in)
+		if !reflect.DeepEqual(hw, sw) {
+			t.Errorf("input % x: hw %v != sw %v", in, hw, sw)
+		}
+		if len(sw) == 0 {
+			t.Errorf("input % x: nothing tagged", in)
+		}
+	}
+}
+
+func TestEncoderOutputs(t *testing.T) {
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	input := []byte("if true then go else stop")
+	events := r.RunEncoder(input)
+	sw := stream.GroupByEnd(tg.Tag(input))
+	if len(events) != len(sw) {
+		t.Fatalf("%d encoder events, want %d\nevents: %+v", len(events), len(sw), events)
+	}
+	for i, group := range sw {
+		want := stream.EncodeIndex(d.Spec, group)
+		if events[i].Index != want || events[i].End != group[0].End {
+			t.Errorf("event %d = %+v, want index %d end %d", i, events[i], want, group[0].End)
+		}
+	}
+	// msg_end asserts exactly when a CanEnd instance detects: for
+	// "if true then go else stop" that is "go" (a valid sentence could end
+	// there) and the final "stop".
+	for i, group := range sw {
+		wantEnd := false
+		for _, m := range group {
+			wantEnd = wantEnd || d.Spec.Instances[m.InstanceID].CanEnd
+		}
+		if events[i].MsgEnd != wantEnd {
+			t.Errorf("event %d msg_end = %v, want %v", i, events[i].MsgEnd, wantEnd)
+		}
+	}
+	if !events[len(events)-1].MsgEnd {
+		t.Error("last event should assert msg_end")
+	}
+}
+
+func TestEncoderConflictOR(t *testing.T) {
+	g, err := grammar.Parse("amb", `
+NUM  [0-9]+
+WORD [a-z0-9]+
+%%
+S : NUM | WORD ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustDesign(t, g, core.Options{}, Options{})
+	r := runner(t, d)
+	events := r.RunEncoder([]byte("42"))
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	// Simultaneous detections OR into the highest-priority index.
+	top := d.Spec.InstanceByIndex(events[0].Index)
+	if top == nil {
+		t.Fatalf("index %d resolves to nothing", events[0].Index)
+	}
+	set := d.Spec.ConflictSets[0]
+	if want := d.Spec.Instances[set[len(set)-1]]; top != want {
+		t.Errorf("winner = %v, want highest-priority %v", top, want)
+	}
+}
+
+func TestNaiveEncoderSameFunction(t *testing.T) {
+	input := []byte("if true then go")
+	d1 := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	d2 := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{NaiveEncoder: true})
+	e1 := runner(t, d1).RunEncoder(input)
+	e2 := runner(t, d2).RunEncoder(input)
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Index != e2[i].Index || e1[i].End != e2[i].End || e1[i].MsgEnd != e2[i].MsgEnd {
+			t.Errorf("event %d: tree %+v vs naive %+v", i, e1[i], e2[i])
+		}
+	}
+	if d2.EncoderLatency != 1 {
+		t.Errorf("naive encoder latency = %d, want 1", d2.EncoderLatency)
+	}
+}
+
+func TestNoDecoderSharingSameFunction(t *testing.T) {
+	input := []byte("if true then go else stop")
+	d1 := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	d2 := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{NoDecoderSharing: true})
+	hw1 := runner(t, d1).Run(input)
+	hw2 := runner(t, d2).Run(input)
+	if !reflect.DeepEqual(hw1, hw2) {
+		t.Error("decoder sharing changed behavior")
+	}
+	// And it must cost more gates.
+	s1, s2 := d1.Netlist.ComputeStats(), d2.Netlist.ComputeStats()
+	if s2.And <= s1.And {
+		t.Errorf("private decoders should use more ANDs: %d vs %d", s2.And, s1.And)
+	}
+}
+
+func TestTreeArity(t *testing.T) {
+	d2 := mustDesign(t, grammar.XMLRPC(), core.Options{}, Options{TreeArity: 2})
+	d4 := mustDesign(t, grammar.XMLRPC(), core.Options{}, Options{TreeArity: 4})
+	input := []byte("<methodCall><methodName>hi</methodName><params></params></methodCall>")
+	hw2 := runner(t, d2).Run(input)
+	hw4 := runner(t, d4).Run(input)
+	if !reflect.DeepEqual(hw2, hw4) {
+		t.Error("tree arity changed behavior")
+	}
+	if _, err := Generate(d2.Spec, Options{TreeArity: 1}); err == nil {
+		t.Error("arity 1 should be rejected")
+	}
+}
+
+func TestMaxFanoutReplicationSameFunction(t *testing.T) {
+	input := []byte("<methodCall><methodName>hi</methodName><params><param><i4>7</i4></param></params></methodCall>")
+	base := mustDesign(t, grammar.XMLRPC(), core.Options{}, Options{})
+	capped := mustDesign(t, grammar.XMLRPC(), core.Options{}, Options{MaxFanout: 8})
+	hw1 := runner(t, base).Run(input)
+	hw2 := runner(t, capped).Run(input)
+	if !reflect.DeepEqual(hw1, hw2) {
+		t.Error("decoder replication changed behavior")
+	}
+	// More gates, strictly lower max fanout.
+	s1, s2 := base.Netlist.ComputeStats(), capped.Netlist.ComputeStats()
+	if s2.And <= s1.And {
+		t.Errorf("replication should add decoder gates: %d vs %d", s2.And, s1.And)
+	}
+	if s2.MaxFanout >= s1.MaxFanout {
+		t.Errorf("replication should reduce fanout: %d vs %d", s2.MaxFanout, s1.MaxFanout)
+	}
+}
+
+func TestSrcPool(t *testing.T) {
+	builds := 0
+	n := netlist.New()
+	p := newSrcPool(2, func() netlist.Wire { builds++; return n.Input(itoa(builds)) })
+	w1 := p.take()
+	w2 := p.take()
+	if w1 != w2 || builds != 1 {
+		t.Error("first two loads should share a replica")
+	}
+	w3 := p.take()
+	if w3 == w1 || builds != 2 {
+		t.Error("third load should open a second replica")
+	}
+	if p.replicas() != 2 {
+		t.Errorf("replicas = %d", p.replicas())
+	}
+	// Unbounded pool never replicates.
+	builds = 0
+	u := newSrcPool(0, func() netlist.Wire { builds++; return n.Input("u" + itoa(builds)) })
+	for i := 0; i < 100; i++ {
+		u.take()
+	}
+	if builds != 1 || u.replicas() != 1 {
+		t.Errorf("unbounded pool built %d replicas", builds)
+	}
+}
+
+func TestAreaLabels(t *testing.T) {
+	d := mustDesign(t, grammar.XMLRPC(), core.Options{}, Options{})
+	for _, prefix := range []string{"dec/", "tok/", "wire/", "enc/"} {
+		if len(d.Netlist.Labeled(prefix)) == 0 {
+			t.Errorf("no gates labeled %q", prefix)
+		}
+	}
+}
+
+func TestDecodedCharFanoutIsDominant(t *testing.T) {
+	// The paper's timing analysis: the critical net is a decoded character
+	// wire fanning out to the token logic. Verify our netlist reproduces
+	// that shape on a scaled grammar.
+	g, err := workload.Scale(grammar.XMLRPC(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustDesign(t, g, core.Options{}, Options{})
+	stats := d.Netlist.ComputeStats()
+	if !strings.HasPrefix(stats.MaxFanoutLabel, "dec/") {
+		t.Errorf("max fanout wire is %q (fanout %d), want a decoder wire",
+			stats.MaxFanoutLabel, stats.MaxFanout)
+	}
+}
+
+func TestScaledGrammarGenerates(t *testing.T) {
+	g, err := workload.Scale(grammar.XMLRPC(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustDesign(t, g, core.Options{}, Options{})
+	r := runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	gen := workload.NewGenerator(d.Spec, 5, workload.SentenceOptions{})
+	text, _ := gen.Sentence()
+	if !reflect.DeepEqual(r.Run(text), tg.Tag(text)) {
+		t.Errorf("scaled design diverges from stream engine on %q", text)
+	}
+}
+
+func TestDetectWireNaming(t *testing.T) {
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	for k := range d.Spec.Instances {
+		if _, ok := d.Netlist.OutputWire("det/" + itoa(k)); !ok {
+			t.Errorf("missing output det/%d", k)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestRegisterCountsMatchArchitecture(t *testing.T) {
+	// Registers = pattern positions + 1 held latch per instance +
+	// encoder pipeline registers.
+	d := mustDesign(t, grammar.IfThenElse(), core.Options{}, Options{})
+	stats := d.Netlist.ComputeStats()
+	tokRegs := 0
+	for _, w := range d.Netlist.Labeled("tok/") {
+		if d.Netlist.Gates[w].Op == netlist.OpReg {
+			tokRegs++
+		}
+	}
+	if tokRegs != d.Spec.PatternBytes() {
+		t.Errorf("chain registers = %d, want exactly one per pattern byte (%d)",
+			tokRegs, d.Spec.PatternBytes())
+	}
+	heldRegs := 0
+	for _, w := range d.Netlist.Labeled("wire/held") {
+		if d.Netlist.Gates[w].Op == netlist.OpReg {
+			heldRegs++
+		}
+	}
+	if heldRegs != len(d.Spec.Instances) {
+		t.Errorf("held latches = %d, want one per instance (%d)", heldRegs, len(d.Spec.Instances))
+	}
+	if stats.Reg <= tokRegs+heldRegs {
+		t.Error("encoder contributed no pipeline registers")
+	}
+}

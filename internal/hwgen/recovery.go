@@ -1,0 +1,43 @@
+package hwgen
+
+import (
+	"cfgtag/internal/core"
+	"cfgtag/internal/netlist"
+)
+
+// buildRecovery implements the section 5.2 error detection and recovery in
+// gates. The error signal is the NOR of every chain position register and
+// every held latch — asserted exactly when the engine is dead. It is wired
+// combinationally into the pending signal of the recovery set (the start
+// instances under RecoveryRestart, every instance under RecoveryResync),
+// so the re-arm takes effect on the very byte after the engine died,
+// matching the stream engine. The returned map gives the recovery wire for
+// each instance that receives it; it is empty when recovery is off.
+//
+// The detector is also exported as the "error" design output so a back-end
+// can count or log recovery events.
+func (g *gen) buildRecovery(held []netlist.Wire) map[int]netlist.Wire {
+	out := make(map[int]netlist.Wire)
+	mode := g.spec.Opts.Recovery
+	if mode == core.RecoveryNone || g.spec.Opts.FreeRunningStart {
+		// Under FreeRunningStart the start set is always pending: the
+		// engine is never dead and the detector would never fire.
+		return out
+	}
+	var state []netlist.Wire
+	for _, regs := range g.posRegs {
+		state = append(state, regs...)
+	}
+	state = append(state, held...)
+	alive := g.orTree(state, "rec/alive")
+	errWire := g.labeled(g.n.Not(alive), "rec/error")
+	g.n.Output("error", errWire)
+
+	for k, in := range g.spec.Instances {
+		if mode == core.RecoveryRestart && !in.Start {
+			continue
+		}
+		out[k] = errWire
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package hwgen
+
+import "cfgtag/internal/netlist"
+
+// Decoder replication implements the improvement the paper's own timing
+// analysis calls for (section 4.3): "the critical paths ... are entirely
+// routing delay associated with the large fanout of the decoded character
+// bits ... possibilities for improving the routing delay include a
+// register tree to pipeline the fanout, or replicating decoders and
+// balancing the fanout across them." With Options.MaxFanout > 0 every
+// decoded wire (nibble, character, class) is drawn from a pool that opens
+// a fresh replica once the current one has served MaxFanout loads, bounding
+// any single decoded net's fanout at the cost of duplicated decode LUTs.
+
+// srcPool hands out replicas of one logical signal, each serving at most
+// cap loads. cap <= 0 means a single unbounded replica.
+type srcPool struct {
+	cap   int
+	build func() netlist.Wire
+	ws    []netlist.Wire
+	loads []int
+}
+
+func newSrcPool(cap int, build func() netlist.Wire) *srcPool {
+	return &srcPool{cap: cap, build: build}
+}
+
+// take returns a replica with remaining capacity, creating one on demand,
+// and records the load.
+func (p *srcPool) take() netlist.Wire {
+	n := len(p.ws)
+	if n > 0 && (p.cap <= 0 || p.loads[n-1] < p.cap) {
+		p.loads[n-1]++
+		return p.ws[n-1]
+	}
+	w := p.build()
+	p.ws = append(p.ws, w)
+	p.loads = append(p.loads, 1)
+	return w
+}
+
+// replicas reports how many copies were instantiated.
+func (p *srcPool) replicas() int { return len(p.ws) }

@@ -1,0 +1,131 @@
+package hwgen
+
+import (
+	"fmt"
+
+	"cfgtag/internal/netlist"
+	"cfgtag/internal/sim"
+	"cfgtag/internal/stream"
+)
+
+// Runner drives a generated design through the cycle-accurate simulator,
+// reproducing in gates what the stream engine computes with bitsets. It is
+// the reference harness for the hardware/software equivalence tests and
+// the gate-level throughput benchmark.
+type Runner struct {
+	design *Design
+	sm     *sim.Simulator
+
+	indexWires []netlist.Wire
+	validWire  netlist.Wire
+	endWire    netlist.Wire
+}
+
+// NewRunner validates and instantiates the simulation.
+func NewRunner(d *Design) (*Runner, error) {
+	sm, err := sim.New(d.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{design: d, sm: sm}
+	for b := 0; b < d.Spec.IndexBits; b++ {
+		w, err := sm.OutputWire(fmt.Sprintf("index%d", b))
+		if err != nil {
+			return nil, err
+		}
+		r.indexWires = append(r.indexWires, w)
+	}
+	if r.validWire, err = sm.OutputWire("valid"); err != nil {
+		return nil, err
+	}
+	if r.endWire, err = sm.OutputWire("msg_end"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run feeds the input at one byte per cycle (plus one EOF flush cycle) and
+// returns the detect events in stream.Match form: the result is directly
+// comparable with the stream engine's output for the same spec.
+func (r *Runner) Run(input []byte) []stream.Match {
+	r.sm.Reset()
+	d := r.design
+	var out []stream.Match
+	cycles := len(input) + 1
+	for c := 0; c < cycles; c++ {
+		r.driveCycle(input, c)
+		r.sm.Step()
+		// Detects settled in cycle c report tokens ending at byte c-1.
+		for k, w := range d.Detects {
+			if r.sm.Value(w) {
+				out = append(out, stream.Match{InstanceID: k, End: int64(c - 1)})
+			}
+		}
+	}
+	return out
+}
+
+// IndexEvent is one encoder output assertion.
+type IndexEvent struct {
+	// End is the byte offset the detection refers to, already corrected
+	// for the encoder's register latency.
+	End int64
+	// Index is the emitted token index (the OR of simultaneous indices).
+	Index int
+	// MsgEnd reports the sentence-boundary output.
+	MsgEnd bool
+}
+
+// RunEncoder feeds the input and collects the pipelined encoder outputs,
+// flushing EncoderLatency extra cycles so trailing detections drain.
+func (r *Runner) RunEncoder(input []byte) []IndexEvent {
+	r.sm.Reset()
+	d := r.design
+	var out []IndexEvent
+	cycles := len(input) + 1 + d.EncoderLatency
+	for c := 0; c < cycles; c++ {
+		r.driveCycle(input, c)
+		r.sm.Step()
+		if r.sm.Value(r.validWire) {
+			// The encoder output registers read post-edge after Step(c)
+			// carry the detect values of cycle c+1-L, i.e. tokens ending
+			// at byte c-L.
+			end := int64(c - d.EncoderLatency)
+			if end < 0 || end >= int64(len(input)) {
+				// Artifacts of the flush cycles (the zero bytes fed after
+				// EOF are not part of the stream).
+				continue
+			}
+			idx := 0
+			for b, w := range r.indexWires {
+				if r.sm.Value(w) {
+					idx |= 1 << b
+				}
+			}
+			out = append(out, IndexEvent{
+				End:    end,
+				Index:  idx,
+				MsgEnd: r.sm.Value(r.endWire),
+			})
+		}
+	}
+	return out
+}
+
+// driveCycle applies byte c of the input, or the EOF flush for cycles past
+// the end.
+func (r *Runner) driveCycle(input []byte, c int) {
+	d := r.design
+	if c < len(input) {
+		b := input[c]
+		for i := 0; i < 8; i++ {
+			r.sm.SetInputWire(d.DataInputs[i], b&(1<<i) != 0)
+		}
+		r.sm.SetInputWire(d.EOF, false)
+	} else {
+		for i := 0; i < 8; i++ {
+			r.sm.SetInputWire(d.DataInputs[i], false)
+		}
+		r.sm.SetInputWire(d.EOF, true)
+	}
+}

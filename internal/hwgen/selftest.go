@@ -1,0 +1,53 @@
+package hwgen
+
+import (
+	"fmt"
+	"reflect"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+// SelfTest generates both hardware datapaths for the spec and checks them
+// against the software engine on randomly generated conforming sentences —
+// the push-button confidence check a user runs before trusting emitted
+// VHDL for a new grammar. It returns the number of sentences checked.
+func SelfTest(spec *core.Spec, seed int64, sentences int) (int, error) {
+	if sentences <= 0 {
+		sentences = 20
+	}
+	single, err := Generate(spec, Options{})
+	if err != nil {
+		return 0, fmt.Errorf("hwgen: selftest generate: %w", err)
+	}
+	r1, err := NewRunner(single)
+	if err != nil {
+		return 0, err
+	}
+	var r2 *RunnerWide2
+	if spec.Opts.Recovery == core.RecoveryNone {
+		wide, err := GenerateWide2(spec, Options{})
+		if err != nil {
+			return 0, fmt.Errorf("hwgen: selftest wide2: %w", err)
+		}
+		if r2, err = NewRunnerWide2(wide); err != nil {
+			return 0, err
+		}
+	}
+	tg := stream.NewTagger(spec)
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{})
+	for i := 0; i < sentences; i++ {
+		text, _ := gen.Sentence()
+		sw := tg.Tag(text)
+		if hw := r1.Run(text); !reflect.DeepEqual(hw, sw) {
+			return i, fmt.Errorf("hwgen: selftest sentence %d: single-byte datapath diverges on %q", i, text)
+		}
+		if r2 != nil {
+			if hw := r2.Run(text); !reflect.DeepEqual(hw, sw) {
+				return i, fmt.Errorf("hwgen: selftest sentence %d: 2-byte datapath diverges on %q", i, text)
+			}
+		}
+	}
+	return sentences, nil
+}

@@ -1,0 +1,286 @@
+package hwgen
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/netlist"
+)
+
+// GenerateWide2 lowers the spec to a 2-bytes-per-clock datapath — the
+// section 5.2 scaling ("process 32-bits or 64-bits per clock cycle")
+// actually built for the first doubling. Each cycle consumes a byte pair
+// (lane 0 then lane 1): the single-byte transition logic is instantiated
+// twice, lane 0's results feeding lane 1 combinationally, with registers
+// only at the pair boundary. Each lane has its own decoder column.
+//
+// Detections ending on lane 0 resolve combinationally (the figure 7
+// lookahead reads lane 1's decoders); detections ending on lane 1 need the
+// next pair's first byte, so their candidates are registered and resolve
+// one cycle later — which is exactly when their follow-enables are due.
+//
+// Interface: inputs a0..a7 (lane 0), b0..b7 (lane 1), "v1" (lane 1 carries
+// a byte — low on the final odd byte), "eof" (flush). Outputs "det0/<k>"
+// and "det1/<k>" per instance, both registered: after Step(c), det0
+// reports a token ending at byte 2c and det1 one ending at byte 2c−1.
+//
+// Not supported (returns an error): Recovery modes (the dead-state
+// detector is single-byte scoped) and the index encoder (use the
+// single-byte design; the wide datapath's outputs are the raw detects).
+func GenerateWide2(spec *core.Spec, opts Options) (*DesignWide2, error) {
+	if opts.TreeArity == 0 {
+		opts.TreeArity = 4
+	}
+	if opts.TreeArity < 2 {
+		return nil, fmt.Errorf("hwgen: tree arity must be ≥ 2, got %d", opts.TreeArity)
+	}
+	if spec.Opts.Recovery != core.RecoveryNone {
+		return nil, fmt.Errorf("hwgen: the 2-byte datapath does not implement error recovery")
+	}
+	decoderCap := opts.MaxFanout
+	if opts.NoDecoderSharing {
+		decoderCap = 1
+	}
+	g := &gen{spec: spec, opts: opts, decoderCap: decoderCap, n: netlist.New()}
+	w := &wide2{gen: g}
+	w.build()
+	if err := g.n.Validate(); err != nil {
+		return nil, fmt.Errorf("hwgen: wide2 netlist invalid: %w", err)
+	}
+	return &DesignWide2{
+		Spec:    spec,
+		Netlist: g.n,
+		Lane0:   w.lane0Data,
+		Lane1:   w.lane1Data,
+		V1:      w.v1,
+		EOF:     w.eof0,
+		Det0:    w.det0Out,
+		Det1:    w.det1Out,
+	}, nil
+}
+
+// DesignWide2 is the generated 2-byte datapath and its interface.
+type DesignWide2 struct {
+	Spec    *core.Spec
+	Netlist *netlist.Netlist
+
+	Lane0, Lane1 [8]netlist.Wire
+	V1           netlist.Wire
+	EOF          netlist.Wire
+	// Det0[k]/Det1[k]: registered detect outputs per instance for tokens
+	// ending on lane 0 / lane 1.
+	Det0, Det1 []netlist.Wire
+}
+
+type wide2 struct {
+	gen *gen
+
+	lane0Data, lane1Data [8]netlist.Wire
+	v1, notV1            netlist.Wire
+	eof0                 netlist.Wire
+	dec0, dec1           *decBank
+
+	// posRegs[k][i]: active after the pair. cand1[k][j]: lane-1 ending
+	// candidate for instance k's j-th accepting position. pendReg[k]: the
+	// held pending between cycles.
+	posRegs [][]netlist.Wire
+	cand1   [][]netlist.Wire
+	pendReg []netlist.Wire
+
+	det0Out, det1Out []netlist.Wire
+}
+
+func (w *wide2) build() {
+	g := w.gen
+	n := g.n
+	spec := g.spec
+	for i := 0; i < 8; i++ {
+		w.lane0Data[i] = n.Input(fmt.Sprintf("a%d", i))
+		w.lane1Data[i] = n.Input(fmt.Sprintf("b%d", i))
+	}
+	w.v1 = n.Input("v1")
+	w.notV1 = n.Not(w.v1)
+	w.eof0 = n.Input("eof")
+	w.dec0 = newDecBank(g, w.lane0Data, "dec0")
+	w.dec1 = newDecBank(g, w.lane1Data, "dec1")
+
+	// Registers first (placeholder D inputs, patched below).
+	w.posRegs = make([][]netlist.Wire, len(spec.Instances))
+	w.cand1 = make([][]netlist.Wire, len(spec.Instances))
+	w.pendReg = make([]netlist.Wire, len(spec.Instances))
+	for k, in := range spec.Instances {
+		p := in.Program
+		w.posRegs[k] = make([]netlist.Wire, p.Len())
+		for i := range w.posRegs[k] {
+			w.posRegs[k][i] = n.Reg(n.Const(false), fmt.Sprintf("tok/%d/pos%d", k, i))
+		}
+		w.cand1[k] = make([]netlist.Wire, len(p.Last))
+		for j := range w.cand1[k] {
+			w.cand1[k][j] = n.Reg(n.Const(false), fmt.Sprintf("tok/%d/cand%d", k, j))
+		}
+		w.pendReg[k] = n.Reg(n.Const(false), fmt.Sprintf("wire/pend%d", k))
+		if in.Start && !spec.Opts.FreeRunningStart {
+			n.Gates[w.pendReg[k]].Init = true
+		}
+	}
+
+	// det1: last pair's lane-1 candidates, killed if this pair's lane-0
+	// byte extends them (figure 7 across the cycle boundary).
+	notEOF0 := n.Not(w.eof0)
+	det1 := make([]netlist.Wire, len(spec.Instances))
+	for k, in := range spec.Instances {
+		p := in.Program
+		var ends []netlist.Wire
+		for j, last := range p.Last {
+			c := w.cand1[k][j]
+			if spec.Opts.NoLongestMatch || len(p.Follow[last]) == 0 {
+				ends = append(ends, c)
+				continue
+			}
+			var ext []netlist.Wire
+			for _, t := range p.Follow[last] {
+				ext = append(ext, w.dec0.classUse(p.Classes[t]))
+			}
+			e := n.And(g.orTree(ext, fmt.Sprintf("tok/%d/ext1", k)), notEOF0)
+			ends = append(ends, g.labeled(n.And(c, n.Not(e)), fmt.Sprintf("tok/%d/end1_%d", k, last)))
+		}
+		det1[k] = g.orTree(ends, fmt.Sprintf("tok/%d/det1", k))
+	}
+
+	enablers := spec.Enablers()
+	enableOr := func(dets []netlist.Wire, k int, label string) netlist.Wire {
+		var src []netlist.Wire
+		for _, e := range enablers[k] {
+			src = append(src, dets[e])
+		}
+		if len(src) == 0 {
+			return n.Const(false)
+		}
+		return g.orTree(src, label)
+	}
+
+	delim0 := w.dec0.classUse(spec.Delim)
+	delim1 := w.dec1.classUse(spec.Delim)
+
+	// pendA: pending effective at lane 0 — the held register plus the
+	// just-resolved lane-1 detections of the previous pair.
+	pendA := make([]netlist.Wire, len(spec.Instances))
+	for k, in := range spec.Instances {
+		pendA[k] = g.labeled(n.Or(w.pendReg[k], enableOr(det1, k, fmt.Sprintf("wire/en1_%d", k))),
+			fmt.Sprintf("wire/pendA%d", k))
+		if in.Start && spec.Opts.FreeRunningStart {
+			pendA[k] = n.Or(pendA[k], n.Const(true))
+		}
+	}
+
+	// Lane-0 micro-step: activeMid = single-byte transition from the pair
+	// registers under dec0, injected from pendA.
+	activeMid := w.microStep(w.posRegsAll(), pendA, w.dec0, "mid")
+
+	// det0: tokens ending on lane 0; lane 1's byte is the lookahead (a
+	// missing lane-1 byte extends nothing).
+	det0 := make([]netlist.Wire, len(spec.Instances))
+	for k, in := range spec.Instances {
+		p := in.Program
+		var ends []netlist.Wire
+		for _, last := range p.Last {
+			m := activeMid[k][last]
+			if spec.Opts.NoLongestMatch || len(p.Follow[last]) == 0 {
+				ends = append(ends, m)
+				continue
+			}
+			var ext []netlist.Wire
+			for _, t := range p.Follow[last] {
+				ext = append(ext, w.dec1.classUse(p.Classes[t]))
+			}
+			e := n.And(g.orTree(ext, fmt.Sprintf("tok/%d/ext0", k)), w.v1)
+			ends = append(ends, g.labeled(n.And(m, n.Not(e)), fmt.Sprintf("tok/%d/end0_%d", k, last)))
+		}
+		det0[k] = g.orTree(ends, fmt.Sprintf("tok/%d/det0", k))
+	}
+
+	// pendMid: pending effective at lane 1 — held through a lane-0
+	// delimiter, replaced by lane-0 detections otherwise.
+	pendMid := make([]netlist.Wire, len(spec.Instances))
+	for k, in := range spec.Instances {
+		pendMid[k] = g.labeled(
+			n.Or(n.And(pendA[k], delim0), enableOr(det0, k, fmt.Sprintf("wire/en0_%d", k))),
+			fmt.Sprintf("wire/pendM%d", k))
+		if in.Start && spec.Opts.FreeRunningStart {
+			pendMid[k] = n.Or(pendMid[k], n.Const(true))
+		}
+	}
+
+	// Lane-1 micro-step from activeMid under dec1.
+	activeNext := w.microStep(activeMid, pendMid, w.dec1, "nxt")
+
+	// Commit: with a lane-1 byte the pair advances two steps; on the final
+	// odd byte it advances one (activeMid).
+	holdTerm := n.Or(n.And(delim1, w.v1), w.notV1)
+	for k, in := range spec.Instances {
+		p := in.Program
+		for i := 0; i < p.Len(); i++ {
+			d := n.Or(n.And(activeNext[k][i], w.v1), n.And(activeMid[k][i], w.notV1))
+			n.Gates[w.posRegs[k][i]].In[0] = g.labeled(d, fmt.Sprintf("tok/%d/d%d", k, i))
+		}
+		for j, last := range p.Last {
+			n.Gates[w.cand1[k][j]].In[0] = n.And(activeNext[k][last], w.v1)
+		}
+		// Pending carries across the cycle when lane 1 was a delimiter or
+		// absent; fresh enables arrive via the det paths.
+		n.Gates[w.pendReg[k]].In[0] = g.labeled(
+			n.And(pendMid[k], holdTerm), fmt.Sprintf("wire/hold%d", k))
+	}
+
+	// Registered observable outputs.
+	w.det0Out = make([]netlist.Wire, len(spec.Instances))
+	w.det1Out = make([]netlist.Wire, len(spec.Instances))
+	for k := range spec.Instances {
+		w.det0Out[k] = n.Reg(det0[k], fmt.Sprintf("out/det0_%d", k))
+		w.det1Out[k] = n.Reg(det1[k], fmt.Sprintf("out/det1_%d", k))
+		n.Output(fmt.Sprintf("det0/%d", k), w.det0Out[k])
+		n.Output(fmt.Sprintf("det1/%d", k), w.det1Out[k])
+	}
+}
+
+// posRegsAll adapts the register matrix to the microStep source shape.
+func (w *wide2) posRegsAll() [][]netlist.Wire { return w.posRegs }
+
+// microStep instantiates one lane's transition: for each instance position
+// p, out[p] = (OR of predecessors' source bits | pending-if-first) AND
+// dec(class(p)) — the exact single-byte chain logic, with the source taken
+// from registers (lane 0) or the previous micro-step (lane 1).
+func (w *wide2) microStep(src [][]netlist.Wire, pending []netlist.Wire, dec *decBank, tag string) [][]netlist.Wire {
+	g := w.gen
+	n := g.n
+	out := make([][]netlist.Wire, len(g.spec.Instances))
+	for k, in := range g.spec.Instances {
+		p := in.Program
+		firstSet := make(map[int]bool, len(p.First))
+		for _, f := range p.First {
+			firstSet[f] = true
+		}
+		preds := make([][]netlist.Wire, p.Len())
+		for q, tos := range p.Follow {
+			for _, t := range tos {
+				preds[t] = append(preds[t], src[k][q])
+			}
+		}
+		out[k] = make([]netlist.Wire, p.Len())
+		for i := 0; i < p.Len(); i++ {
+			var ins []netlist.Wire
+			if firstSet[i] {
+				ins = append(ins, pending[k])
+			}
+			ins = append(ins, preds[i]...)
+			if len(ins) == 0 {
+				out[k][i] = n.Const(false)
+				continue
+			}
+			out[k][i] = g.labeled(
+				n.And(g.orTree(ins, fmt.Sprintf("tok/%d/%s_in%d", k, tag, i)), dec.classUse(p.Classes[i])),
+				fmt.Sprintf("tok/%d/%s%d", k, tag, i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package hwgen
+
+import (
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+func wide2Design(t *testing.T, g *grammar.Grammar, copts core.Options) *DesignWide2 {
+	t.Helper()
+	s, err := core.Compile(g, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := GenerateWide2(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func wide2Runner(t *testing.T, d *DesignWide2) *RunnerWide2 {
+	t.Helper()
+	r, err := NewRunnerWide2(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWide2Basic(t *testing.T) {
+	d := wide2Design(t, grammar.IfThenElse(), core.Options{})
+	r := wide2Runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	for _, in := range []string{
+		"if true then go else stop", // odd length
+		"if true then go else stop ",
+		"go",
+		"stop",
+		" go",
+		"if false then if true then go else stop else go",
+	} {
+		hw := r.Run([]byte(in))
+		sw := tg.Tag([]byte(in))
+		if !reflect.DeepEqual(hw, sw) {
+			t.Errorf("input %q:\nwide2 %v\nsw    %v", in, hw, sw)
+		}
+	}
+}
+
+// TestWide2Equivalence is the full oracle sweep: the 2-byte datapath must
+// match the software engine on random conforming sentences of every
+// built-in grammar — both parities of input length, adjacent tokens,
+// delimiter runs, lane-straddling lexemes.
+func TestWide2Equivalence(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		d := wide2Design(t, g, core.Options{})
+		r := wide2Runner(t, d)
+		tg := stream.NewTagger(d.Spec)
+		gen := workload.NewGenerator(d.Spec, 77, workload.SentenceOptions{})
+		trials := 40
+		if g.Name == "xml-rpc" {
+			trials = 12
+		}
+		for trial := 0; trial < trials; trial++ {
+			text, _ := gen.Sentence()
+			hw := r.Run(text)
+			sw := tg.Tag(text)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("%s trial %d (len %d):\ninput %q\nwide2 %v\nsw    %v",
+					g.Name, trial, len(text), text, hw, sw)
+			}
+		}
+	}
+}
+
+func TestWide2EquivalenceOnNoise(t *testing.T) {
+	d := wide2Design(t, grammar.IfThenElse(), core.Options{FreeRunningStart: true})
+	r := wide2Runner(t, d)
+	tg := stream.NewTagger(d.Spec)
+	for _, in := range []string{
+		"", " ", "x", "go", "gogo", "go go", "iftrue then", "stop stop stop",
+		"if  true\tthen\n go", "xxif truexx then go", "if tr ue then go",
+	} {
+		hw := r.Run([]byte(in))
+		sw := tg.Tag([]byte(in))
+		if !reflect.DeepEqual(hw, sw) {
+			t.Errorf("input %q: wide2 %v != sw %v", in, hw, sw)
+		}
+	}
+}
+
+func TestWide2FuzzGrammars(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := GenerateWide2(s, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r, err := NewRunnerWide2(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg := stream.NewTagger(s)
+		gen := workload.NewGenerator(s, seed+900, workload.SentenceOptions{MaxDepth: 6})
+		for trial := 0; trial < 5; trial++ {
+			text, _ := gen.Sentence()
+			hw := r.Run(text)
+			sw := tg.Tag(text)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("seed %d trial %d:\ninput %q\nwide2 %v\nsw %v", seed, trial, text, hw, sw)
+			}
+		}
+	}
+}
+
+func TestSelfTest(t *testing.T) {
+	s, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := SelfTest(s, 1, 10)
+	if err != nil || n != 10 {
+		t.Errorf("SelfTest = %d, %v", n, err)
+	}
+	// With recovery enabled only the single-byte datapath is checked, but
+	// the self-test still runs.
+	sr, err := core.Compile(grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := SelfTest(sr, 1, 5); err != nil || n != 5 {
+		t.Errorf("SelfTest with recovery = %d, %v", n, err)
+	}
+}
+
+func TestWide2RejectsRecovery(t *testing.T) {
+	s, err := core.Compile(grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateWide2(s, Options{}); err == nil {
+		t.Error("recovery should be rejected on the 2-byte datapath")
+	}
+}
+
+func TestWide2AreaRoughlyDoubles(t *testing.T) {
+	s, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Generate(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := GenerateWide2(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := single.Netlist.ComputeStats()
+	s2 := double.Netlist.ComputeStats()
+	comb1 := s1.And + s1.Or + s1.Not
+	comb2 := s2.And + s2.Or + s2.Not
+	if comb2 < comb1*3/2 || comb2 > comb1*4 {
+		t.Errorf("wide2 combinational gates = %d vs single %d; expected ≈2-3×", comb2, comb1)
+	}
+}

@@ -1,0 +1,68 @@
+package hwgen
+
+import (
+	"cfgtag/internal/sim"
+	"cfgtag/internal/stream"
+)
+
+// RunnerWide2 drives a 2-byte-datapath design through the simulator at two
+// input bytes per clock, producing the same stream.Match sequence as the
+// single-byte design and the software engine.
+type RunnerWide2 struct {
+	design *DesignWide2
+	sm     *sim.Simulator
+}
+
+// NewRunnerWide2 instantiates the simulation.
+func NewRunnerWide2(d *DesignWide2) (*RunnerWide2, error) {
+	sm, err := sim.New(d.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	return &RunnerWide2{design: d, sm: sm}, nil
+}
+
+// Run feeds the input two bytes per cycle (plus one flush cycle) and
+// returns the detections in byte order.
+func (r *RunnerWide2) Run(input []byte) []stream.Match {
+	r.sm.Reset()
+	d := r.design
+	var out []stream.Match
+	pairs := (len(input) + 1) / 2
+	for c := 0; c <= pairs; c++ {
+		var b0, b1 byte
+		v1 := false
+		if 2*c < len(input) {
+			b0 = input[2*c]
+		}
+		if 2*c+1 < len(input) {
+			b1 = input[2*c+1]
+			v1 = true
+		}
+		for i := 0; i < 8; i++ {
+			r.sm.SetInputWire(d.Lane0[i], b0&(1<<i) != 0)
+			r.sm.SetInputWire(d.Lane1[i], b1&(1<<i) != 0)
+		}
+		r.sm.SetInputWire(d.V1, v1)
+		r.sm.SetInputWire(d.EOF, 2*c >= len(input))
+		r.sm.Step()
+		// det1 resolves the previous pair's lane-1 endings (byte 2c−1);
+		// det0 this pair's lane-0 endings (byte 2c). Emit in byte order,
+		// bounded to the real stream.
+		for k, w := range d.Det1 {
+			if r.sm.Value(w) {
+				if end := int64(2*c - 1); end >= 0 && end < int64(len(input)) {
+					out = append(out, stream.Match{InstanceID: k, End: end})
+				}
+			}
+		}
+		for k, w := range d.Det0 {
+			if r.sm.Value(w) {
+				if end := int64(2 * c); end < int64(len(input)) {
+					out = append(out, stream.Match{InstanceID: k, End: end})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package lexer is the reference software scanner: the conventional
+// longest-match lexer a software parser would sit on. It serves three
+// roles in the reproduction: the front end of the LL(1) baseline parser
+// (internal/parser), a correctness oracle for the hardware tokenizers, and
+// the exhibit for the paper's motivation — a context-free scanner cannot
+// tell which of several overlapping token classes a lexeme belongs to
+// (section 1), whereas the tagger's Follow wiring can.
+package lexer
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+)
+
+// Lexeme is one scanned token.
+type Lexeme struct {
+	// TokenIndex indexes the grammar token list.
+	TokenIndex int
+	// Start and End delimit the lexeme (End is the offset of the last
+	// byte, matching the hardware's end-of-match convention).
+	Start, End int
+}
+
+// ScanError reports a position where no token (from the allowed set)
+// matches.
+type ScanError struct {
+	Pos     int
+	Context string
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("lexer: no token matches at offset %d%s", e.Pos, e.Context)
+}
+
+// Lexer scans one input buffer against a spec's token set.
+type Lexer struct {
+	spec *core.Spec
+	data []byte
+	pos  int
+}
+
+// New returns a lexer over the buffer.
+func New(spec *core.Spec, data []byte) *Lexer {
+	return &Lexer{spec: spec, data: data}
+}
+
+// Pos returns the current offset.
+func (l *Lexer) Pos() int { return l.pos }
+
+// SkipDelims advances past delimiter bytes.
+func (l *Lexer) SkipDelims() {
+	for l.pos < len(l.data) && l.spec.Delim.Has(l.data[l.pos]) {
+		l.pos++
+	}
+}
+
+// EOF reports whether only delimiters remain.
+func (l *Lexer) EOF() bool {
+	for i := l.pos; i < len(l.data); i++ {
+		if !l.spec.Delim.Has(l.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next scans the longest match among the allowed token indexes (nil means
+// all tokens). Ties on length break toward the earliest-listed token, the
+// classic lex rule. The cursor advances past the lexeme.
+func (l *Lexer) Next(allowed []int) (Lexeme, error) {
+	l.SkipDelims()
+	if l.pos >= len(l.data) {
+		return Lexeme{}, &ScanError{Pos: l.pos, Context: " (end of input)"}
+	}
+	rest := l.data[l.pos:]
+	best, bestLen := -1, -1
+	try := func(ti int) {
+		if n := l.spec.Programs[ti].LongestPrefix(rest); n > bestLen {
+			best, bestLen = ti, n
+		}
+	}
+	if allowed == nil {
+		for ti := range l.spec.Programs {
+			try(ti)
+		}
+	} else {
+		for _, ti := range allowed {
+			try(ti)
+		}
+	}
+	if best < 0 || bestLen <= 0 {
+		ctx := ""
+		if allowed != nil {
+			ctx = fmt.Sprintf(" (expecting one of %d tokens)", len(allowed))
+		}
+		return Lexeme{}, &ScanError{Pos: l.pos, Context: ctx}
+	}
+	lx := Lexeme{TokenIndex: best, Start: l.pos, End: l.pos + bestLen - 1}
+	l.pos += bestLen
+	return lx, nil
+}
+
+// ScanAll tokenizes the whole buffer context-free (every token allowed
+// everywhere) — the conventional scanner baseline.
+func ScanAll(spec *core.Spec, data []byte) ([]Lexeme, error) {
+	l := New(spec, data)
+	var out []Lexeme
+	for !l.EOF() {
+		lx, err := l.Next(nil)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, lx)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package lexer
+
+import (
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+func spec(t *testing.T, g *grammar.Grammar) *core.Spec {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func names(s *core.Spec, ls []Lexeme) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = s.Grammar.Tokens[l.TokenIndex].Name
+	}
+	return out
+}
+
+func TestScanAll(t *testing.T) {
+	s := spec(t, grammar.IfThenElse())
+	ls, err := ScanAll(s, []byte("if true then go else stop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"if", "true", "then", "go", "else", "stop"}
+	got := names(s, ls)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("lexemes = %v, want %v", got, want)
+		}
+	}
+	// Offsets: "if" spans 0..1.
+	if ls[0].Start != 0 || ls[0].End != 1 {
+		t.Errorf("first lexeme span = %d..%d", ls[0].Start, ls[0].End)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	g, err := grammar.Parse("kw", "ID [a-z]+\n%%\nS : \"iff\" | ID ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec(t, g)
+	ls, err := ScanAll(s, []byte("iffy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "iffy" is longer as ID (4) than the literal "iff" (3).
+	if len(ls) != 1 || s.Grammar.Tokens[ls[0].TokenIndex].Name != "ID" {
+		t.Errorf("lexemes = %v", names(s, ls))
+	}
+}
+
+func TestTieBreaksToFirstListed(t *testing.T) {
+	// STRING is listed before INT in the XML-RPC grammar, so a bare digit
+	// run lexes as STRING — the classic context-free misclassification the
+	// tagger avoids (section 1 motivation).
+	s := spec(t, grammar.XMLRPC())
+	ls, err := ScanAll(s, []byte("42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 || s.Grammar.Tokens[ls[0].TokenIndex].Name != "STRING" {
+		t.Errorf("lexemes = %v, want the first-listed class STRING", names(s, ls))
+	}
+}
+
+func TestAllowedSetRestricts(t *testing.T) {
+	s := spec(t, grammar.XMLRPC())
+	l := New(s, []byte("42"))
+	intIdx := s.Grammar.TokenIndex("INT")
+	lx, err := l.Next([]int{intIdx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lx.TokenIndex != intIdx {
+		t.Errorf("allowed-set scan returned token %d", lx.TokenIndex)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	s := spec(t, grammar.IfThenElse())
+	if _, err := ScanAll(s, []byte("if @ then")); err == nil {
+		t.Error("garbage byte should fail")
+	}
+	l := New(s, []byte("   "))
+	if !l.EOF() {
+		t.Error("all-delimiter input should be EOF")
+	}
+	if _, err := l.Next(nil); err == nil {
+		t.Error("Next at EOF should fail")
+	}
+	// Restricted set that cannot match.
+	l = New(s, []byte("if"))
+	if _, err := l.Next([]int{s.Grammar.TokenIndex("go")}); err == nil {
+		t.Error("mismatched allowed set should fail")
+	}
+}
+
+func TestDelimiterHandling(t *testing.T) {
+	s := spec(t, grammar.IfThenElse())
+	ls, err := ScanAll(s, []byte("\n\t if\t\t true  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 || ls[0].Start != 3 {
+		t.Errorf("lexemes = %+v", ls)
+	}
+}
+
+func TestXMLRPCScan(t *testing.T) {
+	s := spec(t, grammar.XMLRPC())
+	msg := "<methodCall><methodName>hi</methodName><params></params></methodCall>"
+	ls, err := ScanAll(s, []byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<methodCall>", "<methodName>", "STRING", "</methodName>",
+		"<params>", "</params>", "</methodCall>"}
+	got := names(s, ls)
+	if len(got) != len(want) {
+		t.Fatalf("lexemes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lexeme %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package match is the context-free baseline: an Aho–Corasick multi-
+// pattern matcher over the grammar's literal tokens. It represents the
+// conventional deep-packet-inspection engines of the paper's related work
+// (section 2) — fast, but blind to context, so a keyword in the wrong
+// place still fires. The NIDS example and the false-positive benches
+// compare it against the context-aware tagger.
+package match
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Match is one pattern detection.
+type Match struct {
+	// Pattern indexes the pattern list given to New.
+	Pattern int
+	// End is the offset of the last byte of the occurrence.
+	End int64
+}
+
+// Matcher is an Aho–Corasick automaton. It is safe for concurrent readers
+// after construction; each stream should use its own cursor via Feed state
+// (the zero state is the root, so distinct scans can share the Matcher by
+// tracking their own state).
+type Matcher struct {
+	patterns []string
+	next     []map[byte]int32 // goto function per node
+	fail     []int32
+	// out[node] lists pattern indexes ending at the node (including via
+	// suffix links).
+	out [][]int32
+	// delta is the dense DFA transition table (node*256 + byte), built
+	// after the failure links so scanning is a single table walk per byte.
+	delta []int32
+}
+
+// New builds the automaton. Empty patterns are rejected.
+func New(patterns []string) (*Matcher, error) {
+	m := &Matcher{patterns: patterns}
+	m.next = append(m.next, map[byte]int32{})
+	m.fail = append(m.fail, 0)
+	m.out = append(m.out, nil)
+	for pi, p := range patterns {
+		if p == "" {
+			return nil, fmt.Errorf("match: pattern %d is empty", pi)
+		}
+		node := int32(0)
+		for i := 0; i < len(p); i++ {
+			b := p[i]
+			nxt, ok := m.next[node][b]
+			if !ok {
+				nxt = int32(len(m.next))
+				m.next[node][b] = nxt
+				m.next = append(m.next, map[byte]int32{})
+				m.fail = append(m.fail, 0)
+				m.out = append(m.out, nil)
+			}
+			node = nxt
+		}
+		m.out[node] = append(m.out[node], int32(pi))
+	}
+	// BFS for failure links.
+	var queue []int32
+	for _, n := range m.next[0] {
+		queue = append(queue, n)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for b, child := range m.next[node] {
+			queue = append(queue, child)
+			f := m.fail[node]
+			for {
+				if n, ok := m.next[f][b]; ok && n != child {
+					m.fail[child] = n
+					break
+				}
+				if f == 0 {
+					break
+				}
+				f = m.fail[f]
+			}
+			m.out[child] = append(m.out[child], m.out[m.fail[child]]...)
+		}
+	}
+	// Densify into a DFA: delta[s][b] follows goto, falling back through
+	// failure links.
+	m.delta = make([]int32, len(m.next)*256)
+	for s := range m.next {
+		for b := 0; b < 256; b++ {
+			m.delta[s*256+b] = m.slowStep(int32(s), byte(b))
+		}
+	}
+	return m, nil
+}
+
+func (m *Matcher) slowStep(state int32, b byte) int32 {
+	for {
+		if n, ok := m.next[state][b]; ok {
+			return n
+		}
+		if state == 0 {
+			return 0
+		}
+		state = m.fail[state]
+	}
+}
+
+// Step advances one byte from the given state, returning the new state.
+func (m *Matcher) Step(state int32, b byte) int32 {
+	return m.delta[int(state)*256+int(b)]
+}
+
+// Outputs returns the pattern indexes detected at a state.
+func (m *Matcher) Outputs(state int32) []int32 { return m.out[state] }
+
+// Scan finds every occurrence of every pattern in the buffer.
+func (m *Matcher) Scan(data []byte) []Match {
+	var out []Match
+	state := int32(0)
+	for i, b := range data {
+		state = m.Step(state, b)
+		for _, pi := range m.out[state] {
+			out = append(out, Match{Pattern: int(pi), End: int64(i)})
+		}
+	}
+	return out
+}
+
+// Count tallies total occurrences without materializing matches — the
+// throughput-bench entry point.
+func (m *Matcher) Count(data []byte) int {
+	n := 0
+	state := int32(0)
+	for _, b := range data {
+		state = m.Step(state, b)
+		n += len(m.out[state])
+	}
+	return n
+}
+
+// Patterns returns the pattern list.
+func (m *Matcher) Patterns() []string { return m.patterns }

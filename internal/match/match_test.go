@@ -1,0 +1,171 @@
+package match
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicScan(t *testing.T) {
+	m, err := New([]string{"he", "she", "his", "hers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Scan([]byte("ushers"))
+	// u s h e r s
+	// 0 1 2 3 4 5 : "she" ends at 4? no: s(1)h(2)e(3) → "she" ends at 3,
+	// "he" ends at 3, "hers" ends at 5.
+	want := []Match{{Pattern: 1, End: 3}, {Pattern: 0, End: 3}, {Pattern: 3, End: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v, want %v", got, want)
+	}
+	// Order within one offset is by suffix-link depth; compare as sets.
+	seen := map[Match]bool{}
+	for _, g := range got {
+		seen[g] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing match %v in %v", w, got)
+		}
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	m, err := New([]string{"aa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Scan([]byte("aaaa"))
+	want := []Match{{0, 1}, {0, 2}, {0, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("overlapping = %v, want %v", got, want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	m, err := New([]string{"ab", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Count([]byte("abab")); n != 4 {
+		t.Errorf("count = %d, want 4", n)
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, err := New([]string{"a", ""}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	m, err := New([]string{"xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Scan([]byte("abcabc")); len(got) != 0 {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestAgainstStringsCount(t *testing.T) {
+	patterns := []string{"ab", "bc", "abc", "ca", "aaa", "b"}
+	m, err := New(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte) bool {
+		data := make([]byte, len(raw))
+		for i := range raw {
+			data[i] = "abc"[int(raw[i])%3]
+		}
+		got := 0
+		for _, mt := range m.Scan(data) {
+			_ = mt
+			got++
+		}
+		want := 0
+		s := string(data)
+		for _, p := range patterns {
+			for i := 0; i+len(p) <= len(s); i++ {
+				if s[i:i+len(p)] == p {
+					want++
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamingStateReuse(t *testing.T) {
+	m, err := New([]string{"abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding byte by byte across chunk boundaries still matches.
+	state := int32(0)
+	hits := 0
+	for _, b := range []byte("xxabcxx") {
+		state = m.Step(state, b)
+		hits += len(m.Outputs(state))
+	}
+	if hits != 1 {
+		t.Errorf("streaming hits = %d, want 1", hits)
+	}
+}
+
+func TestContextBlindness(t *testing.T) {
+	// The motivating failure: a matcher finds "deposit" anywhere, even
+	// outside a methodName context. (The router examples show the tagger
+	// does not.)
+	m, err := New([]string{"deposit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inContext := "<methodCall><methodName>deposit</methodName></methodCall>"
+	outOfContext := "<methodCall><methodName>list</methodName><params><param><string>deposit</string></param></params></methodCall>"
+	if n := m.Count([]byte(inContext)); n != 1 {
+		t.Errorf("in-context count = %d", n)
+	}
+	if n := m.Count([]byte(outOfContext)); n != 1 {
+		t.Error("matcher should (blindly) fire out of context too — that is the point")
+	}
+}
+
+func TestPatternsAccessor(t *testing.T) {
+	ps := []string{"a", "b"}
+	m, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Patterns(), ps) {
+		t.Error("Patterns() mismatch")
+	}
+}
+
+func TestLongPatternSet(t *testing.T) {
+	// A tag-shaped pattern set like the XML-RPC token list.
+	var ps []string
+	for _, base := range []string{"methodCall", "methodName", "params", "param", "i4", "int", "string"} {
+		ps = append(ps, "<"+base+">", "</"+base+">")
+	}
+	m, err := New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "<methodCall><methodName>hi</methodName><params><param><i4>42</i4></param></params></methodCall>"
+	// 10 tags; note "<param>" does not fire inside "<params>" (the 's'
+	// precedes the '>').
+	n := m.Count([]byte(doc))
+	if n != 10 {
+		t.Errorf("tag count = %d, want 10", n)
+	}
+	if !strings.HasPrefix(ps[0], "<") {
+		t.Fatal("sanity")
+	}
+}

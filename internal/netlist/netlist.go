@@ -1,0 +1,350 @@
+// Package netlist defines the gate-level intermediate representation
+// produced by the hardware generator: AND/OR/NOT gates, D flip-flops with
+// optional clock enables, primary inputs and named output ports. It is the
+// software stand-in for the VHDL the paper's generator emits — the same
+// structure is simulated cycle-accurately (internal/sim), technology-mapped
+// into 4-input LUTs (internal/fpga) and pretty-printed as VHDL
+// (internal/vhdl).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Wire identifies a signal; every wire is driven by exactly one gate whose
+// index equals the wire value.
+type Wire int32
+
+// Invalid is the zero-value sentinel for optional wires (e.g. a register
+// without a clock enable).
+const Invalid Wire = -1
+
+// Op enumerates gate kinds.
+type Op uint8
+
+const (
+	// OpConst drives a constant value (Gate.Init).
+	OpConst Op = iota
+	// OpInput is a primary input set by the simulator each cycle.
+	OpInput
+	// OpAnd drives the conjunction of its fanin (arbitrary arity ≥ 1).
+	OpAnd
+	// OpOr drives the disjunction of its fanin (arbitrary arity ≥ 1).
+	OpOr
+	// OpNot drives the negation of its single fanin.
+	OpNot
+	// OpReg is a D flip-flop: it drives the value loaded from In[0] at the
+	// previous clock edge. If Enable is valid, the register holds its value
+	// on cycles where the enable wire is low (the delimiter-hold of
+	// section 3.2 uses this).
+	OpReg
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpConst:
+		return "const"
+	case OpInput:
+		return "input"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpNot:
+		return "not"
+	case OpReg:
+		return "reg"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Gate is one node of the netlist.
+type Gate struct {
+	Op     Op
+	In     []Wire
+	Enable Wire   // OpReg only; Invalid means always enabled
+	Init   bool   // OpConst value / OpReg power-on value
+	Label  string // optional debug name
+}
+
+// Port is a named output of the design.
+type Port struct {
+	Name string
+	Wire Wire
+}
+
+// Netlist is a complete design under construction or analysis.
+type Netlist struct {
+	Gates   []Gate
+	Inputs  []Port // primary inputs in declaration order
+	Outputs []Port // named outputs in declaration order
+
+	inputByName  map[string]Wire
+	outputByName map[string]Wire
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{
+		inputByName:  make(map[string]Wire),
+		outputByName: make(map[string]Wire),
+	}
+}
+
+func (n *Netlist) add(g Gate) Wire {
+	n.Gates = append(n.Gates, g)
+	return Wire(len(n.Gates) - 1)
+}
+
+// Const returns a wire driving the constant v. Constants are deduplicated.
+func (n *Netlist) Const(v bool) Wire {
+	for i, g := range n.Gates {
+		if g.Op == OpConst && g.Init == v {
+			return Wire(i)
+		}
+	}
+	return n.add(Gate{Op: OpConst, Enable: Invalid, Init: v})
+}
+
+// Input declares (or returns the existing) primary input with the name.
+func (n *Netlist) Input(name string) Wire {
+	if w, ok := n.inputByName[name]; ok {
+		return w
+	}
+	w := n.add(Gate{Op: OpInput, Enable: Invalid, Label: name})
+	n.inputByName[name] = w
+	n.Inputs = append(n.Inputs, Port{Name: name, Wire: w})
+	return w
+}
+
+// And returns a wire driving the conjunction of the operands. Zero
+// operands yield constant true; one operand is returned unchanged.
+func (n *Netlist) And(ws ...Wire) Wire {
+	switch len(ws) {
+	case 0:
+		return n.Const(true)
+	case 1:
+		return ws[0]
+	}
+	return n.add(Gate{Op: OpAnd, In: append([]Wire(nil), ws...), Enable: Invalid})
+}
+
+// Or returns a wire driving the disjunction of the operands. Zero operands
+// yield constant false; one operand is returned unchanged.
+func (n *Netlist) Or(ws ...Wire) Wire {
+	switch len(ws) {
+	case 0:
+		return n.Const(false)
+	case 1:
+		return ws[0]
+	}
+	return n.add(Gate{Op: OpOr, In: append([]Wire(nil), ws...), Enable: Invalid})
+}
+
+// Not returns a wire driving the negation of w.
+func (n *Netlist) Not(w Wire) Wire {
+	return n.add(Gate{Op: OpNot, In: []Wire{w}, Enable: Invalid})
+}
+
+// Reg returns a flip-flop loading d every cycle, initialized to zero.
+func (n *Netlist) Reg(d Wire, label string) Wire {
+	return n.add(Gate{Op: OpReg, In: []Wire{d}, Enable: Invalid, Label: label})
+}
+
+// RegEn returns a flip-flop that loads d on cycles where enable is high and
+// holds otherwise.
+func (n *Netlist) RegEn(d, enable Wire, label string) Wire {
+	return n.add(Gate{Op: OpReg, In: []Wire{d}, Enable: enable, Label: label})
+}
+
+// Output binds a name to a wire as a design output. Rebinding a name is an
+// error surfaced by Validate.
+func (n *Netlist) Output(name string, w Wire) {
+	n.outputByName[name] = w
+	n.Outputs = append(n.Outputs, Port{Name: name, Wire: w})
+}
+
+// OutputWire returns the wire bound to a named output.
+func (n *Netlist) OutputWire(name string) (Wire, bool) {
+	w, ok := n.outputByName[name]
+	return w, ok
+}
+
+// InputWire returns the wire of a named primary input.
+func (n *Netlist) InputWire(name string) (Wire, bool) {
+	w, ok := n.inputByName[name]
+	return w, ok
+}
+
+// Validate checks structural sanity: fanin wires in range, correct arity,
+// unique output names, and the absence of combinational cycles.
+func (n *Netlist) Validate() error {
+	seen := make(map[string]bool)
+	for _, p := range n.Outputs {
+		if seen[p.Name] {
+			return fmt.Errorf("netlist: output %q bound twice", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Wire < 0 || int(p.Wire) >= len(n.Gates) {
+			return fmt.Errorf("netlist: output %q wire %d out of range", p.Name, p.Wire)
+		}
+	}
+	for i, g := range n.Gates {
+		for _, in := range g.In {
+			if in < 0 || int(in) >= len(n.Gates) {
+				return fmt.Errorf("netlist: gate %d (%s) fanin %d out of range", i, g.Op, in)
+			}
+		}
+		switch g.Op {
+		case OpConst, OpInput:
+			if len(g.In) != 0 {
+				return fmt.Errorf("netlist: gate %d (%s) must have no fanin", i, g.Op)
+			}
+		case OpNot:
+			if len(g.In) != 1 {
+				return fmt.Errorf("netlist: gate %d (not) must have exactly one fanin", i)
+			}
+		case OpAnd, OpOr:
+			if len(g.In) < 2 {
+				return fmt.Errorf("netlist: gate %d (%s) must have ≥ 2 fanin", i, g.Op)
+			}
+		case OpReg:
+			if len(g.In) != 1 {
+				return fmt.Errorf("netlist: gate %d (reg) must have exactly one D fanin", i)
+			}
+			if g.Enable != Invalid && (g.Enable < 0 || int(g.Enable) >= len(n.Gates)) {
+				return fmt.Errorf("netlist: gate %d (reg) enable wire %d out of range", i, g.Enable)
+			}
+		default:
+			return fmt.Errorf("netlist: gate %d has unknown op %d", i, g.Op)
+		}
+	}
+	if _, err := n.CombOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CombOrder returns a topological evaluation order over the combinational
+// gates (AND/OR/NOT). Registers, inputs and constants are sources. An error
+// is returned if a combinational cycle exists.
+func (n *Netlist) CombOrder() ([]Wire, error) {
+	indeg := make([]int, len(n.Gates))
+	fanout := make([][]Wire, len(n.Gates))
+	isComb := func(g Gate) bool { return g.Op == OpAnd || g.Op == OpOr || g.Op == OpNot }
+	for i, g := range n.Gates {
+		if !isComb(g) {
+			continue
+		}
+		for _, in := range g.In {
+			if isComb(n.Gates[in]) {
+				indeg[i]++
+				fanout[in] = append(fanout[in], Wire(i))
+			}
+		}
+	}
+	var order []Wire
+	var queue []Wire
+	for i, g := range n.Gates {
+		if isComb(g) && indeg[i] == 0 {
+			queue = append(queue, Wire(i))
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		order = append(order, w)
+		for _, f := range fanout[w] {
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	total := 0
+	for _, g := range n.Gates {
+		if isComb(g) {
+			total++
+		}
+	}
+	if len(order) != total {
+		return nil, fmt.Errorf("netlist: combinational cycle detected (%d of %d gates ordered)", len(order), total)
+	}
+	return order, nil
+}
+
+// Stats summarizes a netlist for reporting.
+type Stats struct {
+	Inputs, Outputs          int
+	And, Or, Not, Reg, Const int
+	// MaxFanout is the largest number of gate fanin references to a single
+	// wire (register enables included); the paper's timing analysis found
+	// the critical path in exactly this quantity.
+	MaxFanout int
+	// MaxFanoutLabel names the wire with the largest fanout when it has a
+	// label (decoded character wires do).
+	MaxFanoutLabel string
+}
+
+// ComputeStats tallies gate counts and the fanout profile.
+func (n *Netlist) ComputeStats() Stats {
+	var s Stats
+	s.Inputs = len(n.Inputs)
+	s.Outputs = len(n.Outputs)
+	fanout := n.Fanout()
+	for i, g := range n.Gates {
+		switch g.Op {
+		case OpAnd:
+			s.And++
+		case OpOr:
+			s.Or++
+		case OpNot:
+			s.Not++
+		case OpReg:
+			s.Reg++
+		case OpConst:
+			s.Const++
+		}
+		if fanout[i] > s.MaxFanout {
+			s.MaxFanout = fanout[i]
+			s.MaxFanoutLabel = g.Label
+		}
+	}
+	return s
+}
+
+// Fanout returns, per wire, the number of gate fanin references to it
+// (register enables count; output port bindings do not).
+func (n *Netlist) Fanout() []int {
+	fanout := make([]int, len(n.Gates))
+	for _, g := range n.Gates {
+		for _, in := range g.In {
+			fanout[in]++
+		}
+		if g.Op == OpReg && g.Enable != Invalid {
+			fanout[g.Enable]++
+		}
+	}
+	return fanout
+}
+
+// Labeled returns all gates carrying the given label prefix, sorted by
+// wire. The generator labels functional groups (decoders, token chains),
+// which tests and reports use to slice area accounting.
+func (n *Netlist) Labeled(prefix string) []Wire {
+	var out []Wire
+	for i, g := range n.Gates {
+		if len(g.Label) >= len(prefix) && g.Label[:len(prefix)] == prefix {
+			out = append(out, Wire(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("in=%d out=%d and=%d or=%d not=%d reg=%d maxFanout=%d(%s)",
+		s.Inputs, s.Outputs, s.And, s.Or, s.Not, s.Reg, s.MaxFanout, s.MaxFanoutLabel)
+}

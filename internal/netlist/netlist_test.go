@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	y := n.Or(a, b)
+	z := n.Not(x)
+	r := n.Reg(y, "r")
+	n.Output("z", z)
+	n.Output("r", r)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.ComputeStats()
+	if s.And != 1 || s.Or != 1 || s.Not != 1 || s.Reg != 1 || s.Inputs != 2 || s.Outputs != 2 {
+		t.Errorf("stats = %v", s)
+	}
+}
+
+func TestConstDedup(t *testing.T) {
+	n := New()
+	t1 := n.Const(true)
+	t2 := n.Const(true)
+	f1 := n.Const(false)
+	if t1 != t2 {
+		t.Error("true const not deduplicated")
+	}
+	if t1 == f1 {
+		t.Error("true and false share a wire")
+	}
+}
+
+func TestInputDedup(t *testing.T) {
+	n := New()
+	a1 := n.Input("a")
+	a2 := n.Input("a")
+	if a1 != a2 {
+		t.Error("same-named input not deduplicated")
+	}
+	if len(n.Inputs) != 1 {
+		t.Errorf("inputs = %v", n.Inputs)
+	}
+}
+
+func TestDegenerateGates(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	if got := n.And(a); got != a {
+		t.Error("1-ary And should pass through")
+	}
+	if got := n.Or(a); got != a {
+		t.Error("1-ary Or should pass through")
+	}
+	if got := n.And(); got != n.Const(true) {
+		t.Error("0-ary And should be true")
+	}
+	if got := n.Or(); got != n.Const(false) {
+		t.Error("0-ary Or should be false")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Duplicate output name.
+	n := New()
+	a := n.Input("a")
+	n.Output("x", a)
+	n.Output("x", a)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "bound twice") {
+		t.Errorf("dup output: %v", err)
+	}
+
+	// Out-of-range fanin.
+	n = New()
+	n.Gates = append(n.Gates, Gate{Op: OpNot, In: []Wire{42}, Enable: Invalid})
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad fanin: %v", err)
+	}
+
+	// Combinational cycle: two NOTs feeding each other.
+	n = New()
+	n.Gates = append(n.Gates,
+		Gate{Op: OpNot, In: []Wire{1}, Enable: Invalid},
+		Gate{Op: OpNot, In: []Wire{0}, Enable: Invalid},
+	)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("comb cycle: %v", err)
+	}
+}
+
+func TestRegisterBreaksCycle(t *testing.T) {
+	// A register in a feedback loop is legal (that is how chains loop for
+	// one-or-more patterns).
+	n := New()
+	a := n.Input("a")
+	// r feeds an AND whose output feeds r back.
+	// Build in two steps since the wire must exist first.
+	r := n.Reg(a, "seed") // placeholder D, patched below
+	x := n.And(r, a)
+	n.Gates[r].In[0] = x
+	n.Output("x", x)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("register feedback rejected: %v", err)
+	}
+}
+
+func TestCombOrderRespectsDependencies(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b)
+	y := n.Or(x, a)
+	z := n.Not(y)
+	n.Output("z", z)
+	order, err := n.CombOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[Wire]int)
+	for i, w := range order {
+		pos[w] = i
+	}
+	if !(pos[x] < pos[y] && pos[y] < pos[z]) {
+		t.Errorf("order %v violates dependencies", order)
+	}
+}
+
+func TestFanoutAndStats(t *testing.T) {
+	n := New()
+	a := n.Input("hot")
+	var ws []Wire
+	for i := 0; i < 5; i++ {
+		ws = append(ws, n.Not(a))
+	}
+	en := n.Input("en")
+	n.RegEn(ws[0], en, "r")
+	fo := n.Fanout()
+	if fo[a] != 5 {
+		t.Errorf("fanout(a) = %d, want 5", fo[a])
+	}
+	if fo[en] != 1 {
+		t.Errorf("enable fanout = %d, want 1", fo[en])
+	}
+	s := n.ComputeStats()
+	if s.MaxFanout != 5 || s.MaxFanoutLabel != "hot" {
+		t.Errorf("stats fanout = %d (%s)", s.MaxFanout, s.MaxFanoutLabel)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.Reg(a, "dec/x")
+	n.Reg(a, "dec/y")
+	n.Reg(a, "tok/z")
+	if got := len(n.Labeled("dec/")); got != 2 {
+		t.Errorf("Labeled(dec/) = %d, want 2", got)
+	}
+	if got := len(n.Labeled("tok/")); got != 1 {
+		t.Errorf("Labeled(tok/) = %d, want 1", got)
+	}
+}
+
+func TestOutputLookup(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.Output("out", a)
+	if w, ok := n.OutputWire("out"); !ok || w != a {
+		t.Error("OutputWire lookup failed")
+	}
+	if _, ok := n.OutputWire("nope"); ok {
+		t.Error("OutputWire found a ghost")
+	}
+	if w, ok := n.InputWire("a"); !ok || w != a {
+		t.Error("InputWire lookup failed")
+	}
+}

@@ -1,0 +1,140 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+
+	"cfgtag/internal/firstfollow"
+	"cfgtag/internal/grammar"
+)
+
+// Acceptor is a streaming LL(1) stack machine over terminal events — the
+// software model of the paper's section 5.2 stack extension ("a stack can
+// be added to the architecture to give the hardware parser all the power
+// of a software parser"). It consumes one terminal at a time, maintains
+// the recursion stack the tagging engine deliberately omits, and reports
+// exactly which production position consumed each terminal. The stack is
+// depth-bounded, as a hardware stack would be.
+type Acceptor struct {
+	table *Table
+	stack []frame
+	depth int // high-water mark
+	max   int
+	done  bool
+}
+
+// ErrStackOverflow reports that the bounded hardware stack would have
+// overflowed (recursion deeper than the configured capacity).
+var ErrStackOverflow = errors.New("parser: stack overflow")
+
+// NewAcceptor starts a recognition at the grammar's start symbol. maxDepth
+// bounds the stack (a hardware resource); 0 means 4096.
+func (t *Table) NewAcceptor(maxDepth int) *Acceptor {
+	if maxDepth == 0 {
+		maxDepth = 4096
+	}
+	a := &Acceptor{table: t, max: maxDepth}
+	a.Reset()
+	return a
+}
+
+// Reset rewinds to the start symbol.
+func (a *Acceptor) Reset() {
+	g := a.table.spec.Grammar
+	a.stack = a.stack[:0]
+	a.stack = append(a.stack, frame{
+		sym: grammar.Symbol{Kind: grammar.NonTerminal, Name: g.Start}, rule: -1, pos: -1,
+	})
+	a.depth = 1
+	a.done = false
+}
+
+// Depth returns the stack high-water mark since the last Reset.
+func (a *Acceptor) Depth() int { return a.depth }
+
+// Offer consumes the next terminal and returns the production position
+// (rule, pos) that consumed it. An error means the terminal sequence is
+// not a prefix of any sentence — the recursion violation the stack-less
+// engine cannot see.
+func (a *Acceptor) Offer(term string) (rule, pos int, err error) {
+	if a.done {
+		return 0, 0, fmt.Errorf("parser: terminal %q after a completed sentence", term)
+	}
+	g := a.table.spec.Grammar
+	for {
+		if len(a.stack) == 0 {
+			return 0, 0, fmt.Errorf("parser: terminal %q after sentence end", term)
+		}
+		top := a.stack[len(a.stack)-1]
+		if top.sym.Kind == grammar.Terminal {
+			if top.sym.Name != term {
+				return 0, 0, fmt.Errorf("parser: expected %q, got %q", top.sym.Name, term)
+			}
+			a.stack = a.stack[:len(a.stack)-1]
+			return top.rule, top.pos, nil
+		}
+		ri, ok := a.table.cells[top.sym.Name][term]
+		if !ok {
+			return 0, 0, fmt.Errorf("parser: %s cannot derive a string starting with %q", top.sym.Name, term)
+		}
+		a.stack = a.stack[:len(a.stack)-1]
+		rhs := g.Rules[ri-1].RHS
+		for i := len(rhs) - 1; i >= 0; i-- {
+			a.stack = append(a.stack, frame{sym: rhs[i], rule: ri - 1, pos: i})
+		}
+		if len(a.stack) > a.max {
+			return 0, 0, ErrStackOverflow
+		}
+		if len(a.stack) > a.depth {
+			a.depth = len(a.stack)
+		}
+	}
+}
+
+// Finish verifies that the consumed terminals form a complete sentence
+// (remaining stack symbols all derive ε).
+func (a *Acceptor) Finish() error {
+	g := a.table.spec.Grammar
+	for len(a.stack) > 0 {
+		top := a.stack[len(a.stack)-1]
+		if top.sym.Kind == grammar.Terminal {
+			return fmt.Errorf("parser: input ended, expected %q", top.sym.Name)
+		}
+		ri, ok := a.table.cells[top.sym.Name][firstfollow.End]
+		if !ok {
+			return fmt.Errorf("parser: input ended inside %s", top.sym.Name)
+		}
+		a.stack = a.stack[:len(a.stack)-1]
+		rhs := g.Rules[ri-1].RHS
+		for i := len(rhs) - 1; i >= 0; i-- {
+			a.stack = append(a.stack, frame{sym: rhs[i], rule: ri - 1, pos: i})
+		}
+	}
+	a.done = true
+	return nil
+}
+
+// Complete reports whether the terminals consumed so far could end a
+// sentence right now (without mutating the acceptor) — the message-
+// boundary predicate for stream validation.
+func (a *Acceptor) Complete() bool {
+	// Walk a copy of the stack applying only ε-derivations.
+	stack := append([]frame(nil), a.stack...)
+	g := a.table.spec.Grammar
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		if top.sym.Kind == grammar.Terminal {
+			return false
+		}
+		ri, ok := a.table.cells[top.sym.Name][firstfollow.End]
+		if !ok {
+			return false
+		}
+		stack = stack[:len(stack)-1]
+		rhs := g.Rules[ri-1].RHS
+		for i := len(rhs) - 1; i >= 0; i-- {
+			stack = append(stack, frame{sym: rhs[i], rule: ri - 1, pos: i})
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package parser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+func acceptor(t *testing.T, g *grammar.Grammar, max int) *Acceptor {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.NewAcceptor(max)
+}
+
+func offerAll(a *Acceptor, terms ...string) error {
+	for _, term := range terms {
+		if _, _, err := a.Offer(term); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestAcceptorAcceptsSentence(t *testing.T) {
+	a := acceptor(t, grammar.IfThenElse(), 0)
+	if err := offerAll(a, "if", "true", "then", "go", "else", "stop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptorRejectsWrongTerminal(t *testing.T) {
+	a := acceptor(t, grammar.IfThenElse(), 0)
+	if err := offerAll(a, "if", "true", "go"); err == nil {
+		t.Error("'go' where 'then' is due should fail")
+	}
+}
+
+func TestAcceptorRejectsEarlyEnd(t *testing.T) {
+	a := acceptor(t, grammar.IfThenElse(), 0)
+	if err := offerAll(a, "if", "true", "then"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finish(); err == nil {
+		t.Error("sentence cannot end after 'then'")
+	}
+}
+
+func TestAcceptorReturnsProductionPositions(t *testing.T) {
+	g := grammar.IfThenElse()
+	a := acceptor(t, g, 0)
+	rule, pos, err := a.Offer("if")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rules[rule].LHS != "E" || pos != 0 {
+		t.Errorf("'if' consumed at %s[%d]", g.Rules[rule].LHS, pos)
+	}
+	rule, pos, err = a.Offer("true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rules[rule].LHS != "C" || pos != 0 {
+		t.Errorf("'true' consumed at %s[%d]", g.Rules[rule].LHS, pos)
+	}
+}
+
+func TestAcceptorComplete(t *testing.T) {
+	a := acceptor(t, grammar.BalancedParens(), 0)
+	if a.Complete() {
+		t.Error("fresh acceptor should not be complete (E is not nullable)")
+	}
+	offerAll(a, "(", "0")
+	if a.Complete() {
+		t.Error("unclosed paren cannot complete")
+	}
+	a.Offer(")")
+	if !a.Complete() {
+		t.Error("balanced string should be complete")
+	}
+	// Complete must be non-destructive.
+	if !a.Complete() {
+		t.Error("Complete mutated state")
+	}
+}
+
+func TestAcceptorOverflow(t *testing.T) {
+	a := acceptor(t, grammar.BalancedParens(), 5)
+	var err error
+	for i := 0; i < 20 && err == nil; i++ {
+		_, _, err = a.Offer("(")
+	}
+	if !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestAcceptorReset(t *testing.T) {
+	a := acceptor(t, grammar.IfThenElse(), 0)
+	offerAll(a, "go")
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Done: further terminals rejected until Reset.
+	if _, _, err := a.Offer("stop"); err == nil || !strings.Contains(err.Error(), "completed") {
+		t.Errorf("offer after finish: %v", err)
+	}
+	a.Reset()
+	if err := offerAll(a, "stop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptorDepthGrowsWithNesting(t *testing.T) {
+	shallow := acceptor(t, grammar.BalancedParens(), 0)
+	offerAll(shallow, "0")
+	deep := acceptor(t, grammar.BalancedParens(), 0)
+	offerAll(deep, "(", "(", "(", "0", ")", ")", ")")
+	if deep.Depth() <= shallow.Depth() {
+		t.Errorf("depth deep=%d shallow=%d", deep.Depth(), shallow.Depth())
+	}
+}
+
+func TestAcceptorEpsilonFinish(t *testing.T) {
+	g, err := grammar.Parse("trail", "%%\nS : \"x\" Tail ;\nTail : | \"y\" Tail ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := acceptor(t, g, 0)
+	offerAll(a, "x", "y", "y")
+	if !a.Complete() {
+		t.Error("trailing nullable should complete")
+	}
+	if err := a.Finish(); err != nil {
+		t.Error(err)
+	}
+}

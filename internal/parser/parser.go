@@ -1,0 +1,216 @@
+// Package parser implements the table-driven LL(1) predictive parser — the
+// "true parser" the paper's stack-less engine is contrasted with
+// (section 3.1). It maintains the recursion stack the hardware deliberately
+// omits, so it accepts exactly the grammar's language, rejects
+// non-conforming input, and tags every token with the production position
+// that consumed it. It doubles as the correctness oracle for the tagger
+// and the software-throughput baseline.
+//
+// The parser drives the reference lexer predictively: at each step only
+// the terminals acceptable in the current parse state are tried, the same
+// contextual narrowing the hardware achieves with its Follow wiring.
+package parser
+
+import (
+	"fmt"
+	"sort"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/firstfollow"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/lexer"
+)
+
+// Table is an LL(1) parse table: for each nonterminal, the rule to apply
+// on each lookahead terminal.
+type Table struct {
+	spec *core.Spec
+	// cells[nt][term] = rule index + 1 (0 = error).
+	cells map[string]map[string]int
+	// epsilonOn[nt][term] is set when the chosen rule is an epsilon rule
+	// selected via Follow(nt).
+	allowed map[string][]int // nt → token indexes acceptable as lookahead
+}
+
+// Conflict describes an LL(1) table collision.
+type Conflict struct {
+	NonTerminal  string
+	Terminal     string
+	RuleA, RuleB int
+}
+
+func (c Conflict) Error() string {
+	return fmt.Sprintf("parser: grammar is not LL(1): %s on lookahead %q selects both rule %d and rule %d",
+		c.NonTerminal, c.Terminal, c.RuleA, c.RuleB)
+}
+
+// BuildTable constructs the LL(1) table from the spec's First/Follow sets,
+// failing on any conflict.
+func BuildTable(spec *core.Spec) (*Table, error) {
+	g := spec.Grammar
+	sets := spec.Sets
+	t := &Table{
+		spec:    spec,
+		cells:   make(map[string]map[string]int),
+		allowed: make(map[string][]int),
+	}
+	for _, nt := range g.NonTerminals() {
+		t.cells[nt] = make(map[string]int)
+	}
+	set := func(nt, term string, rule int) error {
+		if prev, ok := t.cells[nt][term]; ok && prev != rule+1 {
+			return Conflict{NonTerminal: nt, Terminal: term, RuleA: prev - 1, RuleB: rule}
+		}
+		t.cells[nt][term] = rule + 1
+		return nil
+	}
+	for ri, r := range g.Rules {
+		first, nullable := sets.FirstOfSeq(r.RHS)
+		for _, term := range first {
+			if err := set(r.LHS, term, ri); err != nil {
+				return nil, err
+			}
+		}
+		if nullable {
+			for _, term := range sets.Follow(r.LHS) {
+				if err := set(r.LHS, term, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for nt, row := range t.cells {
+		var idx []int
+		for term := range row {
+			if term == firstfollow.End {
+				continue
+			}
+			idx = append(idx, g.TokenIndex(term))
+		}
+		sort.Ints(idx)
+		t.allowed[nt] = idx
+	}
+	return t, nil
+}
+
+// Tagged is one parsed token with its grammatical context — directly
+// comparable to a tagger instance detection.
+type Tagged struct {
+	// Rule and Pos locate the production position that consumed the token.
+	Rule, Pos int
+	// TokenIndex indexes the grammar token list.
+	TokenIndex int
+	// Start and End delimit the lexeme.
+	Start, End int
+}
+
+// ParseError reports a syntax error with its input position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parser: offset %d: %s", e.Pos, e.Msg)
+}
+
+// stack frames carry the symbol plus the production position it came from
+// so terminals can be tagged with their context.
+type frame struct {
+	sym  grammar.Symbol
+	rule int
+	pos  int
+}
+
+// Parse runs the predictive parser over the input, returning every token
+// with the production position that consumed it. The input must be a
+// complete sentence of the grammar.
+func (t *Table) Parse(input []byte) ([]Tagged, error) {
+	g := t.spec.Grammar
+	lx := lexer.New(t.spec, input)
+	var out []Tagged
+
+	var stack []frame
+	push := func(ri int, rhs []grammar.Symbol) {
+		for i := len(rhs) - 1; i >= 0; i-- {
+			stack = append(stack, frame{sym: rhs[i], rule: ri, pos: i})
+		}
+	}
+	stack = append(stack, frame{sym: grammar.Symbol{Kind: grammar.NonTerminal, Name: g.Start}, rule: -1, pos: -1})
+
+	// One-token lookahead cache filled while deciding expansions.
+	haveLook := false
+	var look lexer.Lexeme
+	peek := func(allowed []int) (lexer.Lexeme, error) {
+		if haveLook {
+			return look, nil
+		}
+		l, err := lx.Next(allowed)
+		if err != nil {
+			return lexer.Lexeme{}, err
+		}
+		look, haveLook = l, true
+		return l, nil
+	}
+
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		if top.sym.Kind == grammar.Terminal {
+			want := g.TokenIndex(top.sym.Name)
+			if !haveLook {
+				if _, err := peek([]int{want}); err != nil {
+					return out, &ParseError{Pos: lx.Pos(), Msg: fmt.Sprintf("expected %q: %v", top.sym.Name, err)}
+				}
+			}
+			if look.TokenIndex != want {
+				return out, &ParseError{Pos: look.Start,
+					Msg: fmt.Sprintf("expected %q, found %q", top.sym.Name, g.Tokens[look.TokenIndex].Name)}
+			}
+			stack = stack[:len(stack)-1]
+			out = append(out, Tagged{
+				Rule: top.rule, Pos: top.pos,
+				TokenIndex: look.TokenIndex, Start: look.Start, End: look.End,
+			})
+			haveLook = false
+			continue
+		}
+
+		nt := top.sym.Name
+		if lx.EOF() && !haveLook {
+			// Only epsilon derivations can complete; pick the rule chosen
+			// on the End marker.
+			ri, ok := t.cells[nt][firstfollow.End]
+			if !ok {
+				return out, &ParseError{Pos: lx.Pos(), Msg: fmt.Sprintf("unexpected end of input in %s", nt)}
+			}
+			stack = stack[:len(stack)-1]
+			push(ri-1, g.Rules[ri-1].RHS)
+			continue
+		}
+		l, err := peek(t.allowed[nt])
+		if err != nil {
+			return out, &ParseError{Pos: lx.Pos(), Msg: fmt.Sprintf("in %s: %v", nt, err)}
+		}
+		term := g.Tokens[l.TokenIndex].Name
+		ri, ok := t.cells[nt][term]
+		if !ok {
+			return out, &ParseError{Pos: l.Start, Msg: fmt.Sprintf("%s cannot start with %q", nt, term)}
+		}
+		stack = stack[:len(stack)-1]
+		push(ri-1, g.Rules[ri-1].RHS)
+	}
+
+	if haveLook {
+		return out, &ParseError{Pos: look.Start, Msg: "trailing token after sentence"}
+	}
+	if !lx.EOF() {
+		return out, &ParseError{Pos: lx.Pos(), Msg: "trailing input after sentence"}
+	}
+	return out, nil
+}
+
+// Accepts reports whether the input is a sentence of the grammar.
+func (t *Table) Accepts(input []byte) bool {
+	_, err := t.Parse(input)
+	return err == nil
+}

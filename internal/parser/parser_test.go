@@ -1,0 +1,209 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+func table(t *testing.T, g *grammar.Grammar) *Table {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestAcceptsConforming(t *testing.T) {
+	tbl := table(t, grammar.IfThenElse())
+	good := []string{
+		"go",
+		"stop",
+		"if true then go else stop",
+		"if false then if true then go else stop else go",
+	}
+	for _, in := range good {
+		if !tbl.Accepts([]byte(in)) {
+			t.Errorf("rejected conforming %q", in)
+		}
+	}
+}
+
+func TestRejectsNonConforming(t *testing.T) {
+	tbl := table(t, grammar.IfThenElse())
+	bad := []string{
+		"",
+		"then",
+		"if true go",
+		"if true then go else",
+		"go go",
+		"if true then go else stop stop",
+		"iff true then go else stop",
+	}
+	for _, in := range bad {
+		if tbl.Accepts([]byte(in)) {
+			t.Errorf("accepted non-conforming %q", in)
+		}
+	}
+}
+
+func TestBalancedParensExactness(t *testing.T) {
+	// The LL(1) parser keeps the stack the hardware drops: it accepts only
+	// balanced strings, while the tagger accepts the superset. This pair
+	// of tests pins the section 3.1 trade-off from both sides.
+	tbl := table(t, grammar.BalancedParens())
+	for _, in := range []string{"0", "( 0 )", "( ( ( 0 ) ) )"} {
+		if !tbl.Accepts([]byte(in)) {
+			t.Errorf("rejected balanced %q", in)
+		}
+	}
+	for _, in := range []string{"( 0", "0 )", "( 0 ) )", "( ( 0 )"} {
+		if tbl.Accepts([]byte(in)) {
+			t.Errorf("accepted unbalanced %q", in)
+		}
+	}
+}
+
+func TestTagsMatchTagger(t *testing.T) {
+	// On conforming input the parser's (rule, pos, end) tags must agree
+	// with the stream tagger's instance detections — the oracle property.
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := BuildTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg := stream.NewTagger(s)
+		gen := workload.NewGenerator(s, 21, workload.SentenceOptions{})
+		for trial := 0; trial < 100; trial++ {
+			text, _ := gen.Sentence()
+			tags, err := tbl.Parse(text)
+			if err != nil {
+				t.Fatalf("%s trial %d: parser rejected generated sentence %q: %v", g.Name, trial, text, err)
+			}
+			ms := tg.Tag(text)
+			if len(ms) != len(tags) {
+				t.Fatalf("%s trial %d: tagger %d vs parser %d tokens\n%q", g.Name, trial, len(ms), len(tags), text)
+			}
+			for i, tag := range tags {
+				in := s.Instances[ms[i].InstanceID]
+				if in.Rule != tag.Rule || in.Pos != tag.Pos || ms[i].End != int64(tag.End) {
+					t.Fatalf("%s trial %d token %d: tagger (%d,%d,%d) vs parser (%d,%d,%d)\n%q",
+						g.Name, trial, i, in.Rule, in.Pos, ms[i].End, tag.Rule, tag.Pos, tag.End, text)
+				}
+			}
+		}
+	}
+}
+
+func TestXMLRPCParse(t *testing.T) {
+	tbl := table(t, grammar.XMLRPC())
+	msg := "<methodCall> <methodName>deposit</methodName> <params> " +
+		"<param> <i4>42</i4> </param> </params> </methodCall>"
+	tags, err := tbl.Parse([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 12 {
+		t.Errorf("tagged %d tokens, want 12", len(tags))
+	}
+	// The INT lexeme must be classified INT (not STRING): predictive
+	// lexing narrows by parse context exactly like the hardware wiring.
+	found := false
+	g := grammar.XMLRPC()
+	for _, tag := range tags {
+		if g.Tokens[tag.TokenIndex].Name == "INT" {
+			found = true
+		}
+		if g.Tokens[tag.TokenIndex].Name == "STRING" && tag.Rule >= 0 &&
+			g.Rules[tag.Rule].LHS == "i4" {
+			t.Error("42 misclassified as STRING inside i4")
+		}
+	}
+	if !found {
+		t.Error("INT token not found")
+	}
+}
+
+func TestRejectsTruncatedXMLRPC(t *testing.T) {
+	tbl := table(t, grammar.XMLRPC())
+	msgs := []string{
+		"<methodCall> <methodName>hi</methodName>",
+		"<methodCall> <methodName>hi</methodName> <params> </methodCall>",
+		"<params> </params>",
+	}
+	for _, m := range msgs {
+		if tbl.Accepts([]byte(m)) {
+			t.Errorf("accepted malformed %q", m)
+		}
+	}
+}
+
+func TestNonLL1Rejected(t *testing.T) {
+	// S : "a" "b" | "a" "c" has a FIRST/FIRST conflict on "a".
+	g, err := grammar.Parse("nonll1", "%%\nS : \"a\" \"b\" | \"a\" \"c\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildTable(s); err == nil {
+		t.Error("non-LL(1) grammar accepted")
+	} else if !strings.Contains(err.Error(), "not LL(1)") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	tbl := table(t, grammar.IfThenElse())
+	_, err := tbl.Parse([]byte("if true go"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if pe.Pos != 8 {
+		t.Errorf("error position = %d, want 8 (the 'go')", pe.Pos)
+	}
+}
+
+func TestEpsilonAtEOF(t *testing.T) {
+	// params may be empty: "<params> </params>" exercises the epsilon-
+	// at-lookahead path; a grammar whose sentence can END on a nullable
+	// nonterminal exercises the epsilon-at-EOF path.
+	g, err := grammar.Parse("trail", "%%\nS : \"x\" Tail ;\nTail : | \"y\" Tail ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"x", "x y", "x y y y"} {
+		if !tbl.Accepts([]byte(in)) {
+			t.Errorf("rejected %q", in)
+		}
+	}
+	if tbl.Accepts([]byte("x y x")) {
+		t.Error("accepted trailing garbage")
+	}
+}

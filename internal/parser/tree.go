@@ -1,0 +1,164 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"cfgtag/internal/grammar"
+)
+
+// Node is one vertex of a parse tree: a nonterminal with the rule that
+// expanded it and its children, or a terminal leaf carrying its lexeme —
+// the structure the paper's section 5.1 envisions the tagger feeding ("the
+// parser could identify tokens to create a parse tree").
+type Node struct {
+	// Symbol is the nonterminal or terminal name.
+	Symbol string
+	// Terminal marks leaves.
+	Terminal bool
+	// Rule is the grammar rule that expanded a nonterminal node (-1 for
+	// leaves).
+	Rule int
+	// Lexeme is the matched text of a terminal leaf.
+	Lexeme string
+	// Start and End delimit the leaf's lexeme in the input.
+	Start, End int
+	// Children are the RHS symbols of the expansion, in order.
+	Children []*Node
+}
+
+// ParseTree parses the input and builds its parse tree.
+func (t *Table) ParseTree(input []byte) (*Node, error) {
+	g := t.spec.Grammar
+	tags, err := t.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the derivation from the tagged tokens: replay the LL(1)
+	// choices, consuming tags in order.
+	root := &Node{Symbol: g.Start, Rule: -1}
+	type frame struct {
+		sym    grammar.Symbol
+		parent *Node
+	}
+	stack := []frame{{sym: grammar.Symbol{Kind: grammar.NonTerminal, Name: g.Start}, parent: nil}}
+	pos := 0
+	// The first popped frame is the start symbol and maps onto root.
+	firstFrame := true
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.sym.Kind == grammar.Terminal {
+			if pos >= len(tags) {
+				return nil, fmt.Errorf("parser: tree replay ran out of tokens at %q", f.sym.Name)
+			}
+			tag := tags[pos]
+			pos++
+			leaf := &Node{
+				Symbol:   f.sym.Name,
+				Terminal: true,
+				Rule:     -1,
+				Lexeme:   string(input[tag.Start : tag.End+1]),
+				Start:    tag.Start,
+				End:      tag.End,
+			}
+			f.parent.Children = append(f.parent.Children, leaf)
+			continue
+		}
+		var node *Node
+		if firstFrame {
+			node, firstFrame = root, false
+		} else {
+			node = &Node{Symbol: f.sym.Name, Rule: -1}
+			f.parent.Children = append(f.parent.Children, node)
+		}
+		// Choose the rule the parse used: the next tag's context when it
+		// descends from this node, else the epsilon/End rule.
+		ri := t.ruleForReplay(node, tags, pos)
+		if ri < 0 {
+			return nil, fmt.Errorf("parser: tree replay cannot choose a rule for %s", f.sym.Name)
+		}
+		node.Rule = ri
+		rhs := g.Rules[ri].RHS
+		for i := len(rhs) - 1; i >= 0; i-- {
+			stack = append(stack, frame{sym: rhs[i], parent: node})
+		}
+	}
+	if pos != len(tags) {
+		return nil, fmt.Errorf("parser: tree replay consumed %d of %d tokens", pos, len(tags))
+	}
+	return root, nil
+}
+
+// ruleForReplay picks the expansion for a nonterminal during replay using
+// the LL(1) table keyed by the next unconsumed tag (or End).
+func (t *Table) ruleForReplay(node *Node, tags []Tagged, pos int) int {
+	g := t.spec.Grammar
+	var term string
+	if pos < len(tags) {
+		term = g.Tokens[tags[pos].TokenIndex].Name
+	}
+	if term != "" {
+		if ri, ok := t.cells[node.Symbol][term]; ok {
+			return ri - 1
+		}
+	}
+	// Fall back to the epsilon derivation chosen on end-of-input.
+	if ri, ok := t.cells[node.Symbol]["$end"]; ok {
+		return ri - 1
+	}
+	// Any-follow epsilon: pick the unique nullable rule if present.
+	for _, ri := range g.RulesFor(node.Symbol) {
+		if len(g.Rules[ri].RHS) == 0 {
+			return ri
+		}
+	}
+	return -1
+}
+
+// String renders the tree with two-space indentation, leaves as
+// symbol=`lexeme`.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if n.Terminal {
+		fmt.Fprintf(b, "%s=%q\n", n.Symbol, n.Lexeme)
+		return
+	}
+	fmt.Fprintf(b, "%s\n", n.Symbol)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Find returns the first descendant (pre-order, including n) with the
+// symbol, or nil.
+func (n *Node) Find(symbol string) *Node {
+	if n.Symbol == symbol {
+		return n
+	}
+	for _, c := range n.Children {
+		if f := c.Find(symbol); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Text concatenates the lexemes of all terminal descendants.
+func (n *Node) Text() string {
+	if n.Terminal {
+		return n.Lexeme
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		b.WriteString(c.Text())
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/workload"
+)
+
+func TestParseTreeShape(t *testing.T) {
+	tbl := table(t, grammar.IfThenElse())
+	tree, err := tbl.ParseTree([]byte("if true then go else stop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Symbol != "E" || len(tree.Children) != 6 {
+		t.Fatalf("root: %s with %d children\n%s", tree.Symbol, len(tree.Children), tree)
+	}
+	// Child 1 is the condition nonterminal C holding "true".
+	c := tree.Children[1]
+	if c.Symbol != "C" || len(c.Children) != 1 || c.Children[0].Lexeme != "true" {
+		t.Errorf("condition subtree:\n%s", tree)
+	}
+	// Leaves carry exact lexemes and spans.
+	iff := tree.Children[0]
+	if !iff.Terminal || iff.Lexeme != "if" || iff.Start != 0 || iff.End != 1 {
+		t.Errorf("if leaf = %+v", iff)
+	}
+	// Text reassembles the token stream.
+	if got := tree.Text(); got != "iftruethengoelsestop" {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func TestParseTreeNested(t *testing.T) {
+	tbl := table(t, grammar.BalancedParens())
+	tree, err := tbl.ParseTree([]byte("( ( 0 ) )"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E → ( E ) → ( ( E ) ) → 0: two paren levels then the 0 leaf.
+	if len(tree.Children) != 3 {
+		t.Fatalf("outer E children = %d\n%s", len(tree.Children), tree)
+	}
+	inner := tree.Children[1]
+	if inner.Symbol != "E" || len(inner.Children) != 3 {
+		t.Fatalf("inner E:\n%s", tree)
+	}
+	leafE := inner.Children[1]
+	if len(leafE.Children) != 1 || leafE.Children[0].Lexeme != "0" {
+		t.Fatalf("innermost E:\n%s", tree)
+	}
+	if s := tree.String(); !strings.Contains(s, `0="0"`) {
+		t.Errorf("tree render:\n%s", s)
+	}
+}
+
+func TestParseTreeEpsilon(t *testing.T) {
+	tbl := table(t, grammar.XMLRPC())
+	tree, err := tbl.ParseTree([]byte("<methodCall> <methodName>hi</methodName> <params> </params> </methodCall>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty param list derives ε: the param node has no children.
+	p := tree.Find("param")
+	if p == nil || len(p.Children) != 0 {
+		t.Errorf("empty param subtree: %+v", p)
+	}
+	if mn := tree.Find("methodName"); mn.Children[1].Lexeme != "hi" {
+		t.Errorf("methodName lexeme: %q", mn.Children[1].Lexeme)
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	tbl := table(t, grammar.IfThenElse())
+	if _, err := tbl.ParseTree([]byte("if true go")); err == nil {
+		t.Error("malformed input produced a tree")
+	}
+}
+
+// TestParseTreeRandom: on generated sentences, the tree's leaf sequence
+// equals the tagged token sequence.
+func TestParseTreeRandom(t *testing.T) {
+	for _, g := range []*grammar.Grammar{grammar.IfThenElse(), grammar.XMLRPC()} {
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := BuildTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewGenerator(s, 31, workload.SentenceOptions{})
+		for trial := 0; trial < 50; trial++ {
+			text, want := gen.Sentence()
+			tree, err := tbl.ParseTree(text)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v\n%q", g.Name, trial, err, text)
+			}
+			var leaves []*Node
+			var walk func(*Node)
+			walk = func(n *Node) {
+				if n.Terminal {
+					leaves = append(leaves, n)
+					return
+				}
+				for _, c := range n.Children {
+					walk(c)
+				}
+			}
+			walk(tree)
+			if len(leaves) != len(want) {
+				t.Fatalf("%s trial %d: %d leaves, want %d tokens", g.Name, trial, len(leaves), len(want))
+			}
+			for i, leaf := range leaves {
+				if int64(leaf.End) != want[i].End {
+					t.Fatalf("%s trial %d leaf %d: end %d, want %d", g.Name, trial, i, leaf.End, want[i].End)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package regex implements the token regular-expression subset of the
+// paper's lexical scanner (section 3.2): literals, character classes,
+// alternation, grouping and the Not / One-or-None / One-or-More /
+// Zero-or-More functions of figure 6.
+//
+// Patterns are compiled to a Glushkov position automaton: one consuming
+// position per pattern byte, which is exactly the "one pipeline register per
+// pattern character" structure of the hardware string detectors. The same
+// Program drives the reference software matcher, the gate-level hardware
+// generator and the bit-parallel stream tagger.
+//
+// Accepted syntax:
+//
+//	abc          literal characters
+//	\c           escaped literal (\n \t \r \0 \xNN \\ \. \[ \] \( \) \| \* \+ \? \- \^ \$)
+//	[a-z09\n]    character class with ranges; [^...] negates
+//	.            any byte except '\n'
+//	(e)          grouping
+//	e|e          alternation
+//	e*  e+  e?   zero-or-more, one-or-more, one-or-none
+//	(?i)         prefix flag: letters match case-insensitively (figure 5 "nocase")
+package regex
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ByteClass is a set of byte values, the decoder-level unit of the paper's
+// lexical scanner: each distinct class becomes one pre-decoded wire
+// (figures 4 and 5).
+type ByteClass [4]uint64
+
+// Add inserts byte b into the class.
+func (c *ByteClass) Add(b byte) { c[b>>6] |= 1 << (b & 63) }
+
+// AddRange inserts every byte in [lo, hi].
+func (c *ByteClass) AddRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.Add(byte(b))
+	}
+}
+
+// Has reports whether byte b is in the class.
+func (c ByteClass) Has(b byte) bool { return c[b>>6]&(1<<(b&63)) != 0 }
+
+// Negate replaces the class with its complement.
+func (c *ByteClass) Negate() {
+	for i := range c {
+		c[i] = ^c[i]
+	}
+}
+
+// Union returns the union of two classes.
+func (c ByteClass) Union(o ByteClass) ByteClass {
+	var out ByteClass
+	for i := range c {
+		out[i] = c[i] | o[i]
+	}
+	return out
+}
+
+// Intersects reports whether the two classes share any byte.
+func (c ByteClass) Intersects(o ByteClass) bool {
+	for i := range c {
+		if c[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEmpty reports whether the class contains no bytes.
+func (c ByteClass) IsEmpty() bool { return c == ByteClass{} }
+
+// Count returns the number of bytes in the class.
+func (c ByteClass) Count() int {
+	n := 0
+	for i := range c {
+		n += bits.OnesCount64(c[i])
+	}
+	return n
+}
+
+// Bytes returns the members of the class in ascending order.
+func (c ByteClass) Bytes() []byte {
+	out := make([]byte, 0, c.Count())
+	for b := 0; b < 256; b++ {
+		if c.Has(byte(b)) {
+			out = append(out, byte(b))
+		}
+	}
+	return out
+}
+
+// Single returns the class containing exactly b.
+func Single(b byte) ByteClass {
+	var c ByteClass
+	c.Add(b)
+	return c
+}
+
+// FoldCase adds the opposite-case letter for every ASCII letter in the
+// class, implementing the figure 5 "nocase" decoder.
+func (c *ByteClass) FoldCase() {
+	for b := byte('a'); b <= 'z'; b++ {
+		if c.Has(b) {
+			c.Add(b - 'a' + 'A')
+		}
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		if c.Has(b) {
+			c.Add(b - 'A' + 'a')
+		}
+	}
+}
+
+// String renders the class compactly: a bare character for singletons, a
+// bracketed range expression otherwise.
+func (c ByteClass) String() string {
+	n := c.Count()
+	if n == 0 {
+		return "[]"
+	}
+	if n == 1 {
+		return classChar(c.Bytes()[0])
+	}
+	if n > 128 {
+		inv := c
+		inv.Negate()
+		return "[^" + rangesString(inv) + "]"
+	}
+	return "[" + rangesString(c) + "]"
+}
+
+func rangesString(c ByteClass) string {
+	var sb strings.Builder
+	for b := 0; b < 256; {
+		if !c.Has(byte(b)) {
+			b++
+			continue
+		}
+		start := b
+		for b < 256 && c.Has(byte(b)) {
+			b++
+		}
+		end := b - 1
+		sb.WriteString(classChar(byte(start)))
+		if end > start {
+			if end > start+1 {
+				sb.WriteByte('-')
+			}
+			sb.WriteString(classChar(byte(end)))
+		}
+	}
+	return sb.String()
+}
+
+func classChar(b byte) string {
+	switch b {
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	case '\r':
+		return `\r`
+	case '\\', '[', ']', '-', '^':
+		return `\` + string(b)
+	}
+	if b >= 0x20 && b < 0x7f {
+		return string(b)
+	}
+	return fmt.Sprintf(`\x%02x`, b)
+}

@@ -1,0 +1,48 @@
+package regex
+
+// Intersects reports whether the languages of two programs share a string.
+// It runs a breadth-first search over the product of the two position
+// automata. The encoder's conflict analysis (section 3.4) uses this to
+// decide which tokenizers can assert their match outputs on the same clock
+// cycle and therefore need priority index assignment.
+func Intersects(p, q *Program) bool {
+	if p.Nullable && q.Nullable {
+		return true
+	}
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	var frontier []pair
+	// Seed with every (first(p), first(q)) pair sharing a byte.
+	for _, a := range p.First {
+		for _, b := range q.First {
+			if p.Classes[a].Intersects(q.Classes[b]) {
+				pr := pair{a, b}
+				if !seen[pr] {
+					seen[pr] = true
+					frontier = append(frontier, pr)
+				}
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		pr := frontier[0]
+		frontier = frontier[1:]
+		if p.lastSet[pr.a] && q.lastSet[pr.b] {
+			// Both automata can end after consuming the same string. The
+			// shared byte at each step guarantees a common witness exists.
+			return true
+		}
+		for _, na := range p.Follow[pr.a] {
+			for _, nb := range q.Follow[pr.b] {
+				if p.Classes[na].Intersects(q.Classes[nb]) {
+					np := pair{na, nb}
+					if !seen[np] {
+						seen[np] = true
+						frontier = append(frontier, np)
+					}
+				}
+			}
+		}
+	}
+	return false
+}

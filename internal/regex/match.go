@@ -1,0 +1,156 @@
+package regex
+
+// This file implements the reference NFA matcher used as the correctness
+// oracle for the hardware tokenizers and the bit-parallel stream engine.
+
+// Match reports whether the program matches the entire input.
+func (p *Program) Match(input []byte) bool {
+	if len(input) == 0 {
+		return p.Nullable
+	}
+	cur := make([]bool, len(p.Classes))
+	next := make([]bool, len(p.Classes))
+	for _, q := range p.First {
+		if p.Classes[q].Has(input[0]) {
+			cur[q] = true
+		}
+	}
+	for _, b := range input[1:] {
+		for i := range next {
+			next[i] = false
+		}
+		for q, on := range cur {
+			if !on {
+				continue
+			}
+			for _, t := range p.Follow[q] {
+				if p.Classes[t].Has(b) {
+					next[t] = true
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	for q, on := range cur {
+		if on && p.lastSet[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// LongestPrefix returns the length of the longest prefix of input matched
+// by the program, or -1 if no prefix matches. A nullable program matches
+// the empty prefix, so it never returns -1.
+func (p *Program) LongestPrefix(input []byte) int {
+	best := -1
+	if p.Nullable {
+		best = 0
+	}
+	if len(input) == 0 {
+		return best
+	}
+	cur := make([]bool, len(p.Classes))
+	next := make([]bool, len(p.Classes))
+	any := false
+	for _, q := range p.First {
+		if p.Classes[q].Has(input[0]) {
+			cur[q] = true
+			any = true
+		}
+	}
+	if !any {
+		return best
+	}
+	for i := 0; ; i++ {
+		for q, on := range cur {
+			if on && p.lastSet[q] {
+				best = i + 1
+				break
+			}
+		}
+		if i+1 >= len(input) {
+			return best
+		}
+		b := input[i+1]
+		for j := range next {
+			next[j] = false
+		}
+		any = false
+		for q, on := range cur {
+			if !on {
+				continue
+			}
+			for _, t := range p.Follow[q] {
+				if p.Classes[t].Has(b) {
+					next[t] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			return best
+		}
+		cur, next = next, cur
+	}
+}
+
+// LongestSuffix returns the length of the longest suffix of input matched
+// by the program, or -1. It runs the reversed automaton over the input
+// backwards and is the lexeme-recovery primitive: the hardware reports a
+// token's end position, and the longest matching suffix ending there is the
+// lexeme.
+func (p *Program) LongestSuffix(input []byte) int {
+	rev := p.Reverse()
+	best := -1
+	if rev.Nullable {
+		best = 0
+	}
+	n := len(input)
+	if n == 0 {
+		return best
+	}
+	cur := make([]bool, len(rev.Classes))
+	next := make([]bool, len(rev.Classes))
+	any := false
+	for _, q := range rev.First {
+		if rev.Classes[q].Has(input[n-1]) {
+			cur[q] = true
+			any = true
+		}
+	}
+	if !any {
+		return best
+	}
+	for i := 0; ; i++ {
+		for q, on := range cur {
+			if on && rev.lastSet[q] {
+				best = i + 1
+				break
+			}
+		}
+		if i+1 >= n {
+			return best
+		}
+		b := input[n-2-i]
+		for j := range next {
+			next[j] = false
+		}
+		any = false
+		for q, on := range cur {
+			if !on {
+				continue
+			}
+			for _, t := range rev.Follow[q] {
+				if rev.Classes[t].Has(b) {
+					next[t] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			return best
+		}
+		cur, next = next, cur
+	}
+}

@@ -1,0 +1,283 @@
+package regex
+
+import "fmt"
+
+// node is a parsed regular-expression AST node.
+type node interface{ isNode() }
+
+type litNode struct{ class ByteClass }
+type concatNode struct{ subs []node }
+type altNode struct{ subs []node }
+type starNode struct{ sub node }
+type plusNode struct{ sub node }
+type optNode struct{ sub node }
+
+func (litNode) isNode()    {}
+func (concatNode) isNode() {}
+func (altNode) isNode()    {}
+func (starNode) isNode()   {}
+func (plusNode) isNode()   {}
+func (optNode) isNode()    {}
+
+// SyntaxError reports a malformed pattern with the offending offset.
+type SyntaxError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex %q at offset %d: %s", e.Pattern, e.Pos, e.Msg)
+}
+
+type patternParser struct {
+	src    string
+	pos    int
+	nocase bool
+}
+
+func (p *patternParser) errf(format string, args ...any) error {
+	return &SyntaxError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *patternParser) eof() bool  { return p.pos >= len(p.src) }
+func (p *patternParser) peek() byte { return p.src[p.pos] }
+
+// parsePattern returns the AST for a pattern source.
+func parsePattern(src string) (node, error) {
+	p := &patternParser{src: src}
+	if len(src) >= 4 && src[:4] == "(?i)" {
+		p.nocase = true
+		p.pos = 4
+	}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("unexpected %q", p.peek())
+	}
+	return n, nil
+}
+
+func (p *patternParser) alternation() (node, error) {
+	first, err := p.concatenation()
+	if err != nil {
+		return nil, err
+	}
+	subs := []node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		n, err := p.concatenation()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return altNode{subs: subs}, nil
+}
+
+func (p *patternParser) concatenation() (node, error) {
+	var subs []node
+	for !p.eof() {
+		switch p.peek() {
+		case '|', ')':
+			goto done
+		}
+		n, err := p.repeated()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+done:
+	switch len(subs) {
+	case 0:
+		return nil, p.errf("empty expression")
+	case 1:
+		return subs[0], nil
+	}
+	return concatNode{subs: subs}, nil
+}
+
+func (p *patternParser) repeated() (node, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			n = starNode{sub: n}
+		case '+':
+			p.pos++
+			n = plusNode{sub: n}
+		case '?':
+			p.pos++
+			n = optNode{sub: n}
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (p *patternParser) atom() (node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		var cl ByteClass
+		cl.Negate()
+		nl := Single('\n')
+		for i := range cl {
+			cl[i] &^= nl[i]
+		}
+		return litNode{class: cl}, nil
+	case '*', '+', '?':
+		return nil, p.errf("repetition operator %q with nothing to repeat", c)
+	case '\\':
+		b, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return p.lit(b), nil
+	default:
+		p.pos++
+		return p.lit(c), nil
+	}
+}
+
+func (p *patternParser) lit(b byte) node {
+	cl := Single(b)
+	if p.nocase {
+		cl.FoldCase()
+	}
+	return litNode{class: cl}
+}
+
+func (p *patternParser) escape() (byte, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return 0, p.errf("dangling escape")
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case 'x':
+		// \xNN: two hex digits, for binary protocol bytes.
+		if p.pos+1 >= len(p.src) {
+			return 0, p.errf(`\x needs two hex digits`)
+		}
+		hi, ok1 := hexVal(p.src[p.pos])
+		lo, ok2 := hexVal(p.src[p.pos+1])
+		if !ok1 || !ok2 {
+			return 0, p.errf(`\x needs two hex digits, got %q`, p.src[p.pos:p.pos+2])
+		}
+		p.pos += 2
+		return hi<<4 | lo, nil
+	default:
+		return c, nil
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *patternParser) class() (node, error) {
+	p.pos++ // consume '['
+	var cl ByteClass
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	empty := true
+	for {
+		if p.eof() {
+			return nil, p.errf("missing ']'")
+		}
+		c := p.peek()
+		if c == ']' && !empty {
+			p.pos++
+			break
+		}
+		var lo byte
+		if c == '\\' {
+			b, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			lo = b
+		} else {
+			lo = c
+			p.pos++
+		}
+		empty = false
+		// Range?
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // consume '-'
+			var hi byte
+			if p.peek() == '\\' {
+				b, err := p.escape()
+				if err != nil {
+					return nil, err
+				}
+				hi = b
+			} else {
+				hi = p.peek()
+				p.pos++
+			}
+			if hi < lo {
+				return nil, p.errf("invalid range %q-%q", lo, hi)
+			}
+			cl.AddRange(lo, hi)
+		} else {
+			cl.Add(lo)
+		}
+	}
+	if negate {
+		cl.Negate()
+	}
+	if p.nocase {
+		cl.FoldCase()
+	}
+	if cl.IsEmpty() {
+		return nil, p.errf("empty character class")
+	}
+	return litNode{class: cl}, nil
+}

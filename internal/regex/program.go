@@ -1,0 +1,216 @@
+package regex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Program is the Glushkov position automaton of a pattern. Position i
+// consumes one input byte matching Classes[i]. The automaton starts before
+// any position; a byte b moves it into every position p ∈ First with
+// Classes[p].Has(b), and from position q into every p ∈ Follow[q] with
+// Classes[p].Has(b). A match ends at any position in Last. Nullable
+// programs additionally match the empty string.
+//
+// This structure is isomorphic to the paper's tokenizer hardware: one
+// pipeline register per position, AND-ed with the position's decoded
+// character wire, with Follow edges as the wiring between stages
+// (figure 6 templates compose into exactly these edges).
+type Program struct {
+	// Source is the original pattern text.
+	Source string
+	// Classes holds the byte class consumed by each position.
+	Classes []ByteClass
+	// First lists the positions a match may start at, ascending.
+	First []int
+	// Last lists the positions a match may end at, ascending.
+	Last []int
+	// Follow[q] lists the positions reachable directly after q, ascending.
+	Follow [][]int
+	// Nullable reports whether the empty string matches.
+	Nullable bool
+
+	lastSet []bool
+}
+
+// Compile parses and compiles a pattern into its position automaton.
+func Compile(pattern string) (*Program, error) {
+	ast, err := parsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{}
+	info := b.build(ast)
+	prog := &Program{
+		Source:   pattern,
+		Classes:  b.classes,
+		First:    setToSlice(info.first),
+		Last:     setToSlice(info.last),
+		Follow:   make([][]int, len(b.classes)),
+		Nullable: info.nullable,
+	}
+	for q := range prog.Follow {
+		prog.Follow[q] = setToSlice(b.follow[q])
+	}
+	prog.lastSet = make([]bool, len(prog.Classes))
+	for _, p := range prog.Last {
+		prog.lastSet[p] = true
+	}
+	return prog, nil
+}
+
+// MustCompile is Compile for known-good patterns; it panics on error.
+func MustCompile(pattern string) *Program {
+	p, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of consuming positions — the pattern's byte count,
+// the paper's area unit.
+func (p *Program) Len() int { return len(p.Classes) }
+
+// IsLast reports whether position i may end a match.
+func (p *Program) IsLast(i int) bool { return p.lastSet[i] }
+
+// glushkovInfo carries nullable/first/last during the bottom-up build.
+type glushkovInfo struct {
+	nullable    bool
+	first, last map[int]bool
+}
+
+type builder struct {
+	classes []ByteClass
+	follow  []map[int]bool
+}
+
+func (b *builder) newPos(cl ByteClass) int {
+	b.classes = append(b.classes, cl)
+	b.follow = append(b.follow, make(map[int]bool))
+	return len(b.classes) - 1
+}
+
+func (b *builder) connect(from, to map[int]bool) {
+	for q := range from {
+		for p := range to {
+			b.follow[q][p] = true
+		}
+	}
+}
+
+func (b *builder) build(n node) glushkovInfo {
+	switch n := n.(type) {
+	case litNode:
+		p := b.newPos(n.class)
+		s := map[int]bool{p: true}
+		return glushkovInfo{nullable: false, first: s, last: s}
+	case concatNode:
+		info := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			right := b.build(sub)
+			b.connect(info.last, right.first)
+			if info.nullable {
+				info.first = union(info.first, right.first)
+			}
+			if right.nullable {
+				info.last = union(info.last, right.last)
+			} else {
+				info.last = right.last
+			}
+			info.nullable = info.nullable && right.nullable
+		}
+		return info
+	case altNode:
+		info := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			right := b.build(sub)
+			info.first = union(info.first, right.first)
+			info.last = union(info.last, right.last)
+			info.nullable = info.nullable || right.nullable
+		}
+		return info
+	case starNode:
+		info := b.build(n.sub)
+		b.connect(info.last, info.first)
+		info.nullable = true
+		return info
+	case plusNode:
+		info := b.build(n.sub)
+		b.connect(info.last, info.first)
+		return info
+	case optNode:
+		info := b.build(n.sub)
+		info.nullable = true
+		return info
+	default:
+		panic(fmt.Sprintf("regex: unknown node %T", n))
+	}
+}
+
+func union(a, c map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(c))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range c {
+		out[k] = true
+	}
+	return out
+}
+
+func setToSlice(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reverse returns the automaton of the reversed pattern: First and Last
+// swap and every Follow edge flips. It is used to recover a lexeme from its
+// end position (the hardware reports only where a token ends).
+func (p *Program) Reverse() *Program {
+	r := &Program{
+		Source:   p.Source + " (reversed)",
+		Classes:  append([]ByteClass(nil), p.Classes...),
+		First:    append([]int(nil), p.Last...),
+		Last:     append([]int(nil), p.First...),
+		Follow:   make([][]int, len(p.Classes)),
+		Nullable: p.Nullable,
+	}
+	for q, tos := range p.Follow {
+		for _, t := range tos {
+			r.Follow[t] = append(r.Follow[t], q)
+		}
+	}
+	for q := range r.Follow {
+		sort.Ints(r.Follow[q])
+	}
+	r.lastSet = make([]bool, len(r.Classes))
+	for _, q := range r.Last {
+		r.lastSet[q] = true
+	}
+	return r
+}
+
+// CanExtend reports whether a match currently ending at position q could be
+// extended by byte b — the condition the figure 7 lookahead logic inverts
+// to report only the longest match.
+func (p *Program) CanExtend(q int, b byte) bool {
+	for _, t := range p.Follow[q] {
+		if p.Classes[t].Has(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact description of the automaton for debugging.
+func (p *Program) String() string {
+	s := fmt.Sprintf("program %q: %d positions, first=%v last=%v nullable=%v",
+		p.Source, len(p.Classes), p.First, p.Last, p.Nullable)
+	return s
+}

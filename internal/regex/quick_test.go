@@ -1,0 +1,237 @@
+package regex
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomPattern builds a random pattern from the supported subset whose
+// text is also valid Go POSIX syntax, so the stdlib can act as oracle.
+func randomPattern(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return randomAtom(rng)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return randomAtom(rng)
+	case 1:
+		return randomPattern(rng, depth-1) + randomPattern(rng, depth-1)
+	case 2:
+		return "(" + randomPattern(rng, depth-1) + "|" + randomPattern(rng, depth-1) + ")"
+	case 3:
+		return "(" + randomPattern(rng, depth-1) + ")*"
+	case 4:
+		return "(" + randomPattern(rng, depth-1) + ")+"
+	default:
+		return "(" + randomPattern(rng, depth-1) + ")?"
+	}
+}
+
+func randomAtom(rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return string(rune('a' + rng.Intn(5)))
+	case 1:
+		lo := byte('a') + byte(rng.Intn(3))
+		return "[" + string(lo) + "-" + string(lo+byte(1+rng.Intn(2))) + "]"
+	case 2:
+		return string(rune('a'+rng.Intn(5))) + string(rune('a'+rng.Intn(5)))
+	default:
+		return "[" + strings.Repeat(string(rune('a'+rng.Intn(5))), 1) + string(rune('a'+rng.Intn(5))) + "]"
+	}
+}
+
+// TestQuickRandomPatternsVsStdlib fuzzes the Glushkov compiler against the
+// stdlib's leftmost-longest engine on hundreds of random patterns.
+func TestQuickRandomPatternsVsStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	patterns := 400
+	if testing.Short() {
+		patterns = 50
+	}
+	for pi := 0; pi < patterns; pi++ {
+		pat := randomPattern(rng, 3)
+		p, err := Compile(pat)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", pat, err)
+		}
+		oracle, err := regexp.CompilePOSIX(pat)
+		if err != nil {
+			// The subset is chosen to be POSIX-valid; any divergence is a
+			// generator bug worth knowing about.
+			t.Fatalf("oracle rejected %q: %v", pat, err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(7)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte('a' + rng.Intn(6))
+			}
+			got := p.Match(buf)
+			loc := oracle.FindIndex(buf)
+			want := loc != nil && loc[0] == 0 && loc[1] == len(buf)
+			if n == 0 {
+				want = loc != nil
+			}
+			if got != want {
+				t.Fatalf("pattern %q input %q: Match=%v oracle=%v", pat, buf, got, want)
+			}
+			gotLP := p.LongestPrefix(buf)
+			wantLP := -1
+			if loc != nil && loc[0] == 0 {
+				wantLP = loc[1]
+			}
+			if gotLP != wantLP {
+				t.Fatalf("pattern %q input %q: LongestPrefix=%d oracle=%d", pat, buf, gotLP, wantLP)
+			}
+		}
+	}
+}
+
+// TestQuickReverseInvolution checks Reverse on random patterns: reversing
+// the automaton recognizes exactly the reversed strings.
+func TestQuickReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for pi := 0; pi < 200; pi++ {
+		pat := randomPattern(rng, 3)
+		p, err := Compile(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.Reverse()
+		for trial := 0; trial < 30; trial++ {
+			n := rng.Intn(6)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte('a' + rng.Intn(6))
+			}
+			rev := make([]byte, n)
+			for i := range buf {
+				rev[n-1-i] = buf[i]
+			}
+			if p.Match(buf) != r.Match(rev) {
+				t.Fatalf("pattern %q: Match(%q)=%v but reversed Match(%q)=%v",
+					pat, buf, p.Match(buf), rev, r.Match(rev))
+			}
+		}
+	}
+}
+
+// TestQuickByteClassAlgebra checks the set algebra of ByteClass with
+// testing/quick over random 256-bit sets.
+func TestQuickByteClassAlgebra(t *testing.T) {
+	type cls = ByteClass
+	union := func(a, b cls, x byte) bool {
+		return a.Union(b).Has(x) == (a.Has(x) || b.Has(x))
+	}
+	if err := quickCheck(union); err != nil {
+		t.Error(err)
+	}
+	doubleNegate := func(a cls, x byte) bool {
+		n := a
+		n.Negate()
+		n.Negate()
+		return n == a
+	}
+	if err := quickCheck(doubleNegate); err != nil {
+		t.Error(err)
+	}
+	countComplement := func(a cls, _ byte) bool {
+		n := a
+		n.Negate()
+		return a.Count()+n.Count() == 256
+	}
+	if err := quickCheck(countComplement); err != nil {
+		t.Error(err)
+	}
+	intersectsWitness := func(a, b cls, _ byte) bool {
+		want := false
+		for x := 0; x < 256; x++ {
+			if a.Has(byte(x)) && b.Has(byte(x)) {
+				want = true
+				break
+			}
+		}
+		return a.Intersects(b) == want
+	}
+	if err := quickCheck(intersectsWitness); err != nil {
+		t.Error(err)
+	}
+	bytesSorted := func(a cls, _ byte) bool {
+		bs := a.Bytes()
+		if len(bs) != a.Count() {
+			return false
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i-1] >= bs[i] {
+				return false
+			}
+		}
+		for _, x := range bs {
+			if !a.Has(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(bytesSorted); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickCheck adapts testing/quick to the function shapes above.
+func quickCheck(f interface{}) error {
+	return quick.Check(f, &quick.Config{MaxCount: 500})
+}
+
+// TestQuickIntersects cross-checks the product-automaton intersection
+// against brute-force enumeration of short strings.
+func TestQuickIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	alphabet := []byte("abcdef")
+	var all [][]byte
+	var gen func(prefix []byte, depth int)
+	gen = func(prefix []byte, depth int) {
+		all = append(all, append([]byte(nil), prefix...))
+		if depth == 0 {
+			return
+		}
+		for _, b := range alphabet {
+			gen(append(prefix, b), depth-1)
+		}
+	}
+	gen(nil, 4) // all strings over a-f up to length 4
+
+	for pi := 0; pi < 120; pi++ {
+		p, err := Compile(randomPattern(rng, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Compile(randomPattern(rng, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Intersects(p, q)
+		brute := false
+		for _, s := range all {
+			if p.Match(s) && q.Match(s) {
+				brute = true
+				break
+			}
+		}
+		// Brute force only sees strings up to length 4: if it found a
+		// witness, Intersects must agree; if Intersects says no, brute
+		// must not have found one.
+		if brute && !got {
+			t.Fatalf("%q ∩ %q: witness exists but Intersects=false", p.Source, q.Source)
+		}
+		if !got && brute {
+			t.Fatalf("unreachable")
+		}
+		// The converse (got && !brute) is legal: the witness may be
+		// longer than 4 bytes.
+	}
+}

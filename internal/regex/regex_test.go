@@ -1,0 +1,378 @@
+package regex
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassBasics(t *testing.T) {
+	var c ByteClass
+	if !c.IsEmpty() {
+		t.Error("zero class not empty")
+	}
+	c.Add('a')
+	c.AddRange('0', '9')
+	if !c.Has('a') || !c.Has('5') || c.Has('b') {
+		t.Error("membership wrong")
+	}
+	if c.Count() != 11 {
+		t.Errorf("count = %d, want 11", c.Count())
+	}
+	c.Negate()
+	if c.Has('a') || !c.Has('b') {
+		t.Error("negation wrong")
+	}
+	if c.Count() != 245 {
+		t.Errorf("negated count = %d", c.Count())
+	}
+}
+
+func TestClassFoldCase(t *testing.T) {
+	c := Single('a')
+	c.FoldCase()
+	if !c.Has('A') || !c.Has('a') || c.Count() != 2 {
+		t.Errorf("fold of 'a' = %v", c.Bytes())
+	}
+	d := Single('Z')
+	d.FoldCase()
+	if !d.Has('z') {
+		t.Error("fold of 'Z' misses 'z'")
+	}
+	e := Single('5')
+	e.FoldCase()
+	if e.Count() != 1 {
+		t.Error("fold of digit changed the class")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[string]string{
+		"a":        "a",
+		"[a-z]":    "[a-z]",
+		"[a-cx]":   "[a-cx]",
+		`[\n]`:     `\n`,
+		"[a-zA-Z]": "[A-Za-z]",
+	}
+	for pat, want := range cases {
+		p := MustCompile(pat)
+		if got := p.Classes[0].String(); got != want {
+			t.Errorf("class of %q renders %q, want %q", pat, got, want)
+		}
+	}
+}
+
+func TestClassUnionIntersects(t *testing.T) {
+	a, b := Single('x'), Single('y')
+	u := a.Union(b)
+	if !u.Has('x') || !u.Has('y') || u.Count() != 2 {
+		t.Error("union wrong")
+	}
+	if a.Intersects(b) {
+		t.Error("disjoint classes intersect")
+	}
+	if !u.Intersects(a) {
+		t.Error("union does not intersect member")
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	// a+ : one position, self-loop, first=last={0}, not nullable.
+	p := MustCompile("a+")
+	if p.Len() != 1 || p.Nullable {
+		t.Fatalf("a+ program: %v", p)
+	}
+	if len(p.First) != 1 || p.First[0] != 0 || !p.IsLast(0) {
+		t.Errorf("a+ first/last: %v", p)
+	}
+	if len(p.Follow[0]) != 1 || p.Follow[0][0] != 0 {
+		t.Errorf("a+ follow: %v", p.Follow)
+	}
+
+	// a* : same but nullable.
+	p = MustCompile("a*")
+	if !p.Nullable {
+		t.Error("a* not nullable")
+	}
+
+	// ab : two positions chained.
+	p = MustCompile("ab")
+	if p.Len() != 2 || len(p.First) != 1 || p.First[0] != 0 {
+		t.Fatalf("ab program: %v", p)
+	}
+	if p.IsLast(0) || !p.IsLast(1) {
+		t.Error("ab last set wrong")
+	}
+	if len(p.Follow[0]) != 1 || p.Follow[0][0] != 1 || len(p.Follow[1]) != 0 {
+		t.Errorf("ab follow: %v", p.Follow)
+	}
+
+	// a|b : two first positions, both last.
+	p = MustCompile("a|b")
+	if len(p.First) != 2 || len(p.Last) != 2 {
+		t.Errorf("a|b: %v", p)
+	}
+
+	// (ab)+c : follow(b) = {a-pos, c-pos}.
+	p = MustCompile("(ab)+c")
+	if got := p.Follow[1]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("(ab)+c follow(1) = %v, want [0 2]", got)
+	}
+
+	// a?b : first = {a, b}.
+	p = MustCompile("a?b")
+	if len(p.First) != 2 {
+		t.Errorf("a?b first = %v", p.First)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", "(", "(a", "a)", "[", "[]", "[z-a]", "a\\", "*a", "+", "?",
+		"a|", "|a", "a(|)b", "[a", "a**b(", "(?i)",
+		`\x`, `\x4`, `\xgg`,
+	}
+	for _, pat := range bad {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", pat)
+		}
+	}
+	// a** is pathological but structurally valid (star of star).
+	if _, err := Compile("a**"); err != nil {
+		t.Errorf("a**: %v", err)
+	}
+}
+
+func TestNocaseFlag(t *testing.T) {
+	p := MustCompile("(?i)abc")
+	for _, s := range []string{"abc", "ABC", "aBc"} {
+		if !p.Match([]byte(s)) {
+			t.Errorf("(?i)abc does not match %q", s)
+		}
+	}
+	if p.Match([]byte("ab")) {
+		t.Error("(?i)abc matches prefix")
+	}
+	q := MustCompile("(?i)[a-c]+")
+	if !q.Match([]byte("AbC")) {
+		t.Error("(?i) class fold failed")
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	cases := []struct {
+		pat string
+		yes []string
+		no  []string
+	}{
+		{`\.`, []string{"."}, []string{"a"}},
+		{`a\+b`, []string{"a+b"}, []string{"ab", "aab"}},
+		{`[\t\n ]`, []string{"\t", "\n", " "}, []string{"x"}},
+		{`\\`, []string{`\`}, []string{"/"}},
+		{`\n`, []string{"\n"}, []string{"n"}},
+		{`\x41\x42`, []string{"AB"}, []string{"ab", "A"}},
+		{`[\x00-\x1f]+`, []string{"\x00\x01\x1f"}, []string{" ", "A"}},
+		{`\xFf`, []string{"\xff"}, []string{"f"}},
+	}
+	for _, tc := range cases {
+		p := MustCompile(tc.pat)
+		for _, s := range tc.yes {
+			if !p.Match([]byte(s)) {
+				t.Errorf("%q should match %q", tc.pat, s)
+			}
+		}
+		for _, s := range tc.no {
+			if p.Match([]byte(s)) {
+				t.Errorf("%q should not match %q", tc.pat, s)
+			}
+		}
+	}
+}
+
+// oraclePatterns pairs our pattern syntax with the equivalent Go regexp
+// (POSIX leftmost-longest, matching the automaton's longest semantics).
+var oraclePatterns = []struct{ ours, gore string }{
+	{`[a-zA-Z0-9]+`, `[a-zA-Z0-9]+`},
+	{`[+-]?[0-9]+`, `[+-]?[0-9]+`},
+	{`[+-]?[0-9]+\.[0-9]+`, `[+-]?[0-9]+\.[0-9]+`},
+	{`ab|cd|ef`, `ab|cd|ef`},
+	{`a(b|c)*d`, `a(b|c)*d`},
+	{`(ab)+`, `(ab)+`},
+	{`a?b?c?d`, `a?b?c?d`},
+	{`[^ab]+`, `[^ab]+`},
+	{`x.y`, `x.y`},
+	{`(a|ab)(c|bc)`, `(a|ab)(c|bc)`},
+}
+
+func TestMatchAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// No newline: Go's POSIX mode excludes \n from negated classes, which
+	// diverges from the hardware decoder semantics this package models.
+	alphabet := []byte("abcdef+-.0129xy ")
+	for _, pp := range oraclePatterns {
+		p := MustCompile(pp.ours)
+		// POSIX mode treats ^ and $ as line anchors, so full-match is
+		// checked via the span of the leftmost-longest match instead.
+		oracle := regexp.MustCompilePOSIX(pp.gore)
+		for trial := 0; trial < 2000; trial++ {
+			n := rng.Intn(8)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			got := p.Match(buf)
+			loc := oracle.FindIndex(buf)
+			want := loc != nil && loc[0] == 0 && loc[1] == len(buf)
+			if n == 0 {
+				// FindIndex on empty input returns nil for non-nullable
+				// patterns and [0 0] for nullable ones; both agree with the
+				// span rule above.
+				want = loc != nil
+			}
+			if got != want {
+				t.Fatalf("pattern %q input %q: Match=%v oracle=%v", pp.ours, buf, got, want)
+			}
+		}
+	}
+}
+
+func TestLongestPrefixAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alphabet := []byte("abcdef+-.0129xy")
+	for _, pp := range oraclePatterns {
+		p := MustCompile(pp.ours)
+		oracle := regexp.MustCompilePOSIX(pp.gore)
+		for trial := 0; trial < 2000; trial++ {
+			n := rng.Intn(10)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			got := p.LongestPrefix(buf)
+			want := -1
+			if loc := oracle.FindIndex(buf); loc != nil && loc[0] == 0 {
+				want = loc[1]
+			}
+			if got != want {
+				t.Fatalf("pattern %q input %q: LongestPrefix=%d oracle=%d", pp.ours, buf, got, want)
+			}
+		}
+	}
+}
+
+func TestLongestSuffix(t *testing.T) {
+	p := MustCompile(`[0-9]+`)
+	cases := map[string]int{
+		"abc123": 3,
+		"123":    3,
+		"abc":    -1,
+		"":       -1,
+		"1a2":    1,
+	}
+	for in, want := range cases {
+		if got := p.LongestSuffix([]byte(in)); got != want {
+			t.Errorf("LongestSuffix(%q, %q) = %d, want %d", p.Source, in, got, want)
+		}
+	}
+	lit := MustCompile(`</methodName>`)
+	if got := lit.LongestSuffix([]byte("xx</methodName>")); got != 13 {
+		t.Errorf("literal suffix = %d, want 13", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := MustCompile("abc")
+	r := p.Reverse()
+	if !r.Match([]byte("cba")) || r.Match([]byte("abc")) {
+		t.Error("reverse of abc should match cba only")
+	}
+	// Reversing twice restores the language.
+	rr := r.Reverse()
+	if !rr.Match([]byte("abc")) {
+		t.Error("double reverse broken")
+	}
+}
+
+func TestReverseProperty(t *testing.T) {
+	// For random inputs, p matches s iff Reverse(p) matches reverse(s).
+	p := MustCompile(`a(b|cd)*e?f`)
+	r := p.Reverse()
+	f := func(s []byte) bool {
+		for i := range s {
+			s[i] = "abcdef"[int(s[i])%6]
+		}
+		rev := make([]byte, len(s))
+		for i := range s {
+			rev[len(s)-1-i] = s[i]
+		}
+		return p.Match(s) == r.Match(rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanExtend(t *testing.T) {
+	p := MustCompile("a+")
+	if !p.CanExtend(0, 'a') {
+		t.Error("a+ at pos 0 should extend on 'a'")
+	}
+	if p.CanExtend(0, 'b') {
+		t.Error("a+ at pos 0 should not extend on 'b'")
+	}
+	lit := MustCompile("ab")
+	if lit.CanExtend(1, 'a') || lit.CanExtend(1, 'b') {
+		t.Error("final position of literal should not extend")
+	}
+}
+
+func TestNullableDetection(t *testing.T) {
+	nullable := []string{"a*", "a?", "a?b?", "(a|b)*", "a*|b"}
+	solid := []string{"a", "a+", "ab", "a|b", "a*b"}
+	for _, pat := range nullable {
+		if !MustCompile(pat).Nullable {
+			t.Errorf("%q should be nullable", pat)
+		}
+	}
+	for _, pat := range solid {
+		if MustCompile(pat).Nullable {
+			t.Errorf("%q should not be nullable", pat)
+		}
+	}
+}
+
+func TestDotExcludesNewline(t *testing.T) {
+	p := MustCompile(".")
+	if p.Match([]byte("\n")) {
+		t.Error(". matched newline")
+	}
+	if !p.Match([]byte("x")) || !p.Match([]byte{0}) {
+		t.Error(". should match non-newline bytes")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := MustCompile("ab").String()
+	if !strings.Contains(s, "2 positions") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestXMLRPCTokenPatterns(t *testing.T) {
+	// The actual token patterns from the figure 14 grammar must compile and
+	// behave.
+	year := MustCompile(`[0-9][0-9][0-9][0-9]`)
+	if !year.Match([]byte("1998")) || year.Match([]byte("199")) || year.Match([]byte("19987")) {
+		t.Error("YEAR pattern wrong")
+	}
+	dbl := MustCompile(`[+-]?[0-9]+\.[0-9]+`)
+	if !dbl.Match([]byte("-3.14")) || dbl.Match([]byte("3.")) || dbl.Match([]byte(".5")) {
+		t.Error("DOUBLE pattern wrong")
+	}
+	b64 := MustCompile(`[+/=A-Za-z0-9]+`)
+	if !b64.Match([]byte("SGVsbG8=")) {
+		t.Error("BASE64 pattern wrong")
+	}
+}

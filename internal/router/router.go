@@ -1,0 +1,214 @@
+// Package router implements the back-end processor of section 4: the
+// XML-RPC content-based message router of figure 12. It consumes the tag
+// stream of a tagger running the figure 14 grammar, recovers the service
+// name from the STRING detection inside the methodName production, and
+// switches each complete message to the output port registered for that
+// service (bank or shopping server in the paper's example).
+package router
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/validate"
+)
+
+// Route binds a service name to an output port.
+type Route struct {
+	Service string
+	Port    int
+}
+
+// Stats counts routing outcomes.
+type Stats struct {
+	// Messages is the number of complete messages seen.
+	Messages int
+	// PerPort counts messages delivered to each port.
+	PerPort map[int]int
+	// Unknown counts messages whose service had no route (delivered to
+	// the default port).
+	Unknown int
+	// Invalid counts messages diverted by validation (EnableValidation).
+	Invalid int
+}
+
+// Router is a streaming content-based switch. Not safe for concurrent use.
+type Router struct {
+	spec   *core.Spec
+	tagger *stream.Tagger
+
+	nameInstances map[int]bool // STRING-in-methodName instance IDs
+	routes        map[string]int
+	defaultPort   int
+
+	// OnRoute receives every completed message with its resolved port and
+	// service. The message slice is only valid during the call.
+	OnRoute func(port int, service string, message []byte)
+
+	buf     []byte
+	bufBase int64 // absolute offset of buf[0]
+	service string
+	hasSvc  bool
+	stats   Stats
+
+	// validation (optional): the section 5.2 stack extension audits each
+	// message; ones with nesting violations divert to invalidPort.
+	validator    *validate.Validator
+	invalidPort  int
+	msgViolation bool
+}
+
+// New builds a router over the figure 14 grammar. defaultPort receives
+// messages with unrouted services.
+func New(routes []Route, defaultPort int) (*Router, error) {
+	return NewWithGrammar(grammar.XMLRPC(), "methodName", routes, defaultPort)
+}
+
+// NewWithGrammar builds a router for any grammar: the service name is the
+// lexeme of the terminal detected inside the named production (the paper's
+// methodName). The grammar's spec is compiled with FreeRunningStart so a
+// long-lived stream routes message after message.
+func NewWithGrammar(g *grammar.Grammar, nameProduction string, routes []Route, defaultPort int) (*Router, error) {
+	spec, err := core.Compile(g, core.Options{FreeRunningStart: true})
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		spec:          spec,
+		nameInstances: make(map[int]bool),
+		routes:        make(map[string]int, len(routes)),
+		defaultPort:   defaultPort,
+	}
+	for _, in := range spec.Instances {
+		if in.Rule >= 0 && g.Rules[in.Rule].LHS == nameProduction && !g.Tokens[in.TokenIndex].Literal {
+			r.nameInstances[in.ID] = true
+		}
+	}
+	if len(r.nameInstances) == 0 {
+		return nil, fmt.Errorf("router: production %q has no class terminal to use as the service name", nameProduction)
+	}
+	for _, rt := range routes {
+		if _, dup := r.routes[rt.Service]; dup {
+			return nil, fmt.Errorf("router: duplicate route for service %q", rt.Service)
+		}
+		r.routes[rt.Service] = rt.Port
+	}
+	r.tagger = stream.NewTagger(spec)
+	r.tagger.OnMatch = r.onMatch
+	r.stats.PerPort = make(map[int]int)
+	return r, nil
+}
+
+// Spec exposes the compiled spec (for tests and instrumentation).
+func (r *Router) Spec() *core.Spec { return r.spec }
+
+// EnableValidation attaches the section 5.2 stack extension: every
+// message's tag stream is audited by a bounded LL(1) stack machine
+// (maxDepth 0 = 4096), and messages with nesting violations — which the
+// stack-less engine happily tags — divert to invalidPort instead of their
+// service's port. Must be called before Write; the grammar must be LL(1).
+func (r *Router) EnableValidation(maxDepth, invalidPort int) error {
+	v, err := validate.New(r.spec, maxDepth)
+	if err != nil {
+		return err
+	}
+	v.OnViolation = func(*validate.Violation) { r.msgViolation = true }
+	r.validator = v
+	r.invalidPort = invalidPort
+	return nil
+}
+
+// Write feeds stream bytes; complete messages fire OnRoute inline.
+func (r *Router) Write(p []byte) (int, error) {
+	r.buf = append(r.buf, p...)
+	return r.tagger.Write(p)
+}
+
+// Close flushes the trailing byte and reports leftover unrouted bytes (an
+// incomplete final message) as an error.
+func (r *Router) Close() error {
+	if err := r.tagger.Close(); err != nil {
+		return err
+	}
+	for _, b := range r.buf {
+		if !r.spec.Delim.Has(b) {
+			return fmt.Errorf("router: %d bytes of incomplete message at stream end", len(r.buf))
+		}
+	}
+	return nil
+}
+
+// Stats returns routing counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+func (r *Router) onMatch(m stream.Match) {
+	in := r.spec.Instances[m.InstanceID]
+	if r.validator != nil {
+		r.validator.Consume(m)
+	}
+	if r.nameInstances[m.InstanceID] {
+		r.service, r.hasSvc = r.recoverLexeme(m), true
+	}
+	if in.CanEnd {
+		r.flush(m.End)
+	}
+}
+
+// recoverLexeme extracts the service name text: the hardware reports only
+// the end offset, so the longest suffix of the buffer matching the token
+// pattern (ending there) is the lexeme.
+func (r *Router) recoverLexeme(m stream.Match) string {
+	in := r.spec.Instances[m.InstanceID]
+	end := int(m.End-r.bufBase) + 1
+	n := in.Program.LongestSuffix(r.buf[:end])
+	if n <= 0 {
+		return ""
+	}
+	return string(r.buf[end-n : end])
+}
+
+// flush emits the message ending at absolute offset end.
+func (r *Router) flush(end int64) {
+	cut := int(end-r.bufBase) + 1
+	msg := r.buf[:cut]
+	// Trim leading delimiters left over from the inter-message gap.
+	start := 0
+	for start < len(msg) && r.spec.Delim.Has(msg[start]) {
+		start++
+	}
+	msg = msg[start:]
+
+	port, ok := r.routes[r.service]
+	if !ok || !r.hasSvc {
+		port = r.defaultPort
+		r.stats.Unknown++
+	}
+	if r.msgViolation {
+		port = r.invalidPort
+		r.stats.Invalid++
+		r.msgViolation = false
+	}
+	r.stats.Messages++
+	r.stats.PerPort[port]++
+	if r.OnRoute != nil {
+		r.OnRoute(port, r.service, msg)
+	}
+	r.buf = append(r.buf[:0], r.buf[cut:]...)
+	r.bufBase += int64(cut)
+	r.service, r.hasSvc = "", false
+}
+
+// FigureTwelve returns the paper's route table: deposit/withdraw/acctinfo
+// to port 0 (bank), buy/sell/price to port 1 (shopping).
+func FigureTwelve() []Route {
+	return []Route{
+		{Service: "deposit", Port: 0},
+		{Service: "withdraw", Port: 0},
+		{Service: "acctinfo", Port: 0},
+		{Service: "buy", Port: 1},
+		{Service: "sell", Port: 1},
+		{Service: "price", Port: 1},
+	}
+}

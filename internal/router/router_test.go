@@ -1,0 +1,279 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/xmlrpc"
+)
+
+type routed struct {
+	port    int
+	service string
+	message string
+}
+
+func collect(r *Router) *[]routed {
+	out := &[]routed{}
+	r.OnRoute = func(port int, service string, message []byte) {
+		*out = append(*out, routed{port, service, string(message)})
+	}
+	return out
+}
+
+func TestFigureTwelveRouting(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(5, xmlrpc.Options{})
+	corpus, services := gen.Corpus(40)
+	if _, err := r.Write([]byte(corpus)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(services) {
+		t.Fatalf("routed %d messages, want %d", len(*got), len(services))
+	}
+	for i, want := range services {
+		g := (*got)[i]
+		if g.service != want {
+			t.Errorf("message %d: service %q, want %q", i, g.service, want)
+		}
+		if g.port != xmlrpc.ServiceDestination(want) {
+			t.Errorf("message %d (%s): port %d, want %d", i, want, g.port, xmlrpc.ServiceDestination(want))
+		}
+		if !strings.HasPrefix(g.message, "<methodCall>") || !strings.HasSuffix(g.message, "</methodCall>") {
+			t.Errorf("message %d not cleanly framed: %q", i, g.message)
+		}
+	}
+	st := r.Stats()
+	if st.Messages != 40 || st.Unknown != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnknownServiceGoesToDefault(t *testing.T) {
+	r, err := New(FigureTwelve(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(1, xmlrpc.Options{Service: "frobnicate"})
+	msg, _ := gen.Message()
+	r.Write([]byte(msg))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].port != 7 {
+		t.Fatalf("routed = %+v", *got)
+	}
+	if r.Stats().Unknown != 1 {
+		t.Errorf("stats = %+v", r.Stats())
+	}
+}
+
+func TestChunkedWritesSplitMidToken(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(8, xmlrpc.Options{})
+	corpus, services := gen.Corpus(10)
+	data := []byte(corpus)
+	for i := 0; i < len(data); {
+		n := 1 + i%5
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		if _, err := r.Write(data[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(services) {
+		t.Fatalf("routed %d, want %d", len(*got), len(services))
+	}
+}
+
+func TestIncompleteMessageReported(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Write([]byte("<methodCall> <methodName>deposit</methodName>"))
+	if err := r.Close(); err == nil {
+		t.Error("truncated message should surface on Close")
+	}
+}
+
+func TestOutOfContextServiceNameDoesNotRoute(t *testing.T) {
+	// The paper's motivation: "deposit" appearing as a *parameter string*
+	// must not steer routing — only the methodName occurrence counts.
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	msg := "<methodCall> <methodName>price</methodName> <params> " +
+		"<param> <string>deposit</string> </param> </params> </methodCall>"
+	r.Write([]byte(msg))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("routed = %+v", *got)
+	}
+	if (*got)[0].service != "price" || (*got)[0].port != 1 {
+		t.Errorf("routed by the wrong occurrence: %+v", (*got)[0])
+	}
+}
+
+func TestCompactMessages(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(3, xmlrpc.Options{Compact: true})
+	corpus, services := gen.Corpus(15)
+	r.Write([]byte(corpus))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(services) {
+		t.Fatalf("routed %d, want %d", len(*got), len(services))
+	}
+}
+
+func TestFullDialectRouting(t *testing.T) {
+	// The router works unchanged over the real wire format by swapping in
+	// the XMLRPCFull grammar.
+	r, err := NewWithGrammar(grammar.XMLRPCFull(), "methodName", FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(6, xmlrpc.Options{ValueTags: true})
+	corpus, services := gen.Corpus(20)
+	r.Write([]byte(corpus))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(services) {
+		t.Fatalf("routed %d, want %d", len(*got), len(services))
+	}
+	for i, want := range services {
+		if (*got)[i].port != xmlrpc.ServiceDestination(want) {
+			t.Errorf("message %d: port %d", i, (*got)[i].port)
+		}
+	}
+}
+
+func TestValidationDivertsMalformed(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableValidation(0, 66); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	// A structurally damaged message the tagger happily tags (inner
+	// struct closed, outer left open — the recursion-collapse hole).
+	bad := "<methodCall> <methodName>deposit</methodName> <params> <param> " +
+		"<struct> <member> <name>a</name> " +
+		"<struct> <member> <name>b</name> <i4>1</i4> </member> </struct> " +
+		"</param> </params> </methodCall>"
+	good := "<methodCall> <methodName>buy</methodName> <params> </params> </methodCall>"
+	r.Write([]byte(bad + "\n" + good + "\n"))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("routed = %+v", *got)
+	}
+	if (*got)[0].port != 66 {
+		t.Errorf("malformed message routed to %d, want quarantine 66", (*got)[0].port)
+	}
+	if (*got)[1].port != 1 {
+		t.Errorf("clean message routed to %d, want shopping 1", (*got)[1].port)
+	}
+	st := r.Stats()
+	if st.Invalid != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestValidationPassesCleanTraffic(t *testing.T) {
+	r, err := New(FigureTwelve(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableValidation(0, 66); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	gen := xmlrpc.NewGenerator(14, xmlrpc.Options{})
+	corpus, services := gen.Corpus(25)
+	r.Write([]byte(corpus))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(services) || r.Stats().Invalid != 0 {
+		t.Fatalf("routed=%d invalid=%d", len(*got), r.Stats().Invalid)
+	}
+}
+
+func TestDuplicateRouteRejected(t *testing.T) {
+	_, err := New([]Route{{"a", 0}, {"a", 1}}, 9)
+	if err == nil {
+		t.Error("duplicate route accepted")
+	}
+}
+
+func TestBadNameProduction(t *testing.T) {
+	_, err := NewWithGrammar(grammar.XMLRPC(), "params", FigureTwelve(), 9)
+	if err == nil {
+		t.Error("production without a class terminal accepted")
+	}
+}
+
+func TestRouterWithCustomGrammar(t *testing.T) {
+	// A toy command language: route by the WORD after "do".
+	g, err := grammar.Parse("cmd", `
+WORD [a-z]+
+%%
+S : "do" Name "end" ;
+Name : WORD ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewWithGrammar(g, "Name", []Route{{"left", 1}, {"right", 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(r)
+	r.Write([]byte("do left end\ndo right end\ndo up end"))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 3 {
+		t.Fatalf("routed = %+v", *got)
+	}
+	wantPorts := []int{1, 2, 0}
+	for i, w := range wantPorts {
+		if (*got)[i].port != w {
+			t.Errorf("message %d port = %d, want %d", i, (*got)[i].port, w)
+		}
+	}
+}

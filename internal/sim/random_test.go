@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cfgtag/internal/netlist"
+)
+
+// refModel is an independent interpreter of the netlist semantics used to
+// cross-check the simulator: combinational values by recursive evaluation,
+// registers double-buffered.
+type refModel struct {
+	n      *netlist.Netlist
+	regVal map[netlist.Wire]bool
+	inputs map[netlist.Wire]bool
+}
+
+func newRefModel(n *netlist.Netlist) *refModel {
+	m := &refModel{n: n, regVal: map[netlist.Wire]bool{}, inputs: map[netlist.Wire]bool{}}
+	for i, g := range n.Gates {
+		if g.Op == netlist.OpReg {
+			m.regVal[netlist.Wire(i)] = g.Init
+		}
+	}
+	return m
+}
+
+func (m *refModel) eval(w netlist.Wire, memo map[netlist.Wire]bool) bool {
+	if v, ok := memo[w]; ok {
+		return v
+	}
+	g := m.n.Gates[w]
+	var v bool
+	switch g.Op {
+	case netlist.OpConst:
+		v = g.Init
+	case netlist.OpInput:
+		v = m.inputs[w]
+	case netlist.OpReg:
+		v = m.regVal[w]
+	case netlist.OpAnd:
+		v = true
+		for _, in := range g.In {
+			v = v && m.eval(in, memo)
+		}
+	case netlist.OpOr:
+		for _, in := range g.In {
+			v = v || m.eval(in, memo)
+		}
+	case netlist.OpNot:
+		v = !m.eval(g.In[0], memo)
+	}
+	memo[w] = v
+	return v
+}
+
+// step settles and clocks, returning the settled value of every wire.
+func (m *refModel) step() map[netlist.Wire]bool {
+	memo := map[netlist.Wire]bool{}
+	for i := range m.n.Gates {
+		m.eval(netlist.Wire(i), memo)
+	}
+	next := map[netlist.Wire]bool{}
+	for i, g := range m.n.Gates {
+		if g.Op != netlist.OpReg {
+			continue
+		}
+		w := netlist.Wire(i)
+		if g.Enable != netlist.Invalid && !memo[g.Enable] {
+			next[w] = m.regVal[w]
+		} else {
+			next[w] = memo[g.In[0]]
+		}
+	}
+	m.regVal = next
+	return memo
+}
+
+// randomNetlist builds a random acyclic-combinational circuit with
+// registers (which may create sequential feedback).
+func randomNetlist(rng *rand.Rand) *netlist.Netlist {
+	n := netlist.New()
+	var wires []netlist.Wire
+	nInputs := 1 + rng.Intn(4)
+	for i := 0; i < nInputs; i++ {
+		wires = append(wires, n.Input(fmt.Sprintf("in%d", i)))
+	}
+	pick := func() netlist.Wire { return wires[rng.Intn(len(wires))] }
+	nGates := 5 + rng.Intn(25)
+	var regs []netlist.Wire
+	for i := 0; i < nGates; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			wires = append(wires, n.Not(pick()))
+		case 1:
+			a, b := pick(), pick()
+			if a == b {
+				wires = append(wires, n.Not(a))
+			} else {
+				wires = append(wires, n.And(a, b))
+			}
+		case 2:
+			a, b := pick(), pick()
+			if a == b {
+				wires = append(wires, n.Not(a))
+			} else {
+				wires = append(wires, n.Or(a, b, pick()))
+			}
+		case 3:
+			r := n.Reg(pick(), fmt.Sprintf("r%d", i))
+			if rng.Intn(2) == 0 {
+				n.Gates[r].Init = true
+			}
+			regs = append(regs, r)
+			wires = append(wires, r)
+		default:
+			r := n.RegEn(pick(), pick(), fmt.Sprintf("re%d", i))
+			regs = append(regs, r)
+			wires = append(wires, r)
+		}
+	}
+	// Sequential feedback: rewire some register D inputs to later wires
+	// (legal — registers break cycles).
+	for _, r := range regs {
+		if rng.Intn(3) == 0 {
+			n.Gates[r].In[0] = pick()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		n.Output(fmt.Sprintf("o%d", i), pick())
+	}
+	return n
+}
+
+// TestRandomCircuitsAgainstReference fuzzes the simulator against the
+// independent interpreter on random circuits and input sequences.
+func TestRandomCircuitsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	circuits := 200
+	if testing.Short() {
+		circuits = 30
+	}
+	for ci := 0; ci < circuits; ci++ {
+		n := randomNetlist(rng)
+		if err := n.Validate(); err != nil {
+			// Or-of-duplicated-operand cases can degenerate; skip invalid
+			// random builds rather than constrain the generator.
+			continue
+		}
+		sm, err := New(n)
+		if err != nil {
+			t.Fatalf("circuit %d: %v", ci, err)
+		}
+		ref := newRefModel(n)
+		for cycle := 0; cycle < 20; cycle++ {
+			for _, p := range n.Inputs {
+				v := rng.Intn(2) == 1
+				sm.SetInputWire(p.Wire, v)
+				ref.inputs[p.Wire] = v
+			}
+			want := ref.step()
+			sm.Step()
+			for i := range n.Gates {
+				w := netlist.Wire(i)
+				if n.Gates[i].Op == netlist.OpReg {
+					// Post-edge register values compare against the ref's
+					// next-state.
+					if sm.Value(w) != ref.regVal[w] {
+						t.Fatalf("circuit %d cycle %d reg %d: sim %v ref %v", ci, cycle, i, sm.Value(w), ref.regVal[w])
+					}
+					continue
+				}
+				if sm.Value(w) != want[w] {
+					t.Fatalf("circuit %d cycle %d wire %d (%s): sim %v ref %v",
+						ci, cycle, i, n.Gates[i].Op, sm.Value(w), want[w])
+				}
+			}
+		}
+	}
+}

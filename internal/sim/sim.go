@@ -1,0 +1,147 @@
+// Package sim executes a netlist cycle by cycle — the software equivalent
+// of running the generated design in an FPGA at one input byte per clock.
+// Within a cycle, combinational logic settles (topological evaluation) and
+// outputs are observable; at the end of the cycle every register loads its
+// D input (subject to its clock enable), becoming visible the next cycle.
+package sim
+
+import (
+	"fmt"
+
+	"cfgtag/internal/netlist"
+)
+
+// Simulator holds the runtime state of one netlist instance.
+type Simulator struct {
+	n      *netlist.Netlist
+	order  []netlist.Wire
+	values []bool
+	nextRe []bool // staging for register updates
+	regs   []netlist.Wire
+	cycle  int
+}
+
+// New prepares a simulator; the netlist must validate.
+func New(n *netlist.Netlist) (*Simulator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := n.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		n:      n,
+		order:  order,
+		values: make([]bool, len(n.Gates)),
+	}
+	for i, g := range n.Gates {
+		switch g.Op {
+		case netlist.OpConst:
+			s.values[i] = g.Init
+		case netlist.OpReg:
+			s.values[i] = g.Init
+			s.regs = append(s.regs, netlist.Wire(i))
+		}
+	}
+	s.nextRe = make([]bool, len(s.regs))
+	return s, nil
+}
+
+// Reset restores every register to its power-on value and the cycle counter
+// to zero.
+func (s *Simulator) Reset() {
+	for _, r := range s.regs {
+		s.values[r] = s.n.Gates[r].Init
+	}
+	s.cycle = 0
+}
+
+// Cycle reports how many Step calls have completed.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// SetInput drives a primary input for the current cycle.
+func (s *Simulator) SetInput(name string, v bool) error {
+	w, ok := s.n.InputWire(name)
+	if !ok {
+		return fmt.Errorf("sim: no input named %q", name)
+	}
+	s.values[w] = v
+	return nil
+}
+
+// SetInputWire drives a primary input by wire, avoiding the name lookup in
+// hot loops.
+func (s *Simulator) SetInputWire(w netlist.Wire, v bool) {
+	s.values[w] = v
+}
+
+// Step settles combinational logic for the current cycle and then clocks
+// every register. Inputs must have been set beforehand; outputs read after
+// Step reflect the settled values of the cycle that just executed.
+func (s *Simulator) Step() {
+	gates := s.n.Gates
+	vals := s.values
+	for _, w := range s.order {
+		g := &gates[w]
+		switch g.Op {
+		case netlist.OpAnd:
+			v := true
+			for _, in := range g.In {
+				if !vals[in] {
+					v = false
+					break
+				}
+			}
+			vals[w] = v
+		case netlist.OpOr:
+			v := false
+			for _, in := range g.In {
+				if vals[in] {
+					v = true
+					break
+				}
+			}
+			vals[w] = v
+		case netlist.OpNot:
+			vals[w] = !vals[g.In[0]]
+		}
+	}
+	// Clock edge: stage all register loads, then commit, so register-to-
+	// register paths see pre-edge values.
+	for i, r := range s.regs {
+		g := &gates[r]
+		if g.Enable != netlist.Invalid && !vals[g.Enable] {
+			s.nextRe[i] = vals[r] // hold
+		} else {
+			s.nextRe[i] = vals[g.In[0]]
+		}
+	}
+	for i, r := range s.regs {
+		vals[r] = s.nextRe[i]
+	}
+	s.cycle++
+}
+
+// Value returns the settled value of any wire for the cycle that just
+// executed (combinational wires) or the value entering the current cycle
+// (registers).
+func (s *Simulator) Value(w netlist.Wire) bool { return s.values[w] }
+
+// Output returns a named output's settled value.
+func (s *Simulator) Output(name string) (bool, error) {
+	w, ok := s.n.OutputWire(name)
+	if !ok {
+		return false, fmt.Errorf("sim: no output named %q", name)
+	}
+	return s.values[w], nil
+}
+
+// OutputWire resolves a named output to its wire for hot-loop reading.
+func (s *Simulator) OutputWire(name string) (netlist.Wire, error) {
+	w, ok := s.n.OutputWire(name)
+	if !ok {
+		return netlist.Invalid, fmt.Errorf("sim: no output named %q", name)
+	}
+	return w, nil
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+
+	"cfgtag/internal/netlist"
+)
+
+func TestCombinational(t *testing.T) {
+	n := netlist.New()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("and", n.And(a, b))
+	n.Output("or", n.Or(a, b))
+	n.Output("not", n.Not(a))
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, and, or, not bool }{
+		{false, false, false, false, true},
+		{true, false, false, true, false},
+		{false, true, false, true, true},
+		{true, true, true, true, false},
+	}
+	for _, tc := range cases {
+		s.SetInput("a", tc.a)
+		s.SetInput("b", tc.b)
+		s.Step()
+		got := map[string]bool{}
+		for _, name := range []string{"and", "or", "not"} {
+			v, err := s.Output(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[name] = v
+		}
+		if got["and"] != tc.and || got["or"] != tc.or || got["not"] != tc.not {
+			t.Errorf("a=%v b=%v: got %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestRegisterDelay(t *testing.T) {
+	// A 3-stage shift register delays its input by 3 cycles.
+	n := netlist.New()
+	d := n.Input("d")
+	r1 := n.Reg(d, "r1")
+	r2 := n.Reg(r1, "r2")
+	r3 := n.Reg(r2, "r3")
+	n.Output("q", r3)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []bool{true, false, true, true, false, false, true}
+	var got []bool
+	for _, v := range pattern {
+		s.SetInput("d", v)
+		s.Step()
+		q, _ := s.Output("q")
+		got = append(got, q)
+	}
+	// After step t, q holds the input of step t-2 (three registers, read
+	// post-edge). Steps 0 and 1 show the power-on zeros.
+	want := []bool{false, false, true, false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cycle %d: q = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRegisterEnableHold(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	en := n.Input("en")
+	r := n.RegEn(d, en, "r")
+	n.Output("q", r)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(d, en bool) bool {
+		s.SetInput("d", d)
+		s.SetInput("en", en)
+		s.Step()
+		q, _ := s.Output("q")
+		return q
+	}
+	if q := step(true, true); q != true {
+		t.Errorf("load true: q=%v", q)
+	}
+	if q := step(false, false); q != true {
+		t.Errorf("hold: q=%v, want held true", q)
+	}
+	if q := step(false, true); q != false {
+		t.Errorf("load false: q=%v", q)
+	}
+}
+
+func TestRegisterToRegisterNoFallThrough(t *testing.T) {
+	// Back-to-back registers must not fall through in one clock: r2 sees
+	// r1's pre-edge value.
+	n := netlist.New()
+	d := n.Input("d")
+	r1 := n.Reg(d, "r1")
+	r2 := n.Reg(r1, "r2")
+	n.Output("q1", r1)
+	n.Output("q2", r2)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("d", true)
+	s.Step()
+	q1, _ := s.Output("q1")
+	q2, _ := s.Output("q2")
+	if q1 != true || q2 != false {
+		t.Errorf("after 1 step: q1=%v q2=%v, want true,false", q1, q2)
+	}
+}
+
+func TestFeedbackLoop(t *testing.T) {
+	// Set-reset style: r = (r OR set) — once set, stays set.
+	n := netlist.New()
+	set := n.Input("set")
+	r := n.Reg(set, "sticky")
+	d := n.Or(r, set)
+	n.Gates[r].In[0] = d
+	n.Output("q", r)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("set", false)
+	s.Step()
+	if q, _ := s.Output("q"); q {
+		t.Error("sticky set too early")
+	}
+	s.SetInput("set", true)
+	s.Step()
+	s.SetInput("set", false)
+	s.Step()
+	s.Step()
+	if q, _ := s.Output("q"); !q {
+		t.Error("sticky did not hold")
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	r := n.Reg(d, "r")
+	n.Output("q", r)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("d", true)
+	s.Step()
+	if s.Cycle() != 1 {
+		t.Errorf("cycle = %d", s.Cycle())
+	}
+	s.Reset()
+	if s.Cycle() != 0 {
+		t.Error("reset did not clear cycle")
+	}
+	if q, _ := s.Output("q"); q {
+		t.Error("reset did not clear register")
+	}
+}
+
+func TestConstInit(t *testing.T) {
+	n := netlist.New()
+	one := n.Const(true)
+	zero := n.Const(false)
+	n.Output("one", one)
+	n.Output("zero", zero)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if v, _ := s.Output("one"); !v {
+		t.Error("const true wrong")
+	}
+	if v, _ := s.Output("zero"); v {
+		t.Error("const false wrong")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	n := netlist.New()
+	a := n.Input("a")
+	n.Output("q", a)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("nope", true); err == nil {
+		t.Error("SetInput on ghost input should fail")
+	}
+	if _, err := s.Output("nope"); err == nil {
+		t.Error("Output on ghost output should fail")
+	}
+	if _, err := s.OutputWire("nope"); err == nil {
+		t.Error("OutputWire on ghost output should fail")
+	}
+	// Invalid netlists are rejected at construction.
+	bad := netlist.New()
+	bad.Gates = append(bad.Gates, netlist.Gate{Op: netlist.OpNot, In: []netlist.Wire{0}, Enable: netlist.Invalid})
+	if _, err := New(bad); err == nil {
+		t.Error("self-loop NOT accepted")
+	}
+}
+
+func TestRegInitValue(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	w := n.Reg(d, "r")
+	n.Gates[w].Init = true
+	n.Output("q", w)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Value(w) {
+		t.Error("register init value not honored before first step")
+	}
+}

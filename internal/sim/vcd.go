@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cfgtag/internal/netlist"
+)
+
+// Tracer writes a Value Change Dump (IEEE 1364 VCD) of selected signals as
+// a simulation advances — the waveform a hardware engineer would inspect
+// in GTKWave to debug the generated design. One Step is one clock period
+// (10 ns nominal): the clock rises with the sampled values and falls at
+// mid-period.
+type Tracer struct {
+	sm      *Simulator
+	w       io.Writer
+	signals []TraceSignal
+	ids     []string
+	prev    []int8 // -1 = unknown (forces the first dump)
+	started bool
+	err     error
+}
+
+// TraceSignal selects one wire for the dump.
+type TraceSignal struct {
+	Name string
+	Wire netlist.Wire
+}
+
+// NewTracer prepares a VCD dump of the given signals. Call Sample after
+// every Simulator.Step; call Flush when done to surface any write error.
+func NewTracer(sm *Simulator, w io.Writer, module string, signals []TraceSignal) *Tracer {
+	t := &Tracer{sm: sm, w: w, signals: signals}
+	t.ids = make([]string, len(signals))
+	t.prev = make([]int8, len(signals))
+	for i := range signals {
+		t.ids[i] = vcdID(i)
+		t.prev[i] = -1
+	}
+	t.writeHeader(module)
+	return t
+}
+
+// DefaultSignals selects the netlist's primary inputs and named outputs,
+// the usual top-level view. Output order is inputs then outputs, each in
+// declaration order.
+func DefaultSignals(n *netlist.Netlist) []TraceSignal {
+	var out []TraceSignal
+	for _, p := range n.Inputs {
+		out = append(out, TraceSignal{Name: p.Name, Wire: p.Wire})
+	}
+	for _, p := range n.Outputs {
+		out = append(out, TraceSignal{Name: p.Name, Wire: p.Wire})
+	}
+	return out
+}
+
+// LabeledSignals selects every register carrying a label prefix, sorted by
+// name — e.g. "wire/held" to watch the pending latches.
+func LabeledSignals(n *netlist.Netlist, prefix string) []TraceSignal {
+	var out []TraceSignal
+	for _, w := range n.Labeled(prefix) {
+		out = append(out, TraceSignal{Name: n.Gates[w].Label, Wire: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (t *Tracer) writeHeader(module string) {
+	var b strings.Builder
+	b.WriteString("$timescale 1ns $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", sanitizeVCD(module))
+	b.WriteString("$var wire 1 ' clk $end\n")
+	for i, s := range t.signals {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", t.ids[i], sanitizeVCD(s.Name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	t.write(b.String())
+}
+
+// Sample records the post-Step values. The clock edge is placed at the
+// cycle boundary.
+func (t *Tracer) Sample() {
+	cycle := t.sm.Cycle()
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d\n1'\n", (cycle-1)*10)
+	for i, s := range t.signals {
+		v := int8(0)
+		if t.sm.Value(s.Wire) {
+			v = 1
+		}
+		if v != t.prev[i] {
+			fmt.Fprintf(&b, "%d%s\n", v, t.ids[i])
+			t.prev[i] = v
+		}
+	}
+	fmt.Fprintf(&b, "#%d\n0'\n", (cycle-1)*10+5)
+	t.write(b.String())
+}
+
+// Flush returns the first write error, if any.
+func (t *Tracer) Flush() error { return t.err }
+
+func (t *Tracer) write(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = io.WriteString(t.w, s)
+}
+
+// vcdID produces the compact printable identifier for signal i ('!' .. '~'
+// alphabet, excluding the clock's reserved tick).
+func vcdID(i int) string {
+	const alpha = "!\"#$%&()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+	if i < len(alpha) {
+		return string(alpha[i])
+	}
+	return string(alpha[i%len(alpha)]) + vcdID(i/len(alpha)-1)
+}
+
+// sanitizeVCD makes a signal name VCD-safe (no whitespace).
+func sanitizeVCD(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
+}

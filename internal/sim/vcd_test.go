@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/netlist"
+)
+
+func TestVCDBasics(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	q := n.Reg(d, "r")
+	n.Output("q", q)
+	sm, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr := NewTracer(sm, &buf, "shift", DefaultSignals(n))
+	for _, v := range []bool{true, false, true} {
+		sm.SetInput("d", v)
+		sm.Step()
+		tr.Sample()
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module shift $end",
+		"$var wire 1 ' clk $end",
+		"$var wire 1 ! d $end",
+		"$enddefinitions $end",
+		"#0\n1'\n",
+		"#5\n0'\n",
+		"#10\n1'\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Value changes only on change: d toggles 1,0,1 → three dumps of '!'.
+	if got := strings.Count(out, "!"); got != 3+1 { // 3 changes + declaration
+		t.Errorf("d dumped %d times: %s", got, out)
+	}
+}
+
+func TestVCDIdentifiers(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+		if strings.ContainsAny(id, " \t\n'") {
+			t.Fatalf("invalid id %q", id)
+		}
+	}
+}
+
+func TestLabeledSignals(t *testing.T) {
+	n := netlist.New()
+	a := n.Input("a")
+	n.Reg(a, "wire/held1")
+	n.Reg(a, "wire/held0")
+	n.Reg(a, "tok/0/pos0")
+	sigs := LabeledSignals(n, "wire/held")
+	if len(sigs) != 2 || sigs[0].Name != "wire/held0" {
+		t.Errorf("signals = %v", sigs)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitizeVCD("a b\tc"); got != "a_b_c" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"runtime"
+
+	"cfgtag/internal/core"
+)
+
+// Pool tags independent buffers concurrently. The compiled engine masks
+// are shared read-only; each borrowed Tagger carries only its own state,
+// so a Pool scales across cores the way the paper's hardware scales across
+// parallel engines.
+type Pool struct {
+	spec    *core.Spec
+	taggers chan *Tagger
+}
+
+// NewPool builds a pool of size taggers (0 = GOMAXPROCS) over one spec.
+func NewPool(spec *core.Spec, size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{spec: spec, taggers: make(chan *Tagger, size)}
+	shared := NewTagger(spec) // compile once; clones share the engine
+	p.taggers <- shared
+	for i := 1; i < size; i++ {
+		p.taggers <- shared.Clone()
+	}
+	return p
+}
+
+// Tag borrows a tagger, tags the buffer, and returns the matches.
+// Safe for concurrent use.
+func (p *Pool) Tag(data []byte) []Match {
+	t := <-p.taggers
+	out := t.Tag(data)
+	p.taggers <- t
+	return out
+}
+
+// TagAll tags every buffer concurrently, preserving order.
+func (p *Pool) TagAll(bufs [][]byte) [][]Match {
+	out := make([][]Match, len(bufs))
+	sem := make(chan struct{}, cap(p.taggers))
+	done := make(chan int)
+	for i := range bufs {
+		go func(i int) {
+			sem <- struct{}{}
+			out[i] = p.Tag(bufs[i])
+			<-sem
+			done <- i
+		}(i)
+	}
+	for range bufs {
+		<-done
+	}
+	return out
+}
+
+// Clone creates an independent Tagger sharing this one's compiled engine —
+// cheap (no mask recomputation) and the way to tag several streams
+// concurrently.
+func (t *Tagger) Clone() *Tagger {
+	c := &Tagger{e: t.e}
+	c.active = make([]uint64, t.e.words)
+	c.scatter = make([]uint64, t.e.words)
+	c.pending = make([]uint64, t.e.words)
+	c.scratch = make([]uint64, t.e.words)
+	c.emitStamp = make([]int64, len(t.e.spec.Instances))
+	c.Reset()
+	return c
+}

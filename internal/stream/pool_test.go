@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	a := NewTagger(s)
+	b := a.Clone()
+	// Interleave writes; each stream must tag independently.
+	a.Write([]byte("if "))
+	b.Write([]byte("go"))
+	a.Write([]byte("true then stop"))
+	var am, bm []Match
+	a.OnMatch = func(m Match) { am = append(am, m) }
+	b.OnMatch = func(m Match) { bm = append(bm, m) }
+	a.Close()
+	b.Close()
+	if len(am) == 0 {
+		t.Error("clone corrupted the original's stream")
+	}
+	if len(bm) != 1 || s.Instances[bm[0].InstanceID].Term != "go" {
+		t.Errorf("clone stream = %v", bm)
+	}
+}
+
+func TestPoolMatchesSequential(t *testing.T) {
+	s := mustSpec(t, grammar.XMLRPC(), core.Options{})
+	pool := NewPool(s, 4)
+	seq := NewTagger(s)
+	var bufs [][]byte
+	for i := 0; i < 32; i++ {
+		bufs = append(bufs, []byte(sampleRPC))
+	}
+	got := pool.TagAll(bufs)
+	want := seq.Tag([]byte(sampleRPC))
+	for i, g := range got {
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("buffer %d diverged under the pool", i)
+		}
+	}
+}
+
+func TestPoolConcurrentStress(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	pool := NewPool(s, 3)
+	want := pool.Tag([]byte("if true then go else stop"))
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := pool.Tag([]byte("if true then go else stop"))
+				if !reflect.DeepEqual(got, want) {
+					errs <- "divergent result under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	pool := NewPool(s, 0)
+	if cap(pool.taggers) < 1 {
+		t.Error("default pool is empty")
+	}
+}

@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+// Section 5.2 error detection and recovery tests.
+
+func TestRecoveryNoneStaysDead(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	tg := NewTagger(s)
+	got := terms(s, tg.Tag([]byte("xx if true then go")))
+	if len(got) != 0 {
+		t.Errorf("tags = %v, want none (dead after garbage, no recovery)", got)
+	}
+	if tg.Errors != 0 {
+		t.Errorf("Errors = %d, want 0 under RecoveryNone", tg.Errors)
+	}
+}
+
+func TestRecoveryRestartFindsNextSentence(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	tg := NewTagger(s)
+	var errPos []int64
+	tg.OnError = func(pos int64) { errPos = append(errPos, pos) }
+	got := terms(s, tg.Tag([]byte("xx if true then go")))
+	want := []string{"if", "true", "then", "go"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tags = %v, want %v", got, want)
+	}
+	if tg.Errors == 0 || len(errPos) == 0 {
+		t.Error("recovery events not counted")
+	}
+	// The first error is at the first garbage byte.
+	if errPos[0] != 0 {
+		t.Errorf("first error at %d, want 0", errPos[0])
+	}
+}
+
+func TestRecoveryRestartSkipsDamagedSentence(t *testing.T) {
+	// The damaged first sentence is lost from the error point, but later
+	// sentences are tagged. Recovery re-arms for the byte *after* the one
+	// that found the engine dead, so a token beginning immediately at the
+	// death byte loses its first character ("go" right after the dead "g"
+	// is unrecoverable; the following "stop" is fine).
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	tg := NewTagger(s)
+	got := terms(s, tg.Tag([]byte("if true bogus stop go stop")))
+	want := []string{"if", "true", "stop", "stop"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tags = %v, want %v", got, want)
+	}
+}
+
+func TestRecoveryResyncResumesMidStructure(t *testing.T) {
+	// One corrupted byte inside a message: resync re-arms every tokenizer,
+	// so the tokens after the damage are still tagged.
+	s := mustSpec(t, grammar.XMLRPC(), core.Options{Recovery: core.RecoveryResync})
+	tg := NewTagger(s)
+	msg := "<methodCall> <methodName>deposit</methodName> <params> " +
+		"<par#m> <i4>42</i4> </param> </params> </methodCall>" // <param> corrupted
+	got := terms(s, tg.Tag([]byte(msg)))
+	// The prefix up to the corruption is tagged normally.
+	prefix := []string{"<methodCall>", "<methodName>", "STRING", "</methodName>", "<params>"}
+	if len(got) < len(prefix) || !reflect.DeepEqual(got[:len(prefix)], prefix) {
+		t.Fatalf("prefix tags = %v", got)
+	}
+	// Enabling *every* tokenizer at the error produces some noise (class
+	// tokens match fragments of the damaged region), but the stream
+	// re-locks: the message tail is tagged exactly.
+	tail := []string{"<i4>", "INT", "</i4>", "</param>", "</params>", "</methodCall>"}
+	if len(got) < len(tail) || !reflect.DeepEqual(got[len(got)-len(tail):], tail) {
+		t.Errorf("tail tags = %v,\nwant suffix %v", got, tail)
+	}
+	if tg.Errors == 0 {
+		t.Error("no recovery events recorded")
+	}
+}
+
+func TestRecoveryResyncVsRestartCoverage(t *testing.T) {
+	// The same corrupted stream: restart loses the rest of the message,
+	// resync keeps it. This is the measurable difference between the two
+	// section 5.2 policies.
+	msg := []byte("<methodCall> <methodName>buy</methodName> <params> " +
+		"<par#m> <i4>42</i4> </param> </params> </methodCall>")
+	restart := mustSpec(t, grammar.XMLRPC(), core.Options{Recovery: core.RecoveryRestart})
+	resync := mustSpec(t, grammar.XMLRPC(), core.Options{Recovery: core.RecoveryResync})
+	nRestart := len(NewTagger(restart).Tag(msg))
+	nResync := len(NewTagger(resync).Tag(msg))
+	if nResync <= nRestart {
+		t.Errorf("resync tagged %d, restart %d; resync should recover more", nResync, nRestart)
+	}
+}
+
+func TestRecoveryCountsPerDeadByte(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	tg := NewTagger(s)
+	tg.Tag([]byte("@@@ go"))
+	// Each of the three garbage bytes re-arms once.
+	if tg.Errors != 3 {
+		t.Errorf("Errors = %d, want 3", tg.Errors)
+	}
+	// Reset clears the counter.
+	tg.Tag([]byte("go"))
+	if tg.Errors != 0 {
+		t.Errorf("Errors after clean run = %d", tg.Errors)
+	}
+}
+
+func TestRecoveryIgnoredUnderFreeRunning(t *testing.T) {
+	s := mustSpec(t, grammar.IfThenElse(), core.Options{
+		Recovery: core.RecoveryRestart, FreeRunningStart: true,
+	})
+	tg := NewTagger(s)
+	got := terms(s, tg.Tag([]byte("xx go")))
+	if !reflect.DeepEqual(got, []string{"go"}) {
+		t.Errorf("tags = %v", got)
+	}
+	if tg.Errors != 0 {
+		t.Errorf("Errors = %d; free-running is never dead", tg.Errors)
+	}
+}
+
+func TestRecoveryDoesNotFireMidParse(t *testing.T) {
+	// While a chain is active or a pending is held, the engine is alive:
+	// no recovery events on a clean conforming stream.
+	s := mustSpec(t, grammar.XMLRPC(), core.Options{Recovery: core.RecoveryResync})
+	tg := NewTagger(s)
+	got := tg.Tag([]byte(sampleRPC))
+	if tg.Errors != 0 {
+		t.Errorf("Errors = %d on conforming input", tg.Errors)
+	}
+	if len(got) != 12 {
+		t.Errorf("tags = %d, want 12", len(got))
+	}
+}

@@ -1,0 +1,192 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/netlist"
+)
+
+func genVHDL(t *testing.T, g *grammar.Grammar) string {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hwgen.Generate(s, hwgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(d.Netlist, Options{Entity: "tagger", Comment: g.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestEmitStructure(t *testing.T) {
+	src := genVHDL(t, grammar.IfThenElse())
+	for _, want := range []string{
+		"entity tagger is",
+		"end tagger;",
+		"architecture rtl of tagger is",
+		"end rtl;",
+		"clk : in std_logic",
+		"rst : in std_logic",
+		"d0 : in std_logic",
+		"d7 : in std_logic",
+		"eof : in std_logic",
+		"valid : out std_logic",
+		"index0 : out std_logic",
+		"msg_end : out std_logic",
+		"rising_edge(clk)",
+		"library IEEE;",
+		"-- if-then-else",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in emitted VHDL", want)
+		}
+	}
+}
+
+func TestEmitBalance(t *testing.T) {
+	src := genVHDL(t, grammar.XMLRPC())
+	// Every declared signal must be driven: combinational signals once,
+	// registers twice (reset branch + load branch), outputs once more.
+	s, _ := core.Compile(grammar.XMLRPC(), core.Options{})
+	d, _ := hwgen.Generate(s, hwgen.Options{})
+	stats := d.Netlist.ComputeStats()
+	declared := strings.Count(src, "  signal ")
+	driven := strings.Count(src, "<=")
+	wantDeclared := len(d.Netlist.Gates) - stats.Inputs
+	if declared != wantDeclared {
+		t.Errorf("declared %d signals, want %d", declared, wantDeclared)
+	}
+	wantDriven := stats.And + stats.Or + stats.Not + stats.Const + 2*stats.Reg + len(d.Netlist.Outputs)
+	if driven != wantDriven {
+		t.Errorf("drove %d signals, want %d", driven, wantDriven)
+	}
+	if strings.Count(src, "process") != 2 { // "process (clk)" + "end process"
+		t.Errorf("process block malformed")
+	}
+}
+
+func TestPortNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"det/3":   "det_3",
+		"index0":  "index0",
+		"msg_end": "msg_end",
+		"9lives":  "p_9lives",
+	}
+	for in, want := range cases {
+		if got := portName(in); got != want {
+			t.Errorf("portName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultEntity(t *testing.T) {
+	n := netlist.New()
+	a := n.Input("a")
+	n.Output("q", n.Reg(a, "r"))
+	src, err := Emit(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "entity cfg_tagger is") {
+		t.Error("default entity name missing")
+	}
+}
+
+func TestEnableRendersAsIf(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	en := n.Input("en")
+	n.Output("q", n.RegEn(d, en, "r"))
+	src, err := Emit(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "if en = '1' then") {
+		t.Errorf("clock enable not rendered:\n%s", src)
+	}
+}
+
+func TestInitValueInReset(t *testing.T) {
+	n := netlist.New()
+	d := n.Input("d")
+	w := n.Reg(d, "r")
+	n.Gates[w].Init = true
+	n.Output("q", w)
+	src, err := Emit(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "<= '1';") {
+		t.Error("init-1 register should reset to '1'")
+	}
+}
+
+func TestInvalidNetlistRejected(t *testing.T) {
+	n := netlist.New()
+	n.Gates = append(n.Gates, netlist.Gate{Op: netlist.OpNot, In: []netlist.Wire{5}, Enable: netlist.Invalid})
+	if _, err := Emit(n, Options{}); err == nil {
+		t.Error("invalid netlist emitted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	n := netlist.New()
+	a, b := n.Input("a"), n.Input("b")
+	n.Output("q", n.Reg(n.And(a, b), "r"))
+	s := Summary(n)
+	for _, want := range []string{"inputs: 2", "and: 1", "regs: 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := genVHDL(t, grammar.IfThenElse())
+	b := genVHDL(t, grammar.IfThenElse())
+	if a != b {
+		t.Error("emission is not deterministic")
+	}
+}
+
+func TestWide2Emission(t *testing.T) {
+	s, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hwgen.GenerateWide2(s, hwgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(d.Netlist, Options{Entity: "tagger2x", Comment: "2-byte datapath"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"entity tagger2x is",
+		"a0 : in std_logic", "b7 : in std_logic", "v1 : in std_logic",
+		"det0_0 : out std_logic", "det1_0 : out std_logic",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("wide2 VHDL missing %q", want)
+		}
+	}
+}
+
+func TestLabelsAppearAsComments(t *testing.T) {
+	src := genVHDL(t, grammar.IfThenElse())
+	for _, want := range []string{"-- dec/", "-- tok/", "-- wire/", "-- enc/"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing label comment %q", want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/hwgen"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+// TestFuzzRandomGrammars cross-validates the whole pipeline on random
+// grammars: for every seed, generated conforming sentences must be tagged
+// by the stream engine with (at least) the expected instance at each
+// expected offset — ambiguous grammars may legitimately tag more — and the
+// gate-level netlist must agree with the stream engine bit for bit.
+func TestFuzzRandomGrammars(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		tg := stream.NewTagger(s)
+		gen := workload.NewGenerator(s, seed*7+1, workload.SentenceOptions{MaxDepth: 8})
+		for trial := 0; trial < 15; trial++ {
+			text, want := gen.Sentence()
+			got := tg.Tag(text)
+			if !containsAll(got, want) {
+				t.Fatalf("seed %d trial %d: expected tags missing\ninput %q\ngot  %v\nwant %v\nwiring:\n%s",
+					seed, trial, text, got, want, s.DumpWiring())
+			}
+		}
+	}
+}
+
+// TestFuzzHardwareEquivalence runs a smaller gate-level sweep (simulation
+// is ~100× slower than the bit-parallel engine).
+func TestFuzzHardwareEquivalence(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := hwgen.Generate(s, hwgen.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		r, err := hwgen.NewRunner(d)
+		if err != nil {
+			t.Fatalf("seed %d: runner: %v", seed, err)
+		}
+		tg := stream.NewTagger(s)
+		gen := workload.NewGenerator(s, seed+100, workload.SentenceOptions{MaxDepth: 6})
+		for trial := 0; trial < 4; trial++ {
+			text, _ := gen.Sentence()
+			hw := r.Run(text)
+			sw := tg.Tag(text)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("seed %d trial %d: hw != sw\ninput %q\nhw %v\nsw %v", seed, trial, text, hw, sw)
+			}
+		}
+	}
+}
+
+// TestFuzzRecoveryEquivalence extends the cross-check to the recovery
+// logic with injected corruption.
+func TestFuzzRecoveryEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := workload.RandomGrammar(seed)
+		s, err := core.Compile(g, core.Options{Recovery: core.RecoveryRestart})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := hwgen.Generate(s, hwgen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := hwgen.NewRunner(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg := stream.NewTagger(s)
+		gen := workload.NewGenerator(s, seed+500, workload.SentenceOptions{MaxDepth: 6})
+		for trial := 0; trial < 3; trial++ {
+			text, _ := gen.Sentence()
+			// Corrupt one byte mid-stream.
+			if len(text) > 2 {
+				text[len(text)/2] = '@'
+			}
+			hw := r.Run(text)
+			sw := tg.Tag(text)
+			if !reflect.DeepEqual(hw, sw) {
+				t.Fatalf("seed %d trial %d: recovery hw != sw\ninput %q\nhw %v\nsw %v", seed, trial, text, hw, sw)
+			}
+		}
+	}
+}
+
+func containsAll(got []stream.Match, want []workload.Expected) bool {
+	type key struct {
+		id  int
+		end int64
+	}
+	set := make(map[key]bool, len(got))
+	for _, m := range got {
+		set[key{m.InstanceID, m.End}] = true
+	}
+	for _, w := range want {
+		if !set[key{w.InstanceID, w.End}] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomGrammarDeterministic(t *testing.T) {
+	a, b := workload.RandomGrammar(5), workload.RandomGrammar(5)
+	if a.String() != b.String() {
+		t.Error("RandomGrammar not deterministic per seed")
+	}
+	c := workload.RandomGrammar(6)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical grammars")
+	}
+}

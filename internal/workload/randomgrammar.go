@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cfgtag/internal/grammar"
+)
+
+// RandomGrammar generates a random productive context-free grammar for
+// fuzz-style cross-validation of the whole pipeline (stream engine,
+// gate-level hardware, LL(1) baseline). Shape guarantees:
+//
+//   - every nonterminal's first alternative uses only terminals, so every
+//     symbol is productive and sentence generation terminates,
+//   - later alternatives may recurse into any nonterminal and may be ε,
+//   - terminals are a mix of distinct literals (letter/digit/punctuation,
+//     never whitespace) and small character classes with +/? operators,
+//   - the result always passes grammar validation.
+func RandomGrammar(seed int64) *grammar.Grammar {
+	rng := rand.New(rand.NewSource(seed))
+	nNT := 2 + rng.Intn(5)
+	nLit := 3 + rng.Intn(6)
+	nClass := rng.Intn(3)
+
+	var tokens []grammar.TokenDef
+	used := map[string]bool{}
+	litNames := make([]string, 0, nLit)
+	for len(litNames) < nLit {
+		lit := randomLiteral(rng)
+		if used[lit] {
+			continue
+		}
+		used[lit] = true
+		litNames = append(litNames, lit)
+		tokens = append(tokens, grammar.TokenDef{Name: lit, Pattern: grammar.EscapeLiteral(lit), Literal: true})
+	}
+	classNames := make([]string, 0, nClass)
+	for i := 0; i < nClass; i++ {
+		name := fmt.Sprintf("C%d", i)
+		classNames = append(classNames, name)
+		tokens = append(tokens, grammar.TokenDef{Name: name, Pattern: randomClassPattern(rng)})
+	}
+	termNames := append(append([]string{}, litNames...), classNames...)
+
+	ntNames := make([]string, nNT)
+	for i := range ntNames {
+		ntNames[i] = fmt.Sprintf("N%d", i)
+	}
+
+	var rules []grammar.Rule
+	term := func() grammar.Symbol {
+		return grammar.Symbol{Kind: grammar.Terminal, Name: termNames[rng.Intn(len(termNames))]}
+	}
+	for i, nt := range ntNames {
+		alts := 1 + rng.Intn(3)
+		for a := 0; a < alts; a++ {
+			var rhs []grammar.Symbol
+			switch {
+			case a == 0:
+				// Productive alternative: 1-3 terminals.
+				n := 1 + rng.Intn(3)
+				for j := 0; j < n; j++ {
+					rhs = append(rhs, term())
+				}
+			case rng.Intn(4) == 0 && i > 0:
+				// ε alternative (never for the start symbol, so streams
+				// always contain at least one token).
+			default:
+				n := 1 + rng.Intn(4)
+				for j := 0; j < n; j++ {
+					if rng.Intn(3) == 0 {
+						rhs = append(rhs, grammar.Symbol{
+							Kind: grammar.NonTerminal, Name: ntNames[rng.Intn(nNT)],
+						})
+					} else {
+						rhs = append(rhs, term())
+					}
+				}
+			}
+			rules = append(rules, grammar.Rule{LHS: nt, RHS: rhs})
+		}
+	}
+	// Guarantee reachability: the start production references every
+	// nonterminal once via a chain alternative.
+	var chain []grammar.Symbol
+	for _, nt := range ntNames[1:] {
+		chain = append(chain, grammar.Symbol{Kind: grammar.NonTerminal, Name: nt})
+	}
+	if len(chain) > 0 {
+		rules = append(rules, grammar.Rule{LHS: ntNames[0], RHS: chain})
+	}
+
+	g, err := grammar.New(fmt.Sprintf("fuzz-%d", seed), tokens, rules, ntNames[0], "")
+	if err != nil {
+		// By construction this cannot happen; make failures loud for the
+		// fuzz harness rather than silently skipping seeds.
+		panic(fmt.Sprintf("workload: RandomGrammar(%d): %v", seed, err))
+	}
+	return g
+}
+
+const litAlphabet = "abcdefghjkmnpqrstuvwxyz0123456789<>/+-=:"
+
+func randomLiteral(rng *rand.Rand) string {
+	n := 1 + rng.Intn(5)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(litAlphabet[rng.Intn(len(litAlphabet))])
+	}
+	return sb.String()
+}
+
+// randomClassPattern builds a small non-nullable class pattern like
+// [a-d]+, [xyz], or [0-5][a-c]?.
+func randomClassPattern(rng *rand.Rand) string {
+	class := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			lo := byte('a') + byte(rng.Intn(20))
+			return fmt.Sprintf("[%c-%c]", lo, lo+byte(1+rng.Intn(5)))
+		case 1:
+			lo := byte('0') + byte(rng.Intn(5))
+			return fmt.Sprintf("[%c-%c]", lo, lo+byte(1+rng.Intn(4)))
+		default:
+			return fmt.Sprintf("[%c%c%c]",
+				'a'+byte(rng.Intn(26)), 'a'+byte(rng.Intn(26)), '0'+byte(rng.Intn(10)))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return class() + "+"
+	case 1:
+		return class() + class() + "?"
+	default:
+		return class()
+	}
+}

@@ -1,0 +1,426 @@
+// Package workload generates the evaluation inputs of section 4: random
+// sentences conforming to a grammar (with the terminal occurrence that
+// produced each lexeme, for oracle checking), random lexemes for token
+// patterns, and the grammar-duplication scaler used to grow the XML-RPC
+// grammar from ~300 to ~3000 pattern bytes for table 1 and figure 15.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/regex"
+)
+
+// Expected is one token of a generated sentence: which instance must tag it
+// and where its lexeme ends in the generated text.
+type Expected struct {
+	InstanceID int
+	End        int64
+}
+
+// SentenceOptions tune sentence generation.
+type SentenceOptions struct {
+	// MaxDepth bounds derivation height; deeper expansions switch to the
+	// shallowest alternative. 0 means 12.
+	MaxDepth int
+	// MaxDelims bounds the random delimiter run inserted between tokens
+	// (a run is forced where adjacency would extend the previous match).
+	// 0 means 2.
+	MaxDelims int
+	// MaxLexeme bounds generated class-token lexeme length. 0 means 8.
+	MaxLexeme int
+}
+
+// Generator produces random conforming sentences for a compiled spec.
+type Generator struct {
+	spec *core.Spec
+	rng  *rand.Rand
+	opts SentenceOptions
+
+	minHeight map[string]int
+	delims    []byte
+	samplers  []*lexemeSampler // per token index
+}
+
+// NewGenerator prepares a sentence generator with its own random stream.
+func NewGenerator(spec *core.Spec, seed int64, opts SentenceOptions) *Generator {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 12
+	}
+	if opts.MaxDelims == 0 {
+		opts.MaxDelims = 2
+	}
+	if opts.MaxLexeme == 0 {
+		opts.MaxLexeme = 8
+	}
+	g := &Generator{
+		spec:   spec,
+		rng:    rand.New(rand.NewSource(seed)),
+		opts:   opts,
+		delims: spec.Delim.Bytes(),
+	}
+	g.computeMinHeights()
+	g.samplers = make([]*lexemeSampler, len(spec.Programs))
+	for i, p := range spec.Programs {
+		g.samplers[i] = newLexemeSampler(p)
+	}
+	return g
+}
+
+// computeMinHeights finds the minimum derivation height per nonterminal so
+// expansion can always terminate.
+func (g *Generator) computeMinHeights() {
+	gr := g.spec.Grammar
+	h := make(map[string]int)
+	const inf = 1 << 20
+	for _, nt := range gr.NonTerminals() {
+		h[nt] = inf
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range gr.Rules {
+			max := 0
+			for _, sym := range r.RHS {
+				if sym.Kind == grammar.NonTerminal {
+					if h[sym.Name] > max {
+						max = h[sym.Name]
+					}
+				}
+			}
+			if max+1 < h[r.LHS] {
+				h[r.LHS] = max + 1
+				changed = true
+			}
+		}
+	}
+	g.minHeight = h
+}
+
+// Sentence generates one random sentence of the grammar and the expected
+// tag sequence, including the exact end offset of every lexeme.
+func (g *Generator) Sentence() ([]byte, []Expected) {
+	type tok struct {
+		instance *core.Instance
+		lexeme   []byte
+		endPos   int // accepting position of the lexeme walk
+	}
+	var toks []tok
+	var expand func(nt string, depth int)
+	expand = func(nt string, depth int) {
+		rules := g.spec.Grammar.RulesFor(nt)
+		var ri int
+		if depth <= 0 {
+			// Out of budget: take the shallowest alternative.
+			best, bestH := rules[0], 1<<20
+			for _, r := range rules {
+				hh := g.ruleHeight(r)
+				if hh < bestH {
+					best, bestH = r, hh
+				}
+			}
+			ri = best
+		} else {
+			ri = rules[g.rng.Intn(len(rules))]
+		}
+		for pi, sym := range g.spec.Grammar.Rules[ri].RHS {
+			if sym.Kind == grammar.Terminal {
+				in := g.spec.InstanceAt(ri, pi)
+				lex, end := g.samplers[in.TokenIndex].sample(g.rng, g.opts.MaxLexeme)
+				toks = append(toks, tok{instance: in, lexeme: lex, endPos: end})
+			} else {
+				expand(sym.Name, depth-1)
+			}
+		}
+	}
+	expand(g.spec.Grammar.Start, g.opts.MaxDepth)
+
+	var buf []byte
+	var want []Expected
+	for i, tk := range toks {
+		if i > 0 {
+			prev := toks[i-1]
+			need := prev.instance.Program.CanExtend(prev.endPos, tk.lexeme[0])
+			n := g.rng.Intn(g.opts.MaxDelims + 1)
+			if need && n == 0 {
+				n = 1
+			}
+			for d := 0; d < n; d++ {
+				buf = append(buf, g.delims[g.rng.Intn(len(g.delims))])
+			}
+		}
+		buf = append(buf, tk.lexeme...)
+		want = append(want, Expected{InstanceID: tk.instance.ID, End: int64(len(buf) - 1)})
+	}
+	return buf, want
+}
+
+// ruleHeight is the derivation height of one rule's RHS.
+func (g *Generator) ruleHeight(ri int) int {
+	h := 0
+	for _, sym := range g.spec.Grammar.Rules[ri].RHS {
+		if sym.Kind == grammar.NonTerminal && g.minHeight[sym.Name] > h {
+			h = g.minHeight[sym.Name]
+		}
+	}
+	return h + 1
+}
+
+// Corpus concatenates n sentences separated by newlines into one stream.
+// It requires the spec to have FreeRunningStart when n > 1 if the caller
+// wants every sentence tagged.
+func (g *Generator) Corpus(n int) ([]byte, []Expected) {
+	var buf []byte
+	var want []Expected
+	for i := 0; i < n; i++ {
+		s, w := g.Sentence()
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		base := int64(len(buf))
+		buf = append(buf, s...)
+		for _, e := range w {
+			want = append(want, Expected{InstanceID: e.InstanceID, End: base + e.End})
+		}
+	}
+	return buf, want
+}
+
+// lexemeSampler walks a pattern automaton emitting random matching bytes.
+type lexemeSampler struct {
+	p *regex.Program
+	// minToAccept[q] is the fewest further bytes needed to reach an
+	// accepting position from q (0 if q accepts).
+	minToAccept []int
+}
+
+func newLexemeSampler(p *regex.Program) *lexemeSampler {
+	const inf = 1 << 20
+	min := make([]int, p.Len())
+	for i := range min {
+		if p.IsLast(i) {
+			min[i] = 0
+		} else {
+			min[i] = inf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for q := 0; q < p.Len(); q++ {
+			for _, t := range p.Follow[q] {
+				if min[t]+1 < min[q] {
+					min[q] = min[t] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	return &lexemeSampler{p: p, minToAccept: min}
+}
+
+// sample returns a random lexeme of the pattern and the accepting position
+// it ended at. maxLen is advisory: walks stop at the first accepting
+// position once the budget is spent.
+func (s *lexemeSampler) sample(rng *rand.Rand, maxLen int) ([]byte, int) {
+	p := s.p
+	// Choose a viable first position.
+	var q int
+	for {
+		q = p.First[rng.Intn(len(p.First))]
+		if s.minToAccept[q] < 1<<20 {
+			break
+		}
+	}
+	var out []byte
+	out = append(out, randomByte(rng, p.Classes[q]))
+	for {
+		if p.IsLast(q) {
+			// Stop here unless we still have budget and want to continue.
+			canGo := len(viable(s, p.Follow[q], len(out), maxLen)) > 0
+			if !canGo || len(out) >= maxLen || rng.Intn(2) == 0 {
+				return out, q
+			}
+		}
+		nexts := viable(s, p.Follow[q], len(out), maxLen)
+		if len(nexts) == 0 {
+			if p.IsLast(q) {
+				return out, q
+			}
+			// Over budget with no accepting stop: head straight for the
+			// nearest acceptance.
+			best, bestRest := -1, 1<<20
+			for _, t := range p.Follow[q] {
+				if s.minToAccept[t] < bestRest {
+					best, bestRest = t, s.minToAccept[t]
+				}
+			}
+			nexts = []int{best}
+		}
+		q = nexts[rng.Intn(len(nexts))]
+		out = append(out, randomByte(rng, p.Classes[q]))
+	}
+}
+
+// viable filters follow targets that can still reach acceptance within a
+// loose budget (maxLen is soft: targets that accept immediately are always
+// viable).
+func viable(s *lexemeSampler, follow []int, have, maxLen int) []int {
+	var out []int
+	for _, t := range follow {
+		rest := s.minToAccept[t]
+		if rest >= 1<<20 {
+			continue
+		}
+		if have+1+rest <= maxLen || rest == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func randomByte(rng *rand.Rand, c regex.ByteClass) byte {
+	members := c.Bytes()
+	return members[rng.Intn(len(members))]
+}
+
+// Scale builds the paper's scaling workload: n renamed copies of the base
+// grammar under a fresh start symbol, so tokens, productions and pattern
+// bytes grow ≈ linearly with n (the duplicated grammars of table 1 /
+// figure 15). Copy 1 is the base itself; literal tokens of copy k > 1 get
+// a "#k" marker before any trailing '>' (tags stay tag-shaped), named
+// classes get a "_k" suffix.
+func Scale(base *grammar.Grammar, n int) (*grammar.Grammar, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: scale factor must be ≥ 1, got %d", n)
+	}
+	if n == 1 {
+		return base, nil
+	}
+	var tokens []grammar.TokenDef
+	var rules []grammar.Rule
+	start := "scaled_start"
+	var startRule grammar.Rule
+	startRule.LHS = start
+
+	for k := 1; k <= n; k++ {
+		renameT := func(name string) string {
+			if k == 1 {
+				return name
+			}
+			if def, _ := base.Token(name); def.Literal {
+				return mutateLiteral(name, k)
+			}
+			return fmt.Sprintf("%s_%d", name, k)
+		}
+		renameNT := func(name string) string {
+			if k == 1 {
+				return name
+			}
+			return fmt.Sprintf("%s_%d", name, k)
+		}
+		for _, t := range base.Tokens {
+			nt := t
+			nt.Name = renameT(t.Name)
+			if t.Literal {
+				nt.Pattern = grammar.EscapeLiteral(nt.Name)
+			}
+			tokens = append(tokens, nt)
+		}
+		for _, r := range base.Rules {
+			nr := grammar.Rule{LHS: renameNT(r.LHS)}
+			for _, sym := range r.RHS {
+				ns := sym
+				if sym.Kind == grammar.Terminal {
+					ns.Name = renameT(sym.Name)
+				} else {
+					ns.Name = renameNT(sym.Name)
+				}
+				nr.RHS = append(nr.RHS, ns)
+			}
+			rules = append(rules, nr)
+		}
+	}
+	// One alternative per copy: scaled_start : start_k.
+	for k := 1; k <= n; k++ {
+		name := base.Start
+		if k > 1 {
+			name = fmt.Sprintf("%s_%d", base.Start, k)
+		}
+		rules = append(rules, grammar.Rule{
+			LHS: start,
+			RHS: []grammar.Symbol{{Kind: grammar.NonTerminal, Name: name}},
+		})
+	}
+	name := fmt.Sprintf("%s-x%d", base.Name, n)
+	return grammar.New(name, tokens, rules, start, base.DelimPattern)
+}
+
+// mutateLiteral makes a literal distinct per copy while keeping its shape:
+// "<methodCall>" → "<methodCall#3>", "if" → "if#3".
+func mutateLiteral(lit string, k int) string {
+	marker := fmt.Sprintf("#%d", k)
+	if strings.HasSuffix(lit, ">") {
+		return lit[:len(lit)-1] + marker + ">"
+	}
+	return lit + marker
+}
+
+// SignatureGrammar builds the scaled intrusion-detection workload of the
+// section 1 motivation: a command protocol with n signature keywords that
+// are dangerous only in command position, while LOG payloads may mention
+// them harmlessly (the naive matcher's false positives).
+//
+//	session : command session | command ;
+//	command : sig0 | sig1 | ... | log ;
+//	sigI    : "SIGI" WORD ;
+//	log     : "LOG" WORD ;
+func SignatureGrammar(n int) (*grammar.Grammar, []string) {
+	var sb strings.Builder
+	sb.WriteString("WORD [A-Za-z0-9_]+\n%%\n")
+	sb.WriteString("session : command session | command ;\n")
+	sb.WriteString("command : ")
+	sigs := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Fixed-width names keep the set prefix-free; a prefix signature
+		// would (correctly, per the parallel-detection semantics) fire
+		// inside its extensions and muddy the false-positive accounting.
+		sigs[i] = fmt.Sprintf("SIG%04d", i)
+		fmt.Fprintf(&sb, "s%d | ", i)
+	}
+	sb.WriteString("log ;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "s%d : \"%s\" WORD ;\n", i, sigs[i])
+	}
+	sb.WriteString("log : \"LOG\" WORD ;\n")
+	g, err := grammar.Parse(fmt.Sprintf("nids-%d", n), sb.String())
+	if err != nil {
+		panic(fmt.Sprintf("workload: SignatureGrammar(%d): %v", n, err))
+	}
+	return g, sigs
+}
+
+// SignatureCorpus generates a conforming session stream of total
+// commands, a fraction of which are real signature invocations while the
+// rest are LOG entries whose payload words are decoy signature names. It
+// returns the stream and the number of real signature commands.
+func SignatureCorpus(rng *rand.Rand, sigs []string, commands int, decoyRate float64) ([]byte, int) {
+	var sb strings.Builder
+	real := 0
+	for i := 0; i < commands; i++ {
+		if rng.Float64() < 0.2 {
+			sig := sigs[rng.Intn(len(sigs))]
+			fmt.Fprintf(&sb, "%s payload%d\n", sig, rng.Intn(1000))
+			real++
+			continue
+		}
+		word := fmt.Sprintf("note%d", rng.Intn(1000))
+		if rng.Float64() < decoyRate {
+			word = sigs[rng.Intn(len(sigs))] // harmless mention
+		}
+		fmt.Fprintf(&sb, "LOG %s\n", word)
+	}
+	return []byte(sb.String()), real
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+)
+
+func spec(t *testing.T, g *grammar.Grammar) *core.Spec {
+	t.Helper()
+	s, err := core.Compile(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSentencesTagExactly is the oracle loop: every generated sentence,
+// fed to the stream engine, must produce exactly the expected instance
+// sequence at the expected offsets.
+func TestSentencesTagExactly(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		s := spec(t, g)
+		gen := NewGenerator(s, 42, SentenceOptions{})
+		tg := stream.NewTagger(s)
+		for trial := 0; trial < 200; trial++ {
+			text, want := gen.Sentence()
+			got := tg.Tag(text)
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: %d matches, want %d\ninput: %q",
+					g.Name, trial, len(got), len(want), text)
+			}
+			for i := range want {
+				if got[i].InstanceID != want[i].InstanceID || got[i].End != want[i].End {
+					t.Fatalf("%s trial %d match %d: got inst %d end %d, want inst %d end %d\ninput: %q",
+						g.Name, trial, i, got[i].InstanceID, got[i].End,
+						want[i].InstanceID, want[i].End, text)
+				}
+			}
+		}
+	}
+}
+
+func TestLexemesMatchTheirPatterns(t *testing.T) {
+	s := spec(t, grammar.XMLRPC())
+	gen := NewGenerator(s, 7, SentenceOptions{})
+	for ti, p := range s.Programs {
+		sampler := gen.samplers[ti]
+		for trial := 0; trial < 100; trial++ {
+			lex, end := sampler.sample(gen.rng, 8)
+			if !p.Match(lex) {
+				t.Fatalf("token %q: generated lexeme %q does not match %q",
+					s.Grammar.Tokens[ti].Name, lex, p.Source)
+			}
+			if !p.IsLast(end) {
+				t.Fatalf("token %q: reported end position %d not accepting", s.Grammar.Tokens[ti].Name, end)
+			}
+		}
+	}
+}
+
+func TestCorpusOffsets(t *testing.T) {
+	g := grammar.IfThenElse()
+	s, err := core.Compile(g, core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGenerator(s, 3, SentenceOptions{})
+	text, want := gen.Corpus(5)
+	tg := stream.NewTagger(s)
+	got := tg.Tag(text)
+	if !reflect.DeepEqual(got, toMatches(want)) {
+		t.Errorf("corpus tags diverge:\n got %v\nwant %v\ninput %q", got, want, text)
+	}
+}
+
+func toMatches(es []Expected) []stream.Match {
+	out := make([]stream.Match, len(es))
+	for i, e := range es {
+		out[i] = stream.Match{InstanceID: e.InstanceID, End: e.End}
+	}
+	return out
+}
+
+func TestScale(t *testing.T) {
+	base := grammar.XMLRPC()
+	for _, n := range []int{2, 4, 10} {
+		g, err := Scale(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(g.Tokens), n*len(base.Tokens); got != want {
+			t.Errorf("x%d tokens = %d, want %d", n, got, want)
+		}
+		if got, want := len(g.Rules), n*len(base.Rules)+n; got != want {
+			t.Errorf("x%d rules = %d, want %d", n, got, want)
+		}
+		// Pattern bytes grow at least linearly (copy literals are slightly
+		// longer because of the #k markers).
+		if got := g.PatternBytes(); got < n*base.PatternBytes() {
+			t.Errorf("x%d pattern bytes = %d, want ≥ %d", n, got, n*base.PatternBytes())
+		}
+		// The scaled grammar must still compile into a spec.
+		s, err := core.Compile(g, core.Options{})
+		if err != nil {
+			t.Fatalf("x%d: %v", n, err)
+		}
+		if len(s.ConflictSets) != 0 {
+			t.Errorf("x%d: unexpected conflicts %v", n, s.ConflictSets)
+		}
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	base := grammar.XMLRPC()
+	g, err := Scale(base, 1)
+	if err != nil || g != base {
+		t.Errorf("Scale(1) should return the base grammar, got %v, %v", g, err)
+	}
+	if _, err := Scale(base, 0); err == nil {
+		t.Error("Scale(0) should fail")
+	}
+}
+
+func TestScaledSentencesStillTag(t *testing.T) {
+	g, err := Scale(grammar.XMLRPC(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec(t, g)
+	gen := NewGenerator(s, 11, SentenceOptions{})
+	tg := stream.NewTagger(s)
+	for trial := 0; trial < 50; trial++ {
+		text, want := gen.Sentence()
+		got := tg.Tag(text)
+		if !reflect.DeepEqual(got, toMatches(want)) {
+			t.Fatalf("trial %d diverged on scaled grammar\ninput %q", trial, text)
+		}
+	}
+}
+
+func TestSignatureGrammar(t *testing.T) {
+	g, sigs := SignatureGrammar(25)
+	if len(sigs) != 25 {
+		t.Fatalf("sigs = %d", len(sigs))
+	}
+	s := spec(t, g)
+	rng := rand.New(rand.NewSource(1))
+	data, real := SignatureCorpus(rng, sigs, 500, 0.5)
+	if real == 0 {
+		t.Fatal("no real signature commands generated")
+	}
+	sigInstance := make(map[int]bool)
+	for _, in := range s.Instances {
+		if in.Term != "WORD" && in.Term != "LOG" {
+			sigInstance[in.ID] = true
+		}
+	}
+	tg := stream.NewTagger(s)
+	hits := 0
+	tg.OnMatch = func(m stream.Match) {
+		if sigInstance[m.InstanceID] {
+			hits++
+		}
+	}
+	tg.Write(data)
+	tg.Close()
+	if hits != real {
+		t.Errorf("tagger signature hits = %d, want %d (zero false positives)", hits, real)
+	}
+}
+
+func TestMutateLiteral(t *testing.T) {
+	cases := map[string]string{
+		"<methodCall>": "<methodCall#3>",
+		"if":           "if#3",
+		":":            ":#3",
+	}
+	for in, want := range cases {
+		if got := mutateLiteral(in, 3); got != want {
+			t.Errorf("mutateLiteral(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScaledTagsKeepShape(t *testing.T) {
+	g, err := Scale(grammar.XMLRPC(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range g.Tokens {
+		if strings.HasPrefix(tok.Name, "<methodCall#2") {
+			found = true
+			if !strings.HasSuffix(tok.Name, ">") {
+				t.Errorf("mutated tag lost its '>': %q", tok.Name)
+			}
+		}
+	}
+	if !found {
+		t.Error("no mutated methodCall tag in copy 2")
+	}
+}

@@ -1,0 +1,193 @@
+package xmlrpc
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/parser"
+)
+
+// The section 5.1 back-end application in miniature: the parse tree built
+// from the tag stream drives a real decoder — XML-RPC text in, typed Go
+// values out.
+
+// Kind enumerates XML-RPC value types.
+type Kind uint8
+
+// Value kinds, matching the figure 13 DTD's element types.
+const (
+	KindInt Kind = iota
+	KindDouble
+	KindString
+	KindDateTime
+	KindBase64
+	KindStruct
+	KindArray
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindDateTime:
+		return "dateTime"
+	case KindBase64:
+		return "base64"
+	case KindStruct:
+		return "struct"
+	case KindArray:
+		return "array"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is one decoded XML-RPC value.
+type Value struct {
+	Kind Kind
+	// Int holds i4/int values.
+	Int int64
+	// Double holds double values.
+	Double float64
+	// Text holds string, dateTime and base64 lexemes.
+	Text string
+	// Struct holds member name → value.
+	Struct map[string]Value
+	// Array holds data elements.
+	Array []Value
+}
+
+// Call is a decoded methodCall.
+type Call struct {
+	Method string
+	Params []Value
+}
+
+var (
+	decodeOnce sync.Once
+	decodeTbl  *parser.Table
+	decodeErr  error
+)
+
+// Decode parses one figure 14 dialect methodCall message into a Call.
+func Decode(msg []byte) (*Call, error) {
+	decodeOnce.Do(func() {
+		spec, err := core.Compile(grammar.XMLRPC(), core.Options{})
+		if err != nil {
+			decodeErr = err
+			return
+		}
+		decodeTbl, decodeErr = parser.BuildTable(spec)
+	})
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	tree, err := decodeTbl.ParseTree(msg)
+	if err != nil {
+		return nil, err
+	}
+	call := &Call{}
+	mn := tree.Find("methodName")
+	if mn == nil || len(mn.Children) != 3 {
+		return nil, fmt.Errorf("xmlrpc: no methodName in parse tree")
+	}
+	call.Method = mn.Children[1].Lexeme
+
+	params := tree.Find("params")
+	if params == nil {
+		return nil, fmt.Errorf("xmlrpc: no params in parse tree")
+	}
+	// params : "<params>" param "</params>" ; param is right-recursive.
+	for p := params.Children[1]; p != nil && len(p.Children) == 4; p = p.Children[3] {
+		v, err := decodeValue(p.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		call.Params = append(call.Params, v)
+	}
+	return call, nil
+}
+
+// decodeValue converts a value node (one typed alternative).
+func decodeValue(n *Node) (Value, error) {
+	if len(n.Children) != 1 {
+		return Value{}, fmt.Errorf("xmlrpc: malformed value node %s", n.Symbol)
+	}
+	t := n.Children[0]
+	switch t.Symbol {
+	case "i4", "int":
+		i, err := strconv.ParseInt(t.Children[1].Lexeme, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("xmlrpc: %s: %w", t.Symbol, err)
+		}
+		return Value{Kind: KindInt, Int: i}, nil
+	case "double":
+		f, err := strconv.ParseFloat(t.Children[1].Lexeme, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("xmlrpc: double: %w", err)
+		}
+		return Value{Kind: KindDouble, Double: f}, nil
+	case "string":
+		return Value{Kind: KindString, Text: t.Children[1].Lexeme}, nil
+	case "base64":
+		return Value{Kind: KindBase64, Text: t.Children[1].Lexeme}, nil
+	case "dateTime":
+		// Children: tag YEAR MONTH DAY T HOUR : MIN : SEC tag
+		var text string
+		for _, c := range t.Children[1 : len(t.Children)-1] {
+			text += c.Lexeme
+		}
+		return Value{Kind: KindDateTime, Text: text}, nil
+	case "struct":
+		// struct : "<struct>" member member_list "</struct>"
+		out := Value{Kind: KindStruct, Struct: map[string]Value{}}
+		if err := decodeMember(t.Children[1], &out); err != nil {
+			return Value{}, err
+		}
+		for ml := t.Children[2]; ml != nil && len(ml.Children) == 2; ml = ml.Children[1] {
+			if err := decodeMember(ml.Children[0], &out); err != nil {
+				return Value{}, err
+			}
+		}
+		return out, nil
+	case "array":
+		// array : "<array>" data "</array>" ; data : "<data>" value_list "</data>"
+		out := Value{Kind: KindArray}
+		data := t.Children[1]
+		for vl := data.Children[1]; vl != nil && len(vl.Children) == 2; vl = vl.Children[1] {
+			v, err := decodeValue(vl.Children[0])
+			if err != nil {
+				return Value{}, err
+			}
+			out.Array = append(out.Array, v)
+		}
+		return out, nil
+	default:
+		return Value{}, fmt.Errorf("xmlrpc: unknown value type %s", t.Symbol)
+	}
+}
+
+// decodeMember adds one member node ("<member>" name value "</member>") to
+// a struct value.
+func decodeMember(m *Node, out *Value) error {
+	if len(m.Children) != 4 {
+		return fmt.Errorf("xmlrpc: malformed member node")
+	}
+	name := m.Children[1].Children[1].Lexeme
+	v, err := decodeValue(m.Children[2])
+	if err != nil {
+		return err
+	}
+	out.Struct[name] = v
+	return nil
+}
+
+// Node aliases the parser's tree node for decode helpers.
+type Node = parser.Node

@@ -1,0 +1,205 @@
+package xmlrpc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDecodeSimple(t *testing.T) {
+	msg := "<methodCall> <methodName>deposit</methodName> <params> " +
+		"<param> <i4>42</i4> </param> " +
+		"<param> <string>savings</string> </param> " +
+		"<param> <double>-3.5</double> </param> " +
+		"</params> </methodCall>"
+	call, err := Decode([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Method != "deposit" {
+		t.Errorf("method = %q", call.Method)
+	}
+	if len(call.Params) != 3 {
+		t.Fatalf("params = %+v", call.Params)
+	}
+	if p := call.Params[0]; p.Kind != KindInt || p.Int != 42 {
+		t.Errorf("param 0 = %+v", p)
+	}
+	if p := call.Params[1]; p.Kind != KindString || p.Text != "savings" {
+		t.Errorf("param 1 = %+v", p)
+	}
+	if p := call.Params[2]; p.Kind != KindDouble || p.Double != -3.5 {
+		t.Errorf("param 2 = %+v", p)
+	}
+}
+
+func TestDecodeEmptyParams(t *testing.T) {
+	call, err := Decode([]byte("<methodCall> <methodName>ping</methodName> <params> </params> </methodCall>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.Method != "ping" || len(call.Params) != 0 {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestDecodeStructAndArray(t *testing.T) {
+	msg := "<methodCall> <methodName>mix</methodName> <params> " +
+		"<param> <struct> " +
+		"<member> <name>qty</name> <int>7</int> </member> " +
+		"<member> <name>tag</name> <string>x1</string> </member> " +
+		"</struct> </param> " +
+		"<param> <array> <data> <i4>1</i4> <i4>2</i4> <i4>3</i4> </data> </array> </param> " +
+		"</params> </methodCall>"
+	call, err := Decode([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := call.Params[0]
+	if st.Kind != KindStruct || len(st.Struct) != 2 {
+		t.Fatalf("struct = %+v", st)
+	}
+	if st.Struct["qty"].Int != 7 || st.Struct["tag"].Text != "x1" {
+		t.Errorf("members = %+v", st.Struct)
+	}
+	arr := call.Params[1]
+	if arr.Kind != KindArray || len(arr.Array) != 3 || arr.Array[2].Int != 3 {
+		t.Errorf("array = %+v", arr)
+	}
+}
+
+func TestDecodeNestedStruct(t *testing.T) {
+	msg := "<methodCall> <methodName>deep</methodName> <params> " +
+		"<param> <struct> <member> <name>outer</name> " +
+		"<struct> <member> <name>inner</name> <i4>9</i4> </member> </struct> " +
+		"</member> </struct> </param> </params> </methodCall>"
+	call, err := Decode([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := call.Params[0].Struct["outer"]
+	if outer.Kind != KindStruct || outer.Struct["inner"].Int != 9 {
+		t.Errorf("nested = %+v", outer)
+	}
+}
+
+func TestDecodeDateTimeAndBase64(t *testing.T) {
+	msg := "<methodCall> <methodName>when</methodName> <params> " +
+		"<param> <dateTime.iso8601>19980717T14:08:55</dateTime.iso8601> </param> " +
+		"<param> <base64>aGVsbG8=</base64> </param> " +
+		"</params> </methodCall>"
+	call, err := Decode([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := call.Params[0]; p.Kind != KindDateTime || p.Text != "19980717T14:08:55" {
+		t.Errorf("dateTime = %+v", p)
+	}
+	if p := call.Params[1]; p.Kind != KindBase64 || p.Text != "aGVsbG8=" {
+		t.Errorf("base64 = %+v", p)
+	}
+}
+
+func TestDecodeGeneratedMessages(t *testing.T) {
+	g := NewGenerator(55, Options{MaxParams: 4, MaxDepth: 2})
+	for trial := 0; trial < 150; trial++ {
+		msg, svc := g.Message()
+		call, err := Decode([]byte(msg))
+		if err != nil {
+			t.Fatalf("trial %d: %v\nmessage: %s", trial, err, msg)
+		}
+		if call.Method != svc {
+			t.Errorf("trial %d: method %q, want %q", trial, call.Method, svc)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<methodCall> </methodCall>",
+		"<methodCall> <methodName>hi</methodName> <params>",
+		"not xml at all",
+	}
+	for _, m := range bad {
+		if _, err := Decode([]byte(m)); err == nil {
+			t.Errorf("decoded malformed %q", m)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip: Decode(Encode(call)) reproduces the call for
+// randomly generated value trees.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var randomValue func(depth int) Value
+	randomValue = func(depth int) Value {
+		kinds := []Kind{KindInt, KindDouble, KindString, KindDateTime, KindBase64}
+		if depth > 0 {
+			kinds = append(kinds, KindStruct, KindArray)
+		}
+		switch kinds[rng.Intn(len(kinds))] {
+		case KindInt:
+			return Value{Kind: KindInt, Int: int64(rng.Intn(2_000_000) - 1_000_000)}
+		case KindDouble:
+			return Value{Kind: KindDouble, Double: float64(rng.Intn(100000)) / 64}
+		case KindString:
+			return Value{Kind: KindString, Text: fmt.Sprintf("s%d", rng.Intn(10000))}
+		case KindDateTime:
+			return Value{Kind: KindDateTime, Text: fmt.Sprintf("%04d%02d%02dT%02d:%02d:%02d",
+				2000+rng.Intn(20), 1+rng.Intn(12), 1+rng.Intn(28),
+				rng.Intn(24), rng.Intn(60), rng.Intn(60))}
+		case KindBase64:
+			return Value{Kind: KindBase64, Text: "QUJD" + fmt.Sprint(rng.Intn(100))}
+		case KindStruct:
+			v := Value{Kind: KindStruct, Struct: map[string]Value{}}
+			for i := 0; i <= rng.Intn(3); i++ {
+				v.Struct[fmt.Sprintf("k%d", i)] = randomValue(depth - 1)
+			}
+			return v
+		default:
+			v := Value{Kind: KindArray}
+			for i := 0; i < rng.Intn(4); i++ {
+				v.Array = append(v.Array, randomValue(depth-1))
+			}
+			return v
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		call := &Call{Method: fmt.Sprintf("m%d", trial)}
+		for i := 0; i < rng.Intn(4); i++ {
+			call.Params = append(call.Params, randomValue(2))
+		}
+		text, err := Encode(call)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		back, err := Decode([]byte(text))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, text)
+		}
+		if !reflect.DeepEqual(call, back) {
+			t.Fatalf("trial %d: round trip diverged\nin:  %+v\nout: %+v\ntext: %s", trial, call, back, text)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(&Call{Method: "x", Params: []Value{{Kind: KindStruct}}}); err == nil {
+		t.Error("empty struct encoded (DTD requires member+)")
+	}
+	if _, err := Encode(&Call{Method: "x", Params: []Value{{Kind: Kind(42)}}}); err == nil {
+		t.Error("unknown kind encoded")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindInt: "int", KindStruct: "struct", KindArray: "array", Kind(99): "Kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

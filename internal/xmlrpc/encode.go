@@ -1,0 +1,75 @@
+package xmlrpc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Encode renders a Call back to figure 14 dialect message text — the
+// inverse of Decode, used for round-trip testing and for synthesizing
+// traffic with exact payloads.
+func Encode(c *Call) (string, error) {
+	var b strings.Builder
+	b.WriteString("<methodCall> <methodName>" + c.Method + "</methodName> <params>")
+	for _, p := range c.Params {
+		b.WriteString(" <param> ")
+		if err := encodeValue(&b, p); err != nil {
+			return "", err
+		}
+		b.WriteString(" </param>")
+	}
+	b.WriteString(" </params> </methodCall>")
+	return b.String(), nil
+}
+
+func encodeValue(b *strings.Builder, v Value) error {
+	switch v.Kind {
+	case KindInt:
+		fmt.Fprintf(b, "<i4>%d</i4>", v.Int)
+	case KindDouble:
+		// The DOUBLE token requires digits on both sides of the dot.
+		s := strconv.FormatFloat(v.Double, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		fmt.Fprintf(b, "<double>%s</double>", s)
+	case KindString:
+		fmt.Fprintf(b, "<string>%s</string>", v.Text)
+	case KindDateTime:
+		fmt.Fprintf(b, "<dateTime.iso8601>%s</dateTime.iso8601>", v.Text)
+	case KindBase64:
+		fmt.Fprintf(b, "<base64>%s</base64>", v.Text)
+	case KindStruct:
+		if len(v.Struct) == 0 {
+			return fmt.Errorf("xmlrpc: struct requires at least one member (DTD member+)")
+		}
+		b.WriteString("<struct>")
+		names := make([]string, 0, len(v.Struct))
+		for name := range v.Struct {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(b, " <member> <name>%s</name> ", name)
+			if err := encodeValue(b, v.Struct[name]); err != nil {
+				return err
+			}
+			b.WriteString(" </member>")
+		}
+		b.WriteString(" </struct>")
+	case KindArray:
+		b.WriteString("<array> <data>")
+		for _, e := range v.Array {
+			b.WriteString(" ")
+			if err := encodeValue(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteString(" </data> </array>")
+	default:
+		return fmt.Errorf("xmlrpc: cannot encode kind %v", v.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package xmlrpc generates and validates XML-RPC messages in the paper's
+// figure 14 dialect (value is a pure nonterminal, so no <value> wrapper
+// tags appear in the text). The generator drives the router example of
+// figure 12 — messages carry a chosen service name in <methodName> — and
+// the throughput benches, which need long realistic streams.
+package xmlrpc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Fig. 12's two back-end servers and their services.
+var (
+	// BankServices route to the bank server in the figure 12 example.
+	BankServices = []string{"deposit", "withdraw", "acctinfo"}
+	// ShoppingServices route to the shopping server.
+	ShoppingServices = []string{"buy", "sell", "price"}
+)
+
+// Options tune message generation.
+type Options struct {
+	// Service fixes the methodName; empty picks randomly from the six
+	// figure 12 services.
+	Service string
+	// MaxParams bounds the parameter count (0 means 3).
+	MaxParams int
+	// MaxDepth bounds struct/array nesting (0 means 2).
+	MaxDepth int
+	// Compact omits inter-token whitespace where the grammar allows it.
+	Compact bool
+	// ValueTags wraps every value in <value>/</value> tags — the real
+	// XML-RPC wire format recognized by the XMLRPCFull grammar. Off by
+	// default to match the paper's figure 14 dialect.
+	ValueTags bool
+}
+
+// Generator emits random well-formed messages.
+type Generator struct {
+	rng  *rand.Rand
+	opts Options
+}
+
+// NewGenerator seeds a generator.
+func NewGenerator(seed int64, opts Options) *Generator {
+	if opts.MaxParams == 0 {
+		opts.MaxParams = 3
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 2
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), opts: opts}
+}
+
+// Message produces one XML-RPC methodCall and reports the service it
+// carries.
+func (g *Generator) Message() (text string, service string) {
+	service = g.opts.Service
+	if service == "" {
+		all := append(append([]string{}, BankServices...), ShoppingServices...)
+		service = all[g.rng.Intn(len(all))]
+	}
+	var b strings.Builder
+	sep := " "
+	if g.opts.Compact {
+		sep = ""
+	}
+	b.WriteString("<methodCall>" + sep)
+	b.WriteString("<methodName>" + service + "</methodName>" + sep)
+	b.WriteString("<params>" + sep)
+	nParams := g.rng.Intn(g.opts.MaxParams + 1)
+	for i := 0; i < nParams; i++ {
+		b.WriteString("<param>" + sep)
+		g.value(&b, g.opts.MaxDepth, sep)
+		b.WriteString(sep + "</param>" + sep)
+	}
+	b.WriteString("</params>" + sep)
+	b.WriteString("</methodCall>")
+	return b.String(), service
+}
+
+// Corpus produces n messages joined by newlines, with the service of each.
+func (g *Generator) Corpus(n int) (string, []string) {
+	var msgs []string
+	var services []string
+	for i := 0; i < n; i++ {
+		m, s := g.Message()
+		msgs = append(msgs, m)
+		services = append(services, s)
+	}
+	return strings.Join(msgs, "\n"), services
+}
+
+func (g *Generator) value(b *strings.Builder, depth int, sep string) {
+	if g.opts.ValueTags {
+		b.WriteString("<value>" + sep)
+		defer b.WriteString(sep + "</value>")
+	}
+	kinds := []string{"i4", "int", "string", "dateTime", "double", "base64"}
+	if depth > 0 {
+		kinds = append(kinds, "struct", "array")
+	}
+	switch kinds[g.rng.Intn(len(kinds))] {
+	case "i4":
+		fmt.Fprintf(b, "<i4>%s</i4>", g.intLexeme())
+	case "int":
+		fmt.Fprintf(b, "<int>%s</int>", g.intLexeme())
+	case "string":
+		fmt.Fprintf(b, "<string>%s</string>", g.stringLexeme())
+	case "dateTime":
+		fmt.Fprintf(b, "<dateTime.iso8601>%04d%02d%02dT%02d:%02d:%02d</dateTime.iso8601>",
+			1990+g.rng.Intn(30), 1+g.rng.Intn(12), 1+g.rng.Intn(28),
+			g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60))
+	case "double":
+		fmt.Fprintf(b, "<double>%s%d.%d</double>", g.sign(), g.rng.Intn(1000), g.rng.Intn(1000))
+	case "base64":
+		fmt.Fprintf(b, "<base64>%s</base64>", g.base64Lexeme())
+	case "struct":
+		b.WriteString("<struct>" + sep)
+		n := 1 + g.rng.Intn(2)
+		for i := 0; i < n; i++ {
+			b.WriteString("<member>" + sep)
+			fmt.Fprintf(b, "<name>%s</name>%s", g.stringLexeme(), sep)
+			g.value(b, depth-1, sep)
+			b.WriteString(sep + "</member>" + sep)
+		}
+		b.WriteString("</struct>")
+	case "array":
+		b.WriteString("<array>" + sep + "<data>" + sep)
+		n := g.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g.value(b, depth-1, sep)
+			b.WriteString(sep)
+		}
+		b.WriteString("</data>" + sep + "</array>")
+	}
+}
+
+func (g *Generator) sign() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return "-"
+	case 1:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+func (g *Generator) intLexeme() string {
+	return fmt.Sprintf("%s%d", g.sign(), g.rng.Intn(1_000_000))
+}
+
+const alnum = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func (g *Generator) stringLexeme() string {
+	n := 1 + g.rng.Intn(10)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alnum[g.rng.Intn(len(alnum))])
+	}
+	return sb.String()
+}
+
+func (g *Generator) base64Lexeme() string {
+	const b64 = alnum + "+/"
+	n := 4 * (1 + g.rng.Intn(4))
+	var sb strings.Builder
+	for i := 0; i < n-2; i++ {
+		sb.WriteByte(b64[g.rng.Intn(len(b64))])
+	}
+	sb.WriteString("==")
+	return sb.String()
+}
+
+// ServiceDestination reports which figure 12 output port a service routes
+// to: 0 for the bank server, 1 for the shopping server, -1 for unknown.
+func ServiceDestination(service string) int {
+	for _, s := range BankServices {
+		if s == service {
+			return 0
+		}
+	}
+	for _, s := range ShoppingServices {
+		if s == service {
+			return 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,161 @@
+package xmlrpc
+
+import (
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/parser"
+)
+
+func ll1(t *testing.T) *parser.Table {
+	t.Helper()
+	s, err := core.Compile(grammar.XMLRPC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := parser.BuildTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestGeneratedMessagesParse validates every generated message against the
+// LL(1) parser for the figure 14 grammar — the strongest available
+// well-formedness check.
+func TestGeneratedMessagesParse(t *testing.T) {
+	tbl := ll1(t)
+	for _, compact := range []bool{false, true} {
+		g := NewGenerator(7, Options{Compact: compact})
+		for trial := 0; trial < 200; trial++ {
+			msg, svc := g.Message()
+			if _, err := tbl.Parse([]byte(msg)); err != nil {
+				t.Fatalf("compact=%v trial %d: %v\nmessage: %s", compact, trial, err, msg)
+			}
+			if !strings.Contains(msg, "<methodName>"+svc+"</methodName>") {
+				t.Errorf("service %q not embedded: %s", svc, msg)
+			}
+		}
+	}
+}
+
+// TestFullDialect validates ValueTags traffic against the XMLRPCFull
+// grammar's LL(1) parser.
+func TestFullDialect(t *testing.T) {
+	s, err := core.Compile(grammar.XMLRPCFull(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := parser.BuildTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(9, Options{ValueTags: true})
+	for trial := 0; trial < 100; trial++ {
+		msg, _ := g.Message()
+		if _, err := tbl.Parse([]byte(msg)); err != nil {
+			t.Fatalf("trial %d: %v\nmessage: %s", trial, err, msg)
+		}
+		if strings.Contains(msg, "<i4>") && !strings.Contains(msg, "<value>") {
+			t.Fatalf("value tags missing: %s", msg)
+		}
+	}
+	// Figure 14 traffic does not parse under the full grammar (and vice
+	// versa): the dialects are distinct.
+	fig14 := NewGenerator(9, Options{})
+	for trial := 0; trial < 50; trial++ {
+		msg, _ := fig14.Message()
+		if strings.Contains(msg, "<param>") { // only messages with params differ
+			if _, err := tbl.Parse([]byte(msg)); err == nil {
+				t.Fatalf("figure 14 message accepted by the full grammar: %s", msg)
+			}
+			break
+		}
+	}
+}
+
+func TestFixedService(t *testing.T) {
+	g := NewGenerator(1, Options{Service: "deposit"})
+	for i := 0; i < 10; i++ {
+		msg, svc := g.Message()
+		if svc != "deposit" || !strings.Contains(msg, ">deposit<") {
+			t.Errorf("service = %q in %s", svc, msg)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	g := NewGenerator(2, Options{})
+	text, services := g.Corpus(25)
+	if len(services) != 25 {
+		t.Fatalf("services = %d", len(services))
+	}
+	if got := strings.Count(text, "<methodCall>"); got != 25 {
+		t.Errorf("%d methodCall opens, want 25", got)
+	}
+	if got := strings.Count(text, "\n"); got < 24 {
+		t.Errorf("messages not newline-separated: %d", got)
+	}
+}
+
+func TestServiceDestination(t *testing.T) {
+	for _, s := range BankServices {
+		if ServiceDestination(s) != 0 {
+			t.Errorf("%s should route to bank (0)", s)
+		}
+	}
+	for _, s := range ShoppingServices {
+		if ServiceDestination(s) != 1 {
+			t.Errorf("%s should route to shopping (1)", s)
+		}
+	}
+	if ServiceDestination("nonsense") != -1 {
+		t.Error("unknown service should map to -1")
+	}
+}
+
+func TestNestingRespectsDepth(t *testing.T) {
+	g := NewGenerator(3, Options{MaxDepth: 1, MaxParams: 5})
+	for i := 0; i < 100; i++ {
+		msg, _ := g.Message()
+		// Depth 1 permits structs but not structs inside structs: a
+		// second <struct> before the first closes would need depth 2.
+		depth, max := 0, 0
+		for j := 0; j+8 <= len(msg); j++ {
+			if strings.HasPrefix(msg[j:], "<struct>") {
+				depth++
+				if depth > max {
+					max = depth
+				}
+			}
+			if strings.HasPrefix(msg[j:], "</struct>") {
+				depth--
+			}
+		}
+		if max > 1 {
+			t.Fatalf("nested struct at depth %d: %s", max, msg)
+		}
+	}
+}
+
+func TestDateTimeShape(t *testing.T) {
+	g := NewGenerator(4, Options{})
+	found := false
+	for i := 0; i < 300 && !found; i++ {
+		msg, _ := g.Message()
+		if idx := strings.Index(msg, "<dateTime.iso8601>"); idx >= 0 {
+			found = true
+			body := msg[idx+len("<dateTime.iso8601>"):]
+			end := strings.Index(body, "</dateTime.iso8601>")
+			val := body[:end]
+			if len(val) != 17 || val[8] != 'T' || val[11] != ':' || val[14] != ':' {
+				t.Errorf("dateTime lexeme %q malformed", val)
+			}
+		}
+	}
+	if !found {
+		t.Skip("no dateTime generated in 300 trials (improbable)")
+	}
+}
