@@ -29,6 +29,7 @@ import (
 	"cfgtag/internal/match"
 	"cfgtag/internal/parser"
 	"cfgtag/internal/router"
+	"cfgtag/internal/runtime"
 	"cfgtag/internal/stream"
 	"cfgtag/internal/workload"
 	"cfgtag/internal/xmlrpc"
@@ -156,6 +157,86 @@ func BenchmarkParallelTagger(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedPipeline measures the sharded runtime against the
+// single-stream tagger on the same multi-stream workload: 16 interleaved
+// XML-RPC streams, tagged either one after another on one engine
+// (baseline) or dispatched by stream key across 1/2/4/8 tagger shards.
+// Aggregate throughput is bytes across all streams per wall-clock second;
+// the shard sweep shows the scaling headroom GOMAXPROCS allows (on a
+// single-core box all shard counts collapse to the baseline, minus the
+// dispatch overhead).
+func BenchmarkShardedPipeline(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpus(b, 100)
+	const streams = 16
+	const chunk = 32 << 10
+	total := int64(streams * len(data))
+
+	b.Run("baseline-1stream", func(b *testing.B) {
+		tg := stream.NewTagger(spec)
+		count := 0
+		tg.OnMatch = func(stream.Match) { count++ }
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			for s := 0; s < streams; s++ {
+				tg.Reset()
+				tg.Write(data)
+				tg.Close()
+			}
+		}
+		if count == 0 {
+			b.Fatal("tagger found nothing")
+		}
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			keys := make([]string, streams)
+			for s := range keys {
+				keys[s] = fmt.Sprintf("stream-%d", s)
+			}
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tags := 0
+				p, err := runtime.NewPipeline(
+					runtime.Config{Shards: shards, Queue: 256, Factory: runtime.TaggerFactory(spec)},
+					runtime.SinkFunc(func(bt *runtime.Batch) error { tags += len(bt.Tags); return nil }),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				// Interleave chunks across streams, as a multiplexed source
+				// would deliver them.
+				for lo := 0; lo < len(data); lo += chunk {
+					hi := lo + chunk
+					if hi > len(data) {
+						hi = len(data)
+					}
+					for _, key := range keys {
+						if err := p.Send(key, data[lo:hi]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if tags == 0 {
+					b.Fatal("pipeline delivered no tags")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkGateSim measures the cycle-accurate gate-level simulation of

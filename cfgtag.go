@@ -30,6 +30,7 @@ import (
 	"cfgtag/internal/grammar"
 	"cfgtag/internal/hwgen"
 	"cfgtag/internal/parser"
+	"cfgtag/internal/runtime"
 	"cfgtag/internal/stream"
 	"cfgtag/internal/validate"
 	"cfgtag/internal/vhdl"
@@ -415,6 +416,179 @@ func (c *CheckedTagger) Errors() int64 { return c.inner.Tagger.Errors }
 // StackDepth reports the stack high-water mark — the capacity a hardware
 // stack would have needed for this stream.
 func (c *CheckedTagger) StackDepth() int { return c.inner.Validator.StackDepth() }
+
+// BackendKind selects one of the engine's three execution paths when they
+// are driven through the uniform Backend interface.
+type BackendKind string
+
+const (
+	// StreamBackend is the bit-parallel software tagger (the default).
+	StreamBackend BackendKind = "stream"
+	// GatesBackend is the cycle-accurate simulation of the generated
+	// netlist — the hardware reference, byte-per-cycle slow.
+	GatesBackend BackendKind = "gates"
+	// ParserBackend is the LL(1) predictive-parser baseline. It buffers
+	// the stream and parses at Close: one stream must be one sentence, the
+	// grammar must be LL(1), and matches appear only after a successful
+	// Close.
+	ParserBackend BackendKind = "parser"
+)
+
+// BackendCounters reports what a Backend has processed: bytes fed, matches
+// confirmed, section 5.2 recovery events, and encoder index collisions.
+type BackendCounters = runtime.Counters
+
+// Backend drives any of the three execution paths through one streaming
+// contract: Feed bytes, drain Matches, Close to flush the final byte (and,
+// for the parser path, to obtain the verdict). Not safe for concurrent use.
+type Backend struct {
+	engine *Engine
+	inner  runtime.Backend
+	kind   BackendKind
+}
+
+func (e *Engine) factory(kind BackendKind) (runtime.Factory, error) {
+	switch kind {
+	case StreamBackend, "":
+		return runtime.TaggerFactory(e.spec), nil
+	case GatesBackend:
+		return runtime.GateFactory(e.spec)
+	case ParserBackend:
+		return runtime.ParserFactory(e.spec)
+	default:
+		return nil, fmt.Errorf("cfgtag: unknown backend kind %q", kind)
+	}
+}
+
+// NewBackend instantiates one execution path behind the uniform contract.
+// GatesBackend generates the netlist and ParserBackend builds the LL(1)
+// table, so both can fail; StreamBackend cannot.
+func (e *Engine) NewBackend(kind BackendKind) (*Backend, error) {
+	f, err := e.factory(kind)
+	if err != nil {
+		return nil, err
+	}
+	b, err := f(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{engine: e, inner: b, kind: kind}, nil
+}
+
+// Kind returns which execution path this backend runs.
+func (b *Backend) Kind() BackendKind { return b.kind }
+
+// Reset rewinds to stream start for reuse.
+func (b *Backend) Reset() { b.inner.Reset() }
+
+// Feed streams bytes into the backend.
+func (b *Backend) Feed(p []byte) error { return b.inner.Feed(p) }
+
+// Close flushes the stream's end. The parser backend parses here and
+// returns the reject as the error.
+func (b *Backend) Close() error { return b.inner.Close() }
+
+// Matches drains the detections confirmed since the previous call.
+func (b *Backend) Matches() []Match {
+	ms := b.inner.Matches()
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = b.engine.match(m)
+	}
+	return out
+}
+
+// Counters reports the backend's lifetime totals.
+func (b *Backend) Counters() BackendCounters { return b.inner.Counters() }
+
+// TagBatch is one unit of pipeline output: a chunk of one stream plus the
+// matches confirmed over it. Data is pooled — it is only valid during the
+// deliver callback; copy it to keep it.
+type TagBatch struct {
+	// Stream is the key the bytes were Sent under.
+	Stream string
+	// Shard is the pipeline shard that processed this stream.
+	Shard int
+	// Data is the chunk of stream bytes this batch covers.
+	Data []byte
+	// Tags holds the matches confirmed while processing Data.
+	Tags []Match
+	// EOS marks the stream's final batch.
+	EOS bool
+	// Err carries the stream's backend verdict (e.g. a parser reject).
+	Err error
+}
+
+// Metrics aggregates pipeline observability counters (bytes, matches,
+// recoveries, collisions, queue-depth high-water mark) atomically; safe
+// for concurrent use. The zero value is ready.
+type Metrics = runtime.MetricCounters
+
+// PipelineConfig tunes a sharded pipeline.
+type PipelineConfig struct {
+	// Backend selects the execution path each shard runs ("" = stream).
+	Backend BackendKind
+	// Shards is the number of tagging shards (0 = GOMAXPROCS). Streams
+	// have shard affinity: one stream is always tagged by the same shard.
+	Shards int
+	// Queue is each shard's input queue depth in batches (0 = 64).
+	Queue int
+	// Metrics, when set, receives the pipeline's observability counters.
+	Metrics *Metrics
+}
+
+// Pipeline fans a keyed stream population out over tagging shards: Send
+// dispatches chunks by stream key, each shard runs one Backend per live
+// stream, and completed tag batches are delivered — in per-stream order,
+// serialized on a single goroutine — to the deliver callback. Send and
+// CloseStream are safe for concurrent use.
+type Pipeline struct {
+	engine *Engine
+	inner  *runtime.Pipeline
+}
+
+// NewPipeline starts a sharded pipeline delivering tag batches to deliver.
+// The pipeline owns its goroutines until Close.
+func (e *Engine) NewPipeline(cfg PipelineConfig, deliver func(*TagBatch) error) (*Pipeline, error) {
+	f, err := e.factory(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := runtime.Config{Shards: cfg.Shards, Queue: cfg.Queue, Factory: f}
+	if cfg.Metrics != nil {
+		rcfg.Hooks = cfg.Metrics.Hooks()
+	}
+	sink := runtime.SinkFunc(func(b *runtime.Batch) error {
+		tb := &TagBatch{Stream: b.Key, Shard: b.Shard, Data: b.Data, EOS: b.EOS, Err: b.Err}
+		if len(b.Tags) > 0 {
+			tb.Tags = make([]Match, len(b.Tags))
+			for i, m := range b.Tags {
+				tb.Tags[i] = e.match(m)
+			}
+		}
+		return deliver(tb)
+	})
+	p, err := runtime.NewPipeline(rcfg, sink)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{engine: e, inner: p}, nil
+}
+
+// Send routes one chunk of the keyed stream to its shard. It blocks when
+// the shard's queue is full (backpressure) and fails after Close.
+func (p *Pipeline) Send(stream string, data []byte) error { return p.inner.Send(stream, data) }
+
+// CloseStream ends one stream: its backend is flushed and its final batch
+// is delivered with EOS set.
+func (p *Pipeline) CloseStream(stream string) error { return p.inner.CloseStream(stream) }
+
+// Close flushes every open stream, stops the shards, and returns the first
+// deliver error.
+func (p *Pipeline) Close() error { return p.inner.Close() }
 
 // Lexeme recovers the matched text of m from the input it was tagged in.
 // The hardware reports only where a token ends; the lexeme is the longest

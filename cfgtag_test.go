@@ -382,3 +382,178 @@ func TestNonLL1StillTags(t *testing.T) {
 		t.Errorf("matches = %v", ms)
 	}
 }
+
+func TestBackendKindsAgree(t *testing.T) {
+	engine, err := Compile("demo", IfThenElseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("if true then go else stop")
+	want := engine.NewTagger().Tag(input)
+	if len(want) == 0 {
+		t.Fatal("reference tagger found nothing")
+	}
+	for _, kind := range []BackendKind{StreamBackend, GatesBackend, ParserBackend} {
+		b, err := engine.NewBackend(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if b.Kind() != kind {
+			t.Errorf("Kind() = %q, want %q", b.Kind(), kind)
+		}
+		if err := b.Feed(input); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got := b.Matches(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: matches = %v, want %v", kind, got, want)
+		}
+		c := b.Counters()
+		if c.Bytes != int64(len(input)) || c.Matches != int64(len(want)) {
+			t.Errorf("%s: counters = %+v", kind, c)
+		}
+		// Drained: a second call is empty; Reset makes it reusable.
+		if again := b.Matches(); again != nil {
+			t.Errorf("%s: second drain = %v", kind, again)
+		}
+		b.Reset()
+		b.Feed(input)
+		b.Close()
+		if got := b.Matches(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s after Reset: matches = %v", kind, got)
+		}
+	}
+}
+
+func TestBackendParserVerdict(t *testing.T) {
+	engine, err := Compile("demo", IfThenElseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.NewBackend(ParserBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Feed([]byte("if true go")) // missing "then"
+	if err := b.Close(); err == nil {
+		t.Error("parser backend accepted a non-sentence")
+	}
+	if _, err := engine.NewBackend(BackendKind("fpga")); err == nil {
+		t.Error("unknown backend kind accepted")
+	}
+}
+
+func TestPipelineFacade(t *testing.T) {
+	engine, err := Compile("xmlrpc", XMLRPCSource, FreeRunningStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics Metrics
+	type result struct {
+		tags []Match
+		data []byte
+		eos  bool
+	}
+	results := make(map[string]*result)
+	deliver := func(b *TagBatch) error {
+		r := results[b.Stream]
+		if r == nil {
+			r = &result{}
+			results[b.Stream] = r
+		}
+		r.tags = append(r.tags, b.Tags...)
+		r.data = append(r.data, b.Data...) // Data is pooled: copy
+		r.eos = r.eos || b.EOS
+		return b.Err
+	}
+	p, err := engine.NewPipeline(PipelineConfig{Shards: 4, Metrics: &metrics}, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("<methodCall> <methodName>buy</methodName> <params> </params> </methodCall>\n")
+	const streams = 6
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			for lo := 0; lo < len(input); lo += 9 {
+				hi := lo + 9
+				if hi > len(input) {
+					hi = len(input)
+				}
+				if err := p.Send(key, input[lo:hi]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			p.CloseStream(key)
+		}(i)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := engine.NewTagger().Tag(input)
+	for i := 0; i < streams; i++ {
+		key := string(rune('a' + i))
+		r := results[key]
+		if r == nil || !r.eos {
+			t.Fatalf("stream %s: missing or unterminated", key)
+		}
+		if !reflect.DeepEqual(r.data, input) {
+			t.Errorf("stream %s: bytes did not reassemble", key)
+		}
+		if !reflect.DeepEqual(r.tags, want) {
+			t.Errorf("stream %s: tags = %v, want %v", key, r.tags, want)
+		}
+	}
+	counters, _ := metrics.Snapshot()
+	if wantBytes := int64(streams * len(input)); counters.Bytes != wantBytes {
+		t.Errorf("metrics saw %d bytes, want %d", counters.Bytes, wantBytes)
+	}
+	if counters.Matches != int64(streams*len(want)) {
+		t.Errorf("metrics saw %d matches, want %d", counters.Matches, streams*len(want))
+	}
+	if err := p.Send("x", []byte("y")); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+}
+
+func TestPipelineParserBackend(t *testing.T) {
+	engine, err := Compile("demo", IfThenElseSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make(map[string]error)
+	tags := make(map[string]int)
+	p, err := engine.NewPipeline(PipelineConfig{Backend: ParserBackend, Shards: 2}, func(b *TagBatch) error {
+		if b.EOS {
+			verdicts[b.Stream] = b.Err
+		}
+		tags[b.Stream] += len(b.Tags)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Send("good", []byte("if true then go else stop"))
+	p.Send("bad", []byte("if true go"))
+	p.CloseStream("good")
+	p.CloseStream("bad")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if verdicts["good"] != nil {
+		t.Errorf("conforming stream: verdict %v", verdicts["good"])
+	}
+	if verdicts["bad"] == nil {
+		t.Error("non-conforming stream: no verdict")
+	}
+	if tags["good"] == 0 {
+		t.Error("conforming stream produced no tags")
+	}
+}

@@ -8,6 +8,12 @@
 //	cfgtagger -builtin xmlrpc -in message.xml
 //	cfgtagger -grammar my.y -free < stream.bin
 //	cfgtagger -builtin ifthenelse -show-wiring
+//	cfgtagger -builtin ifthenelse -backend gates -in program.txt
+//
+// -backend selects the execution path: "stream" (the bit-parallel software
+// engine, default), "gates" (cycle-accurate simulation of the generated
+// netlist) or "parser" (the LL(1) baseline, which also prints the
+// accept/reject verdict).
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		showFollow  = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
 		lint        = flag.Bool("lint", false, "print grammar design warnings and exit")
 		dot         = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
+		backend     = flag.String("backend", "stream", "execution path: stream, gates or parser")
 	)
 	flag.Parse()
 
@@ -74,13 +81,24 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
+	b, err := engine.NewBackend(cfgtag.BackendKind(*backend))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+		os.Exit(1)
+	}
+
 	if *lexemes {
 		data, err := io.ReadAll(in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cfgtagger:", err)
 			os.Exit(1)
 		}
-		ms := engine.NewTagger().Tag(data)
+		if err := b.Feed(data); err != nil {
+			fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+			os.Exit(1)
+		}
+		verdict := b.Close()
+		ms := b.Matches()
 		for _, m := range ms {
 			end := ""
 			if m.SentenceEnd {
@@ -90,25 +108,58 @@ func main() {
 				m.End, m.Index, m.Term, m.Context, engine.Lexeme(data, m), end)
 		}
 		fmt.Fprintf(out, "%d tokens tagged\n", len(ms))
+		report(out, b, verdict)
 		return
 	}
 
-	tg := engine.NewTagger()
 	count := 0
-	tg.OnMatch = func(m cfgtag.Match) {
-		count++
-		end := ""
-		if m.SentenceEnd {
-			end = "  [sentence-end]"
+	emit := func() {
+		for _, m := range b.Matches() {
+			count++
+			end := ""
+			if m.SentenceEnd {
+				end = "  [sentence-end]"
+			}
+			fmt.Fprintf(out, "%8d  idx=%-4d %-20q %s%s\n", m.End, m.Index, m.Term, m.Context, end)
 		}
-		fmt.Fprintf(out, "%8d  idx=%-4d %-20q %s%s\n", m.End, m.Index, m.Term, m.Context, end)
 	}
-	if _, err := io.Copy(tg, bufio.NewReader(in)); err != nil {
-		fmt.Fprintln(os.Stderr, "cfgtagger:", err)
-		os.Exit(1)
+	buf := make([]byte, 64<<10)
+	r := bufio.NewReader(in)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if err := b.Feed(buf[:n]); err != nil {
+				fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+				os.Exit(1)
+			}
+			emit()
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "cfgtagger:", rerr)
+			os.Exit(1)
+		}
 	}
-	tg.Close()
+	verdict := b.Close()
+	emit()
 	fmt.Fprintf(out, "%d tokens tagged\n", count)
+	report(out, b, verdict)
+}
+
+// report prints the backend's verdict and recovery/collision counters when
+// they carry information (the parser path rejects; the stream path counts
+// section 5.2 recoveries).
+func report(out io.Writer, b *cfgtag.Backend, verdict error) {
+	if verdict != nil {
+		fmt.Fprintf(out, "verdict: reject (%v)\n", verdict)
+	} else if b.Kind() == cfgtag.ParserBackend {
+		fmt.Fprintln(out, "verdict: accept")
+	}
+	if c := b.Counters(); c.Recoveries > 0 || c.Collisions > 0 {
+		fmt.Fprintf(out, "%d recoveries, %d index collisions\n", c.Recoveries, c.Collisions)
+	}
 }
 
 func load(grammarFile, builtin string, free bool) (*cfgtag.Engine, error) {

@@ -14,6 +14,13 @@
 //	xmlrouter -listen :8700 -bank bank.internal:9000 -shop shop.internal:9001
 //	xmlrouter -demo -messages 200
 //	xmlrouter -stdin           # read one stream from stdin, print routes
+//	xmlrouter -demo -shards 8  # tag on a sharded pipeline, route in a Sink
+//
+// With -shards N the per-connection inline router is replaced by one shared
+// sharded pipeline: connections become keyed streams, N tagger shards run
+// the grammar engine, and a single router.Sink consumes the tag batches and
+// forwards messages — the software shape of the paper's replicated-hardware
+// deployment.
 package main
 
 import (
@@ -26,7 +33,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
 	"cfgtag/internal/router"
+	"cfgtag/internal/runtime"
 	"cfgtag/internal/xmlrpc"
 )
 
@@ -41,6 +51,7 @@ func main() {
 		messages     = flag.Int("messages", 100, "messages to generate in -demo mode")
 		seed         = flag.Int64("seed", 1, "generator seed in -demo mode")
 		validateMsgs = flag.Bool("validate", false, "stack-validate messages; malformed ones route to the quarantine port")
+		shards       = flag.Int("shards", 0, "tag on a sharded pipeline with this many shards (0 = inline router per connection)")
 	)
 	flag.Parse()
 
@@ -50,14 +61,14 @@ func main() {
 			fail(err)
 		}
 	case *demo:
-		if err := runDemo(*messages, *seed); err != nil {
+		if err := runDemo(*messages, *seed, *shards); err != nil {
 			fail(err)
 		}
 	default:
 		if *bank == "" || *shop == "" {
 			fail(fmt.Errorf("need -bank and -shop addresses (or -demo / -stdin)"))
 		}
-		if err := serve(*listen, *bank, *shop, *fallback); err != nil {
+		if err := serve(*listen, *bank, *shop, *fallback, *shards); err != nil {
 			fail(err)
 		}
 	}
@@ -96,15 +107,35 @@ func routeStdin(validate bool) error {
 	return nil
 }
 
-// serve runs the production shape: one router per inbound connection,
-// forwarding messages over persistent connections to the back ends.
-func serve(listen, bank, shop, fallback string) error {
+// serve runs the production shape. Without shards: one inline router per
+// inbound connection. With shards: one shared pipeline tags every
+// connection's stream and a single Sink forwards the messages.
+func serve(listen, bank, shop, fallback string, shards int) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s)\n", ln.Addr(), bank, shop)
+	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, shards)
+	if shards > 0 {
+		sw, err := newSwitchboard(bank, shop, fallback, shards)
+		if err != nil {
+			return err
+		}
+		defer sw.Close()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if err := sw.HandleConn(c); err != nil {
+					fmt.Fprintln(os.Stderr, "xmlrouter:", err)
+				}
+			}(conn)
+		}
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -117,6 +148,97 @@ func serve(listen, bank, shop, fallback string) error {
 			}
 		}(conn)
 	}
+}
+
+// switchboard is the sharded deployment: one pipeline shared by every
+// connection, with a router.Sink forwarding completed messages over
+// persistent back-end connections (opened lazily from the sink goroutine,
+// which serializes all OnRoute calls).
+type switchboard struct {
+	pipeline *runtime.Pipeline
+	sink     *router.Sink
+	addrs    map[int]string
+	conns    map[int]net.Conn
+	fwdErr   error
+	nextConn int64
+}
+
+func newSwitchboard(bank, shop, fallback string, shards int) (*switchboard, error) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		return nil, err
+	}
+	sink, err := router.NewSink(spec, "methodName", router.FigureTwelve(), 2)
+	if err != nil {
+		return nil, err
+	}
+	sw := &switchboard{
+		sink:  sink,
+		addrs: map[int]string{0: bank, 1: shop},
+		conns: make(map[int]net.Conn),
+	}
+	if fallback != "" {
+		sw.addrs[2] = fallback
+	}
+	sink.OnRoute = func(stream string, port int, service string, message []byte) {
+		if sw.fwdErr != nil {
+			return
+		}
+		bc, ok := sw.conns[port]
+		if !ok {
+			addr, have := sw.addrs[port]
+			if !have {
+				return // drop
+			}
+			bc, err = net.Dial("tcp", addr)
+			if err != nil {
+				sw.fwdErr = err
+				return
+			}
+			sw.conns[port] = bc
+		}
+		if _, err := bc.Write(append(message, '\n')); err != nil {
+			sw.fwdErr = err
+		}
+	}
+	sw.pipeline, err = runtime.NewPipeline(runtime.Config{Shards: shards, Factory: runtime.TaggerFactory(spec)}, sink)
+	if err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// HandleConn pumps one connection into the pipeline as its own stream.
+func (sw *switchboard) HandleConn(c net.Conn) error {
+	key := fmt.Sprintf("conn-%d-%s", atomic.AddInt64(&sw.nextConn, 1), c.RemoteAddr())
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := c.Read(buf)
+		if n > 0 {
+			if serr := sw.pipeline.Send(key, buf[:n]); serr != nil {
+				return serr
+			}
+		}
+		if err == io.EOF {
+			return sw.pipeline.CloseStream(key)
+		}
+		if err != nil {
+			sw.pipeline.CloseStream(key)
+			return err
+		}
+	}
+}
+
+// Close drains the pipeline and closes the back-end connections.
+func (sw *switchboard) Close() error {
+	err := sw.pipeline.Close()
+	for _, bc := range sw.conns {
+		bc.Close()
+	}
+	if err != nil {
+		return err
+	}
+	return sw.fwdErr
 }
 
 func routeConn(c net.Conn, bank, shop, fallback string) error {
@@ -174,8 +296,9 @@ func routeConn(c net.Conn, bank, shop, fallback string) error {
 }
 
 // runDemo spins up two sink servers, routes generated traffic through a
-// TCP round trip, and prints what each sink received.
-func runDemo(messages int, seed int64) error {
+// TCP round trip, and prints what each sink received. With shards > 0 the
+// router side runs the sharded pipeline instead of the inline router.
+func runDemo(messages int, seed int64, shards int) error {
 	sinkCounts := [2]int64{}
 	var wg sync.WaitGroup
 	sinkAddr := [2]string{}
@@ -216,6 +339,20 @@ func runDemo(messages int, seed int64) error {
 			return
 		}
 		defer conn.Close()
+		if shards > 0 {
+			sw, err := newSwitchboard(sinkAddr[0], sinkAddr[1], "", shards)
+			if err != nil {
+				routerDone <- err
+				return
+			}
+			if err := sw.HandleConn(conn); err != nil {
+				sw.Close()
+				routerDone <- err
+				return
+			}
+			routerDone <- sw.Close()
+			return
+		}
 		routerDone <- routeConn(conn, sinkAddr[0], sinkAddr[1], "")
 	}()
 

@@ -48,4 +48,24 @@ func main() {
 		fmt.Printf("  %-28q  tagger: %d tokens tagged, LL(1) parser accepts: %v\n",
 			s, tagged, p.Accepts([]byte(s)))
 	}
+
+	// All three execution paths — software tagger, gate-level simulation of
+	// the generated hardware, and the LL(1) baseline — also run behind one
+	// streaming Backend contract.
+	fmt.Println("\nSame stream through every backend:")
+	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.GatesBackend, cfgtag.ParserBackend} {
+		b, err := engine.NewBackend(kind)
+		if err != nil {
+			panic(err)
+		}
+		if err := b.Feed([]byte(input)); err != nil {
+			panic(err)
+		}
+		verdict := "accept"
+		if err := b.Close(); err != nil {
+			verdict = "reject"
+		}
+		c := b.Counters()
+		fmt.Printf("  %-7s  %d bytes, %d matches, %s\n", kind, c.Bytes, c.Matches, verdict)
+	}
 }

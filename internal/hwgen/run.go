@@ -19,6 +19,8 @@ type Runner struct {
 	indexWires []netlist.Wire
 	validWire  netlist.Wire
 	endWire    netlist.Wire
+
+	pos int64 // cycles driven since Begin (streaming mode)
 }
 
 // NewRunner validates and instantiates the simulation.
@@ -48,21 +50,53 @@ func NewRunner(d *Design) (*Runner, error) {
 // returns the detect events in stream.Match form: the result is directly
 // comparable with the stream engine's output for the same spec.
 func (r *Runner) Run(input []byte) []stream.Match {
-	r.sm.Reset()
-	d := r.design
 	var out []stream.Match
-	cycles := len(input) + 1
-	for c := 0; c < cycles; c++ {
-		r.driveCycle(input, c)
-		r.sm.Step()
-		// Detects settled in cycle c report tokens ending at byte c-1.
-		for k, w := range d.Detects {
-			if r.sm.Value(w) {
-				out = append(out, stream.Match{InstanceID: k, End: int64(c - 1)})
-			}
+	emit := func(m stream.Match) { out = append(out, m) }
+	r.Begin()
+	r.Feed(input, emit)
+	r.Finish(emit)
+	return out
+}
+
+// Begin resets the simulation for a new stream; Feed and Finish continue
+// it incrementally. Begin / Feed* / Finish is the streaming decomposition
+// of Run: the detect events it emits are byte-for-byte identical.
+func (r *Runner) Begin() {
+	r.sm.Reset()
+	r.pos = 0
+}
+
+// Feed clocks one cycle per byte of p, emitting each detect event as it
+// settles. Detections carry absolute stream offsets, so Feed may be called
+// any number of times with arbitrary chunking.
+func (r *Runner) Feed(p []byte, emit func(stream.Match)) {
+	for _, b := range p {
+		r.cycle(b, false, emit)
+	}
+}
+
+// Finish drives the EOF flush cycle, emitting the final byte's pending
+// detections. The stream is complete afterwards; call Begin to reuse.
+func (r *Runner) Finish(emit func(stream.Match)) {
+	r.cycle(0, true, emit)
+}
+
+// cycle drives one clock: apply the input byte (or the EOF flush), settle,
+// and report detects. Detects settled in cycle c report tokens ending at
+// byte c-1.
+func (r *Runner) cycle(b byte, eof bool, emit func(stream.Match)) {
+	d := r.design
+	for i := 0; i < 8; i++ {
+		r.sm.SetInputWire(d.DataInputs[i], !eof && b&(1<<i) != 0)
+	}
+	r.sm.SetInputWire(d.EOF, eof)
+	r.sm.Step()
+	for k, w := range d.Detects {
+		if r.sm.Value(w) {
+			emit(stream.Match{InstanceID: k, End: r.pos - 1})
 		}
 	}
-	return out
+	r.pos++
 }
 
 // IndexEvent is one encoder output assertion.

@@ -4,6 +4,11 @@
 // name from the STRING detection inside the methodName production, and
 // switches each complete message to the output port registered for that
 // service (bank or shopping server in the paper's example).
+//
+// Two front ends drive the same switching core: Router couples it to its
+// own inline tagger (one stream, io.Writer-style), and Sink plugs it into
+// the sharded runtime pipeline as the batch consumer (many streams, tags
+// computed upstream by any Backend).
 package router
 
 import (
@@ -32,32 +37,170 @@ type Stats struct {
 	Unknown int
 	// Invalid counts messages diverted by validation (EnableValidation).
 	Invalid int
+	// Incomplete counts streams that ended mid-message.
+	Incomplete int
 }
 
-// Router is a streaming content-based switch. Not safe for concurrent use.
-type Router struct {
-	spec   *core.Spec
-	tagger *stream.Tagger
+// switchCore is the tagger-independent switching state machine: it buffers
+// stream bytes, consumes the tag stream over them, recovers the service
+// name and flushes complete messages to onRoute. One switchCore serves one
+// stream; Router and Sink wrap it.
+type switchCore struct {
+	spec *core.Spec
 
-	nameInstances map[int]bool // STRING-in-methodName instance IDs
+	nameInstances map[int]bool // service-name instance IDs
 	routes        map[string]int
 	defaultPort   int
 
-	// OnRoute receives every completed message with its resolved port and
-	// service. The message slice is only valid during the call.
-	OnRoute func(port int, service string, message []byte)
+	onRoute func(port int, service string, message []byte)
 
 	buf     []byte
 	bufBase int64 // absolute offset of buf[0]
 	service string
 	hasSvc  bool
-	stats   Stats
+	stats   *Stats
 
 	// validation (optional): the section 5.2 stack extension audits each
 	// message; ones with nesting violations divert to invalidPort.
 	validator    *validate.Validator
 	invalidPort  int
 	msgViolation bool
+}
+
+// resolveNameInstances finds the class-terminal instances inside the named
+// production — the detections that carry the service name.
+func resolveNameInstances(spec *core.Spec, nameProduction string) (map[int]bool, error) {
+	g := spec.Grammar
+	ids := make(map[int]bool)
+	for _, in := range spec.Instances {
+		if in.Rule >= 0 && g.Rules[in.Rule].LHS == nameProduction && !g.Tokens[in.TokenIndex].Literal {
+			ids[in.ID] = true
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("router: production %q has no class terminal to use as the service name", nameProduction)
+	}
+	return ids, nil
+}
+
+func buildRouteTable(routes []Route) (map[string]int, error) {
+	table := make(map[string]int, len(routes))
+	for _, rt := range routes {
+		if _, dup := table[rt.Service]; dup {
+			return nil, fmt.Errorf("router: duplicate route for service %q", rt.Service)
+		}
+		table[rt.Service] = rt.Port
+	}
+	return table, nil
+}
+
+func newSwitchCore(spec *core.Spec, nameInstances map[int]bool, routes map[string]int, defaultPort int, stats *Stats) *switchCore {
+	return &switchCore{
+		spec:          spec,
+		nameInstances: nameInstances,
+		routes:        routes,
+		defaultPort:   defaultPort,
+		stats:         stats,
+	}
+}
+
+// enableValidation attaches a per-stream stack validator.
+func (w *switchCore) enableValidation(maxDepth, invalidPort int) error {
+	v, err := validate.New(w.spec, maxDepth)
+	if err != nil {
+		return err
+	}
+	v.OnViolation = func(*validate.Violation) { w.msgViolation = true }
+	w.validator = v
+	w.invalidPort = invalidPort
+	return nil
+}
+
+// feed appends stream bytes to the message buffer.
+func (w *switchCore) feed(p []byte) {
+	w.buf = append(w.buf, p...)
+}
+
+// consume processes one detection over the fed bytes.
+func (w *switchCore) consume(m stream.Match) {
+	in := w.spec.Instances[m.InstanceID]
+	if w.validator != nil {
+		w.validator.Consume(m)
+	}
+	if w.nameInstances[m.InstanceID] {
+		w.service, w.hasSvc = w.recoverLexeme(m), true
+	}
+	if in.CanEnd {
+		w.flush(m.End)
+	}
+}
+
+// finish reports leftover unrouted bytes (an incomplete final message).
+func (w *switchCore) finish() error {
+	for _, b := range w.buf {
+		if !w.spec.Delim.Has(b) {
+			w.stats.Incomplete++
+			return fmt.Errorf("router: %d bytes of incomplete message at stream end", len(w.buf))
+		}
+	}
+	return nil
+}
+
+// recoverLexeme extracts the service name text: the hardware reports only
+// the end offset, so the longest suffix of the buffer matching the token
+// pattern (ending there) is the lexeme.
+func (w *switchCore) recoverLexeme(m stream.Match) string {
+	in := w.spec.Instances[m.InstanceID]
+	end := int(m.End-w.bufBase) + 1
+	n := in.Program.LongestSuffix(w.buf[:end])
+	if n <= 0 {
+		return ""
+	}
+	return string(w.buf[end-n : end])
+}
+
+// flush emits the message ending at absolute offset end.
+func (w *switchCore) flush(end int64) {
+	cut := int(end-w.bufBase) + 1
+	msg := w.buf[:cut]
+	// Trim leading delimiters left over from the inter-message gap.
+	start := 0
+	for start < len(msg) && w.spec.Delim.Has(msg[start]) {
+		start++
+	}
+	msg = msg[start:]
+
+	port, ok := w.routes[w.service]
+	if !ok || !w.hasSvc {
+		port = w.defaultPort
+		w.stats.Unknown++
+	}
+	if w.msgViolation {
+		port = w.invalidPort
+		w.stats.Invalid++
+		w.msgViolation = false
+	}
+	w.stats.Messages++
+	w.stats.PerPort[port]++
+	if w.onRoute != nil {
+		w.onRoute(port, w.service, msg)
+	}
+	w.buf = append(w.buf[:0], w.buf[cut:]...)
+	w.bufBase += int64(cut)
+	w.service, w.hasSvc = "", false
+}
+
+// Router is a streaming content-based switch over one stream, driving its
+// own inline tagger. Not safe for concurrent use.
+type Router struct {
+	spec   *core.Spec
+	tagger *stream.Tagger
+	core   *switchCore
+	stats  Stats
+
+	// OnRoute receives every completed message with its resolved port and
+	// service. The message slice is only valid during the call.
+	OnRoute func(port int, service string, message []byte)
 }
 
 // New builds a router over the figure 14 grammar. defaultPort receives
@@ -75,29 +218,24 @@ func NewWithGrammar(g *grammar.Grammar, nameProduction string, routes []Route, d
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{
-		spec:          spec,
-		nameInstances: make(map[int]bool),
-		routes:        make(map[string]int, len(routes)),
-		defaultPort:   defaultPort,
+	names, err := resolveNameInstances(spec, nameProduction)
+	if err != nil {
+		return nil, err
 	}
-	for _, in := range spec.Instances {
-		if in.Rule >= 0 && g.Rules[in.Rule].LHS == nameProduction && !g.Tokens[in.TokenIndex].Literal {
-			r.nameInstances[in.ID] = true
+	table, err := buildRouteTable(routes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{spec: spec}
+	r.stats.PerPort = make(map[int]int)
+	r.core = newSwitchCore(spec, names, table, defaultPort, &r.stats)
+	r.core.onRoute = func(port int, service string, message []byte) {
+		if r.OnRoute != nil {
+			r.OnRoute(port, service, message)
 		}
-	}
-	if len(r.nameInstances) == 0 {
-		return nil, fmt.Errorf("router: production %q has no class terminal to use as the service name", nameProduction)
-	}
-	for _, rt := range routes {
-		if _, dup := r.routes[rt.Service]; dup {
-			return nil, fmt.Errorf("router: duplicate route for service %q", rt.Service)
-		}
-		r.routes[rt.Service] = rt.Port
 	}
 	r.tagger = stream.NewTagger(spec)
-	r.tagger.OnMatch = r.onMatch
-	r.stats.PerPort = make(map[int]int)
+	r.tagger.OnMatch = r.core.consume
 	return r, nil
 }
 
@@ -110,19 +248,12 @@ func (r *Router) Spec() *core.Spec { return r.spec }
 // stack-less engine happily tags — divert to invalidPort instead of their
 // service's port. Must be called before Write; the grammar must be LL(1).
 func (r *Router) EnableValidation(maxDepth, invalidPort int) error {
-	v, err := validate.New(r.spec, maxDepth)
-	if err != nil {
-		return err
-	}
-	v.OnViolation = func(*validate.Violation) { r.msgViolation = true }
-	r.validator = v
-	r.invalidPort = invalidPort
-	return nil
+	return r.core.enableValidation(maxDepth, invalidPort)
 }
 
 // Write feeds stream bytes; complete messages fire OnRoute inline.
 func (r *Router) Write(p []byte) (int, error) {
-	r.buf = append(r.buf, p...)
+	r.core.feed(p)
 	return r.tagger.Write(p)
 }
 
@@ -132,73 +263,11 @@ func (r *Router) Close() error {
 	if err := r.tagger.Close(); err != nil {
 		return err
 	}
-	for _, b := range r.buf {
-		if !r.spec.Delim.Has(b) {
-			return fmt.Errorf("router: %d bytes of incomplete message at stream end", len(r.buf))
-		}
-	}
-	return nil
+	return r.core.finish()
 }
 
 // Stats returns routing counters.
 func (r *Router) Stats() Stats { return r.stats }
-
-func (r *Router) onMatch(m stream.Match) {
-	in := r.spec.Instances[m.InstanceID]
-	if r.validator != nil {
-		r.validator.Consume(m)
-	}
-	if r.nameInstances[m.InstanceID] {
-		r.service, r.hasSvc = r.recoverLexeme(m), true
-	}
-	if in.CanEnd {
-		r.flush(m.End)
-	}
-}
-
-// recoverLexeme extracts the service name text: the hardware reports only
-// the end offset, so the longest suffix of the buffer matching the token
-// pattern (ending there) is the lexeme.
-func (r *Router) recoverLexeme(m stream.Match) string {
-	in := r.spec.Instances[m.InstanceID]
-	end := int(m.End-r.bufBase) + 1
-	n := in.Program.LongestSuffix(r.buf[:end])
-	if n <= 0 {
-		return ""
-	}
-	return string(r.buf[end-n : end])
-}
-
-// flush emits the message ending at absolute offset end.
-func (r *Router) flush(end int64) {
-	cut := int(end-r.bufBase) + 1
-	msg := r.buf[:cut]
-	// Trim leading delimiters left over from the inter-message gap.
-	start := 0
-	for start < len(msg) && r.spec.Delim.Has(msg[start]) {
-		start++
-	}
-	msg = msg[start:]
-
-	port, ok := r.routes[r.service]
-	if !ok || !r.hasSvc {
-		port = r.defaultPort
-		r.stats.Unknown++
-	}
-	if r.msgViolation {
-		port = r.invalidPort
-		r.stats.Invalid++
-		r.msgViolation = false
-	}
-	r.stats.Messages++
-	r.stats.PerPort[port]++
-	if r.OnRoute != nil {
-		r.OnRoute(port, r.service, msg)
-	}
-	r.buf = append(r.buf[:0], r.buf[cut:]...)
-	r.bufBase += int64(cut)
-	r.service, r.hasSvc = "", false
-}
 
 // FigureTwelve returns the paper's route table: deposit/withdraw/acctinfo
 // to port 0 (bank), buy/sell/price to port 1 (shopping).

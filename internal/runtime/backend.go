@@ -1,0 +1,159 @@
+// Package runtime unifies the repo's three execution paths — the
+// bit-parallel stream engine, the gate-level simulation and the LL(1)
+// predictive-parser baseline — behind one streaming Backend contract, and
+// runs Backends at scale in a sharded pipeline (Source → N tagger shards →
+// Sink) in the style of stream processors like Benthos.
+//
+// A Backend recognizes one stream. All three implementations emit
+// stream.Match events with absolute offsets, so they are interchangeable
+// and differentially testable (see Conformance). The tagging paths accept
+// the documented FSA superset of the grammar; the parser path accepts the
+// grammar exactly and reports the difference as a Close error.
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"cfgtag/internal/stream"
+)
+
+// errClosed reports a Feed after Close, mirroring stream.Tagger's Write
+// guard across all backends.
+var errClosed = errors.New("runtime: Feed after Close")
+
+// Backend is the uniform streaming contract over one input stream.
+// Implementations are not safe for concurrent use; the pipeline gives each
+// stream its own Backend.
+type Backend interface {
+	// Reset rewinds to stream start for reuse.
+	Reset()
+	// Feed consumes the next chunk of stream bytes. Chunking is
+	// arbitrary: detections never depend on Feed boundaries.
+	Feed(p []byte) error
+	// Close ends the stream, flushing any pending detection. Backends
+	// that recognize the grammar exactly (the parser path) report
+	// non-conforming input here; the FSA paths always return nil.
+	Close() error
+	// Matches drains the detections confirmed since the previous call
+	// (or since Reset). Call once after Close for whole-stream use, or
+	// after each Feed for incremental batches.
+	Matches() []stream.Match
+	// Counters reports lifetime totals since Reset.
+	Counters() Counters
+}
+
+// Counters aggregates a Backend's per-stream totals.
+type Counters struct {
+	// Bytes fed so far.
+	Bytes int64
+	// Matches confirmed so far (drained or not).
+	Matches int64
+	// Recoveries counts section 5.2 error-recovery events (nonzero only
+	// when the spec was compiled with a Recover option).
+	Recoveries int64
+	// Collisions counts residual runtime index collisions (see
+	// stream.Tagger.Collisions).
+	Collisions int64
+}
+
+// Hooks is the metrics surface threaded through the backends and the
+// pipeline. Nil hooks (or nil fields) cost nothing. Hook functions must be
+// safe for concurrent use when shared across pipeline shards; the
+// per-event arguments identify the source.
+type Hooks struct {
+	// Bytes observes every chunk fed to a backend.
+	Bytes func(shard int, n int)
+	// Match observes every confirmed detection.
+	Match func(shard int, m stream.Match)
+	// Recovery observes each section 5.2 recovery event.
+	Recovery func(shard int, pos int64)
+	// Collision observes each runtime index collision.
+	Collision func(shard int, pos int64, a, b int)
+	// QueueDepth observes a shard's input queue depth at each enqueue.
+	QueueDepth func(shard int, depth int)
+}
+
+func (h *Hooks) bytes(shard, n int) {
+	if h != nil && h.Bytes != nil {
+		h.Bytes(shard, n)
+	}
+}
+
+func (h *Hooks) match(shard int, m stream.Match) {
+	if h != nil && h.Match != nil {
+		h.Match(shard, m)
+	}
+}
+
+func (h *Hooks) recovery(shard int, pos int64) {
+	if h != nil && h.Recovery != nil {
+		h.Recovery(shard, pos)
+	}
+}
+
+func (h *Hooks) collision(shard int, pos int64, a, b int) {
+	if h != nil && h.Collision != nil {
+		h.Collision(shard, pos, a, b)
+	}
+}
+
+func (h *Hooks) queueDepth(shard, depth int) {
+	if h != nil && h.QueueDepth != nil {
+		h.QueueDepth(shard, depth)
+	}
+}
+
+// Factory creates one Backend per stream. shard identifies the pipeline
+// shard the backend will live on (0 for standalone use) and is forwarded
+// to the hooks; h may be nil.
+type Factory func(shard int, h *Hooks) (Backend, error)
+
+// MetricCounters is a ready-made atomic Hooks target: plug Observe into a
+// pipeline or backend and read the totals concurrently.
+type MetricCounters struct {
+	bytes      atomicInt64
+	matches    atomicInt64
+	recoveries atomicInt64
+	collisions atomicInt64
+	maxQueue   atomicInt64
+}
+
+// Hooks returns a Hooks wiring every event into the counters.
+func (c *MetricCounters) Hooks() *Hooks {
+	return &Hooks{
+		Bytes:     func(_ int, n int) { c.bytes.Add(int64(n)) },
+		Match:     func(int, stream.Match) { c.matches.Add(1) },
+		Recovery:  func(int, int64) { c.recoveries.Add(1) },
+		Collision: func(int, int64, int, int) { c.collisions.Add(1) },
+		QueueDepth: func(_ int, depth int) {
+			c.maxQueue.Max(int64(depth))
+		},
+	}
+}
+
+// Snapshot returns the current totals. MaxQueueDepth is the high-water
+// mark across all shards since construction.
+func (c *MetricCounters) Snapshot() (counters Counters, maxQueueDepth int) {
+	return Counters{
+		Bytes:      c.bytes.Load(),
+		Matches:    c.matches.Load(),
+		Recoveries: c.recoveries.Load(),
+		Collisions: c.collisions.Load(),
+	}, int(c.maxQueue.Load())
+}
+
+// atomicInt64 adds a monotonic Max to the standard atomic counter.
+type atomicInt64 struct{ v atomic.Int64 }
+
+func (a *atomicInt64) Add(n int64) { a.v.Add(n) }
+func (a *atomicInt64) Load() int64 { return a.v.Load() }
+
+func (a *atomicInt64) Max(n int64) {
+	for {
+		cur := a.v.Load()
+		if n <= cur || a.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+)
+
+func compileT(t *testing.T, g *grammar.Grammar, opts core.Options) *core.Spec {
+	t.Helper()
+	spec, err := core.Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// factories builds all three backends for one spec; the parser factory is
+// nil when the grammar is not LL(1).
+func factories(t *testing.T, spec *core.Spec) map[string]Factory {
+	t.Helper()
+	out := map[string]Factory{"stream": TaggerFactory(spec)}
+	gf, err := GateFactory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["gates"] = gf
+	if pf, err := ParserFactory(spec); err == nil {
+		out["parser"] = pf
+	}
+	return out
+}
+
+func TestBackendsAgreeOnIfThenElse(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	input := []byte("if true then go else stop")
+
+	want := stream.NewTagger(spec).Tag(input)
+	if len(want) == 0 {
+		t.Fatal("reference tagger found nothing")
+	}
+	for name, f := range factories(t, spec) {
+		b, err := f(0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Feed(input); err != nil {
+			t.Fatalf("%s: feed: %v", name, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		got := b.Matches()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: matches = %v, want %v", name, got, want)
+		}
+		c := b.Counters()
+		if c.Bytes != int64(len(input)) {
+			t.Errorf("%s: counted %d bytes, want %d", name, c.Bytes, len(input))
+		}
+		if c.Matches != int64(len(want)) {
+			t.Errorf("%s: counted %d matches, want %d", name, c.Matches, len(want))
+		}
+	}
+}
+
+func TestBackendMatchesDrain(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	for name, f := range factories(t, spec) {
+		b, err := f(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := []byte("if true then go else stop")
+		b.Feed(input[:10])
+		first := len(b.Matches())
+		b.Feed(input[10:])
+		b.Close()
+		rest := len(b.Matches())
+		if again := b.Matches(); len(again) != 0 {
+			t.Errorf("%s: second drain returned %d matches, want 0", name, len(again))
+		}
+		want := len(stream.NewTagger(spec).Tag(input))
+		if first+rest != want {
+			t.Errorf("%s: drained %d+%d matches, want %d total", name, first, rest, want)
+		}
+	}
+}
+
+func TestBackendResetReuse(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	input := []byte("if true then go else stop")
+	want := stream.NewTagger(spec).Tag(input)
+	for name, f := range factories(t, spec) {
+		b, err := f(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			b.Reset()
+			if err := b.Feed(input); err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			if got := b.Matches(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s round %d: matches = %v, want %v", name, round, got, want)
+			}
+		}
+	}
+}
+
+func TestBackendFeedAfterClose(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	for name, f := range factories(t, spec) {
+		b, err := f(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Feed([]byte("go"))
+		b.Close()
+		if err := b.Feed([]byte("x")); err == nil {
+			t.Errorf("%s: Feed after Close succeeded", name)
+		}
+	}
+}
+
+func TestParserBackendRejects(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	pf, err := ParserFactory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pf(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Feed([]byte("if true go")) // missing "then"
+	if err := b.Close(); err == nil {
+		t.Error("parser backend accepted a non-sentence")
+	}
+	if ms := b.Matches(); len(ms) != 0 {
+		t.Errorf("parser backend emitted %d matches on reject", len(ms))
+	}
+}
+
+func TestParserFactoryRejectsNonLL1(t *testing.T) {
+	g, err := grammar.Parse("nonll1", "%%\nS : \"a\" \"b\" | \"a\" \"c\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := compileT(t, g, core.Options{})
+	if _, err := ParserFactory(spec); err == nil {
+		t.Error("ParserFactory accepted a non-LL(1) grammar")
+	}
+}
+
+func TestTaggerBackendRecoveryCounter(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	b, err := TaggerFactory(spec)(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Feed([]byte("if true ### then go"))
+	b.Close()
+	if c := b.Counters(); c.Recoveries == 0 {
+		t.Error("corrupt input produced no recovery events")
+	}
+}
+
+func TestHooksObserveEvents(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	var mc MetricCounters
+	b, err := TaggerFactory(spec)(3, mc.Hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("if true then go else stop")
+	b.Feed(input)
+	b.Close()
+	got, _ := mc.Snapshot()
+	if got.Bytes != int64(len(input)) {
+		t.Errorf("hooks saw %d bytes, want %d", got.Bytes, len(input))
+	}
+	if want := b.Counters().Matches; got.Matches != want {
+		t.Errorf("hooks saw %d matches, want %d", got.Matches, want)
+	}
+}

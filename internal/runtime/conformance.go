@@ -1,0 +1,159 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+// ConformanceOptions tune the differential harness.
+type ConformanceOptions struct {
+	// Trials is the number of generated sentences per grammar (0 = 8).
+	Trials int
+	// MaxChunk bounds the random Feed chunk sizes used to exercise the
+	// streaming contract (0 = 7).
+	MaxChunk int
+	// Corrupt additionally re-runs each sentence with one byte smashed,
+	// checking the accept/reject relation instead of match equality.
+	Corrupt bool
+}
+
+// Conformance differentially tests the three Backend implementations on
+// one grammar: every generated conforming sentence is fed to all backends
+// in random chunkings and the results are compared under the documented
+// relation —
+//
+//   - stream engine and gate-level simulation must agree bit for bit
+//     (same matches, same order, same recovery behavior),
+//   - the LL(1) parser, when the grammar is LL(1), must accept and its
+//     tags must be a subset of the FSA paths' tags (the FSA accepts a
+//     superset of the language, so it may legitimately tag more on
+//     ambiguous grammars),
+//   - on corrupted input a parser reject says nothing about the FSA
+//     paths beyond their mutual equality.
+//
+// It returns the first violation found, nil when the grammar conforms.
+func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error {
+	if opts.Trials == 0 {
+		opts.Trials = 8
+	}
+	if opts.MaxChunk == 0 {
+		opts.MaxChunk = 7
+	}
+	spec, err := core.Compile(g, core.Options{})
+	if err != nil {
+		return fmt.Errorf("conformance %s: compile: %w", g.Name, err)
+	}
+	taggerF := TaggerFactory(spec)
+	gateF, err := GateFactory(spec)
+	if err != nil {
+		return fmt.Errorf("conformance %s: gate factory: %w", g.Name, err)
+	}
+	parserF, _ := ParserFactory(spec) // nil factory when the grammar is not LL(1)
+
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 8})
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+
+	for trial := 0; trial < opts.Trials; trial++ {
+		text, _ := gen.Sentence()
+		if err := compareAll(g.Name, text, rng, opts.MaxChunk, taggerF, gateF, parserF, true); err != nil {
+			return fmt.Errorf("trial %d: %w", trial, err)
+		}
+		if opts.Corrupt && len(text) > 2 {
+			bad := append([]byte(nil), text...)
+			bad[rng.Intn(len(bad))] = '@'
+			if err := compareAll(g.Name, bad, rng, opts.MaxChunk, taggerF, gateF, parserF, false); err != nil {
+				return fmt.Errorf("trial %d (corrupted): %w", trial, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runBackend streams text through a fresh backend in random chunks.
+func runBackend(f Factory, text []byte, rng *rand.Rand, maxChunk int) ([]stream.Match, error, error) {
+	b, err := f(0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ms []stream.Match
+	for off := 0; off < len(text); {
+		n := 1 + rng.Intn(maxChunk)
+		if off+n > len(text) {
+			n = len(text) - off
+		}
+		if err := b.Feed(text[off : off+n]); err != nil {
+			return nil, nil, err
+		}
+		ms = append(ms, b.Matches()...)
+		off += n
+	}
+	verdict := b.Close()
+	ms = append(ms, b.Matches()...)
+	return ms, verdict, nil
+}
+
+// compareAll runs one input through every backend and checks the relation.
+// conforming reports whether the input is a known sentence of the grammar.
+func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, taggerF, gateF, parserF Factory, conforming bool) error {
+	sw, _, err := runBackend(taggerF, text, rng, maxChunk)
+	if err != nil {
+		return fmt.Errorf("%s: stream backend: %w", name, err)
+	}
+	hw, _, err := runBackend(gateF, text, rng, maxChunk)
+	if err != nil {
+		return fmt.Errorf("%s: gate backend: %w", name, err)
+	}
+	if !equalMatches(sw, hw) {
+		return fmt.Errorf("%s: stream and gate paths disagree on %q\nstream %v\ngates  %v", name, text, sw, hw)
+	}
+	if parserF == nil {
+		return nil
+	}
+	ll, verdict, err := runBackend(parserF, text, rng, maxChunk)
+	if err != nil {
+		return fmt.Errorf("%s: parser backend: %w", name, err)
+	}
+	if conforming {
+		if verdict != nil {
+			return fmt.Errorf("%s: LL(1) parser rejected conforming sentence %q: %w", name, text, verdict)
+		}
+		if !subsetOf(ll, sw) {
+			return fmt.Errorf("%s: parser tags not a subset of stream tags on %q\nparser %v\nstream %v", name, text, ll, sw)
+		}
+	} else if verdict == nil && !subsetOf(ll, sw) {
+		// Corrupted input the parser still accepts is in the language, so
+		// the subset relation must hold there too.
+		return fmt.Errorf("%s: parser tags not a subset of stream tags on accepted input %q", name, text)
+	}
+	return nil
+}
+
+func equalMatches(a, b []stream.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(sub, super []stream.Match) bool {
+	set := make(map[stream.Match]bool, len(super))
+	for _, m := range super {
+		set[m] = true
+	}
+	for _, m := range sub {
+		if !set[m] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,37 @@
+package runtime
+
+import (
+	"testing"
+
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/workload"
+)
+
+// TestConformanceBuiltins runs the differential harness over the paper's
+// grammars, where all three backends are available (the builtins are
+// LL(1)).
+func TestConformanceBuiltins(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		if err := Conformance(g, 17, ConformanceOptions{Trials: 10, Corrupt: true}); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+// TestConformanceRandomGrammars fuzzes the cross-backend relation on
+// random grammars. Non-LL(1) seeds still differential-test the two FSA
+// paths against each other.
+func TestConformanceRandomGrammars(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		if err := Conformance(g, seed*31+7, ConformanceOptions{Trials: 4, Corrupt: true}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

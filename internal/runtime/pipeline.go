@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	goruntime "runtime"
+	"sync"
+
+	"cfgtag/internal/stream"
+)
+
+// Batch is one unit of Sink delivery: the chunk of stream bytes a shard
+// just processed and the detections it confirmed. Offsets in Tags are
+// absolute within the stream identified by Key.
+type Batch struct {
+	// Key identifies the stream the chunk belongs to.
+	Key string
+	// Shard is the shard that owns the stream.
+	Shard int
+	// Data is the chunk's bytes. The slice is pooled: it is valid only
+	// until Deliver returns.
+	Data []byte
+	// Tags are the detections confirmed by this chunk (and, on EOS, the
+	// final flush), in input order with absolute End offsets.
+	Tags []stream.Match
+	// EOS marks the stream's final batch.
+	EOS bool
+	// Err carries the backend's verdict on EOS: nil for the FSA paths,
+	// the parse error for the exact-recognition parser path. A non-EOS
+	// batch carries a Feed error here only if the backend failed.
+	Err error
+}
+
+// Sink consumes completed tag batches. Deliver is called from a single
+// goroutine; batches of one stream arrive in order. Deliver must not
+// retain b.Data past the call (copy if needed).
+type Sink interface {
+	Deliver(b *Batch) error
+	Close() error
+}
+
+// SinkFunc adapts a function to the Sink interface (with a no-op Close).
+type SinkFunc func(b *Batch) error
+
+// Deliver calls f.
+func (f SinkFunc) Deliver(b *Batch) error { return f(b) }
+
+// Close is a no-op.
+func (SinkFunc) Close() error { return nil }
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Shards is the number of tagging shards (0 = GOMAXPROCS). Each
+	// shard runs one goroutine owning the Backends of the streams
+	// dispatched to it.
+	Shards int
+	// Queue is each shard's input queue capacity (0 = 64). Send blocks
+	// when the target shard's queue is full — natural backpressure.
+	Queue int
+	// Factory creates the per-stream Backend (required).
+	Factory Factory
+	// Hooks observes bytes, matches, recovery events, collisions and
+	// queue depths across all shards; may be nil.
+	Hooks *Hooks
+}
+
+// Pipeline is the sharded runtime: messages enter via Send, are dispatched
+// to a shard by stream key, flow through that stream's Backend, and the
+// resulting tag batches are delivered to the Sink by a dedicated sink
+// goroutine. Send/CloseStream are safe for concurrent use.
+type Pipeline struct {
+	cfg    Config
+	sink   Sink
+	shards []*shard
+	sinkCh chan *Batch
+
+	bufs sync.Pool // chunk buffers, recycled after Deliver
+
+	shardWG sync.WaitGroup
+	sinkWG  sync.WaitGroup
+
+	// stateMu guards closed; dispatch holds the read side across its
+	// enqueue so Close never closes a channel with a send in flight.
+	stateMu sync.RWMutex
+	closed  bool
+
+	errMu   sync.Mutex
+	sinkErr error
+}
+
+// message is one dispatch unit on a shard queue.
+type message struct {
+	key  string
+	data []byte // pooled; nil for a pure close
+	eos  bool
+}
+
+// shard owns the streams hashed to it: one Backend per live stream key.
+type shard struct {
+	id      int
+	in      chan message
+	streams map[string]Backend
+	p       *Pipeline
+}
+
+// NewPipeline starts the shard and sink goroutines. Close releases them.
+func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("runtime: Config.Factory is required")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("runtime: sink is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = goruntime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		sink:   sink,
+		sinkCh: make(chan *Batch, cfg.Queue),
+	}
+	p.bufs.New = func() any { return []byte(nil) }
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			id:      i,
+			in:      make(chan message, cfg.Queue),
+			streams: make(map[string]Backend),
+			p:       p,
+		}
+		p.shards = append(p.shards, s)
+		p.shardWG.Add(1)
+		go s.run()
+	}
+	p.sinkWG.Add(1)
+	go p.drainSink()
+	return p, nil
+}
+
+// Shards reports the pipeline width.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// Send dispatches one chunk of the stream identified by key. The data is
+// copied into a pooled buffer, so the caller may reuse it immediately.
+// Send blocks while the target shard's queue is full.
+func (p *Pipeline) Send(key string, data []byte) error {
+	return p.dispatch(key, data, false)
+}
+
+// CloseStream ends one stream: its Backend is flushed and closed, and the
+// final batch reaches the Sink with EOS set.
+func (p *Pipeline) CloseStream(key string) error {
+	return p.dispatch(key, nil, true)
+}
+
+func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	if p.closed {
+		return fmt.Errorf("runtime: pipeline is closed")
+	}
+	var buf []byte
+	if len(data) > 0 {
+		buf = p.getBuf(len(data))
+		copy(buf, data)
+	}
+	s := p.shards[p.shardFor(key)]
+	s.in <- message{key: key, data: buf, eos: eos}
+	p.cfg.Hooks.queueDepth(s.id, len(s.in))
+	return nil
+}
+
+// shardFor hashes the stream key onto a shard (FNV-1a).
+func (p *Pipeline) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// Close flushes every open stream (delivering its EOS batch), stops the
+// shards and the sink goroutine, closes the Sink, and returns the first
+// Sink error.
+func (p *Pipeline) Close() error {
+	p.stateMu.Lock()
+	if p.closed {
+		p.stateMu.Unlock()
+		return fmt.Errorf("runtime: pipeline already closed")
+	}
+	p.closed = true
+	p.stateMu.Unlock()
+
+	for _, s := range p.shards {
+		close(s.in)
+	}
+	p.shardWG.Wait()
+	close(p.sinkCh)
+	p.sinkWG.Wait()
+
+	cerr := p.sink.Close()
+	p.errMu.Lock()
+	err := p.sinkErr
+	p.errMu.Unlock()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (p *Pipeline) getBuf(n int) []byte {
+	b := p.bufs.Get().([]byte)
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+func (p *Pipeline) putBuf(b []byte) {
+	if b != nil {
+		p.bufs.Put(b[:0]) //nolint:staticcheck // slice, not pointer, by design
+	}
+}
+
+// run is the shard loop: per-stream Backend lifecycle and batch emission.
+// When the input channel closes (pipeline Close), still-open streams are
+// flushed with synthetic EOS batches so sinks always see stream ends.
+func (s *shard) run() {
+	defer s.p.shardWG.Done()
+	for msg := range s.in {
+		s.process(msg)
+	}
+	for key := range s.streams {
+		s.process(message{key: key, eos: true})
+	}
+}
+
+func (s *shard) process(msg message) {
+	b, ok := s.streams[msg.key]
+	if !ok {
+		var err error
+		b, err = s.p.cfg.Factory(s.id, s.p.cfg.Hooks)
+		if err != nil {
+			s.p.putBuf(msg.data)
+			s.emit(&Batch{Key: msg.key, Shard: s.id, EOS: true, Err: err})
+			return
+		}
+		s.streams[msg.key] = b
+	}
+	batch := &Batch{Key: msg.key, Shard: s.id, Data: msg.data, EOS: msg.eos}
+	if len(msg.data) > 0 {
+		batch.Err = b.Feed(msg.data)
+	}
+	if msg.eos {
+		if cerr := b.Close(); batch.Err == nil {
+			batch.Err = cerr
+		}
+		delete(s.streams, msg.key)
+	}
+	batch.Tags = b.Matches()
+	s.emit(batch)
+}
+
+func (s *shard) emit(batch *Batch) {
+	s.p.sinkCh <- batch
+}
+
+// drainSink serializes Sink delivery and recycles chunk buffers.
+func (p *Pipeline) drainSink() {
+	defer p.sinkWG.Done()
+	for b := range p.sinkCh {
+		p.errMu.Lock()
+		failed := p.sinkErr != nil
+		p.errMu.Unlock()
+		if !failed {
+			if err := p.sink.Deliver(b); err != nil {
+				p.errMu.Lock()
+				if p.sinkErr == nil {
+					p.sinkErr = err
+				}
+				p.errMu.Unlock()
+			}
+		}
+		p.putBuf(b.Data)
+	}
+}

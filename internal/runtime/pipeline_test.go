@@ -1,0 +1,302 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/xmlrpc"
+)
+
+// collectSink gathers per-stream tags and bytes; Deliver runs on the sink
+// goroutine, so no locking is needed until the pipeline is closed.
+type collectSink struct {
+	tags   map[string][]stream.Match
+	data   map[string][]byte
+	eos    map[string]bool
+	errs   map[string]error
+	closed bool
+}
+
+func newCollectSink() *collectSink {
+	return &collectSink{
+		tags: make(map[string][]stream.Match),
+		data: make(map[string][]byte),
+		eos:  make(map[string]bool),
+		errs: make(map[string]error),
+	}
+}
+
+func (s *collectSink) Deliver(b *Batch) error {
+	s.tags[b.Key] = append(s.tags[b.Key], b.Tags...)
+	s.data[b.Key] = append(s.data[b.Key], b.Data...) // Data is pooled: copy
+	if b.EOS {
+		s.eos[b.Key] = true
+	}
+	if b.Err != nil {
+		s.errs[b.Key] = b.Err
+	}
+	return nil
+}
+
+func (s *collectSink) Close() error {
+	s.closed = true
+	return nil
+}
+
+func TestPipelineTagsManyStreams(t *testing.T) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newCollectSink()
+	p, err := NewPipeline(Config{Shards: 4, Factory: TaggerFactory(spec)}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10 independent streams, interleaved chunk by chunk.
+	const streams = 10
+	texts := make([][]byte, streams)
+	for i := range texts {
+		gen := xmlrpc.NewGenerator(int64(i+1), xmlrpc.Options{})
+		corpus, _ := gen.Corpus(3)
+		texts[i] = []byte(corpus)
+	}
+	for off := 0; ; off++ {
+		sent := false
+		for i, text := range texts {
+			lo, hi := off*17, (off+1)*17
+			if lo >= len(text) {
+				continue
+			}
+			if hi > len(text) {
+				hi = len(text)
+			}
+			if err := p.Send(fmt.Sprintf("stream-%d", i), text[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			sent = true
+		}
+		if !sent {
+			break
+		}
+	}
+	for i := range texts {
+		if err := p.CloseStream(fmt.Sprintf("stream-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Error("sink not closed")
+	}
+
+	// Every stream's batches must reassemble its exact input and carry the
+	// same tags a standalone tagger finds.
+	ref := stream.NewTagger(spec)
+	for i, text := range texts {
+		key := fmt.Sprintf("stream-%d", i)
+		if !sink.eos[key] {
+			t.Errorf("%s: no EOS batch", key)
+		}
+		if err := sink.errs[key]; err != nil {
+			t.Errorf("%s: backend error: %v", key, err)
+		}
+		if !reflect.DeepEqual(sink.data[key], text) {
+			t.Errorf("%s: reassembled bytes differ from input", key)
+		}
+		want := ref.Tag(text)
+		if !reflect.DeepEqual(sink.tags[key], want) {
+			t.Errorf("%s: tags = %v\nwant %v", key, sink.tags[key], want)
+		}
+	}
+}
+
+func TestPipelineStreamAffinity(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf := make(map[string]map[int]bool)
+	var mu sync.Mutex
+	sink := SinkFunc(func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if shardOf[b.Key] == nil {
+			shardOf[b.Key] = make(map[int]bool)
+		}
+		shardOf[b.Key][b.Shard] = true
+		return nil
+	})
+	p, err := NewPipeline(Config{Shards: 8, Factory: TaggerFactory(spec)}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		p.Send(key, []byte("if true then go"))
+		p.Send(key, []byte(" else stop"))
+		p.CloseStream(key)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for key, shards := range shardOf {
+		if len(shards) != 1 {
+			t.Errorf("stream %s visited %d shards, want 1", key, len(shards))
+		}
+	}
+}
+
+func TestPipelineParserBackendVerdicts(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ParserFactory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newCollectSink()
+	p, err := NewPipeline(Config{Shards: 2, Factory: pf}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Send("good", []byte("if true then go else stop"))
+	p.Send("bad", []byte("if true go"))
+	p.CloseStream("good")
+	p.CloseStream("bad")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.errs["good"]; err != nil {
+		t.Errorf("conforming stream got verdict %v", err)
+	}
+	if sink.errs["bad"] == nil {
+		t.Error("non-conforming stream got no verdict")
+	}
+	if n := len(sink.tags["good"]); n == 0 {
+		t.Error("conforming stream produced no tags")
+	}
+}
+
+func TestPipelineCloseFlushesOpenStreams(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newCollectSink()
+	p, err := NewPipeline(Config{Shards: 2, Factory: TaggerFactory(spec)}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Send("open", []byte("if true then go else stop"))
+	// No CloseStream: pipeline Close must synthesize the EOS flush (the
+	// final byte's detection is pending in the lookahead).
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.eos["open"] {
+		t.Error("open stream was not flushed with EOS on pipeline Close")
+	}
+	want := stream.NewTagger(spec).Tag([]byte("if true then go else stop"))
+	if !reflect.DeepEqual(sink.tags["open"], want) {
+		t.Errorf("tags = %v, want %v", sink.tags["open"], want)
+	}
+}
+
+func TestPipelineSendAfterClose(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(Config{Shards: 1, Factory: TaggerFactory(spec)}, SinkFunc(func(*Batch) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("x", []byte("go")); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+	if err := p.Close(); err == nil {
+		t.Error("double Close succeeded")
+	}
+}
+
+func TestPipelineConcurrentSenders(t *testing.T) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mc MetricCounters
+	total := 0
+	sink := SinkFunc(func(b *Batch) error {
+		total += len(b.Tags)
+		return nil
+	})
+	p, err := NewPipeline(Config{Shards: 4, Queue: 8, Factory: TaggerFactory(spec), Hooks: mc.Hooks()}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := xmlrpc.NewGenerator(99, xmlrpc.Options{})
+	msg, _ := gen.Message()
+	var wg sync.WaitGroup
+	const senders = 8
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			key := fmt.Sprintf("conn-%d", s)
+			for i := 0; i < 20; i++ {
+				if err := p.Send(key, []byte(msg+"\n")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			p.CloseStream(key)
+		}(s)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Error("no tags delivered")
+	}
+	counters, maxDepth := mc.Snapshot()
+	if counters.Matches != int64(total) {
+		t.Errorf("hooks saw %d matches, sink saw %d", counters.Matches, total)
+	}
+	if want := int64(senders * 20 * len(msg+"\n")); counters.Bytes != want {
+		t.Errorf("hooks saw %d bytes, want %d", counters.Bytes, want)
+	}
+	if maxDepth == 0 {
+		t.Log("queue depth high-water mark stayed 0 (fast consumer)")
+	}
+}
+
+func TestPipelineSinkErrorPropagates(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkErr := fmt.Errorf("sink exploded")
+	p, err := NewPipeline(Config{Shards: 1, Factory: TaggerFactory(spec)}, SinkFunc(func(*Batch) error { return sinkErr }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Send("x", []byte("go"))
+	p.CloseStream("x")
+	if err := p.Close(); err != sinkErr {
+		t.Errorf("Close error = %v, want %v", err, sinkErr)
+	}
+}

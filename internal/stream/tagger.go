@@ -252,7 +252,9 @@ func (t *Tagger) TagReader(r io.Reader) ([]Match, error) {
 	for {
 		n, err := r.Read(buf)
 		if n > 0 {
-			t.Write(buf[:n])
+			if _, werr := t.Write(buf[:n]); werr != nil {
+				return out, werr
+			}
 		}
 		if err == io.EOF {
 			break
@@ -272,9 +274,9 @@ func (t *Tagger) Tag(data []byte) []Match {
 	var out []Match
 	prev := t.OnMatch
 	t.OnMatch = func(m Match) { out = append(out, m) }
+	defer func() { t.OnMatch = prev }()
 	t.Write(data)
 	t.Close()
-	t.OnMatch = prev
 	return out
 }
 
