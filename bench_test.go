@@ -115,9 +115,11 @@ func corpus(b *testing.B, messages int) []byte {
 	return []byte(text)
 }
 
-// BenchmarkSoftwareTagger measures the bit-parallel engine — the software
+// BenchmarkStream measures the bit-parallel NFA engine — the software
 // stand-in for the 1-byte-per-cycle hardware — over XML-RPC traffic.
-func BenchmarkSoftwareTagger(b *testing.B) {
+// (Formerly BenchmarkSoftwareTagger; the name pairs with BenchmarkDFA and
+// the scripts/bench.sh regression rail.)
+func BenchmarkStream(b *testing.B) {
 	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
 	if err != nil {
 		b.Fatal(err)
@@ -136,6 +138,36 @@ func BenchmarkSoftwareTagger(b *testing.B) {
 	if count == 0 {
 		b.Fatal("tagger found nothing")
 	}
+}
+
+// BenchmarkDFA measures the lazy-DFA compiled backend on the same workload
+// as BenchmarkStream. The cache warms on the first iteration; steady state
+// is one table lookup per byte, and the cache-stat metrics report how much
+// of the run was served from cache.
+func BenchmarkDFA(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := stream.NewDFA(spec, stream.DFAConfig{})
+	data := corpus(b, 200)
+	count := 0
+	d.OnMatch = func(stream.Match) { count++ }
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Reset()
+		d.Write(data)
+		d.Close()
+	}
+	if count == 0 {
+		b.Fatal("dfa found nothing")
+	}
+	hits, misses, resets := d.CacheStats()
+	b.ReportMetric(float64(d.CacheStates()), "states")
+	b.ReportMetric(float64(misses), "misses")
+	b.ReportMetric(float64(resets), "resets")
+	_ = hits
 }
 
 // BenchmarkParallelTagger scales the software engine across cores with a

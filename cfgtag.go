@@ -417,13 +417,20 @@ func (c *CheckedTagger) Errors() int64 { return c.inner.Tagger.Errors }
 // stack would have needed for this stream.
 func (c *CheckedTagger) StackDepth() int { return c.inner.Validator.StackDepth() }
 
-// BackendKind selects one of the engine's three execution paths when they
+// BackendKind selects one of the engine's four execution paths when they
 // are driven through the uniform Backend interface.
 type BackendKind string
 
 const (
 	// StreamBackend is the bit-parallel software tagger (the default).
 	StreamBackend BackendKind = "stream"
+	// DFABackend lazily compiles the bit-parallel engine into a cached
+	// DFA: hash-consed (active, pending) states with per-byte-class
+	// transition outcomes filled on demand, RE2-style. Detections are
+	// identical to StreamBackend; throughput is several times higher once
+	// the cache warms. The cache is bounded (DFAMaxStates) and resets
+	// wholesale on overflow, so memory never grows with input.
+	DFABackend BackendKind = "dfa"
 	// GatesBackend is the cycle-accurate simulation of the generated
 	// netlist — the hardware reference, byte-per-cycle slow.
 	GatesBackend BackendKind = "gates"
@@ -435,10 +442,11 @@ const (
 )
 
 // BackendCounters reports what a Backend has processed: bytes fed, matches
-// confirmed, section 5.2 recovery events, and encoder index collisions.
+// confirmed, section 5.2 recovery events, encoder index collisions and —
+// on the dfa path — transition-cache hits, misses and resets.
 type BackendCounters = runtime.Counters
 
-// Backend drives any of the three execution paths through one streaming
+// Backend drives any of the four execution paths through one streaming
 // contract: Feed bytes, drain Matches, Close to flush the final byte (and,
 // for the parser path, to obtain the verdict). Not safe for concurrent use.
 type Backend struct {
@@ -451,6 +459,8 @@ func (e *Engine) factory(kind BackendKind) (runtime.Factory, error) {
 	switch kind {
 	case StreamBackend, "":
 		return runtime.TaggerFactory(e.spec), nil
+	case DFABackend:
+		return runtime.DFAFactory(e.spec, 0), nil
 	case GatesBackend:
 		return runtime.GateFactory(e.spec)
 	case ParserBackend:
@@ -540,6 +550,13 @@ type PipelineConfig struct {
 	Metrics *Metrics
 }
 
+// ErrPipelineClosed is returned by Pipeline.Send, Pipeline.CloseStream and
+// a second Pipeline.Close once the pipeline has been closed (test with
+// errors.Is). A Send racing Close either enqueues fully — its batch is
+// delivered before Close returns — or fails with this error; chunks are
+// never partially accepted.
+var ErrPipelineClosed = runtime.ErrClosed
+
 // Pipeline fans a keyed stream population out over tagging shards: Send
 // dispatches chunks by stream key, each shard runs one Backend per live
 // stream, and completed tag batches are delivered — in per-stream order,
@@ -579,7 +596,8 @@ func (e *Engine) NewPipeline(cfg PipelineConfig, deliver func(*TagBatch) error) 
 }
 
 // Send routes one chunk of the keyed stream to its shard. It blocks when
-// the shard's queue is full (backpressure) and fails after Close.
+// the shard's queue is full (backpressure) and fails with
+// ErrPipelineClosed after Close.
 func (p *Pipeline) Send(stream string, data []byte) error { return p.inner.Send(stream, data) }
 
 // CloseStream ends one stream: its backend is flushed and its final batch

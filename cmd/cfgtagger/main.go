@@ -11,9 +11,10 @@
 //	cfgtagger -builtin ifthenelse -backend gates -in program.txt
 //
 // -backend selects the execution path: "stream" (the bit-parallel software
-// engine, default), "gates" (cycle-accurate simulation of the generated
-// netlist) or "parser" (the LL(1) baseline, which also prints the
-// accept/reject verdict).
+// engine, default), "dfa" (the lazily-determinized cached compilation of
+// the same engine — identical output, highest throughput), "gates"
+// (cycle-accurate simulation of the generated netlist) or "parser" (the
+// LL(1) baseline, which also prints the accept/reject verdict).
 package main
 
 import (
@@ -37,7 +38,7 @@ func main() {
 		showFollow  = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
 		lint        = flag.Bool("lint", false, "print grammar design warnings and exit")
 		dot         = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
-		backend     = flag.String("backend", "stream", "execution path: stream, gates or parser")
+		backend     = flag.String("backend", "stream", "execution path: stream, dfa, gates or parser")
 	)
 	flag.Parse()
 
@@ -159,6 +160,10 @@ func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 	}
 	if c := b.Counters(); c.Recoveries > 0 || c.Collisions > 0 {
 		fmt.Fprintf(out, "%d recoveries, %d index collisions\n", c.Recoveries, c.Collisions)
+	}
+	if c := b.Counters(); b.Kind() == cfgtag.DFABackend {
+		fmt.Fprintf(out, "dfa cache: %d hits, %d misses, %d resets\n",
+			c.CacheHits, c.CacheMisses, c.CacheResets)
 	}
 }
 

@@ -53,7 +53,7 @@ func main() {
 	// the generated hardware, and the LL(1) baseline — also run behind one
 	// streaming Backend contract.
 	fmt.Println("\nSame stream through every backend:")
-	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.GatesBackend, cfgtag.ParserBackend} {
+	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.DFABackend, cfgtag.GatesBackend, cfgtag.ParserBackend} {
 		b, err := engine.NewBackend(kind)
 		if err != nil {
 			panic(err)

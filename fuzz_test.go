@@ -1,0 +1,137 @@
+package cfgtag
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfgtag/internal/runtime"
+	"cfgtag/internal/stream"
+)
+
+// FuzzGrammarParse throws arbitrary text at the grammar front end: parsing
+// and compiling must reject garbage with an error, never a panic, and any
+// source that does compile must yield an engine that can tag a probe
+// stream through both the NFA and DFA paths.
+//
+// Seed corpus: testdata/fuzz/FuzzGrammarParse (plus the built-in grammars
+// added here).
+func FuzzGrammarParse(f *testing.F) {
+	f.Add(BalancedParensSource)
+	f.Add(IfThenElseSource)
+	f.Add(XMLRPCSource)
+	f.Add(XMLRPCFullSource)
+	probe := []byte("if (true) then <methodCall>go</methodCall> 0 else stop")
+	f.Fuzz(func(t *testing.T, src string) {
+		engine, err := Compile("fuzz", src)
+		if err != nil {
+			return // rejecting is fine; panicking is the bug
+		}
+		tg := engine.NewTagger()
+		tg.Write(probe)
+		tg.Close()
+		b, err := engine.NewBackend(DFABackend)
+		if err != nil {
+			t.Fatalf("compiled grammar has no dfa backend: %v", err)
+		}
+		b.Feed(probe)
+		b.Close()
+		b.Matches()
+	})
+}
+
+// diffRig lazily builds the differential fuzz fixture: one engine per
+// execution path over the free-running if-then-else grammar, reused (via
+// Reset) across inputs. A second pair runs the recovery-enabled compile,
+// whose dead-state/re-arm path random bytes exercise constantly.
+type diffRig struct {
+	stream, dfa, dfaTiny, gates runtime.Backend
+	recStream, recDFA           runtime.Backend
+}
+
+var (
+	rigOnce sync.Once
+	rig     diffRig
+	rigErr  error
+)
+
+func buildRig() {
+	mk := func(f runtime.Factory, err error) runtime.Backend {
+		if rigErr != nil {
+			return nil
+		}
+		if err != nil {
+			rigErr = err
+			return nil
+		}
+		b, err := f(0, nil)
+		if err != nil {
+			rigErr = err
+			return nil
+		}
+		return b
+	}
+	engine, err := Compile("fuzz-diff", IfThenElseSource, FreeRunningStart())
+	if err != nil {
+		rigErr = err
+		return
+	}
+	spec := engine.Spec()
+	rig.stream = mk(runtime.TaggerFactory(spec), nil)
+	rig.dfa = mk(runtime.DFAFactory(spec, 0), nil)
+	rig.dfaTiny = mk(runtime.DFAFactory(spec, 2), nil)
+	rig.gates = mk(runtime.GateFactory(spec))
+	rec, err := Compile("fuzz-diff-rec", IfThenElseSource, FreeRunningStart(), RecoverResync())
+	if err != nil {
+		rigErr = err
+		return
+	}
+	rig.recStream = mk(runtime.TaggerFactory(rec.Spec()), nil)
+	rig.recDFA = mk(runtime.DFAFactory(rec.Spec(), 0), nil)
+}
+
+func runDiff(b runtime.Backend, data []byte) []stream.Match {
+	b.Reset()
+	b.Feed(data)
+	b.Close()
+	return b.Matches()
+}
+
+// FuzzDifferential feeds arbitrary bytes to the stream engine, both DFA
+// cache configurations and the gate-level simulation, and requires the
+// exact same match sequence from all four — plus recovery/collision
+// counter agreement between stream and DFA under the recovery compile.
+//
+// Seed corpus: testdata/fuzz/FuzzDifferential.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte("if true then go else stop"))
+	f.Add([]byte("if tru# then go if false then stop else go"))
+	f.Add([]byte{0, 255, 'i', 'f', ' ', 0xC3, 0x28})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return // keep the byte-per-cycle gate simulation tractable
+		}
+		rigOnce.Do(buildRig)
+		if rigErr != nil {
+			t.Fatal(rigErr)
+		}
+		want := runDiff(rig.stream, data)
+		for name, b := range map[string]runtime.Backend{
+			"dfa": rig.dfa, "dfa-tiny": rig.dfaTiny, "gates": rig.gates,
+		} {
+			if got := runDiff(b, data); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s diverged on %q:\n%s    %v\nstream %v", name, data, name, got, want)
+			}
+		}
+		recWant := runDiff(rig.recStream, data)
+		recGot := runDiff(rig.recDFA, data)
+		if !reflect.DeepEqual(recGot, recWant) {
+			t.Fatalf("recovery dfa diverged on %q:\ndfa    %v\nstream %v", data, recGot, recWant)
+		}
+		sc, dc := rig.recStream.Counters(), rig.recDFA.Counters()
+		if sc.Recoveries != dc.Recoveries || sc.Collisions != dc.Collisions {
+			t.Fatalf("recovery counters diverged on %q: stream (%d recov, %d coll), dfa (%d recov, %d coll)",
+				data, sc.Recoveries, sc.Collisions, dc.Recoveries, dc.Collisions)
+		}
+	})
+}

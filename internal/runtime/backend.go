@@ -1,10 +1,11 @@
-// Package runtime unifies the repo's three execution paths — the
-// bit-parallel stream engine, the gate-level simulation and the LL(1)
-// predictive-parser baseline — behind one streaming Backend contract, and
-// runs Backends at scale in a sharded pipeline (Source → N tagger shards →
-// Sink) in the style of stream processors like Benthos.
+// Package runtime unifies the repo's four execution paths — the
+// bit-parallel stream engine, its lazily-determinized DFA compilation, the
+// gate-level simulation and the LL(1) predictive-parser baseline — behind
+// one streaming Backend contract, and runs Backends at scale in a sharded
+// pipeline (Source → N tagger shards → Sink) in the style of stream
+// processors like Benthos.
 //
-// A Backend recognizes one stream. All three implementations emit
+// A Backend recognizes one stream. All four implementations emit
 // stream.Match events with absolute offsets, so they are interchangeable
 // and differentially testable (see Conformance). The tagging paths accept
 // the documented FSA superset of the grammar; the parser path accepts the
@@ -55,6 +56,13 @@ type Counters struct {
 	// Collisions counts residual runtime index collisions (see
 	// stream.Tagger.Collisions).
 	Collisions int64
+	// CacheHits, CacheMisses and CacheResets describe the lazy-DFA
+	// transition cache (zero on the other backends). They span the
+	// backend's lifetime rather than the last Reset: the cache is
+	// deliberately kept warm across streams, so its counters outlive them.
+	CacheHits   int64
+	CacheMisses int64
+	CacheResets int64
 }
 
 // Hooks is the metrics surface threaded through the backends and the
@@ -72,6 +80,10 @@ type Hooks struct {
 	Collision func(shard int, pos int64, a, b int)
 	// QueueDepth observes a shard's input queue depth at each enqueue.
 	QueueDepth func(shard int, depth int)
+	// CacheStats observes lazy-DFA transition-cache activity: each dfa
+	// backend reports the hits/misses/resets accrued since its previous
+	// report once per stream Close. Other backends never call it.
+	CacheStats func(shard int, hits, misses, resets int64)
 }
 
 func (h *Hooks) bytes(shard, n int) {
@@ -98,6 +110,12 @@ func (h *Hooks) collision(shard int, pos int64, a, b int) {
 	}
 }
 
+func (h *Hooks) cacheStats(shard int, hits, misses, resets int64) {
+	if h != nil && h.CacheStats != nil {
+		h.CacheStats(shard, hits, misses, resets)
+	}
+}
+
 func (h *Hooks) queueDepth(shard, depth int) {
 	if h != nil && h.QueueDepth != nil {
 		h.QueueDepth(shard, depth)
@@ -112,11 +130,14 @@ type Factory func(shard int, h *Hooks) (Backend, error)
 // MetricCounters is a ready-made atomic Hooks target: plug Observe into a
 // pipeline or backend and read the totals concurrently.
 type MetricCounters struct {
-	bytes      atomicInt64
-	matches    atomicInt64
-	recoveries atomicInt64
-	collisions atomicInt64
-	maxQueue   atomicInt64
+	bytes       atomicInt64
+	matches     atomicInt64
+	recoveries  atomicInt64
+	collisions  atomicInt64
+	cacheHits   atomicInt64
+	cacheMisses atomicInt64
+	cacheResets atomicInt64
+	maxQueue    atomicInt64
 }
 
 // Hooks returns a Hooks wiring every event into the counters.
@@ -129,6 +150,11 @@ func (c *MetricCounters) Hooks() *Hooks {
 		QueueDepth: func(_ int, depth int) {
 			c.maxQueue.Max(int64(depth))
 		},
+		CacheStats: func(_ int, hits, misses, resets int64) {
+			c.cacheHits.Add(hits)
+			c.cacheMisses.Add(misses)
+			c.cacheResets.Add(resets)
+		},
 	}
 }
 
@@ -136,10 +162,13 @@ func (c *MetricCounters) Hooks() *Hooks {
 // mark across all shards since construction.
 func (c *MetricCounters) Snapshot() (counters Counters, maxQueueDepth int) {
 	return Counters{
-		Bytes:      c.bytes.Load(),
-		Matches:    c.matches.Load(),
-		Recoveries: c.recoveries.Load(),
-		Collisions: c.collisions.Load(),
+		Bytes:       c.bytes.Load(),
+		Matches:     c.matches.Load(),
+		Recoveries:  c.recoveries.Load(),
+		Collisions:  c.collisions.Load(),
+		CacheHits:   c.cacheHits.Load(),
+		CacheMisses: c.cacheMisses.Load(),
+		CacheResets: c.cacheResets.Load(),
 	}, int(c.maxQueue.Load())
 }
 

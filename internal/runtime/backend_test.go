@@ -18,11 +18,14 @@ func compileT(t *testing.T, g *grammar.Grammar, opts core.Options) *core.Spec {
 	return spec
 }
 
-// factories builds all three backends for one spec; the parser factory is
-// nil when the grammar is not LL(1).
+// factories builds all four backends for one spec; the parser factory is
+// omitted when the grammar is not LL(1).
 func factories(t *testing.T, spec *core.Spec) map[string]Factory {
 	t.Helper()
-	out := map[string]Factory{"stream": TaggerFactory(spec)}
+	out := map[string]Factory{
+		"stream": TaggerFactory(spec),
+		"dfa":    DFAFactory(spec, 0),
+	}
 	gf, err := GateFactory(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +172,50 @@ func TestTaggerBackendRecoveryCounter(t *testing.T) {
 	b.Close()
 	if c := b.Counters(); c.Recoveries == 0 {
 		t.Error("corrupt input produced no recovery events")
+	}
+}
+
+func TestDFABackendRecoveryCounter(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{Recovery: core.RecoveryRestart})
+	b, err := DFAFactory(spec, 0)(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Feed([]byte("if true ### then go"))
+	b.Close()
+	if c := b.Counters(); c.Recoveries == 0 {
+		t.Error("corrupt input produced no recovery events")
+	}
+}
+
+// TestDFABackendCacheStats checks the cache counters surface both on the
+// backend's Counters and — as deltas at Close — through the hooks, and
+// that a tiny bound actually resets.
+func TestDFABackendCacheStats(t *testing.T) {
+	spec := compileT(t, grammar.IfThenElse(), core.Options{})
+	var mc MetricCounters
+	b, err := DFAFactory(spec, 2)(0, mc.Hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("if true then go else stop")
+	for round := 0; round < 3; round++ {
+		b.Reset()
+		b.Feed(input)
+		b.Close()
+	}
+	c := b.Counters()
+	if c.CacheMisses == 0 {
+		t.Error("no cache misses counted")
+	}
+	if c.CacheResets == 0 {
+		t.Error("two-state cache never reset")
+	}
+	got, _ := mc.Snapshot()
+	if got.CacheHits != c.CacheHits || got.CacheMisses != c.CacheMisses || got.CacheResets != c.CacheResets {
+		t.Errorf("hooks saw cache (%d, %d, %d), backend counted (%d, %d, %d)",
+			got.CacheHits, got.CacheMisses, got.CacheResets,
+			c.CacheHits, c.CacheMisses, c.CacheResets)
 	}
 }
 

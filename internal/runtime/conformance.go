@@ -22,13 +22,18 @@ type ConformanceOptions struct {
 	Corrupt bool
 }
 
-// Conformance differentially tests the three Backend implementations on
+// Conformance differentially tests the four Backend implementations on
 // one grammar: every generated conforming sentence is fed to all backends
 // in random chunkings and the results are compared under the documented
 // relation —
 //
 //   - stream engine and gate-level simulation must agree bit for bit
 //     (same matches, same order, same recovery behavior),
+//   - the lazy-DFA compilation must agree with the stream engine exactly
+//     (same matches, same recovery and collision counters) — both with
+//     its default cache and with a deliberately tiny two-state cache
+//     that forces the overflow/reset path on every input, whose state
+//     count must also never exceed the configured bound,
 //   - the LL(1) parser, when the grammar is LL(1), must accept and its
 //     tags must be a subset of the FSA paths' tags (the FSA accepts a
 //     superset of the language, so it may legitimately tag more on
@@ -54,19 +59,26 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 		return fmt.Errorf("conformance %s: gate factory: %w", g.Name, err)
 	}
 	parserF, _ := ParserFactory(spec) // nil factory when the grammar is not LL(1)
+	fs := backendSet{
+		tagger:  taggerF,
+		gate:    gateF,
+		parser:  parserF,
+		dfa:     DFAFactory(spec, 0),
+		dfaTiny: DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
+	}
 
 	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 8})
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 
 	for trial := 0; trial < opts.Trials; trial++ {
 		text, _ := gen.Sentence()
-		if err := compareAll(g.Name, text, rng, opts.MaxChunk, taggerF, gateF, parserF, true); err != nil {
+		if err := compareAll(g.Name, text, rng, opts.MaxChunk, fs, true); err != nil {
 			return fmt.Errorf("trial %d: %w", trial, err)
 		}
 		if opts.Corrupt && len(text) > 2 {
 			bad := append([]byte(nil), text...)
 			bad[rng.Intn(len(bad))] = '@'
-			if err := compareAll(g.Name, bad, rng, opts.MaxChunk, taggerF, gateF, parserF, false); err != nil {
+			if err := compareAll(g.Name, bad, rng, opts.MaxChunk, fs, false); err != nil {
 				return fmt.Errorf("trial %d (corrupted): %w", trial, err)
 			}
 		}
@@ -74,11 +86,25 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 	return nil
 }
 
+// backendSet bundles the per-path factories one Conformance run compares.
+type backendSet struct {
+	tagger, gate, parser Factory
+	dfa, dfaTiny         Factory
+}
+
+// runResult is one backend's complete observable output for one input.
+type runResult struct {
+	matches  []stream.Match
+	verdict  error
+	counters Counters
+	backend  Backend
+}
+
 // runBackend streams text through a fresh backend in random chunks.
-func runBackend(f Factory, text []byte, rng *rand.Rand, maxChunk int) ([]stream.Match, error, error) {
+func runBackend(f Factory, text []byte, rng *rand.Rand, maxChunk int) (runResult, error) {
 	b, err := f(0, nil)
 	if err != nil {
-		return nil, nil, err
+		return runResult{}, err
 	}
 	var ms []stream.Match
 	for off := 0; off < len(text); {
@@ -87,45 +113,82 @@ func runBackend(f Factory, text []byte, rng *rand.Rand, maxChunk int) ([]stream.
 			n = len(text) - off
 		}
 		if err := b.Feed(text[off : off+n]); err != nil {
-			return nil, nil, err
+			return runResult{}, err
 		}
 		ms = append(ms, b.Matches()...)
 		off += n
 	}
 	verdict := b.Close()
 	ms = append(ms, b.Matches()...)
-	return ms, verdict, nil
+	return runResult{matches: ms, verdict: verdict, counters: b.Counters(), backend: b}, nil
+}
+
+// cacheBounded is implemented by the dfa backend; the harness uses it to
+// audit the cache-size invariant after every run.
+type cacheBounded interface {
+	CacheStates() int
+	MaxStates() int
+}
+
+// checkDFA asserts one dfa variant is indistinguishable from the stream
+// path and never exceeded its cache bound.
+func checkDFA(name, variant string, text []byte, sw runResult, f Factory, rng *rand.Rand, maxChunk int) error {
+	df, err := runBackend(f, text, rng, maxChunk)
+	if err != nil {
+		return fmt.Errorf("%s: %s backend: %w", name, variant, err)
+	}
+	if !equalMatches(sw.matches, df.matches) {
+		return fmt.Errorf("%s: stream and %s paths disagree on %q\nstream %v\n%s %v",
+			name, variant, text, sw.matches, variant, df.matches)
+	}
+	if sw.counters.Recoveries != df.counters.Recoveries || sw.counters.Collisions != df.counters.Collisions {
+		return fmt.Errorf("%s: %s counters differ on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
+			name, variant, text, sw.counters.Recoveries, sw.counters.Collisions,
+			variant, df.counters.Recoveries, df.counters.Collisions)
+	}
+	if cb, ok := df.backend.(cacheBounded); ok && cb.CacheStates() > cb.MaxStates() {
+		return fmt.Errorf("%s: %s cache holds %d states, bound %d", name, variant, cb.CacheStates(), cb.MaxStates())
+	}
+	return nil
 }
 
 // compareAll runs one input through every backend and checks the relation.
 // conforming reports whether the input is a known sentence of the grammar.
-func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, taggerF, gateF, parserF Factory, conforming bool) error {
-	sw, _, err := runBackend(taggerF, text, rng, maxChunk)
+func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, fs backendSet, conforming bool) error {
+	sw, err := runBackend(fs.tagger, text, rng, maxChunk)
 	if err != nil {
 		return fmt.Errorf("%s: stream backend: %w", name, err)
 	}
-	hw, _, err := runBackend(gateF, text, rng, maxChunk)
+	hw, err := runBackend(fs.gate, text, rng, maxChunk)
 	if err != nil {
 		return fmt.Errorf("%s: gate backend: %w", name, err)
 	}
-	if !equalMatches(sw, hw) {
-		return fmt.Errorf("%s: stream and gate paths disagree on %q\nstream %v\ngates  %v", name, text, sw, hw)
+	if !equalMatches(sw.matches, hw.matches) {
+		return fmt.Errorf("%s: stream and gate paths disagree on %q\nstream %v\ngates  %v",
+			name, text, sw.matches, hw.matches)
 	}
-	if parserF == nil {
+	if err := checkDFA(name, "dfa", text, sw, fs.dfa, rng, maxChunk); err != nil {
+		return err
+	}
+	if err := checkDFA(name, "dfa-tiny", text, sw, fs.dfaTiny, rng, maxChunk); err != nil {
+		return err
+	}
+	if fs.parser == nil {
 		return nil
 	}
-	ll, verdict, err := runBackend(parserF, text, rng, maxChunk)
+	pr, err := runBackend(fs.parser, text, rng, maxChunk)
 	if err != nil {
 		return fmt.Errorf("%s: parser backend: %w", name, err)
 	}
+	ll, verdict := pr.matches, pr.verdict
 	if conforming {
 		if verdict != nil {
 			return fmt.Errorf("%s: LL(1) parser rejected conforming sentence %q: %w", name, text, verdict)
 		}
-		if !subsetOf(ll, sw) {
-			return fmt.Errorf("%s: parser tags not a subset of stream tags on %q\nparser %v\nstream %v", name, text, ll, sw)
+		if !subsetOf(ll, sw.matches) {
+			return fmt.Errorf("%s: parser tags not a subset of stream tags on %q\nparser %v\nstream %v", name, text, ll, sw.matches)
 		}
-	} else if verdict == nil && !subsetOf(ll, sw) {
+	} else if verdict == nil && !subsetOf(ll, sw.matches) {
 		// Corrupted input the parser still accepts is in the language, so
 		// the subset relation must hold there too.
 		return fmt.Errorf("%s: parser tags not a subset of stream tags on accepted input %q", name, text)

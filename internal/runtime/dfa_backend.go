@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"cfgtag/internal/core"
+	"cfgtag/internal/stream"
+)
+
+// dfaBackend adapts the lazy-DFA compiled engine — the cached
+// determinization of the bit-parallel NFA — to the Backend contract. It is
+// the highest-throughput software path: identical detections to the stream
+// backend, served from hash-consed transition outcomes instead of per-byte
+// bitset recomputation.
+type dfaBackend struct {
+	d       *stream.DFA
+	shard   int
+	hooks   *Hooks
+	pending []stream.Match
+	bytes   int64
+	matches int64
+
+	// Cache-stat deltas already reported to the hooks (the cache, and its
+	// lifetime counters, survive Reset by design — warm caches are the
+	// point).
+	repHits, repMisses, repResets int64
+}
+
+// DFAFactory returns a Factory producing lazy-DFA engines. The spec is
+// compiled once; every Backend shares the read-only engine masks and owns
+// a private transition cache bounded by maxStates states (0 =
+// stream.DefaultDFAMaxStates). On overflow the cache resets wholesale and
+// rebuilds from live traffic, so the path degrades to NFA speed, never to
+// unbounded memory.
+func DFAFactory(spec *core.Spec, maxStates int) Factory {
+	proto := stream.NewDFA(spec, stream.DFAConfig{MaxStates: maxStates})
+	return func(shard int, h *Hooks) (Backend, error) {
+		d := proto.Clone()
+		b := &dfaBackend{d: d, shard: shard, hooks: h}
+		d.OnMatch = func(m stream.Match) {
+			b.pending = append(b.pending, m)
+			b.matches++
+			b.hooks.match(b.shard, m)
+		}
+		d.OnError = func(pos int64) { b.hooks.recovery(b.shard, pos) }
+		d.OnCollision = func(pos int64, x, y int) { b.hooks.collision(b.shard, pos, x, y) }
+		return b, nil
+	}
+}
+
+func (b *dfaBackend) Reset() {
+	b.d.Reset()
+	b.pending = b.pending[:0]
+	b.bytes = 0
+	b.matches = 0
+}
+
+func (b *dfaBackend) Feed(p []byte) error {
+	n, err := b.d.Write(p)
+	b.bytes += int64(n)
+	b.hooks.bytes(b.shard, n)
+	return err
+}
+
+func (b *dfaBackend) Close() error {
+	err := b.d.Close()
+	hits, misses, resets := b.d.CacheStats()
+	if dh, dm, dr := hits-b.repHits, misses-b.repMisses, resets-b.repResets; dh|dm|dr != 0 {
+		b.hooks.cacheStats(b.shard, dh, dm, dr)
+		b.repHits, b.repMisses, b.repResets = hits, misses, resets
+	}
+	return err
+}
+
+func (b *dfaBackend) Matches() []stream.Match {
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// CacheStates reports the number of DFA states currently cached;
+// MaxStates the configured bound. Exposed for the conformance harness's
+// cache-bound assertion.
+func (b *dfaBackend) CacheStates() int { return b.d.CacheStates() }
+func (b *dfaBackend) MaxStates() int   { return b.d.MaxStates() }
+
+func (b *dfaBackend) Counters() Counters {
+	hits, misses, resets := b.d.CacheStats()
+	return Counters{
+		Bytes:      b.bytes,
+		Matches:    b.matches,
+		Recoveries: b.d.Errors,
+		Collisions: b.d.Collisions,
+		// Cache totals span the backend's lifetime, not the last Reset:
+		// the transition cache is deliberately kept warm across streams.
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheResets: resets,
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	goruntime "runtime"
@@ -8,6 +9,13 @@ import (
 
 	"cfgtag/internal/stream"
 )
+
+// ErrClosed is returned by Send, CloseStream and a second Close once the
+// pipeline has been closed. The rejection is clean: a Send racing Close
+// either enqueues fully (its batch is flushed and delivered before Close
+// returns) or fails with ErrClosed — bytes are never partially accepted
+// and never silently dropped.
+var ErrClosed = errors.New("runtime: pipeline is closed")
 
 // Batch is one unit of Sink delivery: the chunk of stream bytes a shard
 // just processed and the detections it confirmed. Offsets in Tags are
@@ -144,13 +152,15 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 
 // Send dispatches one chunk of the stream identified by key. The data is
 // copied into a pooled buffer, so the caller may reuse it immediately.
-// Send blocks while the target shard's queue is full.
+// Send blocks while the target shard's queue is full. After Close it
+// fails with ErrClosed and the chunk is not accepted.
 func (p *Pipeline) Send(key string, data []byte) error {
 	return p.dispatch(key, data, false)
 }
 
 // CloseStream ends one stream: its Backend is flushed and closed, and the
-// final batch reaches the Sink with EOS set.
+// final batch reaches the Sink with EOS set. After Close it fails with
+// ErrClosed (Close already flushed every open stream).
 func (p *Pipeline) CloseStream(key string) error {
 	return p.dispatch(key, nil, true)
 }
@@ -159,7 +169,7 @@ func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
 	p.stateMu.RLock()
 	defer p.stateMu.RUnlock()
 	if p.closed {
-		return fmt.Errorf("runtime: pipeline is closed")
+		return ErrClosed
 	}
 	var buf []byte
 	if len(data) > 0 {
@@ -181,12 +191,12 @@ func (p *Pipeline) shardFor(key string) int {
 
 // Close flushes every open stream (delivering its EOS batch), stops the
 // shards and the sink goroutine, closes the Sink, and returns the first
-// Sink error.
+// Sink error. A second Close fails with ErrClosed.
 func (p *Pipeline) Close() error {
 	p.stateMu.Lock()
 	if p.closed {
 		p.stateMu.Unlock()
-		return fmt.Errorf("runtime: pipeline already closed")
+		return fmt.Errorf("runtime: pipeline already closed: %w", ErrClosed)
 	}
 	p.closed = true
 	p.stateMu.Unlock()

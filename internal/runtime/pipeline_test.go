@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -224,11 +226,158 @@ func TestPipelineSendAfterClose(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Send("x", []byte("go")); err == nil {
-		t.Error("Send after Close succeeded")
+	if err := p.Send("x", []byte("go")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
 	}
-	if err := p.Close(); err == nil {
-		t.Error("double Close succeeded")
+	if err := p.CloseStream("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("CloseStream after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineSendCloseRace hammers Send from many goroutines while the
+// pipeline closes underneath them: every Send must either fully succeed
+// (its bytes show up in delivered batches) or fail with ErrClosed —
+// nothing in between, and nothing lost. Run under -race this also audits
+// the dispatch/Close locking.
+func TestPipelineSendCloseRace(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	delivered := make(map[string]int) // stream key -> bytes delivered
+	sink := SinkFunc(func(b *Batch) error {
+		mu.Lock()
+		delivered[b.Key] += len(b.Data)
+		mu.Unlock()
+		return nil
+	})
+	p, err := NewPipeline(Config{Shards: 4, Queue: 4, Factory: TaggerFactory(spec)}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders = 8
+	accepted := make([]int, senders) // bytes whose Send returned nil
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("s%d", g)
+			chunk := []byte("if true then go else stop ")
+			<-start
+			for i := 0; i < 200; i++ {
+				err := p.Send(key, chunk)
+				if err == nil {
+					accepted[g] += len(chunk)
+				} else if !errors.Is(err, ErrClosed) {
+					t.Errorf("sender %d: Send = %v, want nil or ErrClosed", g, err)
+					return
+				} else {
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	p.Close() // races the senders by design
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for g := 0; g < senders; g++ {
+		key := fmt.Sprintf("s%d", g)
+		if delivered[key] != accepted[g] {
+			t.Errorf("stream %s: %d bytes delivered, %d accepted by Send", key, delivered[key], accepted[g])
+		}
+	}
+}
+
+// TestPipelineOrderingUnderConcurrency checks per-stream batch order: with
+// many streams fed from concurrent senders, each stream's delivered bytes
+// must reassemble exactly in Send order, with EOS last. The sink copies
+// Data (it is pooled and invalid after Deliver returns).
+func TestPipelineOrderingUnderConcurrency(t *testing.T) {
+	spec, err := core.Compile(grammar.IfThenElse(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 16
+	const chunks = 120
+	type state struct {
+		data     []byte
+		eosSeen  bool
+		afterEOS bool
+	}
+	got := make(map[string]*state)
+	sink := SinkFunc(func(b *Batch) error {
+		s := got[b.Key]
+		if s == nil {
+			s = &state{}
+			got[b.Key] = s
+		}
+		if s.eosSeen {
+			s.afterEOS = true
+		}
+		s.data = append(s.data, b.Data...)
+		if b.EOS {
+			s.eosSeen = true
+		}
+		return nil
+	})
+	p, err := NewPipeline(Config{Shards: 4, Queue: 8, Factory: TaggerFactory(spec)}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	var wg sync.WaitGroup
+	for g := 0; g < streams; g++ {
+		key := fmt.Sprintf("s%d", g)
+		var full []byte
+		for i := 0; i < chunks; i++ {
+			full = append(full, []byte(fmt.Sprintf("%s:%d;", key, i))...)
+		}
+		want[key] = full
+		wg.Add(1)
+		go func(key string, full []byte) {
+			defer wg.Done()
+			for off := 0; off < len(full); {
+				n := 7
+				if off+n > len(full) {
+					n = len(full) - off
+				}
+				if err := p.Send(key, full[off:off+n]); err != nil {
+					t.Errorf("%s: Send: %v", key, err)
+					return
+				}
+				off += n
+			}
+			if err := p.CloseStream(key); err != nil {
+				t.Errorf("%s: CloseStream: %v", key, err)
+			}
+		}(key, full)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for key, full := range want {
+		s := got[key]
+		if s == nil {
+			t.Fatalf("stream %s: no batches delivered", key)
+		}
+		if !bytes.Equal(s.data, full) {
+			t.Errorf("stream %s: batches out of order or corrupted (%d bytes vs %d sent)", key, len(s.data), len(full))
+		}
+		if !s.eosSeen {
+			t.Errorf("stream %s: no EOS batch", key)
+		}
+		if s.afterEOS {
+			t.Errorf("stream %s: batch delivered after EOS", key)
+		}
 	}
 }
 

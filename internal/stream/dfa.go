@@ -1,0 +1,480 @@
+// Lazy determinization of the bit-parallel NFA, in the style of RE2's
+// on-the-fly DFA: the paper collapses the PDA into an FSA, and this file
+// collapses that FSA's bit-parallel execution into a cached DFA whose
+// states are hash-consed (active, pending) bitset pairs.
+//
+// Per input byte the NFA engine recomputes the same bitset transition for
+// every repeated (state, byte) pair. The DFA computes it once — with the
+// full NFA step — and caches the outcome on a transition edge indexed by
+// the byte's equivalence class: the successor state, the cycle's emitted
+// instances (dedup'd, in bit order), their collision pairs and the
+// recovery verdict. Subsequent visits are a table lookup.
+//
+// Longest-match lookahead (figure 7) makes some transitions depend on the
+// *next* byte: an accepting position p with extendAny[p] set emits only
+// when the lookahead cannot extend the match. Edges whose accept
+// candidates are all lookahead-independent get one shared outcome; the
+// rest get a per-lookahead-class outcome row, filled on demand by the same
+// NFA fallback — so variable-length/self-loop emissions cost one NFA step
+// per (state, class, lookahead-class) triple, once.
+//
+// The cache is bounded: when the state count would exceed MaxStates the
+// whole cache is dropped and rebuilt from the current state (the RE2
+// policy), so adversarial inputs degrade to NFA speed instead of unbounded
+// memory. Hits, misses and resets are surfaced via CacheStats.
+package stream
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+)
+
+// DefaultDFAMaxStates bounds the transition cache when DFAConfig.MaxStates
+// is zero. Real grammars settle into a few dozen reachable states; the
+// default leaves two orders of magnitude of headroom before the reset
+// policy engages.
+const DefaultDFAMaxStates = 1024
+
+// DFAConfig tunes the lazy determinization.
+type DFAConfig struct {
+	// MaxStates bounds the number of cached DFA states (0 =
+	// DefaultDFAMaxStates, minimum 2). When a new state would exceed the
+	// bound the whole cache is reset and rebuilt from the current state.
+	MaxStates int
+}
+
+// dfaOutcome is everything one cached transition does: successor state,
+// the cycle's emissions in NFA bit order (deduplicated per instance), the
+// aligned collision flags (a collision is always against the cycle's first
+// emission), and whether the section 5.2 recovery re-armed the engine.
+// hasEvents folds "anything beyond the state move" into one hot-loop load.
+type dfaOutcome struct {
+	next      *dfaState
+	emits     []int32
+	collide   []bool
+	recovered bool
+	hasEvents bool
+}
+
+// dfaEdge is one (state, byte-class) transition: outcomes indexed by the
+// lookahead byte's class (last slot = end of stream). Lookahead-independent
+// edges fill every slot with one shared outcome at creation; conditional
+// edges (accept candidates under figure 7 lookahead) keep the precomputed
+// next-active set and fill slots on demand.
+type dfaEdge struct {
+	outs       []*dfaOutcome
+	nextActive []uint64 // nil for lookahead-independent edges
+}
+
+// dfaState is one hash-consed (active, pending) pair with its lazily
+// filled transition rows, indexed by byte class. fast[c] short-circuits
+// lookahead-independent edges to their single outcome — the common case,
+// served with one load fewer than the general rows[c].outs[look] path.
+type dfaState struct {
+	active  []uint64
+	pending []uint64
+	fast    []*dfaOutcome
+	rows    []*dfaEdge
+}
+
+// DFA is a streaming token tagger over one input, equivalent byte for byte
+// to Tagger but executing through the lazy DFA cache. It is not safe for
+// concurrent use; Clone shares the compiled engine and gives each stream
+// its own cache.
+type DFA struct {
+	e   *engine
+	cfg DFAConfig
+
+	states map[string]*dfaState
+	cur    *dfaState
+
+	// OnMatch receives every detection in input order (identical to
+	// Tagger.OnMatch on the same input).
+	OnMatch func(Match)
+	// OnError receives section 5.2 recovery offsets, as Tagger.OnError.
+	OnError func(pos int64)
+	// OnCollision receives residual index collisions, as
+	// Tagger.OnCollision.
+	OnCollision func(pos int64, a, b int)
+
+	// Errors and Collisions mirror Tagger's counters.
+	Errors     int64
+	Collisions int64
+
+	pos       int64
+	have      bool
+	heldByte  byte
+	heldClass int
+	closed    bool
+
+	hits   int64
+	misses int64
+	resets int64
+
+	keyBuf []byte
+}
+
+// NewDFA compiles the spec and returns a lazy-DFA tagger. The engine masks
+// are shared with any Tagger compiled from the same call chain; the
+// transition cache is private to this DFA (use Clone for more streams).
+func NewDFA(spec *core.Spec, cfg DFAConfig) *DFA {
+	return newDFA(compile(spec), cfg)
+}
+
+func newDFA(e *engine, cfg DFAConfig) *DFA {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultDFAMaxStates
+	}
+	if cfg.MaxStates < 2 {
+		cfg.MaxStates = 2
+	}
+	d := &DFA{
+		e:      e,
+		cfg:    cfg,
+		states: make(map[string]*dfaState),
+		keyBuf: make([]byte, 16*e.words),
+	}
+	d.Reset()
+	return d
+}
+
+// Clone creates an independent DFA sharing this one's compiled engine but
+// with its own (empty) transition cache and stream state.
+func (d *DFA) Clone() *DFA { return newDFA(d.e, d.cfg) }
+
+// Spec returns the specification the DFA was compiled from.
+func (d *DFA) Spec() *core.Spec { return d.e.spec }
+
+// Reset rewinds to stream start. The transition cache is retained: reusing
+// a DFA across streams of the same traffic shape runs warm.
+func (d *DFA) Reset() {
+	d.pos = 0
+	d.have = false
+	d.closed = false
+	d.Errors = 0
+	d.Collisions = 0
+	d.cur = d.canonical(d.e.zeroMask, d.e.startPending)
+}
+
+// Pos returns the number of bytes fully processed (confirmed, not merely
+// buffered for lookahead).
+func (d *DFA) Pos() int64 { return d.pos }
+
+// CacheStats reports the transition cache's lifetime totals: bytes served
+// from cached outcomes, bytes that required an NFA fallback computation,
+// and whole-cache resets forced by the MaxStates bound.
+func (d *DFA) CacheStats() (hits, misses, resets int64) {
+	return d.hits, d.misses, d.resets
+}
+
+// CacheStates reports the number of states currently cached. It never
+// exceeds the configured MaxStates bound.
+func (d *DFA) CacheStates() int { return len(d.states) }
+
+// MaxStates reports the configured cache bound.
+func (d *DFA) MaxStates() int { return d.cfg.MaxStates }
+
+// Write feeds stream bytes; matches fire on OnMatch as they are confirmed
+// (one byte of lookahead latency, exactly as Tagger).
+//
+// The loop is the engine's hot path: in steady state every byte resolves
+// to one classOf lookup, one cached-edge load and one cached-outcome load.
+// Only uncached transitions (and their emission/recovery bookkeeping) drop
+// into the fill functions.
+func (d *DFA) Write(p []byte) (int, error) {
+	if d.closed {
+		return 0, fmt.Errorf("stream: Write after Close")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	i := 0
+	classOf := &d.e.classOf
+	if !d.have {
+		d.heldByte = p[0]
+		d.heldClass = int(classOf[p[0]])
+		d.have = true
+		i = 1
+	}
+	c := d.heldClass
+	cur := d.cur
+	pos := d.pos
+	var hits int64
+	for ; i < len(p); i++ {
+		nc := int(classOf[p[i]])
+		if out := cur.fast[c]; out != nil {
+			hits++
+			if out.hasEvents {
+				d.pos = pos
+				d.deliver(out)
+			}
+			cur = out.next
+			pos++
+			c = nc
+			continue
+		}
+		if edge := cur.rows[c]; edge != nil {
+			if out := edge.outs[nc]; out != nil {
+				hits++
+				if out.hasEvents {
+					d.pos = pos
+					d.deliver(out)
+				}
+				cur = out.next
+				pos++
+				c = nc
+				continue
+			}
+		}
+		// Uncached transition: fall back to the NFA step for this byte.
+		d.cur, d.pos = cur, pos
+		d.process(c, nc)
+		cur, pos = d.cur, d.pos
+		c = nc
+	}
+	d.cur, d.pos = cur, pos
+	d.hits += hits
+	d.heldByte = p[len(p)-1]
+	d.heldClass = c
+	return len(p), nil
+}
+
+// Close flushes the final byte (whose lookahead is end-of-stream) and
+// prevents further writes.
+func (d *DFA) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.have {
+		d.process(d.heldClass, d.e.numClasses) // EOS lookahead slot
+		d.have = false
+	}
+	return nil
+}
+
+// Tag runs a whole buffer through a fresh pass and returns the matches
+// (Reset first, Close implied). The cache stays warm across calls.
+func (d *DFA) Tag(data []byte) []Match {
+	d.Reset()
+	var out []Match
+	prev := d.OnMatch
+	d.OnMatch = func(m Match) { out = append(out, m) }
+	defer func() { d.OnMatch = prev }()
+	d.Write(data)
+	d.Close()
+	return out
+}
+
+// process advances one byte through the cache's slow path, filling the
+// missing edge or conditional outcome; c is the byte's equivalence class,
+// look the lookahead byte's class (e.numClasses at end of stream).
+func (d *DFA) process(c, look int) {
+	st := d.cur
+	edge := st.rows[c]
+	filled := false
+	if edge == nil {
+		edge = d.fillEdge(st, c)
+		filled = true
+	}
+	out := edge.outs[look]
+	if out == nil {
+		out = d.fillCond(st, edge, c, look)
+		filled = true
+	}
+	if filled {
+		d.misses++
+	} else {
+		d.hits++
+	}
+	if out.hasEvents {
+		d.deliver(out)
+	}
+	d.cur = out.next
+	d.pos++
+}
+
+// deliver fires the cached emission metadata of one transition at the
+// current position: collision pairs (always against the cycle's first
+// emission) interleaved before their matches, exactly as Tagger.emit, then
+// the recovery event.
+func (d *DFA) deliver(out *dfaOutcome) {
+	if len(out.emits) > 0 {
+		first := int(out.emits[0])
+		for i, k := range out.emits {
+			if out.collide[i] {
+				d.Collisions++
+				if d.OnCollision != nil {
+					d.OnCollision(d.pos, first, int(k))
+				}
+			}
+			if d.OnMatch != nil {
+				d.OnMatch(Match{InstanceID: int(k), End: d.pos})
+			}
+		}
+	}
+	if out.recovered {
+		d.Errors++
+		if d.OnError != nil {
+			d.OnError(d.pos)
+		}
+	}
+}
+
+// fillEdge computes the NFA transition for (st, class c) and caches it:
+// the next active set, and — when every accept candidate is
+// lookahead-independent — the single shared outcome. Conditional edges get
+// an empty per-lookahead row instead.
+func (d *DFA) fillEdge(st *dfaState, c int) *dfaEdge {
+	e := d.e
+	words := e.words
+	nextActive := make([]uint64, words)
+
+	// Scatter the sparse non-chain Glushkov edges (rare; slow path only).
+	var scattered []uint64
+	if e.hasExtras {
+		any := uint64(0)
+		for w := 0; w < words; w++ {
+			any |= st.active[w] & e.extraSrc[w]
+		}
+		if any != 0 {
+			scattered = make([]uint64, words)
+			for w := 0; w < words; w++ {
+				nextActive[w] = st.active[w] & e.extraSrc[w] // borrow as scratch
+			}
+			forEachBit(nextActive, func(p int) {
+				orInto(scattered, e.extraTo[p])
+			})
+			clearMask(nextActive)
+		}
+	}
+
+	mb := e.matchC[c]
+	var carry uint64
+	conditional := false
+	for w := 0; w < words; w++ {
+		a := st.active[w]
+		shifted := a<<1 | carry
+		carry = a >> 63
+		nx := (shifted & e.succ[w]) | (a & e.self[w]) | st.pending[w] | e.alwaysPending[w]
+		if scattered != nil {
+			nx |= scattered[w]
+		}
+		nx &= mb[w]
+		nextActive[w] = nx
+		if nx&e.last[w]&e.extendAny[w] != 0 {
+			conditional = true
+		}
+	}
+
+	edge := &dfaEdge{outs: make([]*dfaOutcome, e.numClasses+1)}
+	if conditional {
+		edge.nextActive = nextActive
+	} else {
+		ending := make([]uint64, words)
+		for w := 0; w < words; w++ {
+			ending[w] = nextActive[w] & e.last[w]
+		}
+		out := d.buildOutcome(st, c, nextActive, ending)
+		for i := range edge.outs {
+			edge.outs[i] = out
+		}
+		st.fast[c] = out
+	}
+	st.rows[c] = edge
+	return edge
+}
+
+// fillCond computes and caches the outcome of a conditional edge for one
+// lookahead class (the figure 7 check against that class's extend column).
+func (d *DFA) fillCond(st *dfaState, edge *dfaEdge, c, look int) *dfaOutcome {
+	e := d.e
+	ext := e.zeroMask // end of stream extends nothing
+	if look < e.numClasses {
+		ext = e.extendC[look]
+	}
+	ending := make([]uint64, e.words)
+	for w := 0; w < e.words; w++ {
+		ending[w] = edge.nextActive[w] & e.last[w] &^ ext[w]
+	}
+	out := d.buildOutcome(st, c, edge.nextActive, ending)
+	edge.outs[look] = out
+	return out
+}
+
+// buildOutcome precomputes everything the emit cycle does — per-instance
+// dedup in bit order, collision pairs against the first emission, follow
+// wiring into the pending latch, the dead-state recovery check — and
+// hash-conses the successor state.
+func (d *DFA) buildOutcome(st *dfaState, c int, nextActive, ending []uint64) *dfaOutcome {
+	e := d.e
+	pending := make([]uint64, e.words)
+	if e.delimC[c] {
+		copy(pending, st.pending)
+	}
+	out := &dfaOutcome{}
+	forEachBit(ending, func(p int) {
+		k := int32(e.owner[p])
+		for _, prev := range out.emits {
+			if prev == k {
+				return // one emission per instance per cycle
+			}
+		}
+		collide := false
+		if len(out.emits) > 0 {
+			a := int(out.emits[0])
+			if e.conflictSetID[a] < 0 || e.conflictSetID[a] != e.conflictSetID[int(k)] {
+				collide = true
+			}
+		}
+		out.emits = append(out.emits, k)
+		out.collide = append(out.collide, collide)
+		for _, f := range e.spec.Instances[k].Follow {
+			orInto(pending, e.firstMask[f])
+		}
+	})
+	if e.recoveryMask != nil && isZero(nextActive) && isZero(pending) {
+		out.recovered = true
+		copy(pending, e.recoveryMask)
+	}
+	out.hasEvents = len(out.emits) > 0 || out.recovered
+	out.next = d.canonical(nextActive, pending)
+	return out
+}
+
+// canonical hash-conses an (active, pending) pair. When inserting a new
+// state would exceed the MaxStates bound, the whole cache is reset first
+// (the RE2 policy): cheaper and simpler than eviction, and the next bytes
+// rebuild only the states the traffic actually revisits.
+func (d *DFA) canonical(active, pending []uint64) *dfaState {
+	key := d.keyBuf[:0]
+	for _, w := range active {
+		key = append(key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	for _, w := range pending {
+		key = append(key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	if st, ok := d.states[string(key)]; ok {
+		return st
+	}
+	if len(d.states) >= d.cfg.MaxStates {
+		// Whole-cache reset. The current state object (and any edge in
+		// flight) stays valid — it is simply no longer indexed, so the
+		// traffic re-canonicalizes the states it still needs.
+		d.states = make(map[string]*dfaState)
+		d.resets++
+	}
+	st := &dfaState{
+		active:  append([]uint64(nil), active...),
+		pending: append([]uint64(nil), pending...),
+		fast:    make([]*dfaOutcome, d.e.numClasses),
+		rows:    make([]*dfaEdge, d.e.numClasses),
+	}
+	d.states[string(key)] = st
+	return st
+}

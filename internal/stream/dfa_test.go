@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/workload"
+)
+
+// optionMatrix is the compile-option sweep the DFA must track the NFA
+// through: the paper's default design, unanchored streams, both recovery
+// flavors and the ablations that change the mask tables.
+func optionMatrix() map[string]core.Options {
+	return map[string]core.Options{
+		"default":     {},
+		"free":        {FreeRunningStart: true},
+		"restart":     {Recovery: core.RecoveryRestart},
+		"resync":      {Recovery: core.RecoveryResync},
+		"no-longest":  {NoLongestMatch: true},
+		"all-enabled": {AllEnabled: true},
+	}
+}
+
+// diffInputs builds a mixed corpus for one spec: conforming sentences,
+// corrupted sentences, and raw random bytes.
+func diffInputs(spec *core.Spec, seed int64, n int) [][]byte {
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 6})
+	rng := rand.New(rand.NewSource(seed * 31))
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		text, _ := gen.Sentence()
+		out = append(out, text)
+		if len(text) > 2 {
+			bad := append([]byte(nil), text...)
+			bad[rng.Intn(len(bad))] = '@'
+			out = append(out, bad)
+		}
+		junk := make([]byte, rng.Intn(64))
+		for j := range junk {
+			junk[j] = byte(rng.Intn(256))
+		}
+		out = append(out, junk)
+	}
+	return out
+}
+
+// checkAgainstTagger asserts the DFA and the NFA tagger agree bit for bit
+// on one input: same matches, same recovery and collision counters.
+func checkAgainstTagger(t *testing.T, tg *Tagger, d *DFA, input []byte, label string) {
+	t.Helper()
+	want := tg.Tag(input)
+	got := d.Tag(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: dfa matches differ on %q\ndfa %v\nnfa %v", label, input, got, want)
+	}
+	if d.Errors != tg.Errors || d.Collisions != tg.Collisions {
+		t.Fatalf("%s: counters differ on %q: dfa (%d errs, %d coll), nfa (%d errs, %d coll)",
+			label, input, d.Errors, d.Collisions, tg.Errors, tg.Collisions)
+	}
+}
+
+func TestDFAMatchesTaggerOnBuiltins(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(), grammar.XMLRPCFull(),
+	} {
+		for name, opts := range optionMatrix() {
+			spec := mustSpec(t, g, opts)
+			tg := NewTagger(spec)
+			d := NewDFA(spec, DFAConfig{})
+			for i, input := range diffInputs(spec, 7, 6) {
+				checkAgainstTagger(t, tg, d, input, fmt.Sprintf("%s/%s/#%d", g.Name, name, i))
+			}
+		}
+	}
+}
+
+func TestDFAMatchesTaggerOnRandomGrammars(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		spec := mustSpec(t, g, core.Options{})
+		tg := NewTagger(spec)
+		d := NewDFA(spec, DFAConfig{})
+		for i, input := range diffInputs(spec, seed+3, 4) {
+			checkAgainstTagger(t, tg, d, input, fmt.Sprintf("seed%d/#%d", seed, i))
+		}
+	}
+}
+
+// TestDFAChunkingInvariance streams one input in random chunk sizes and
+// asserts detections are identical to the whole-buffer pass.
+func TestDFAChunkingInvariance(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	gen := workload.NewGenerator(spec, 5, workload.SentenceOptions{MaxDepth: 8})
+	rng := rand.New(rand.NewSource(55))
+	d := NewDFA(spec, DFAConfig{})
+	for trial := 0; trial < 10; trial++ {
+		text, _ := gen.Sentence()
+		want := d.Tag(text)
+		d.Reset()
+		var got []Match
+		d.OnMatch = func(m Match) { got = append(got, m) }
+		for off := 0; off < len(text); {
+			n := 1 + rng.Intn(9)
+			if off+n > len(text) {
+				n = len(text) - off
+			}
+			d.Write(text[off : off+n])
+			off += n
+		}
+		d.Close()
+		d.OnMatch = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: chunked %v, whole %v", trial, got, want)
+		}
+	}
+}
+
+// TestDFACacheBound forces the tiny cache through its overflow path and
+// checks the bound holds at every step while matches stay exact.
+func TestDFACacheBound(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	tg := NewTagger(spec)
+	d := NewDFA(spec, DFAConfig{MaxStates: 2})
+	if d.MaxStates() != 2 {
+		t.Fatalf("MaxStates = %d, want 2", d.MaxStates())
+	}
+	gen := workload.NewGenerator(spec, 11, workload.SentenceOptions{MaxDepth: 8})
+	for trial := 0; trial < 6; trial++ {
+		text, _ := gen.Sentence()
+		want := tg.Tag(text)
+		d.Reset()
+		var got []Match
+		d.OnMatch = func(m Match) { got = append(got, m) }
+		for i := range text {
+			d.Write(text[i : i+1])
+			if n := d.CacheStates(); n > 2 {
+				t.Fatalf("cache grew to %d states, bound 2", n)
+			}
+		}
+		d.Close()
+		d.OnMatch = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: bounded dfa %v, nfa %v", trial, got, want)
+		}
+	}
+	if _, _, resets := d.CacheStats(); resets == 0 {
+		t.Error("tiny cache saw no resets")
+	}
+}
+
+// TestDFAWarmCache re-tags the same traffic and checks the second pass is
+// served from the cache (misses stop growing) with identical results.
+func TestDFAWarmCache(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	gen := workload.NewGenerator(spec, 23, workload.SentenceOptions{MaxDepth: 8})
+	text, _ := gen.Sentence()
+	d := NewDFA(spec, DFAConfig{})
+	first := d.Tag(text)
+	_, coldMisses, _ := d.CacheStats()
+	second := d.Tag(text)
+	_, warmMisses, _ := d.CacheStats()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("warm pass differs: %v vs %v", second, first)
+	}
+	if warmMisses != coldMisses {
+		t.Errorf("warm pass computed %d new transitions, want 0", warmMisses-coldMisses)
+	}
+	if hits, _, _ := d.CacheStats(); hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if d.CacheStates() > d.MaxStates() {
+		t.Errorf("cache holds %d states, bound %d", d.CacheStates(), d.MaxStates())
+	}
+}
+
+// TestDFACloneSharesEngineNotCache checks clones start cold but agree.
+func TestDFACloneSharesEngineNotCache(t *testing.T) {
+	spec := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	d := NewDFA(spec, DFAConfig{})
+	input := []byte("if true then go else stop")
+	want := d.Tag(input)
+	c := d.Clone()
+	if got := c.Tag(input); !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone tags %v, want %v", got, want)
+	}
+	if c.e != d.e {
+		t.Error("clone does not share the compiled engine")
+	}
+}
+
+func TestDFAWriteAfterClose(t *testing.T) {
+	spec := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	d := NewDFA(spec, DFAConfig{})
+	d.Write([]byte("go"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := d.Write([]byte("x")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+}
+
+// TestByteClassCompression checks the equivalence-class partition: far
+// fewer than 256 columns on real grammars, and every byte of a class
+// behaves like its representative (guaranteed by construction, spot-checked
+// against a fresh full-width interpretation via the tagger itself).
+func TestByteClassCompression(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(),
+	} {
+		spec := mustSpec(t, g, core.Options{})
+		tg := NewTagger(spec)
+		e := tg.e
+		if e.numClasses >= 256 {
+			t.Errorf("%s: %d byte classes, want < 256", g.Name, e.numClasses)
+		}
+		if e.numClasses < 2 {
+			t.Errorf("%s: %d byte classes, want >= 2", g.Name, e.numClasses)
+		}
+		for b := 0; b < 256; b++ {
+			c := e.classOf[b]
+			if int(c) >= e.numClasses {
+				t.Fatalf("%s: byte %d maps to class %d of %d", g.Name, b, c, e.numClasses)
+			}
+			if e.delimC[c] != spec.Delim.Has(byte(b)) {
+				t.Fatalf("%s: byte %d delimiter bit differs from its class", g.Name, b)
+			}
+		}
+	}
+}

@@ -29,15 +29,33 @@ import (
 
 // engine holds the compile-time bit masks shared by all Tagger instances of
 // a Spec.
+//
+// The per-byte decoder columns are stored byte-class compressed: the 256
+// byte values are partitioned into equivalence classes — bytes with
+// identical match, extend and delimiter behaviour share a class — and the
+// tables hold one column per class instead of one per byte. classOf maps a
+// byte to its class; real grammars collapse 256 columns to a few dozen.
 type engine struct {
 	spec  *core.Spec
 	words int // words per position bitset
 
-	// match[b] marks positions whose class contains byte b.
-	match [256][]uint64
-	// extend[b] marks positions p (accepting or not) with some q∈follow(p)
-	// whose class contains b.
-	extend [256][]uint64
+	// classOf[b] is the byte-equivalence class of byte b.
+	classOf [256]uint16
+	// numClasses is the number of byte-equivalence classes.
+	numClasses int
+	// matchC[c] marks positions whose byte class contains the bytes of
+	// equivalence class c.
+	matchC [][]uint64
+	// extendC[c] marks positions p (accepting or not) with some q∈follow(p)
+	// whose byte class contains the bytes of equivalence class c.
+	extendC [][]uint64
+	// delimC[c] reports whether class c's bytes are delimiters.
+	delimC []bool
+	// extendAny is the OR of every extendC column: positions whose
+	// accepting status depends on the lookahead byte at all. The lazy DFA
+	// uses it to split lookahead-independent transition edges from
+	// conditional ones.
+	extendAny []uint64
 	// succ marks positions q entered from q-1 (chain edges).
 	succ []uint64
 	// self marks positions with a self-loop.
@@ -72,8 +90,6 @@ type engine struct {
 	owner []int32
 	// base[k] is instance k's first global position.
 	base []int
-
-	delim [256]bool
 }
 
 // compile lays out every instance's pattern positions in one global bit
@@ -99,10 +115,14 @@ func compile(spec *core.Spec) *engine {
 	e.extraSrc = newMask()
 	e.last = newMask()
 	e.startPending = newMask()
+	// Full-width decoder columns, built per byte and compressed into
+	// equivalence classes at the end of compile.
+	var match, extend [256][]uint64
+	var delim [256]bool
 	for b := 0; b < 256; b++ {
-		e.match[b] = newMask()
-		e.extend[b] = newMask()
-		e.delim[b] = spec.Delim.Has(byte(b))
+		match[b] = newMask()
+		extend[b] = newMask()
+		delim[b] = spec.Delim.Has(byte(b))
 	}
 	e.firstMask = make([][]uint64, len(spec.Instances))
 
@@ -115,7 +135,7 @@ func compile(spec *core.Spec) *engine {
 			g := off + i
 			e.owner[g] = int32(k)
 			for _, bb := range p.Classes[i].Bytes() {
-				setBit(e.match[bb], g)
+				setBit(match[bb], g)
 			}
 		}
 		for _, f := range p.First {
@@ -143,7 +163,7 @@ func compile(spec *core.Spec) *engine {
 				// Any byte matching the target class extends a match
 				// pending at q.
 				for _, bb := range p.Classes[t].Bytes() {
-					setBit(e.extend[bb], gq)
+					setBit(extend[bb], gq)
 				}
 			}
 		}
@@ -186,12 +206,54 @@ func compile(spec *core.Spec) *engine {
 		// Ablation: no figure 7 lookahead — matches report at every
 		// accepting cycle.
 		for b := 0; b < 256; b++ {
-			for w := range e.extend[b] {
-				e.extend[b][w] = 0
+			for w := range extend[b] {
+				extend[b][w] = 0
 			}
 		}
 	}
+	e.compressClasses(&match, &extend, &delim)
 	return e
+}
+
+// compressClasses partitions the 256 byte columns into equivalence classes:
+// bytes with identical match and extend columns and the same delimiter bit
+// transition every engine state identically, so one shared column serves
+// them all. Classes are numbered in first-byte order.
+func (e *engine) compressClasses(match, extend *[256][]uint64, delim *[256]bool) {
+	key := make([]byte, 0, 16*e.words+1)
+	seen := make(map[string]uint16)
+	for b := 0; b < 256; b++ {
+		key = key[:0]
+		for _, w := range match[b] {
+			key = append(key,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		for _, w := range extend[b] {
+			key = append(key,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		if delim[b] {
+			key = append(key, 1)
+		} else {
+			key = append(key, 0)
+		}
+		c, ok := seen[string(key)]
+		if !ok {
+			c = uint16(len(e.matchC))
+			seen[string(key)] = c
+			e.matchC = append(e.matchC, match[b])
+			e.extendC = append(e.extendC, extend[b])
+			e.delimC = append(e.delimC, delim[b])
+		}
+		e.classOf[b] = c
+	}
+	e.numClasses = len(e.matchC)
+	e.extendAny = make([]uint64, e.words)
+	for _, col := range e.extendC {
+		orInto(e.extendAny, col)
+	}
 }
 
 func setBit(m []uint64, i int) { m[i>>6] |= 1 << (i & 63) }
@@ -229,6 +291,6 @@ func forEachBit(m []uint64, fn func(int)) {
 }
 
 func (e *engine) String() string {
-	return fmt.Sprintf("engine: %d instances, %d positions, %d words",
-		len(e.spec.Instances), len(e.owner), e.words)
+	return fmt.Sprintf("engine: %d instances, %d positions, %d words, %d byte classes",
+		len(e.spec.Instances), len(e.owner), e.words, e.numClasses)
 }

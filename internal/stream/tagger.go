@@ -100,7 +100,7 @@ func (t *Tagger) Write(p []byte) (int, error) {
 	}
 	for _, b := range p {
 		if t.have {
-			t.step(t.heldByte, t.e.extend[b])
+			t.step(t.heldByte, t.e.extendC[t.e.classOf[b]])
 		}
 		t.heldByte = b
 		t.have = true
@@ -136,8 +136,9 @@ func (t *Tagger) Pos() int64 { return t.pos }
 // delimiter register enable of section 3.2).
 func (t *Tagger) step(b byte, ext []uint64) {
 	e := t.e
-	delim := e.delim[b]
-	mb := e.match[b]
+	c := e.classOf[b]
+	delim := e.delimC[c]
+	mb := e.matchC[c]
 
 	// Scatter the sparse non-chain Glushkov edges first (rare: pure
 	// literal/class grammars have none).
