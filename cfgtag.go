@@ -24,6 +24,7 @@ package cfgtag
 
 import (
 	"fmt"
+	"time"
 
 	"cfgtag/internal/core"
 	"cfgtag/internal/fpga"
@@ -528,8 +529,24 @@ type TagBatch struct {
 	Tags []Match
 	// EOS marks the stream's final batch.
 	EOS bool
-	// Err carries the stream's backend verdict (e.g. a parser reject).
+	// Evicted marks a final batch forced by the MaxStreams idle-LRU
+	// eviction rather than by CloseStream (EOS is set too).
+	Evicted bool
+	// Err carries the stream's backend verdict (e.g. a parser reject) or
+	// the fault that quarantined the stream (test with errors.Is against
+	// ErrBackendPanic).
 	Err error
+}
+
+func (e *Engine) toTagBatch(b *runtime.Batch) *TagBatch {
+	tb := &TagBatch{Stream: b.Key, Shard: b.Shard, Data: b.Data, EOS: b.EOS, Evicted: b.Evicted, Err: b.Err}
+	if len(b.Tags) > 0 {
+		tb.Tags = make([]Match, len(b.Tags))
+		for i, m := range b.Tags {
+			tb.Tags[i] = e.match(m)
+		}
+	}
+	return tb
 }
 
 // Metrics aggregates pipeline observability counters (bytes, matches,
@@ -548,6 +565,23 @@ type PipelineConfig struct {
 	Queue int
 	// Metrics, when set, receives the pipeline's observability counters.
 	Metrics *Metrics
+	// MaxStreams caps the live streams per shard (0 = unlimited). At the
+	// cap, the least-recently-fed stream is flushed and delivered as a
+	// final batch with Evicted set.
+	MaxStreams int
+	// Quarantine is how long a stream key is rejected after its backend
+	// faults (0 = 30s default; negative disables quarantine).
+	Quarantine time.Duration
+	// SinkAttempts is how many times a failing deliver callback is tried
+	// per batch, first attempt included (0 = 3).
+	SinkAttempts int
+	// SinkBackoff is the base retry delay, doubled per retry with jitter
+	// and capped (0 = 1ms).
+	SinkBackoff time.Duration
+	// DeadLetter, when set, receives batches whose deliver attempts were
+	// exhausted; the pipeline then carries on. When nil, an exhausted
+	// batch fails the pipeline permanently instead.
+	DeadLetter func(*TagBatch, error)
 }
 
 // ErrPipelineClosed is returned by Pipeline.Send, Pipeline.CloseStream and
@@ -556,6 +590,25 @@ type PipelineConfig struct {
 // delivered before Close returns — or fails with this error; chunks are
 // never partially accepted.
 var ErrPipelineClosed = runtime.ErrClosed
+
+// ErrStreamQuarantined is returned (wrapped, test with errors.Is) by Send
+// and CloseStream for a key whose backend recently faulted and is still
+// inside its quarantine window.
+var ErrStreamQuarantined = runtime.ErrQuarantined
+
+// ErrBackendPanic is the sentinel wrapped into a TagBatch.Err when the
+// stream's backend panicked; the pipeline recovers the panic, ends the
+// stream and quarantines its key.
+var ErrBackendPanic = runtime.ErrBackendPanic
+
+// PermanentDeliverError marks an error returned by the deliver callback as
+// permanent: the pipeline skips retries and dead-lettering and fails fast,
+// surfacing the error from Err, Send and Close.
+func PermanentDeliverError(err error) error { return runtime.PermanentError(err) }
+
+// FaultStats aggregates the pipeline's fault-tolerance counters; read it
+// from Metrics.Faults().
+type FaultStats = runtime.FaultStats
 
 // Pipeline fans a keyed stream population out over tagging shards: Send
 // dispatches chunks by stream key, each shard runs one Backend per live
@@ -574,19 +627,24 @@ func (e *Engine) NewPipeline(cfg PipelineConfig, deliver func(*TagBatch) error) 
 	if err != nil {
 		return nil, err
 	}
-	rcfg := runtime.Config{Shards: cfg.Shards, Queue: cfg.Queue, Factory: f}
+	rcfg := runtime.Config{
+		Shards:       cfg.Shards,
+		Queue:        cfg.Queue,
+		Factory:      f,
+		MaxStreams:   cfg.MaxStreams,
+		Quarantine:   cfg.Quarantine,
+		SinkAttempts: cfg.SinkAttempts,
+		SinkBackoff:  cfg.SinkBackoff,
+	}
 	if cfg.Metrics != nil {
 		rcfg.Hooks = cfg.Metrics.Hooks()
 	}
+	if cfg.DeadLetter != nil {
+		dl := cfg.DeadLetter
+		rcfg.DeadLetter = func(b *runtime.Batch, err error) { dl(e.toTagBatch(b), err) }
+	}
 	sink := runtime.SinkFunc(func(b *runtime.Batch) error {
-		tb := &TagBatch{Stream: b.Key, Shard: b.Shard, Data: b.Data, EOS: b.EOS, Err: b.Err}
-		if len(b.Tags) > 0 {
-			tb.Tags = make([]Match, len(b.Tags))
-			for i, m := range b.Tags {
-				tb.Tags[i] = e.match(m)
-			}
-		}
-		return deliver(tb)
+		return deliver(e.toTagBatch(b))
 	})
 	p, err := runtime.NewPipeline(rcfg, sink)
 	if err != nil {
@@ -607,6 +665,12 @@ func (p *Pipeline) CloseStream(stream string) error { return p.inner.CloseStream
 // Close flushes every open stream, stops the shards, and returns the first
 // deliver error.
 func (p *Pipeline) Close() error { return p.inner.Close() }
+
+// Err reports the pipeline's permanent delivery failure, if any: non-nil
+// once the deliver callback returned a PermanentDeliverError or exhausted
+// its attempts with no DeadLetter configured. Send and Close return the
+// same error from then on.
+func (p *Pipeline) Err() error { return p.inner.Err() }
 
 // Lexeme recovers the matched text of m from the input it was tagged in.
 // The hardware reports only where a token ends; the lexeme is the longest

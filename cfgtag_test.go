@@ -1,10 +1,12 @@
 package cfgtag
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -555,5 +557,98 @@ func TestPipelineParserBackend(t *testing.T) {
 	}
 	if tags["good"] == 0 {
 		t.Error("conforming stream produced no tags")
+	}
+}
+
+func TestPipelineFaultFacade(t *testing.T) {
+	engine, err := Compile("demo", IfThenElseSource, FreeRunningStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics Metrics
+	evicted := make(map[string]bool)
+	deadLettered := 0
+	failures := map[string]int{"poison": 2} // deliver fails beyond SinkAttempts
+	deliver := func(b *TagBatch) error {
+		if failures[b.Stream] > 0 {
+			failures[b.Stream]--
+			return errTransient
+		}
+		if b.Evicted {
+			if !b.EOS {
+				t.Errorf("stream %s: Evicted batch without EOS", b.Stream)
+			}
+			evicted[b.Stream] = true
+		}
+		return nil
+	}
+	p, err := engine.NewPipeline(PipelineConfig{
+		Shards:       1,
+		MaxStreams:   2,
+		Quarantine:   -1, // disabled: nothing here is a backend fault
+		SinkAttempts: 2,
+		SinkBackoff:  time.Microsecond,
+		Metrics:      &metrics,
+		DeadLetter:   func(b *TagBatch, err error) { deadLettered++ },
+	}, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "c", "poison"} {
+		if err := p.Send(key, []byte("if true then go else stop ")); err != nil {
+			t.Fatalf("Send %s: %v", key, err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil (failure was dead-lettered, not permanent)", err)
+	}
+	if len(evicted) == 0 {
+		t.Error("MaxStreams cap produced no Evicted batches")
+	}
+	if deadLettered != 1 {
+		t.Errorf("dead-lettered %d batches, want 1", deadLettered)
+	}
+	f := metrics.Faults()
+	if f.StreamsEvicted != int64(len(evicted)) {
+		t.Errorf("FaultStats.StreamsEvicted = %d, want %d", f.StreamsEvicted, len(evicted))
+	}
+	if f.SinkRetries == 0 || f.DeadLetters != 1 {
+		t.Errorf("FaultStats = %+v, want retries > 0 and 1 dead letter", f)
+	}
+}
+
+var errTransient = errors.New("transient deliver failure")
+
+func TestPipelinePermanentFailureFacade(t *testing.T) {
+	engine, err := Compile("demo", IfThenElseSource, FreeRunningStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("sink gone")
+	p, err := engine.NewPipeline(PipelineConfig{Shards: 1}, func(b *TagBatch) error {
+		return PermanentDeliverError(cause)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("s", []byte("if ")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("permanent deliver failure never surfaced on Err")
+		}
+		p.Send("s", []byte("if "))
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(p.Err(), cause) {
+		t.Fatalf("Err = %v, want wrapped %v", p.Err(), cause)
+	}
+	if err := p.Close(); !errors.Is(err, cause) {
+		t.Fatalf("Close = %v, want wrapped %v", err, cause)
 	}
 }

@@ -15,16 +15,29 @@
 // the same engine — identical output, highest throughput), "gates"
 // (cycle-accurate simulation of the generated netlist) or "parser" (the
 // LL(1) baseline, which also prints the accept/reject verdict).
+//
+// -shards N switches to pipeline mode: every input line becomes its own
+// keyed stream, tagged concurrently on N shards and printed in per-stream
+// order. -max-streams and -quarantine expose the pipeline's resource
+// governance, and -chaos injects backend faults (errors, panics, latency)
+// to demonstrate the fault-tolerance layer — faulted streams end with an
+// error, the rest are unaffected, and the fault counters are printed:
+//
+//	cfgtagger -builtin ifthenelse -free -shards 4 -chaos 0.05 -in lines.txt
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"cfgtag"
+	"cfgtag/internal/faultinject"
+	"cfgtag/internal/runtime"
 )
 
 func main() {
@@ -39,6 +52,11 @@ func main() {
 		lint        = flag.Bool("lint", false, "print grammar design warnings and exit")
 		dot         = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
 		backend     = flag.String("backend", "stream", "execution path: stream, dfa, gates or parser")
+		shards      = flag.Int("shards", 0, "pipeline mode: tag each input line as its own stream on this many shards")
+		maxStreams  = flag.Int("max-streams", 0, "pipeline mode: cap live streams per shard, evicting the least-recently-fed at the cap (0 = unlimited)")
+		quarantine  = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
+		chaos       = flag.Float64("chaos", 0, "pipeline mode: inject backend faults at this per-chunk rate (errors, panics, latency) to exercise the fault-tolerance layer")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 	)
 	flag.Parse()
 
@@ -81,6 +99,22 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	if *shards > 0 {
+		err := runPipeline(engine, *backend, in, out, pipelineOptions{
+			shards:     *shards,
+			maxStreams: *maxStreams,
+			quarantine: *quarantine,
+			chaos:      *chaos,
+			chaosSeed:  *chaosSeed,
+		})
+		if err != nil {
+			out.Flush()
+			fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	b, err := engine.NewBackend(cfgtag.BackendKind(*backend))
 	if err != nil {
@@ -165,6 +199,109 @@ func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 		fmt.Fprintf(out, "dfa cache: %d hits, %d misses, %d resets\n",
 			c.CacheHits, c.CacheMisses, c.CacheResets)
 	}
+}
+
+// pipelineOptions bundles the pipeline-mode flags.
+type pipelineOptions struct {
+	shards     int
+	maxStreams int
+	quarantine time.Duration
+	chaos      float64
+	chaosSeed  int64
+}
+
+// runPipeline tags every input line as its own keyed stream on a sharded
+// pipeline, optionally wrapped in fault injection, and prints per-stream
+// results in delivery order plus the pipeline's fault counters.
+func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Writer, opts pipelineOptions) error {
+	spec := engine.Spec()
+	var factory runtime.Factory
+	switch backend {
+	case "stream", "":
+		factory = runtime.TaggerFactory(spec)
+	case "dfa":
+		factory = runtime.DFAFactory(spec, 0)
+	case "gates":
+		var err error
+		if factory, err = runtime.GateFactory(spec); err != nil {
+			return err
+		}
+	case "parser":
+		var err error
+		if factory, err = runtime.ParserFactory(spec); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown backend kind %q", backend)
+	}
+	if opts.chaos > 0 {
+		factory = faultinject.Factory(factory, faultinject.Config{
+			Seed:      opts.chaosSeed,
+			ErrorRate: opts.chaos,
+			PanicRate: opts.chaos / 2,
+			SlowRate:  opts.chaos,
+		})
+	}
+
+	var mc runtime.MetricCounters
+	tagged, faulted := 0, 0
+	sink := runtime.SinkFunc(func(b *runtime.Batch) error {
+		for _, m := range b.Tags {
+			tagged++
+			inst := spec.Instances[m.InstanceID]
+			fmt.Fprintf(out, "%-10s %8d  idx=%-4d %-20q %s\n",
+				b.Key, m.End, inst.Index, inst.Term, inst.Context(spec.Grammar))
+		}
+		if b.Err != nil {
+			faulted++
+			fmt.Fprintf(out, "%-10s fault: %v\n", b.Key, b.Err)
+		}
+		return nil
+	})
+	p, err := runtime.NewPipeline(runtime.Config{
+		Shards:     opts.shards,
+		Factory:    factory,
+		Hooks:      mc.Hooks(),
+		MaxStreams: opts.maxStreams,
+		Quarantine: opts.quarantine,
+	}, sink)
+	if err != nil {
+		return err
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		key := fmt.Sprintf("line-%d", lines)
+		lines++
+		// A fault can quarantine the key between Send and CloseStream;
+		// the stream already ended with an error batch, so carry on.
+		if err := p.Send(key, sc.Bytes()); err != nil {
+			if errors.Is(err, runtime.ErrQuarantined) {
+				continue
+			}
+			p.Close()
+			return err
+		}
+		if err := p.CloseStream(key); err != nil && !errors.Is(err, runtime.ErrQuarantined) {
+			p.Close()
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		p.Close()
+		return err
+	}
+	if err := p.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d streams, %d tokens tagged, %d stream faults\n", lines, tagged, faulted)
+	if f := mc.Faults(); f.PanicsRecovered+f.StreamsQuarantined+f.StreamsEvicted+f.SinkRetries+f.DeadLetters > 0 {
+		fmt.Fprintf(out, "faults: %d panics recovered, %d quarantined, %d evicted, %d sink retries, %d dead-lettered\n",
+			f.PanicsRecovered, f.StreamsQuarantined, f.StreamsEvicted, f.SinkRetries, f.DeadLetters)
+	}
+	return nil
 }
 
 func load(grammarFile, builtin string, free bool) (*cfgtag.Engine, error) {

@@ -32,6 +32,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cfgtag/internal/core"
 	"cfgtag/internal/grammar"
@@ -52,26 +53,37 @@ func main() {
 		seed         = flag.Int64("seed", 1, "generator seed in -demo mode")
 		validateMsgs = flag.Bool("validate", false, "stack-validate messages; malformed ones route to the quarantine port")
 		shards       = flag.Int("shards", 0, "tag on a sharded pipeline with this many shards (0 = inline router per connection)")
+		maxStreams   = flag.Int("max-streams", 0, "cap live streams per shard; the least-recently-fed stream is flushed at the cap (0 = unlimited)")
+		quarantine   = flag.Duration("quarantine", 0, "how long a stream is rejected after its backend faults (0 = 30s default, negative = disabled)")
 	)
 	flag.Parse()
 
+	pcfg := pipelineConfig{shards: *shards, maxStreams: *maxStreams, quarantine: *quarantine}
 	switch {
 	case *stdin:
 		if err := routeStdin(*validateMsgs); err != nil {
 			fail(err)
 		}
 	case *demo:
-		if err := runDemo(*messages, *seed, *shards); err != nil {
+		if err := runDemo(*messages, *seed, pcfg); err != nil {
 			fail(err)
 		}
 	default:
 		if *bank == "" || *shop == "" {
 			fail(fmt.Errorf("need -bank and -shop addresses (or -demo / -stdin)"))
 		}
-		if err := serve(*listen, *bank, *shop, *fallback, *shards); err != nil {
+		if err := serve(*listen, *bank, *shop, *fallback, pcfg); err != nil {
 			fail(err)
 		}
 	}
+}
+
+// pipelineConfig carries the sharded-deployment knobs from the flags to
+// the switchboard.
+type pipelineConfig struct {
+	shards     int
+	maxStreams int
+	quarantine time.Duration
 }
 
 func fail(err error) {
@@ -110,15 +122,15 @@ func routeStdin(validate bool) error {
 // serve runs the production shape. Without shards: one inline router per
 // inbound connection. With shards: one shared pipeline tags every
 // connection's stream and a single Sink forwards the messages.
-func serve(listen, bank, shop, fallback string, shards int) error {
+func serve(listen, bank, shop, fallback string, pcfg pipelineConfig) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, shards)
-	if shards > 0 {
-		sw, err := newSwitchboard(bank, shop, fallback, shards)
+	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, pcfg.shards)
+	if pcfg.shards > 0 {
+		sw, err := newSwitchboard(bank, shop, fallback, pcfg)
 		if err != nil {
 			return err
 		}
@@ -163,7 +175,7 @@ type switchboard struct {
 	nextConn int64
 }
 
-func newSwitchboard(bank, shop, fallback string, shards int) (*switchboard, error) {
+func newSwitchboard(bank, shop, fallback string, pcfg pipelineConfig) (*switchboard, error) {
 	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
 	if err != nil {
 		return nil, err
@@ -201,7 +213,12 @@ func newSwitchboard(bank, shop, fallback string, shards int) (*switchboard, erro
 			sw.fwdErr = err
 		}
 	}
-	sw.pipeline, err = runtime.NewPipeline(runtime.Config{Shards: shards, Factory: runtime.TaggerFactory(spec)}, sink)
+	sw.pipeline, err = runtime.NewPipeline(runtime.Config{
+		Shards:     pcfg.shards,
+		Factory:    runtime.TaggerFactory(spec),
+		MaxStreams: pcfg.maxStreams,
+		Quarantine: pcfg.quarantine,
+	}, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +315,7 @@ func routeConn(c net.Conn, bank, shop, fallback string) error {
 // runDemo spins up two sink servers, routes generated traffic through a
 // TCP round trip, and prints what each sink received. With shards > 0 the
 // router side runs the sharded pipeline instead of the inline router.
-func runDemo(messages int, seed int64, shards int) error {
+func runDemo(messages int, seed int64, pcfg pipelineConfig) error {
 	sinkCounts := [2]int64{}
 	var wg sync.WaitGroup
 	sinkAddr := [2]string{}
@@ -339,8 +356,8 @@ func runDemo(messages int, seed int64, shards int) error {
 			return
 		}
 		defer conn.Close()
-		if shards > 0 {
-			sw, err := newSwitchboard(sinkAddr[0], sinkAddr[1], "", shards)
+		if pcfg.shards > 0 {
+			sw, err := newSwitchboard(sinkAddr[0], sinkAddr[1], "", pcfg)
 			if err != nil {
 				routerDone <- err
 				return

@@ -84,6 +84,21 @@ type Hooks struct {
 	// backend reports the hits/misses/resets accrued since its previous
 	// report once per stream Close. Other backends never call it.
 	CacheStats func(shard int, hits, misses, resets int64)
+	// PanicRecovered observes every panic the pipeline recovers; origin
+	// names the guarded call ("Feed", "Close", "Matches" or "Deliver").
+	PanicRecovered func(shard int, origin string)
+	// Quarantined observes each stream key poisoned after a backend
+	// error or panic.
+	Quarantined func(shard int, key string)
+	// Evicted observes each stream flushed by the MaxStreams idle-LRU
+	// eviction.
+	Evicted func(shard int, key string)
+	// SinkRetry observes each Deliver retry (attempt counts retries, so
+	// the first retry is 1) with the error that caused it.
+	SinkRetry func(attempt int, err error)
+	// DeadLetter observes each batch handed to Config.DeadLetter after
+	// its Deliver attempts were exhausted.
+	DeadLetter func(key string, err error)
 }
 
 func (h *Hooks) bytes(shard, n int) {
@@ -122,6 +137,36 @@ func (h *Hooks) queueDepth(shard, depth int) {
 	}
 }
 
+func (h *Hooks) panicRecovered(shard int, origin string) {
+	if h != nil && h.PanicRecovered != nil {
+		h.PanicRecovered(shard, origin)
+	}
+}
+
+func (h *Hooks) quarantined(shard int, key string) {
+	if h != nil && h.Quarantined != nil {
+		h.Quarantined(shard, key)
+	}
+}
+
+func (h *Hooks) evicted(shard int, key string) {
+	if h != nil && h.Evicted != nil {
+		h.Evicted(shard, key)
+	}
+}
+
+func (h *Hooks) sinkRetry(attempt int, err error) {
+	if h != nil && h.SinkRetry != nil {
+		h.SinkRetry(attempt, err)
+	}
+}
+
+func (h *Hooks) deadLetter(key string, err error) {
+	if h != nil && h.DeadLetter != nil {
+		h.DeadLetter(key, err)
+	}
+}
+
 // Factory creates one Backend per stream. shard identifies the pipeline
 // shard the backend will live on (0 for standalone use) and is forwarded
 // to the hooks; h may be nil.
@@ -138,6 +183,12 @@ type MetricCounters struct {
 	cacheMisses atomicInt64
 	cacheResets atomicInt64
 	maxQueue    atomicInt64
+
+	panics      atomicInt64
+	quarantined atomicInt64
+	evicted     atomicInt64
+	sinkRetries atomicInt64
+	deadLetters atomicInt64
 }
 
 // Hooks returns a Hooks wiring every event into the counters.
@@ -155,6 +206,34 @@ func (c *MetricCounters) Hooks() *Hooks {
 			c.cacheMisses.Add(misses)
 			c.cacheResets.Add(resets)
 		},
+		PanicRecovered: func(int, string) { c.panics.Add(1) },
+		Quarantined:    func(int, string) { c.quarantined.Add(1) },
+		Evicted:        func(int, string) { c.evicted.Add(1) },
+		SinkRetry:      func(int, error) { c.sinkRetries.Add(1) },
+		DeadLetter:     func(string, error) { c.deadLetters.Add(1) },
+	}
+}
+
+// FaultStats aggregates the pipeline's fault-tolerance counters: panics
+// recovered (backend or sink), streams quarantined after a fault, streams
+// evicted under the MaxStreams cap, sink Deliver retries, and batches
+// dead-lettered after exhausting their retries.
+type FaultStats struct {
+	PanicsRecovered    int64
+	StreamsQuarantined int64
+	StreamsEvicted     int64
+	SinkRetries        int64
+	DeadLetters        int64
+}
+
+// Faults returns the current fault-tolerance totals.
+func (c *MetricCounters) Faults() FaultStats {
+	return FaultStats{
+		PanicsRecovered:    c.panics.Load(),
+		StreamsQuarantined: c.quarantined.Load(),
+		StreamsEvicted:     c.evicted.Load(),
+		SinkRetries:        c.sinkRetries.Load(),
+		DeadLetters:        c.deadLetters.Load(),
 	}
 }
 

@@ -20,6 +20,11 @@ type ConformanceOptions struct {
 	// Corrupt additionally re-runs each sentence with one byte smashed,
 	// checking the accept/reject relation instead of match equality.
 	Corrupt bool
+	// WrapFactory, when set, wraps every backend factory before use, so
+	// the whole differential relation must keep holding through the
+	// wrapper. Fault-injection wrappers use it to prove they are
+	// transparent while idle.
+	WrapFactory func(Factory) Factory
 }
 
 // Conformance differentially tests the four Backend implementations on
@@ -65,6 +70,14 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 		parser:  parserF,
 		dfa:     DFAFactory(spec, 0),
 		dfaTiny: DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
+	}
+	if opts.WrapFactory != nil {
+		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.dfa, &fs.dfaTiny} {
+			*f = opts.WrapFactory(*f)
+		}
+		if fs.parser != nil {
+			fs.parser = opts.WrapFactory(fs.parser)
+		}
 	}
 
 	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 8})
@@ -130,6 +143,26 @@ type cacheBounded interface {
 	MaxStates() int
 }
 
+// backendUnwrapper lets wrapping backends (fault injectors) expose the
+// backend they delegate to, so audits of implementation-specific
+// invariants keep working through the wrap.
+type backendUnwrapper interface{ Unwrap() Backend }
+
+// asCacheBounded finds the cacheBounded implementation under any chain of
+// wrappers.
+func asCacheBounded(b Backend) (cacheBounded, bool) {
+	for {
+		if cb, ok := b.(cacheBounded); ok {
+			return cb, true
+		}
+		u, ok := b.(backendUnwrapper)
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
+	}
+}
+
 // checkDFA asserts one dfa variant is indistinguishable from the stream
 // path and never exceeded its cache bound.
 func checkDFA(name, variant string, text []byte, sw runResult, f Factory, rng *rand.Rand, maxChunk int) error {
@@ -146,7 +179,7 @@ func checkDFA(name, variant string, text []byte, sw runResult, f Factory, rng *r
 			name, variant, text, sw.counters.Recoveries, sw.counters.Collisions,
 			variant, df.counters.Recoveries, df.counters.Collisions)
 	}
-	if cb, ok := df.backend.(cacheBounded); ok && cb.CacheStates() > cb.MaxStates() {
+	if cb, ok := asCacheBounded(df.backend); ok && cb.CacheStates() > cb.MaxStates() {
 		return fmt.Errorf("%s: %s cache holds %d states, bound %d", name, variant, cb.CacheStates(), cb.MaxStates())
 	}
 	return nil

@@ -1,11 +1,14 @@
 package runtime
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	goruntime "runtime"
 	"sync"
+	"time"
 
 	"cfgtag/internal/stream"
 )
@@ -16,6 +19,34 @@ import (
 // returns) or fails with ErrClosed — bytes are never partially accepted
 // and never silently dropped.
 var ErrClosed = errors.New("runtime: pipeline is closed")
+
+// ErrQuarantined is returned by Send and CloseStream while a stream key is
+// quarantined: its backend previously failed or panicked, and repeat
+// traffic is rejected at the front door — cheaply, without re-creating a
+// backend — until the quarantine TTL expires. Test with errors.Is.
+var ErrQuarantined = errors.New("runtime: stream is quarantined")
+
+// ErrBackendPanic wraps a panic recovered from a Backend's Feed, Close or
+// Matches. The panicking stream's final batch carries it in Batch.Err with
+// EOS set; the process survives. Test with errors.Is.
+var ErrBackendPanic = errors.New("runtime: backend panicked")
+
+// ErrSinkPanic wraps a panic recovered from Sink.Deliver. It is treated
+// like a Deliver error: retried, then dead-lettered or escalated to a
+// permanent sink failure. Test with errors.Is.
+var ErrSinkPanic = errors.New("runtime: sink panicked")
+
+// DefaultQuarantine is the stream-quarantine TTL used when Config leaves
+// Quarantine zero.
+const DefaultQuarantine = 30 * time.Second
+
+// maxPooledBufCap bounds chunk-buffer retention in the pool: one huge
+// chunk must not pin a multi-megabyte allocation for the pipeline's
+// lifetime, so larger buffers are dropped for the GC instead of recycled.
+const maxPooledBufCap = 1 << 20
+
+// sinkBackoffCap caps the exponential Deliver-retry backoff.
+const sinkBackoffCap = 250 * time.Millisecond
 
 // Batch is one unit of Sink delivery: the chunk of stream bytes a shard
 // just processed and the detections it confirmed. Offsets in Tags are
@@ -31,17 +62,24 @@ type Batch struct {
 	// Tags are the detections confirmed by this chunk (and, on EOS, the
 	// final flush), in input order with absolute End offsets.
 	Tags []stream.Match
-	// EOS marks the stream's final batch.
+	// EOS marks the stream's final batch. Besides CloseStream, a stream
+	// ends when its backend errors or panics (Err is set), when it is
+	// evicted (Evicted is set), or on pipeline Close.
 	EOS bool
+	// Evicted marks a synthetic EOS batch flushed because the stream was
+	// the least-recently-active one on a shard at its MaxStreams cap.
+	Evicted bool
 	// Err carries the backend's verdict on EOS: nil for the FSA paths,
-	// the parse error for the exact-recognition parser path. A non-EOS
-	// batch carries a Feed error here only if the backend failed.
+	// the parse error for the exact-recognition parser path. A failed or
+	// panicking Feed also ends the stream, reporting here with EOS set.
 	Err error
 }
 
 // Sink consumes completed tag batches. Deliver is called from a single
 // goroutine; batches of one stream arrive in order. Deliver must not
-// retain b.Data past the call (copy if needed).
+// retain b.Data past the call (copy if needed). A Deliver error or panic
+// is retried with backoff (see Config); wrap an error with PermanentError
+// to fail the pipeline immediately instead.
 type Sink interface {
 	Deliver(b *Batch) error
 	Close() error
@@ -56,6 +94,22 @@ func (f SinkFunc) Deliver(b *Batch) error { return f(b) }
 // Close is a no-op.
 func (SinkFunc) Close() error { return nil }
 
+// permanentError marks a Deliver error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// PermanentError marks err as a permanent sink failure: Deliver errors
+// wrapped by it are not retried — the pipeline records the failure at
+// once and Send starts returning it.
+func PermanentError(err error) error { return &permanentError{err: err} }
+
+func isPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
 // Config tunes a Pipeline.
 type Config struct {
 	// Shards is the number of tagging shards (0 = GOMAXPROCS). Each
@@ -67,20 +121,54 @@ type Config struct {
 	Queue int
 	// Factory creates the per-stream Backend (required).
 	Factory Factory
-	// Hooks observes bytes, matches, recovery events, collisions and
-	// queue depths across all shards; may be nil.
+	// Hooks observes bytes, matches, recovery events, collisions, queue
+	// depths and fault-tolerance events across all shards; may be nil.
 	Hooks *Hooks
+	// MaxStreams caps the live streams per shard (0 = unlimited). When a
+	// new stream would push a shard past the cap, the shard's least-
+	// recently-active stream is evicted: its backend is flushed and
+	// closed, and its final batch is delivered with EOS and Evicted set.
+	MaxStreams int
+	// Quarantine is the TTL a stream key stays poisoned after its
+	// backend errors or panics; Send and CloseStream reject the key with
+	// ErrQuarantined until it expires. 0 selects DefaultQuarantine; a
+	// negative value disables quarantining.
+	Quarantine time.Duration
+	// SinkAttempts is the number of Deliver attempts per batch,
+	// including the first (0 = 3; 1 disables retry). Retries back off
+	// exponentially from SinkBackoff with jitter, capped at 250ms.
+	SinkAttempts int
+	// SinkBackoff is the base delay before the first Deliver retry
+	// (0 = 1ms).
+	SinkBackoff time.Duration
+	// DeadLetter, when set, receives each batch whose Deliver attempts
+	// were exhausted on a transient error; the pipeline then carries on
+	// with the next batch. When nil, an exhausted batch escalates to a
+	// permanent sink failure instead. Like Deliver, the hook must not
+	// retain b.Data past the call. It runs on the sink goroutine.
+	DeadLetter func(b *Batch, err error)
 }
 
 // Pipeline is the sharded runtime: messages enter via Send, are dispatched
 // to a shard by stream key, flow through that stream's Backend, and the
 // resulting tag batches are delivered to the Sink by a dedicated sink
 // goroutine. Send/CloseStream are safe for concurrent use.
+//
+// The pipeline is fault-isolating: a Backend panic is recovered and
+// converted into an error-carrying EOS batch, the offending stream key is
+// quarantined for Config.Quarantine, and Sink failures are retried before
+// they become fatal. Only a permanent sink failure (see PermanentError and
+// Config.DeadLetter) stops delivery; it is observable through Err and
+// returned by subsequent Sends.
 type Pipeline struct {
 	cfg    Config
 	sink   Sink
 	shards []*shard
 	sinkCh chan *Batch
+
+	quarTTL      time.Duration
+	sinkAttempts int
+	sinkBackoff  time.Duration
 
 	bufs sync.Pool // chunk buffers, recycled after Deliver
 
@@ -103,12 +191,26 @@ type message struct {
 	eos  bool
 }
 
-// shard owns the streams hashed to it: one Backend per live stream key.
+// streamEntry is one live stream on a shard: its Backend plus its position
+// in the shard's recency list (front = most recently active).
+type streamEntry struct {
+	key string
+	b   Backend
+	el  *list.Element
+}
+
+// shard owns the streams hashed to it: one Backend per live stream key,
+// kept in recency order for MaxStreams eviction, plus the quarantine table
+// consulted by dispatch before accepting the key's traffic.
 type shard struct {
 	id      int
 	in      chan message
-	streams map[string]Backend
+	streams map[string]*streamEntry
+	lru     *list.List // of *streamEntry
 	p       *Pipeline
+
+	quarMu sync.Mutex
+	quar   map[string]time.Time // key -> quarantine expiry
 }
 
 // NewPipeline starts the shard and sink goroutines. Close releases them.
@@ -126,16 +228,32 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 		cfg.Queue = 64
 	}
 	p := &Pipeline{
-		cfg:    cfg,
-		sink:   sink,
-		sinkCh: make(chan *Batch, cfg.Queue),
+		cfg:          cfg,
+		sink:         sink,
+		sinkCh:       make(chan *Batch, cfg.Queue),
+		quarTTL:      cfg.Quarantine,
+		sinkAttempts: cfg.SinkAttempts,
+		sinkBackoff:  cfg.SinkBackoff,
+	}
+	if p.quarTTL == 0 {
+		p.quarTTL = DefaultQuarantine
+	} else if p.quarTTL < 0 {
+		p.quarTTL = 0
+	}
+	if p.sinkAttempts <= 0 {
+		p.sinkAttempts = 3
+	}
+	if p.sinkBackoff <= 0 {
+		p.sinkBackoff = time.Millisecond
 	}
 	p.bufs.New = func() any { return []byte(nil) }
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
 			id:      i,
 			in:      make(chan message, cfg.Queue),
-			streams: make(map[string]Backend),
+			streams: make(map[string]*streamEntry),
+			lru:     list.New(),
+			quar:    make(map[string]time.Time),
 			p:       p,
 		}
 		p.shards = append(p.shards, s)
@@ -153,16 +271,32 @@ func (p *Pipeline) Shards() int { return len(p.shards) }
 // Send dispatches one chunk of the stream identified by key. The data is
 // copied into a pooled buffer, so the caller may reuse it immediately.
 // Send blocks while the target shard's queue is full. After Close it
-// fails with ErrClosed and the chunk is not accepted.
+// fails with ErrClosed and the chunk is not accepted; a quarantined key
+// fails with ErrQuarantined, and after a permanent sink failure every
+// Send fails with that failure. Chunks accepted before a stream's backend
+// faulted but not yet processed are discarded (the stream already
+// received its error-carrying EOS batch).
 func (p *Pipeline) Send(key string, data []byte) error {
 	return p.dispatch(key, data, false)
 }
 
 // CloseStream ends one stream: its Backend is flushed and closed, and the
 // final batch reaches the Sink with EOS set. After Close it fails with
-// ErrClosed (Close already flushed every open stream).
+// ErrClosed (Close already flushed every open stream); a quarantined key
+// fails with ErrQuarantined (its EOS batch was already delivered when the
+// backend faulted).
 func (p *Pipeline) CloseStream(key string) error {
 	return p.dispatch(key, nil, true)
+}
+
+// Err reports the first permanent sink failure, nil while the sink is
+// healthy. Once set it never changes, Send and CloseStream return it, and
+// subsequent batches are dropped (after buffer recycling) rather than
+// delivered.
+func (p *Pipeline) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.sinkErr
 }
 
 func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
@@ -171,12 +305,18 @@ func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
 	if p.closed {
 		return ErrClosed
 	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	s := p.shards[p.shardFor(key)]
+	if p.quarTTL > 0 && s.poisoned(key) {
+		return fmt.Errorf("%w: %q", ErrQuarantined, key)
+	}
 	var buf []byte
 	if len(data) > 0 {
 		buf = p.getBuf(len(data))
 		copy(buf, data)
 	}
-	s := p.shards[p.shardFor(key)]
 	s.in <- message{key: key, data: buf, eos: eos}
 	p.cfg.Hooks.queueDepth(s.id, len(s.in))
 	return nil
@@ -209,9 +349,7 @@ func (p *Pipeline) Close() error {
 	p.sinkWG.Wait()
 
 	cerr := p.sink.Close()
-	p.errMu.Lock()
-	err := p.sinkErr
-	p.errMu.Unlock()
+	err := p.Err()
 	if err == nil {
 		err = cerr
 	}
@@ -227,9 +365,37 @@ func (p *Pipeline) getBuf(n int) []byte {
 }
 
 func (p *Pipeline) putBuf(b []byte) {
-	if b != nil {
-		p.bufs.Put(b[:0]) //nolint:staticcheck // slice, not pointer, by design
+	if b == nil || cap(b) > maxPooledBufCap {
+		return // oversized chunks go to the GC, not the pool
 	}
+	p.bufs.Put(b[:0]) //nolint:staticcheck // slice, not pointer, by design
+}
+
+// poisoned reports whether key is quarantined, lazily expiring stale
+// entries. Called from dispatch (any goroutine) and the shard goroutine.
+func (s *shard) poisoned(key string) bool {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	until, ok := s.quar[key]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(s.quar, key)
+		return false
+	}
+	return true
+}
+
+// poison quarantines key for the configured TTL (no-op when disabled).
+func (s *shard) poison(key string) {
+	if s.p.quarTTL <= 0 {
+		return
+	}
+	s.quarMu.Lock()
+	s.quar[key] = time.Now().Add(s.p.quarTTL)
+	s.quarMu.Unlock()
+	s.p.cfg.Hooks.quarantined(s.id, key)
 }
 
 // run is the shard loop: per-stream Backend lifecycle and batch emission.
@@ -245,29 +411,108 @@ func (s *shard) run() {
 	}
 }
 
+// guard invokes one backend call, converting a panic into an error
+// wrapping ErrBackendPanic so a hostile stream cannot take the process
+// down.
+func (s *shard) guard(origin string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.p.cfg.Hooks.panicRecovered(s.id, origin)
+			err = fmt.Errorf("%w (in %s): %v", ErrBackendPanic, origin, r)
+		}
+	}()
+	return fn()
+}
+
+// remove forgets a stream's backend and recency entry.
+func (s *shard) remove(e *streamEntry) {
+	delete(s.streams, e.key)
+	s.lru.Remove(e.el)
+}
+
+// evictOldest flushes the least-recently-active stream to make room under
+// the MaxStreams cap: its backend is closed and its final matches are
+// delivered in a synthetic EOS batch marked Evicted.
+func (s *shard) evictOldest() {
+	el := s.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*streamEntry)
+	batch := &Batch{Key: e.key, Shard: s.id, EOS: true, Evicted: true}
+	batch.Err = s.guard("Close", e.b.Close)
+	if merr := s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil }); merr != nil && batch.Err == nil {
+		batch.Err = merr
+	}
+	s.remove(e)
+	s.p.cfg.Hooks.evicted(s.id, e.key)
+	s.emit(batch)
+}
+
 func (s *shard) process(msg message) {
-	b, ok := s.streams[msg.key]
+	if s.p.quarTTL > 0 && s.poisoned(msg.key) {
+		// The stream already received its error-carrying EOS batch when
+		// it was poisoned; queued leftovers are discarded cheaply.
+		s.p.putBuf(msg.data)
+		return
+	}
+	e, ok := s.streams[msg.key]
 	if !ok {
-		var err error
-		b, err = s.p.cfg.Factory(s.id, s.p.cfg.Hooks)
+		// Evict only for streams that will actually persist: a pure
+		// close of an unknown key creates and immediately retires its
+		// backend, so it must not push a live stream out.
+		if max := s.p.cfg.MaxStreams; max > 0 && !msg.eos && len(s.streams) >= max {
+			s.evictOldest()
+		}
+		b, err := s.p.cfg.Factory(s.id, s.p.cfg.Hooks)
 		if err != nil {
 			s.p.putBuf(msg.data)
+			s.poison(msg.key)
 			s.emit(&Batch{Key: msg.key, Shard: s.id, EOS: true, Err: err})
 			return
 		}
-		s.streams[msg.key] = b
+		e = &streamEntry{key: msg.key, b: b}
+		e.el = s.lru.PushFront(e)
+		s.streams[msg.key] = e
+	} else {
+		s.lru.MoveToFront(e.el)
 	}
+
 	batch := &Batch{Key: msg.key, Shard: s.id, Data: msg.data, EOS: msg.eos}
 	if len(msg.data) > 0 {
-		batch.Err = b.Feed(msg.data)
+		batch.Err = s.guard("Feed", func() error { return e.b.Feed(msg.data) })
+	}
+	if batch.Err != nil && !msg.eos {
+		// A failed or panicking Feed ends the stream: the backend's
+		// state is suspect, so it is retired, the key is poisoned, and
+		// the error batch doubles as the stream's EOS. Matches confirmed
+		// before the fault are still drained (best effort).
+		batch.EOS = true
+		s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil })
+		s.guard("Close", e.b.Close)
+		s.remove(e)
+		s.poison(msg.key)
+		s.emit(batch)
+		return
 	}
 	if msg.eos {
-		if cerr := b.Close(); batch.Err == nil {
+		if cerr := s.guard("Close", e.b.Close); batch.Err == nil {
 			batch.Err = cerr
 		}
-		delete(s.streams, msg.key)
+		s.remove(e)
 	}
-	batch.Tags = b.Matches()
+	if merr := s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil }); merr != nil {
+		if batch.Err == nil {
+			batch.Err = merr
+		}
+		if !batch.EOS {
+			// A panic while draining matches poisons the stream just
+			// like a Feed fault.
+			batch.EOS = true
+			s.remove(e)
+			s.poison(msg.key)
+		}
+	}
 	s.emit(batch)
 }
 
@@ -275,22 +520,72 @@ func (s *shard) emit(batch *Batch) {
 	s.p.sinkCh <- batch
 }
 
-// drainSink serializes Sink delivery and recycles chunk buffers.
+// drainSink serializes Sink delivery and recycles chunk buffers. Delivery
+// is resilient: transient errors (and panics) retry with capped
+// exponential backoff and jitter; exhausted batches go to the DeadLetter
+// hook when one is configured, otherwise — like errors marked with
+// PermanentError — they fail the sink permanently and further batches are
+// dropped.
 func (p *Pipeline) drainSink() {
 	defer p.sinkWG.Done()
+	rng := rand.New(rand.NewSource(0x5eed5eed)) // backoff jitter only
 	for b := range p.sinkCh {
-		p.errMu.Lock()
-		failed := p.sinkErr != nil
-		p.errMu.Unlock()
-		if !failed {
-			if err := p.sink.Deliver(b); err != nil {
-				p.errMu.Lock()
-				if p.sinkErr == nil {
-					p.sinkErr = err
-				}
-				p.errMu.Unlock()
-			}
+		if p.Err() == nil {
+			p.deliver(b, rng)
 		}
 		p.putBuf(b.Data)
 	}
+}
+
+func (p *Pipeline) deliver(b *Batch, rng *rand.Rand) {
+	var err error
+	for attempt := 1; attempt <= p.sinkAttempts; attempt++ {
+		if attempt > 1 {
+			p.cfg.Hooks.sinkRetry(attempt-1, err)
+			time.Sleep(p.backoff(attempt-1, rng))
+		}
+		if err = p.deliverOnce(b); err == nil {
+			return
+		}
+		if isPermanent(err) {
+			p.failSink(err)
+			return
+		}
+	}
+	if p.cfg.DeadLetter != nil {
+		p.cfg.Hooks.deadLetter(b.Key, err)
+		p.cfg.DeadLetter(b, err)
+		return
+	}
+	p.failSink(err)
+}
+
+// deliverOnce shields the pipeline from a panicking Sink.
+func (p *Pipeline) deliverOnce(b *Batch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.cfg.Hooks.panicRecovered(b.Shard, "Deliver")
+			err = fmt.Errorf("%w: %v", ErrSinkPanic, r)
+		}
+	}()
+	return p.sink.Deliver(b)
+}
+
+// backoff computes the sleep before the retry-th retry: exponential from
+// SinkBackoff, capped, with ±50% jitter to decorrelate retry storms.
+func (p *Pipeline) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.sinkBackoff << (retry - 1)
+	if d > sinkBackoffCap || d <= 0 {
+		d = sinkBackoffCap
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// failSink records the first permanent sink failure.
+func (p *Pipeline) failSink(err error) {
+	p.errMu.Lock()
+	if p.sinkErr == nil {
+		p.sinkErr = err
+	}
+	p.errMu.Unlock()
 }
