@@ -582,6 +582,17 @@ type PipelineConfig struct {
 	// exhausted; the pipeline then carries on. When nil, an exhausted
 	// batch fails the pipeline permanently instead.
 	DeadLetter func(*TagBatch, error)
+	// BatchBytes is the per-shard coalescing threshold: chunks for a
+	// shard are batched into one pooled dispatch message until this many
+	// bytes are pending or the shard goes idle (0 = 64 KiB default;
+	// negative disables coalescing and dispatches every Send
+	// immediately).
+	BatchBytes int
+	// SinkWorkers is the number of delivery workers (0 or 1 = a single
+	// worker, the classic serialized sink). With more than one, batches
+	// for the same stream still arrive in order on one worker, but
+	// deliver must be safe for concurrent use across streams.
+	SinkWorkers int
 }
 
 // ErrPipelineClosed is returned by Pipeline.Send, Pipeline.CloseStream and
@@ -635,6 +646,8 @@ func (e *Engine) NewPipeline(cfg PipelineConfig, deliver func(*TagBatch) error) 
 		Quarantine:   cfg.Quarantine,
 		SinkAttempts: cfg.SinkAttempts,
 		SinkBackoff:  cfg.SinkBackoff,
+		BatchBytes:   cfg.BatchBytes,
+		SinkWorkers:  cfg.SinkWorkers,
 	}
 	if cfg.Metrics != nil {
 		rcfg.Hooks = cfg.Metrics.Hooks()

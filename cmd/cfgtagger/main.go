@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"cfgtag"
@@ -57,6 +58,8 @@ func main() {
 		quarantine  = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
 		chaos       = flag.Float64("chaos", 0, "pipeline mode: inject backend faults at this per-chunk rate (errors, panics, latency) to exercise the fault-tolerance layer")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
+		batchBytes  = flag.Int("batch-bytes", 0, "pipeline mode: coalesce Sends into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch every Send immediately)")
+		sinkWorkers = flag.Int("sink-workers", 0, "pipeline mode: deliver batches on this many workers (0 or 1 = single serialized sink)")
 	)
 	flag.Parse()
 
@@ -102,11 +105,13 @@ func main() {
 
 	if *shards > 0 {
 		err := runPipeline(engine, *backend, in, out, pipelineOptions{
-			shards:     *shards,
-			maxStreams: *maxStreams,
-			quarantine: *quarantine,
-			chaos:      *chaos,
-			chaosSeed:  *chaosSeed,
+			shards:      *shards,
+			maxStreams:  *maxStreams,
+			quarantine:  *quarantine,
+			chaos:       *chaos,
+			chaosSeed:   *chaosSeed,
+			batchBytes:  *batchBytes,
+			sinkWorkers: *sinkWorkers,
 		})
 		if err != nil {
 			out.Flush()
@@ -203,11 +208,13 @@ func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 
 // pipelineOptions bundles the pipeline-mode flags.
 type pipelineOptions struct {
-	shards     int
-	maxStreams int
-	quarantine time.Duration
-	chaos      float64
-	chaosSeed  int64
+	shards      int
+	maxStreams  int
+	quarantine  time.Duration
+	chaos       float64
+	chaosSeed   int64
+	batchBytes  int
+	sinkWorkers int
 }
 
 // runPipeline tags every input line as its own keyed stream on a sharded
@@ -244,8 +251,11 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 	}
 
 	var mc runtime.MetricCounters
+	var sinkMu sync.Mutex // serializes printing when sink workers run concurrently
 	tagged, faulted := 0, 0
 	sink := runtime.SinkFunc(func(b *runtime.Batch) error {
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
 		for _, m := range b.Tags {
 			tagged++
 			inst := spec.Instances[m.InstanceID]
@@ -259,11 +269,13 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 		return nil
 	})
 	p, err := runtime.NewPipeline(runtime.Config{
-		Shards:     opts.shards,
-		Factory:    factory,
-		Hooks:      mc.Hooks(),
-		MaxStreams: opts.maxStreams,
-		Quarantine: opts.quarantine,
+		Shards:      opts.shards,
+		Factory:     factory,
+		Hooks:       mc.Hooks(),
+		MaxStreams:  opts.maxStreams,
+		Quarantine:  opts.quarantine,
+		BatchBytes:  opts.batchBytes,
+		SinkWorkers: opts.sinkWorkers,
 	}, sink)
 	if err != nil {
 		return err

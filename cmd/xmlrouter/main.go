@@ -55,10 +55,11 @@ func main() {
 		shards       = flag.Int("shards", 0, "tag on a sharded pipeline with this many shards (0 = inline router per connection)")
 		maxStreams   = flag.Int("max-streams", 0, "cap live streams per shard; the least-recently-fed stream is flushed at the cap (0 = unlimited)")
 		quarantine   = flag.Duration("quarantine", 0, "how long a stream is rejected after its backend faults (0 = 30s default, negative = disabled)")
+		batchBytes   = flag.Int("batch-bytes", 0, "coalesce chunks into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch immediately)")
 	)
 	flag.Parse()
 
-	pcfg := pipelineConfig{shards: *shards, maxStreams: *maxStreams, quarantine: *quarantine}
+	pcfg := pipelineConfig{shards: *shards, maxStreams: *maxStreams, quarantine: *quarantine, batchBytes: *batchBytes}
 	switch {
 	case *stdin:
 		if err := routeStdin(*validateMsgs); err != nil {
@@ -84,6 +85,7 @@ type pipelineConfig struct {
 	shards     int
 	maxStreams int
 	quarantine time.Duration
+	batchBytes int
 }
 
 func fail(err error) {
@@ -213,11 +215,15 @@ func newSwitchboard(bank, shop, fallback string, pcfg pipelineConfig) (*switchbo
 			sw.fwdErr = err
 		}
 	}
+	// The router's sink mutates shared per-service connections, so the
+	// pipeline keeps the single serialized sink worker; only batching is
+	// configurable here.
 	sw.pipeline, err = runtime.NewPipeline(runtime.Config{
 		Shards:     pcfg.shards,
 		Factory:    runtime.TaggerFactory(spec),
 		MaxStreams: pcfg.maxStreams,
 		Quarantine: pcfg.quarantine,
+		BatchBytes: pcfg.batchBytes,
 	}, sink)
 	if err != nil {
 		return nil, err

@@ -46,7 +46,9 @@ func FuzzGrammarParse(f *testing.F) {
 // whose dead-state/re-arm path random bytes exercise constantly.
 type diffRig struct {
 	stream, dfa, dfaTiny, gates runtime.Backend
+	dfaNoAccel                  runtime.Backend
 	recStream, recDFA           runtime.Backend
+	recDFANoAccel               runtime.Backend
 }
 
 var (
@@ -80,6 +82,7 @@ func buildRig() {
 	rig.stream = mk(runtime.TaggerFactory(spec), nil)
 	rig.dfa = mk(runtime.DFAFactory(spec, 0), nil)
 	rig.dfaTiny = mk(runtime.DFAFactory(spec, 2), nil)
+	rig.dfaNoAccel = mk(runtime.DFAFactoryConfig(spec, stream.DFAConfig{NoAccel: true}), nil)
 	rig.gates = mk(runtime.GateFactory(spec))
 	rec, err := Compile("fuzz-diff-rec", IfThenElseSource, FreeRunningStart(), RecoverResync())
 	if err != nil {
@@ -88,6 +91,7 @@ func buildRig() {
 	}
 	rig.recStream = mk(runtime.TaggerFactory(rec.Spec()), nil)
 	rig.recDFA = mk(runtime.DFAFactory(rec.Spec(), 0), nil)
+	rig.recDFANoAccel = mk(runtime.DFAFactoryConfig(rec.Spec(), stream.DFAConfig{NoAccel: true}), nil)
 }
 
 func runDiff(b runtime.Backend, data []byte) []stream.Match {
@@ -97,16 +101,42 @@ func runDiff(b runtime.Backend, data []byte) []stream.Match {
 	return b.Matches()
 }
 
-// FuzzDifferential feeds arbitrary bytes to the stream engine, both DFA
-// cache configurations and the gate-level simulation, and requires the
-// exact same match sequence from all four — plus recovery/collision
-// counter agreement between stream and DFA under the recovery compile.
+// FuzzDifferential feeds arbitrary bytes to the stream engine, every DFA
+// configuration (default cache, tiny cache, skip-ahead acceleration
+// disabled) and the gate-level simulation, and requires the exact same
+// match sequence from all of them — plus recovery/collision counter
+// agreement between stream and both DFA flavors under the recovery
+// compile. The run-heavy seeds park the DFA in accelerable states (long
+// delimiter runs, long non-matching runs, long token-interior runs) so
+// the accelerated and unaccelerated paths are differentially exercised on
+// exactly the inputs where skip-ahead fires.
 //
 // Seed corpus: testdata/fuzz/FuzzDifferential.
 func FuzzDifferential(f *testing.F) {
 	f.Add([]byte("if true then go else stop"))
 	f.Add([]byte("if tru# then go if false then stop else go"))
 	f.Add([]byte{0, 255, 'i', 'f', ' ', 0xC3, 0x28})
+	// Accelerable-state seeds: delimiter runs, dead non-matching runs and
+	// mid-token runs around real sentences.
+	pad := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	rep := func(b byte, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	f.Add(pad(rep(' ', 600), []byte("if true then go"), rep(' ', 900), []byte("else stop"), rep(' ', 600)))
+	f.Add(pad(rep('\n', 700), []byte("if true then go else stop"), rep('\t', 700)))
+	f.Add(pad(rep('z', 800), []byte(" if true then go else stop "), rep('z', 800)))
+	f.Add(pad(rep(0xee, 900), rep(' ', 300), []byte("if true then stop"), rep(0xee, 500)))
+	f.Add(pad([]byte("if tr"), rep('u', 1200), []byte(" then go"))) // run inside a token attempt
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep the byte-per-cycle gate simulation tractable
@@ -117,21 +147,26 @@ func FuzzDifferential(f *testing.F) {
 		}
 		want := runDiff(rig.stream, data)
 		for name, b := range map[string]runtime.Backend{
-			"dfa": rig.dfa, "dfa-tiny": rig.dfaTiny, "gates": rig.gates,
+			"dfa": rig.dfa, "dfa-tiny": rig.dfaTiny, "dfa-noaccel": rig.dfaNoAccel, "gates": rig.gates,
 		} {
 			if got := runDiff(b, data); !reflect.DeepEqual(got, want) {
 				t.Fatalf("%s diverged on %q:\n%s    %v\nstream %v", name, data, name, got, want)
 			}
 		}
 		recWant := runDiff(rig.recStream, data)
-		recGot := runDiff(rig.recDFA, data)
-		if !reflect.DeepEqual(recGot, recWant) {
-			t.Fatalf("recovery dfa diverged on %q:\ndfa    %v\nstream %v", data, recGot, recWant)
-		}
-		sc, dc := rig.recStream.Counters(), rig.recDFA.Counters()
-		if sc.Recoveries != dc.Recoveries || sc.Collisions != dc.Collisions {
-			t.Fatalf("recovery counters diverged on %q: stream (%d recov, %d coll), dfa (%d recov, %d coll)",
-				data, sc.Recoveries, sc.Collisions, dc.Recoveries, dc.Collisions)
+		sc := rig.recStream.Counters()
+		for name, b := range map[string]runtime.Backend{
+			"dfa": rig.recDFA, "dfa-noaccel": rig.recDFANoAccel,
+		} {
+			recGot := runDiff(b, data)
+			if !reflect.DeepEqual(recGot, recWant) {
+				t.Fatalf("recovery %s diverged on %q:\n%s    %v\nstream %v", name, data, name, recGot, recWant)
+			}
+			dc := b.Counters()
+			if sc.Recoveries != dc.Recoveries || sc.Collisions != dc.Collisions {
+				t.Fatalf("recovery counters diverged on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
+					data, sc.Recoveries, sc.Collisions, name, dc.Recoveries, dc.Collisions)
+			}
 		}
 	})
 }

@@ -44,6 +44,31 @@ type Backend interface {
 	Counters() Counters
 }
 
+// matchRecycler is implemented by backends whose pending-match buffer can
+// be swapped for a caller-owned one: DrainMatches returns the confirmed
+// matches (like Matches) and adopts buf, with its length reset, as the new
+// pending buffer. The pipeline uses it to cycle match slices through a
+// pool instead of allocating one per batch. Wrapping backends are searched
+// through their Unwrap chain, so fault injectors stay transparent.
+type matchRecycler interface {
+	DrainMatches(buf []stream.Match) []stream.Match
+}
+
+// asMatchRecycler finds the matchRecycler implementation under any chain
+// of wrappers, nil when there is none.
+func asMatchRecycler(b Backend) matchRecycler {
+	for {
+		if r, ok := b.(matchRecycler); ok {
+			return r
+		}
+		u, ok := b.(backendUnwrapper)
+		if !ok {
+			return nil
+		}
+		b = u.Unwrap()
+	}
+}
+
 // Counters aggregates a Backend's per-stream totals.
 type Counters struct {
 	// Bytes fed so far.

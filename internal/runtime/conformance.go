@@ -35,10 +35,11 @@ type ConformanceOptions struct {
 //   - stream engine and gate-level simulation must agree bit for bit
 //     (same matches, same order, same recovery behavior),
 //   - the lazy-DFA compilation must agree with the stream engine exactly
-//     (same matches, same recovery and collision counters) — both with
-//     its default cache and with a deliberately tiny two-state cache
-//     that forces the overflow/reset path on every input, whose state
-//     count must also never exceed the configured bound,
+//     (same matches, same recovery and collision counters) — with its
+//     default cache, with a deliberately tiny two-state cache that
+//     forces the overflow/reset path on every input (whose state count
+//     must also never exceed the configured bound), and with skip-ahead
+//     acceleration disabled,
 //   - the LL(1) parser, when the grammar is LL(1), must accept and its
 //     tags must be a subset of the FSA paths' tags (the FSA accepts a
 //     superset of the language, so it may legitimately tag more on
@@ -65,14 +66,15 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 	}
 	parserF, _ := ParserFactory(spec) // nil factory when the grammar is not LL(1)
 	fs := backendSet{
-		tagger:  taggerF,
-		gate:    gateF,
-		parser:  parserF,
-		dfa:     DFAFactory(spec, 0),
-		dfaTiny: DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
+		tagger:     taggerF,
+		gate:       gateF,
+		parser:     parserF,
+		dfa:        DFAFactory(spec, 0),
+		dfaTiny:    DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
+		dfaNoAccel: DFAFactoryConfig(spec, stream.DFAConfig{NoAccel: true}),
 	}
 	if opts.WrapFactory != nil {
-		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.dfa, &fs.dfaTiny} {
+		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.dfa, &fs.dfaTiny, &fs.dfaNoAccel} {
 			*f = opts.WrapFactory(*f)
 		}
 		if fs.parser != nil {
@@ -103,6 +105,7 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 type backendSet struct {
 	tagger, gate, parser Factory
 	dfa, dfaTiny         Factory
+	dfaNoAccel           Factory
 }
 
 // runResult is one backend's complete observable output for one input.
@@ -204,6 +207,9 @@ func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, fs backe
 		return err
 	}
 	if err := checkDFA(name, "dfa-tiny", text, sw, fs.dfaTiny, rng, maxChunk); err != nil {
+		return err
+	}
+	if err := checkDFA(name, "dfa-noaccel", text, sw, fs.dfaNoAccel, rng, maxChunk); err != nil {
 		return err
 	}
 	if fs.parser == nil {

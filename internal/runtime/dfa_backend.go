@@ -31,7 +31,13 @@ type dfaBackend struct {
 // rebuilds from live traffic, so the path degrades to NFA speed, never to
 // unbounded memory.
 func DFAFactory(spec *core.Spec, maxStates int) Factory {
-	proto := stream.NewDFA(spec, stream.DFAConfig{MaxStates: maxStates})
+	return DFAFactoryConfig(spec, stream.DFAConfig{MaxStates: maxStates})
+}
+
+// DFAFactoryConfig is DFAFactory with the full stream.DFAConfig exposed,
+// notably NoAccel for differential runs against the skip-ahead path.
+func DFAFactoryConfig(spec *core.Spec, cfg stream.DFAConfig) Factory {
+	proto := stream.NewDFA(spec, cfg)
 	return func(shard int, h *Hooks) (Backend, error) {
 		d := proto.Clone()
 		b := &dfaBackend{d: d, shard: shard, hooks: h}
@@ -73,6 +79,14 @@ func (b *dfaBackend) Close() error {
 func (b *dfaBackend) Matches() []stream.Match {
 	out := b.pending
 	b.pending = nil
+	return out
+}
+
+// DrainMatches hands the confirmed matches to the caller and adopts buf as
+// the new pending buffer, letting the pipeline recycle match slices.
+func (b *dfaBackend) DrainMatches(buf []stream.Match) []stream.Match {
+	out := b.pending
+	b.pending = buf[:0]
 	return out
 }
 

@@ -477,11 +477,16 @@ func TestPipelineBufferPoolDropsOversizedChunks(t *testing.T) {
 	}
 	defer p.Close()
 
-	// A small buffer is recycled…
-	small := p.getBuf(777)
-	p.putBuf(small)
-	if got := p.getBuf(700); cap(got) != 777 {
-		t.Errorf("small buffer not recycled: got cap %d, want 777", cap(got))
+	// A small buffer is recycled… (sync.Pool drops Puts at random under
+	// the race detector, so give the round trip a few attempts)
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		small := p.getBuf(777)
+		p.putBuf(small)
+		recycled = cap(p.getBuf(700)) == 777
+	}
+	if !recycled {
+		t.Error("small buffer never recycled through the pool")
 	}
 	// …while an oversized one is dropped for the GC instead of pinning
 	// multi-megabyte capacity in the pool forever.

@@ -4,10 +4,10 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfgtag/internal/stream"
@@ -40,10 +40,23 @@ var ErrSinkPanic = errors.New("runtime: sink panicked")
 // Quarantine zero.
 const DefaultQuarantine = 30 * time.Second
 
-// maxPooledBufCap bounds chunk-buffer retention in the pool: one huge
+// DefaultBatchBytes is the per-shard coalescing target used when
+// Config.BatchBytes is zero.
+const DefaultBatchBytes = 64 << 10
+
+// DefaultBatchIdle is the idle-flush deadline used when Config.BatchIdle
+// is zero: a partially filled batch never waits longer than this before it
+// is pushed to its shard.
+const DefaultBatchIdle = time.Millisecond
+
+// maxPooledBufCap bounds chunk-arena retention in the pool: one huge
 // chunk must not pin a multi-megabyte allocation for the pipeline's
 // lifetime, so larger buffers are dropped for the GC instead of recycled.
 const maxPooledBufCap = 1 << 20
+
+// maxPooledMatchCap bounds match-slice retention in the pool, for the same
+// reason.
+const maxPooledMatchCap = 8192
 
 // sinkBackoffCap caps the exponential Deliver-retry backoff.
 const sinkBackoffCap = 250 * time.Millisecond
@@ -56,11 +69,13 @@ type Batch struct {
 	Key string
 	// Shard is the shard that owns the stream.
 	Shard int
-	// Data is the chunk's bytes. The slice is pooled: it is valid only
-	// until Deliver returns.
+	// Data is the chunk's bytes. The backing storage is a pooled arena
+	// shared with the other batches of one dispatch group: it is valid
+	// only until Deliver returns.
 	Data []byte
 	// Tags are the detections confirmed by this chunk (and, on EOS, the
-	// final flush), in input order with absolute End offsets.
+	// final flush), in input order with absolute End offsets. The slice is
+	// pooled like Data: valid only until Deliver returns (copy to retain).
 	Tags []stream.Match
 	// EOS marks the stream's final batch. Besides CloseStream, a stream
 	// ends when its backend errors or panics (Err is set), when it is
@@ -75,11 +90,14 @@ type Batch struct {
 	Err error
 }
 
-// Sink consumes completed tag batches. Deliver is called from a single
-// goroutine; batches of one stream arrive in order. Deliver must not
-// retain b.Data past the call (copy if needed). A Deliver error or panic
-// is retried with backoff (see Config); wrap an error with PermanentError
-// to fail the pipeline immediately instead.
+// Sink consumes completed tag batches. With the default single sink
+// worker, Deliver is called from one goroutine; with Config.SinkWorkers >
+// 1 the shards are partitioned across workers and the Sink must be safe
+// for concurrent Deliver calls. Either way batches of one stream arrive in
+// order on one goroutine. Deliver must not retain b.Data or b.Tags past
+// the call (copy if needed). A Deliver error or panic is retried with
+// backoff (see Config); wrap an error with PermanentError to fail the
+// pipeline immediately instead.
 type Sink interface {
 	Deliver(b *Batch) error
 	Close() error
@@ -116,8 +134,9 @@ type Config struct {
 	// shard runs one goroutine owning the Backends of the streams
 	// dispatched to it.
 	Shards int
-	// Queue is each shard's input queue capacity (0 = 64). Send blocks
-	// when the target shard's queue is full — natural backpressure.
+	// Queue is each shard's input queue capacity, in message batches
+	// (0 = 64). Send blocks when the target shard's queue is full —
+	// natural backpressure.
 	Queue int
 	// Factory creates the per-stream Backend (required).
 	Factory Factory
@@ -134,6 +153,21 @@ type Config struct {
 	// ErrQuarantined until it expires. 0 selects DefaultQuarantine; a
 	// negative value disables quarantining.
 	Quarantine time.Duration
+	// BatchBytes is the per-shard dispatch-coalescing target: Send copies
+	// chunks into a pooled arena and hands the shard one batch when the
+	// arena reaches this size, when the shard goes idle, or after
+	// BatchIdle. 0 selects DefaultBatchBytes; a negative value disables
+	// coalescing (every Send dispatches immediately).
+	BatchBytes int
+	// BatchIdle bounds how long a partially filled dispatch batch may
+	// wait before being flushed to its shard (0 = DefaultBatchIdle).
+	BatchIdle time.Duration
+	// SinkWorkers is the number of sink-delivery goroutines (0 or 1 = a
+	// single worker, the safe default). With more than one, shards are
+	// partitioned across workers — batches of one stream always stay on
+	// one worker, in order — and the Sink must be safe for concurrent
+	// Deliver calls. Capped at Shards.
+	SinkWorkers int
 	// SinkAttempts is the number of Deliver attempts per batch,
 	// including the first (0 = 3; 1 disables retry). Retries back off
 	// exponentially from SinkBackoff with jitter, capped at 250ms.
@@ -145,14 +179,16 @@ type Config struct {
 	// were exhausted on a transient error; the pipeline then carries on
 	// with the next batch. When nil, an exhausted batch escalates to a
 	// permanent sink failure instead. Like Deliver, the hook must not
-	// retain b.Data past the call. It runs on the sink goroutine.
+	// retain b.Data or b.Tags past the call. It runs on the delivering
+	// sink worker.
 	DeadLetter func(b *Batch, err error)
 }
 
-// Pipeline is the sharded runtime: messages enter via Send, are dispatched
-// to a shard by stream key, flow through that stream's Backend, and the
-// resulting tag batches are delivered to the Sink by a dedicated sink
-// goroutine. Send/CloseStream are safe for concurrent use.
+// Pipeline is the sharded runtime: messages enter via Send, are coalesced
+// into per-shard batches, dispatched to a shard by stream key, flow
+// through that stream's Backend, and the resulting tag batches are
+// delivered to the Sink by the sink workers. Send/CloseStream are safe for
+// concurrent use.
 //
 // The pipeline is fault-isolating: a Backend panic is recovered and
 // converted into an error-carrying EOS batch, the offending stream key is
@@ -161,19 +197,27 @@ type Config struct {
 // Config.DeadLetter) stops delivery; it is observable through Err and
 // returned by subsequent Sends.
 type Pipeline struct {
-	cfg    Config
-	sink   Sink
-	shards []*shard
-	sinkCh chan *Batch
+	cfg     Config
+	sink    Sink
+	shards  []*shard
+	sinkChs []chan *sinkGroup
 
 	quarTTL      time.Duration
+	batchBytes   int
+	batchIdle    time.Duration
 	sinkAttempts int
 	sinkBackoff  time.Duration
 
-	bufs sync.Pool // chunk buffers, recycled after Deliver
+	bufs    sync.Pool // chunk arenas, recycled after Deliver
+	matches sync.Pool // match slices, recycled after Deliver
+	sbPool  sync.Pool // *shardBatch dispatch units
+	grpPool sync.Pool // *sinkGroup delivery units
 
 	shardWG sync.WaitGroup
 	sinkWG  sync.WaitGroup
+	flushWG sync.WaitGroup
+
+	flushStop chan struct{}
 
 	// stateMu guards closed; dispatch holds the read side across its
 	// enqueue so Close never closes a channel with a send in flight.
@@ -184,36 +228,64 @@ type Pipeline struct {
 	sinkErr error
 }
 
-// message is one dispatch unit on a shard queue.
-type message struct {
-	key  string
-	data []byte // pooled; nil for a pure close
-	eos  bool
+// msgRef is one message inside a shardBatch: a window into the batch's
+// arena plus the stream-end flag.
+type msgRef struct {
+	key string
+	off int
+	n   int
+	eos bool
+}
+
+// shardBatch is one coalesced dispatch unit on a shard queue: a pooled
+// arena holding the concatenated chunk bytes and the message windows into
+// it. A batch with only EOS messages carries no arena.
+type shardBatch struct {
+	data []byte
+	msgs []msgRef
+}
+
+// sinkGroup is one delivery unit on a sink-worker queue: the Batches a
+// shard produced from one shardBatch, in emission order, plus the arena
+// their Data slices point into. The worker recycles the arena, the match
+// slices and the group itself after the last Deliver returns.
+type sinkGroup struct {
+	batches []*Batch
+	arena   []byte
 }
 
 // streamEntry is one live stream on a shard: its Backend plus its position
-// in the shard's recency list (front = most recently active).
+// in the shard's recency list (front = most recently active). rec is the
+// backend's match-buffer recycler when it supports pooled match slices.
 type streamEntry struct {
 	key string
 	b   Backend
+	rec matchRecycler
 	el  *list.Element
 }
 
 // shard owns the streams hashed to it: one Backend per live stream key,
 // kept in recency order for MaxStreams eviction, plus the quarantine table
-// consulted by dispatch before accepting the key's traffic.
+// consulted by dispatch before accepting the key's traffic, plus the
+// pending dispatch batch Sends coalesce into.
 type shard struct {
 	id      int
-	in      chan message
+	in      chan *shardBatch
 	streams map[string]*streamEntry
 	lru     *list.List // of *streamEntry
 	p       *Pipeline
 
+	pendMu sync.Mutex
+	pend   *shardBatch
+	pendAt time.Time // when the pending batch got its first message
+
 	quarMu sync.Mutex
 	quar   map[string]time.Time // key -> quarantine expiry
+	quarN  atomic.Int32         // live entries in quar (lock-free fast path)
 }
 
-// NewPipeline starts the shard and sink goroutines. Close releases them.
+// NewPipeline starts the shard, sink-worker and idle-flusher goroutines.
+// Close releases them.
 func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 	if cfg.Factory == nil {
 		return nil, fmt.Errorf("runtime: Config.Factory is required")
@@ -230,15 +302,25 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:          cfg,
 		sink:         sink,
-		sinkCh:       make(chan *Batch, cfg.Queue),
 		quarTTL:      cfg.Quarantine,
+		batchBytes:   cfg.BatchBytes,
+		batchIdle:    cfg.BatchIdle,
 		sinkAttempts: cfg.SinkAttempts,
 		sinkBackoff:  cfg.SinkBackoff,
+		flushStop:    make(chan struct{}),
 	}
 	if p.quarTTL == 0 {
 		p.quarTTL = DefaultQuarantine
 	} else if p.quarTTL < 0 {
 		p.quarTTL = 0
+	}
+	if p.batchBytes == 0 {
+		p.batchBytes = DefaultBatchBytes
+	} else if p.batchBytes < 0 {
+		p.batchBytes = 0 // coalescing disabled: flush every message
+	}
+	if p.batchIdle <= 0 {
+		p.batchIdle = DefaultBatchIdle
 	}
 	if p.sinkAttempts <= 0 {
 		p.sinkAttempts = 3
@@ -247,10 +329,26 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 		p.sinkBackoff = time.Millisecond
 	}
 	p.bufs.New = func() any { return []byte(nil) }
+	p.sbPool.New = func() any { return new(shardBatch) }
+	p.grpPool.New = func() any { return new(sinkGroup) }
+
+	workers := cfg.SinkWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	for w := 0; w < workers; w++ {
+		ch := make(chan *sinkGroup, cfg.Queue)
+		p.sinkChs = append(p.sinkChs, ch)
+		p.sinkWG.Add(1)
+		go p.sinkWorker(ch, 0x5eed5eed^int64(w)*0x9e3779b9)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
 			id:      i,
-			in:      make(chan message, cfg.Queue),
+			in:      make(chan *shardBatch, cfg.Queue),
 			streams: make(map[string]*streamEntry),
 			lru:     list.New(),
 			quar:    make(map[string]time.Time),
@@ -260,8 +358,8 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 		p.shardWG.Add(1)
 		go s.run()
 	}
-	p.sinkWG.Add(1)
-	go p.drainSink()
+	p.flushWG.Add(1)
+	go p.idleFlusher()
 	return p, nil
 }
 
@@ -269,13 +367,16 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 func (p *Pipeline) Shards() int { return len(p.shards) }
 
 // Send dispatches one chunk of the stream identified by key. The data is
-// copied into a pooled buffer, so the caller may reuse it immediately.
-// Send blocks while the target shard's queue is full. After Close it
-// fails with ErrClosed and the chunk is not accepted; a quarantined key
-// fails with ErrQuarantined, and after a permanent sink failure every
-// Send fails with that failure. Chunks accepted before a stream's backend
-// faulted but not yet processed are discarded (the stream already
-// received its error-carrying EOS batch).
+// copied into a pooled arena, so the caller may reuse it immediately.
+// Chunks coalesce into per-shard batches that flush when full, when the
+// shard goes idle, or after Config.BatchIdle; an accepted chunk is always
+// delivered, even if Close follows immediately. Send blocks while the
+// target shard's queue is full. After Close it fails with ErrClosed and
+// the chunk is not accepted; a quarantined key fails with ErrQuarantined,
+// and after a permanent sink failure every Send fails with that failure.
+// Chunks accepted before a stream's backend faulted but not yet processed
+// are discarded (the stream already received its error-carrying EOS
+// batch).
 func (p *Pipeline) Send(key string, data []byte) error {
 	return p.dispatch(key, data, false)
 }
@@ -312,26 +413,105 @@ func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
 	if p.quarTTL > 0 && s.poisoned(key) {
 		return fmt.Errorf("%w: %q", ErrQuarantined, key)
 	}
-	var buf []byte
-	if len(data) > 0 {
-		buf = p.getBuf(len(data))
-		copy(buf, data)
-	}
-	s.in <- message{key: key, data: buf, eos: eos}
+	s.enqueue(key, data, eos)
 	p.cfg.Hooks.queueDepth(s.id, len(s.in))
 	return nil
 }
 
-// shardFor hashes the stream key onto a shard (FNV-1a).
-func (p *Pipeline) shardFor(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(p.shards)))
+// enqueue appends one message to the shard's pending batch, flushing it
+// when the arena target is reached, when coalescing is off, or when the
+// shard queue is empty (nothing would be gained by waiting: the shard is
+// starved, so latency wins over amortization).
+func (s *shard) enqueue(key string, data []byte, eos bool) {
+	p := s.p
+	s.pendMu.Lock()
+	if s.pend == nil {
+		s.pend = p.getShardBatch()
+	}
+	b := s.pend
+	if len(data) > 0 {
+		if b.data != nil && len(b.data)+len(data) > cap(b.data) {
+			s.flushLocked()
+			s.pend = p.getShardBatch()
+			b = s.pend
+		}
+		if b.data == nil {
+			need := p.batchBytes
+			if len(data) > need {
+				need = len(data)
+			}
+			b.data = p.getBuf(need)[:0]
+		}
+		off := len(b.data)
+		b.data = append(b.data, data...)
+		b.msgs = append(b.msgs, msgRef{key: key, off: off, n: len(data), eos: eos})
+	} else {
+		b.msgs = append(b.msgs, msgRef{key: key, eos: eos})
+	}
+	if len(b.msgs) == 1 {
+		s.pendAt = time.Now()
+	}
+	if p.batchBytes == 0 || len(b.data) >= p.batchBytes || len(s.in) == 0 {
+		s.flushLocked()
+	}
+	s.pendMu.Unlock()
 }
 
-// Close flushes every open stream (delivering its EOS batch), stops the
-// shards and the sink goroutine, closes the Sink, and returns the first
-// Sink error. A second Close fails with ErrClosed.
+// flushLocked hands the pending batch to the shard goroutine; pendMu must
+// be held. The channel send may block under backpressure — the shard keeps
+// draining, so progress is guaranteed.
+func (s *shard) flushLocked() {
+	b := s.pend
+	if b == nil || len(b.msgs) == 0 {
+		return
+	}
+	s.pend = nil
+	s.in <- b
+}
+
+// idleFlusher bounds batching latency: every BatchIdle tick it pushes any
+// pending batch older than the deadline to its shard. It exits as soon as
+// the pipeline closes (Close flushes the remaining batches itself).
+func (p *Pipeline) idleFlusher() {
+	defer p.flushWG.Done()
+	t := time.NewTicker(p.batchIdle)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.flushStop:
+			return
+		case <-t.C:
+		}
+		p.stateMu.RLock()
+		if p.closed {
+			p.stateMu.RUnlock()
+			return
+		}
+		for _, s := range p.shards {
+			s.pendMu.Lock()
+			if s.pend != nil && len(s.pend.msgs) > 0 && time.Since(s.pendAt) >= p.batchIdle {
+				s.flushLocked()
+			}
+			s.pendMu.Unlock()
+		}
+		p.stateMu.RUnlock()
+	}
+}
+
+// shardFor hashes the stream key onto a shard (inline FNV-1a, allocation
+// free).
+func (p *Pipeline) shardFor(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(len(p.shards)))
+}
+
+// Close flushes the pending dispatch batches and every open stream
+// (delivering its EOS batch), stops the shards and the sink workers,
+// closes the Sink, and returns the first Sink error. A second Close fails
+// with ErrClosed.
 func (p *Pipeline) Close() error {
 	p.stateMu.Lock()
 	if p.closed {
@@ -341,11 +521,22 @@ func (p *Pipeline) Close() error {
 	p.closed = true
 	p.stateMu.Unlock()
 
+	close(p.flushStop)
+	p.flushWG.Wait()
+	// No Send can append anymore (closed is set), so the residual batches
+	// are stable; flush them before closing the shard channels.
+	for _, s := range p.shards {
+		s.pendMu.Lock()
+		s.flushLocked()
+		s.pendMu.Unlock()
+	}
 	for _, s := range p.shards {
 		close(s.in)
 	}
 	p.shardWG.Wait()
-	close(p.sinkCh)
+	for _, ch := range p.sinkChs {
+		close(ch)
+	}
 	p.sinkWG.Wait()
 
 	cerr := p.sink.Close()
@@ -371,9 +562,57 @@ func (p *Pipeline) putBuf(b []byte) {
 	p.bufs.Put(b[:0]) //nolint:staticcheck // slice, not pointer, by design
 }
 
+func (p *Pipeline) getMatchBuf() []stream.Match {
+	if v := p.matches.Get(); v != nil {
+		return v.([]stream.Match)[:0]
+	}
+	// A fresh buffer is sized for a dense chunk up front: tag-heavy
+	// traffic yields hundreds of matches per dispatch message, and
+	// growing from a tiny capacity costs several doubling copies on
+	// every pool miss.
+	return make([]stream.Match, 0, 1024)
+}
+
+func (p *Pipeline) putMatchBuf(ms []stream.Match) {
+	if ms == nil || cap(ms) == 0 || cap(ms) > maxPooledMatchCap {
+		return
+	}
+	p.matches.Put(ms[:0]) //nolint:staticcheck // slice, not pointer, by design
+}
+
+func (p *Pipeline) getShardBatch() *shardBatch {
+	return p.sbPool.Get().(*shardBatch)
+}
+
+func (p *Pipeline) putShardBatch(b *shardBatch) {
+	b.data = nil
+	for i := range b.msgs {
+		b.msgs[i] = msgRef{}
+	}
+	b.msgs = b.msgs[:0]
+	p.sbPool.Put(b)
+}
+
+func (p *Pipeline) getGroup() *sinkGroup {
+	return p.grpPool.Get().(*sinkGroup)
+}
+
+func (p *Pipeline) putGroup(g *sinkGroup) {
+	for i := range g.batches {
+		g.batches[i] = nil
+	}
+	g.batches = g.batches[:0]
+	g.arena = nil
+	p.grpPool.Put(g)
+}
+
 // poisoned reports whether key is quarantined, lazily expiring stale
-// entries. Called from dispatch (any goroutine) and the shard goroutine.
+// entries. Called from dispatch (any goroutine) and the shard goroutine;
+// the atomic counter keeps the healthy path lock-free.
 func (s *shard) poisoned(key string) bool {
+	if s.quarN.Load() == 0 {
+		return false
+	}
 	s.quarMu.Lock()
 	defer s.quarMu.Unlock()
 	until, ok := s.quar[key]
@@ -382,6 +621,7 @@ func (s *shard) poisoned(key string) bool {
 	}
 	if time.Now().After(until) {
 		delete(s.quar, key)
+		s.quarN.Add(-1)
 		return false
 	}
 	return true
@@ -393,22 +633,43 @@ func (s *shard) poison(key string) {
 		return
 	}
 	s.quarMu.Lock()
+	if _, ok := s.quar[key]; !ok {
+		s.quarN.Add(1)
+	}
 	s.quar[key] = time.Now().Add(s.p.quarTTL)
 	s.quarMu.Unlock()
 	s.p.cfg.Hooks.quarantined(s.id, key)
 }
 
 // run is the shard loop: per-stream Backend lifecycle and batch emission.
-// When the input channel closes (pipeline Close), still-open streams are
-// flushed with synthetic EOS batches so sinks always see stream ends.
+// Each shardBatch becomes one sinkGroup carrying the produced Batches and
+// the arena they point into. When the input channel closes (pipeline
+// Close), still-open streams are flushed with synthetic EOS batches so
+// sinks always see stream ends.
 func (s *shard) run() {
 	defer s.p.shardWG.Done()
-	for msg := range s.in {
-		s.process(msg)
+	for sb := range s.in {
+		g := s.p.getGroup()
+		for i := range sb.msgs {
+			m := &sb.msgs[i]
+			var data []byte
+			if m.n > 0 {
+				data = sb.data[m.off : m.off+m.n]
+			}
+			s.process(m.key, data, m.eos, g)
+		}
+		// The arena travels with the group: the sink worker recycles it
+		// after the last batch referencing it is delivered.
+		g.arena = sb.data
+		sb.data = nil
+		s.p.putShardBatch(sb)
+		s.emit(g)
 	}
+	g := s.p.getGroup()
 	for key := range s.streams {
-		s.process(message{key: key, eos: true})
+		s.process(key, nil, true, g)
 	}
+	s.emit(g)
 }
 
 // guard invokes one backend call, converting a panic into an error
@@ -430,10 +691,23 @@ func (s *shard) remove(e *streamEntry) {
 	s.lru.Remove(e.el)
 }
 
+// drain moves the backend's confirmed matches into batch.Tags, through a
+// pooled buffer when the backend supports recycling.
+func (s *shard) drain(e *streamEntry, batch *Batch) error {
+	return s.guard("Matches", func() error {
+		if e.rec != nil {
+			batch.Tags = e.rec.DrainMatches(s.p.getMatchBuf())
+		} else {
+			batch.Tags = e.b.Matches()
+		}
+		return nil
+	})
+}
+
 // evictOldest flushes the least-recently-active stream to make room under
 // the MaxStreams cap: its backend is closed and its final matches are
 // delivered in a synthetic EOS batch marked Evicted.
-func (s *shard) evictOldest() {
+func (s *shard) evictOldest(g *sinkGroup) {
 	el := s.lru.Back()
 	if el == nil {
 		return
@@ -441,67 +715,66 @@ func (s *shard) evictOldest() {
 	e := el.Value.(*streamEntry)
 	batch := &Batch{Key: e.key, Shard: s.id, EOS: true, Evicted: true}
 	batch.Err = s.guard("Close", e.b.Close)
-	if merr := s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil }); merr != nil && batch.Err == nil {
+	if merr := s.drain(e, batch); merr != nil && batch.Err == nil {
 		batch.Err = merr
 	}
 	s.remove(e)
 	s.p.cfg.Hooks.evicted(s.id, e.key)
-	s.emit(batch)
+	g.batches = append(g.batches, batch)
 }
 
-func (s *shard) process(msg message) {
-	if s.p.quarTTL > 0 && s.poisoned(msg.key) {
+func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
+	if s.p.quarTTL > 0 && s.poisoned(key) {
 		// The stream already received its error-carrying EOS batch when
-		// it was poisoned; queued leftovers are discarded cheaply.
-		s.p.putBuf(msg.data)
+		// it was poisoned; queued leftovers are discarded cheaply (the
+		// shared arena is recycled with the group).
 		return
 	}
-	e, ok := s.streams[msg.key]
+	e, ok := s.streams[key]
 	if !ok {
 		// Evict only for streams that will actually persist: a pure
 		// close of an unknown key creates and immediately retires its
 		// backend, so it must not push a live stream out.
-		if max := s.p.cfg.MaxStreams; max > 0 && !msg.eos && len(s.streams) >= max {
-			s.evictOldest()
+		if max := s.p.cfg.MaxStreams; max > 0 && !eos && len(s.streams) >= max {
+			s.evictOldest(g)
 		}
 		b, err := s.p.cfg.Factory(s.id, s.p.cfg.Hooks)
 		if err != nil {
-			s.p.putBuf(msg.data)
-			s.poison(msg.key)
-			s.emit(&Batch{Key: msg.key, Shard: s.id, EOS: true, Err: err})
+			s.poison(key)
+			g.batches = append(g.batches, &Batch{Key: key, Shard: s.id, EOS: true, Err: err})
 			return
 		}
-		e = &streamEntry{key: msg.key, b: b}
+		e = &streamEntry{key: key, b: b, rec: asMatchRecycler(b)}
 		e.el = s.lru.PushFront(e)
-		s.streams[msg.key] = e
+		s.streams[key] = e
 	} else {
 		s.lru.MoveToFront(e.el)
 	}
 
-	batch := &Batch{Key: msg.key, Shard: s.id, Data: msg.data, EOS: msg.eos}
-	if len(msg.data) > 0 {
-		batch.Err = s.guard("Feed", func() error { return e.b.Feed(msg.data) })
+	batch := &Batch{Key: key, Shard: s.id, Data: data, EOS: eos}
+	if len(data) > 0 {
+		batch.Err = s.guard("Feed", func() error { return e.b.Feed(data) })
 	}
-	if batch.Err != nil && !msg.eos {
+	if batch.Err != nil && !eos {
 		// A failed or panicking Feed ends the stream: the backend's
 		// state is suspect, so it is retired, the key is poisoned, and
 		// the error batch doubles as the stream's EOS. Matches confirmed
 		// before the fault are still drained (best effort).
 		batch.EOS = true
-		s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil })
+		s.drain(e, batch)
 		s.guard("Close", e.b.Close)
 		s.remove(e)
-		s.poison(msg.key)
-		s.emit(batch)
+		s.poison(key)
+		g.batches = append(g.batches, batch)
 		return
 	}
-	if msg.eos {
+	if eos {
 		if cerr := s.guard("Close", e.b.Close); batch.Err == nil {
 			batch.Err = cerr
 		}
 		s.remove(e)
 	}
-	if merr := s.guard("Matches", func() error { batch.Tags = e.b.Matches(); return nil }); merr != nil {
+	if merr := s.drain(e, batch); merr != nil {
 		if batch.Err == nil {
 			batch.Err = merr
 		}
@@ -510,30 +783,42 @@ func (s *shard) process(msg message) {
 			// like a Feed fault.
 			batch.EOS = true
 			s.remove(e)
-			s.poison(msg.key)
+			s.poison(key)
 		}
 	}
-	s.emit(batch)
+	g.batches = append(g.batches, batch)
 }
 
-func (s *shard) emit(batch *Batch) {
-	s.p.sinkCh <- batch
+// emit hands one delivery group to the sink worker owning this shard.
+// Stream-to-shard and shard-to-worker assignments are both static, so
+// batches of one stream always land on one worker, in order.
+func (s *shard) emit(g *sinkGroup) {
+	if len(g.batches) == 0 {
+		s.p.putBuf(g.arena)
+		s.p.putGroup(g)
+		return
+	}
+	s.p.sinkChs[s.id%len(s.p.sinkChs)] <- g
 }
 
-// drainSink serializes Sink delivery and recycles chunk buffers. Delivery
-// is resilient: transient errors (and panics) retry with capped
+// sinkWorker drains one delivery queue and recycles the pooled pieces.
+// Delivery is resilient: transient errors (and panics) retry with capped
 // exponential backoff and jitter; exhausted batches go to the DeadLetter
 // hook when one is configured, otherwise — like errors marked with
 // PermanentError — they fail the sink permanently and further batches are
 // dropped.
-func (p *Pipeline) drainSink() {
+func (p *Pipeline) sinkWorker(ch chan *sinkGroup, seed int64) {
 	defer p.sinkWG.Done()
-	rng := rand.New(rand.NewSource(0x5eed5eed)) // backoff jitter only
-	for b := range p.sinkCh {
-		if p.Err() == nil {
-			p.deliver(b, rng)
+	rng := rand.New(rand.NewSource(seed)) // backoff jitter only
+	for g := range ch {
+		for _, b := range g.batches {
+			if p.Err() == nil {
+				p.deliver(b, rng)
+			}
+			p.putMatchBuf(b.Tags)
 		}
-		p.putBuf(b.Data)
+		p.putBuf(g.arena)
+		p.putGroup(g)
 	}
 }
 

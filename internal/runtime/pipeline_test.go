@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"cfgtag/internal/core"
 	"cfgtag/internal/grammar"
@@ -447,5 +448,169 @@ func TestPipelineSinkErrorPropagates(t *testing.T) {
 	p.CloseStream("x")
 	if err := p.Close(); err != sinkErr {
 		t.Errorf("Close error = %v, want %v", err, sinkErr)
+	}
+}
+
+// TestPipelineIdleFlushDelivers checks a partially filled dispatch batch
+// reaches the sink without further traffic or a close: the idle flusher
+// must bound batching latency.
+func TestPipelineIdleFlushDelivers(t *testing.T) {
+	delivered := make(chan string, 16)
+	sink := SinkFunc(func(b *Batch) error {
+		delivered <- b.Key
+		return nil
+	})
+	p, err := NewPipeline(Config{
+		Shards:     1,
+		Factory:    fakeFactory,
+		BatchBytes: 1 << 20, // far above the chunk size: only idle can flush
+		BatchIdle:  time.Millisecond,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Prime the shard queue so the enqueue-time "queue empty" flush does
+	// not fire for the probe chunk.
+	if err := p.Send("warm", []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("probe", []byte("idle-flushed chunk")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case key := <-delivered:
+			if key == "probe" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("idle flusher never delivered the pending batch")
+		}
+	}
+}
+
+// TestPipelineSinkWorkers runs multiple sink workers and checks the
+// per-stream contract still holds: bytes reassemble exactly, tags equal a
+// standalone run, EOS arrives last — with a Sink that must now be
+// concurrency safe.
+func TestPipelineSinkWorkers(t *testing.T) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	data := make(map[string][]byte)
+	tags := make(map[string][]stream.Match)
+	eos := make(map[string]bool)
+	sink := SinkFunc(func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if eos[b.Key] {
+			return fmt.Errorf("%s: batch after EOS", b.Key)
+		}
+		data[b.Key] = append(data[b.Key], b.Data...)
+		tags[b.Key] = append(tags[b.Key], b.Tags...)
+		if b.EOS {
+			eos[b.Key] = true
+		}
+		return nil
+	})
+	p, err := NewPipeline(Config{
+		Shards:      4,
+		Factory:     TaggerFactory(spec),
+		SinkWorkers: 4,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streams = 12
+	texts := make([][]byte, streams)
+	for i := range texts {
+		gen := xmlrpc.NewGenerator(int64(i+1), xmlrpc.Options{})
+		corpus, _ := gen.Corpus(3)
+		texts[i] = []byte(corpus)
+	}
+	var wg sync.WaitGroup
+	for i := range texts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("ws-%d", i)
+			text := texts[i]
+			for off := 0; off < len(text); off += 119 {
+				hi := off + 119
+				if hi > len(text) {
+					hi = len(text)
+				}
+				if err := p.Send(key, text[off:hi]); err != nil {
+					t.Errorf("%s: Send = %v", key, err)
+					return
+				}
+			}
+			if err := p.CloseStream(key); err != nil {
+				t.Errorf("%s: CloseStream = %v", key, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := stream.NewTagger(spec)
+	for i := range texts {
+		key := fmt.Sprintf("ws-%d", i)
+		if !eos[key] {
+			t.Errorf("%s: no EOS batch", key)
+		}
+		if !bytes.Equal(data[key], texts[i]) {
+			t.Errorf("%s: reassembled %d bytes, sent %d", key, len(data[key]), len(texts[i]))
+		}
+		if want := ref.Tag(texts[i]); !reflect.DeepEqual(tags[key], want) {
+			t.Errorf("%s: tags diverge from standalone run (%d vs %d)", key, len(tags[key]), len(want))
+		}
+	}
+}
+
+// TestPipelineSteadyStateSendAllocs pins the allocation budget of the
+// batched Send path: arenas, dispatch batches, delivery groups and match
+// slices are pooled, so steady state should cost about one allocation per
+// message (the Batch header) plus amortized noise.
+func TestPipelineSteadyStateSendAllocs(t *testing.T) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(Config{
+		Shards:  1,
+		Factory: DFAFactory(spec, 0),
+	}, SinkFunc(func(*Batch) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte(" "), 4096)
+	// Warm the stream, its backend and the pools.
+	for i := 0; i < 64; i++ {
+		if err := p.Send("steady", chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Send("steady", chunk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One Batch header per message is expected; everything else is pooled.
+	// The bound leaves slack for pool misses after a GC and for the shard
+	// and sink goroutines' amortized costs, while still catching any
+	// per-byte or per-tag regression.
+	if avg > 6 {
+		t.Errorf("steady-state Send averages %.1f allocs, want <= 6", avg)
 	}
 }

@@ -59,6 +59,14 @@ func (b *taggerBackend) Matches() []stream.Match {
 	return out
 }
 
+// DrainMatches hands the confirmed matches to the caller and adopts buf as
+// the new pending buffer, letting the pipeline recycle match slices.
+func (b *taggerBackend) DrainMatches(buf []stream.Match) []stream.Match {
+	out := b.pending
+	b.pending = buf[:0]
+	return out
+}
+
 func (b *taggerBackend) Counters() Counters {
 	return Counters{
 		Bytes:      b.bytes,

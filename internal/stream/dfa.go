@@ -25,6 +25,7 @@
 package stream
 
 import (
+	"bytes"
 	"fmt"
 
 	"cfgtag/internal/core"
@@ -42,6 +43,77 @@ type DFAConfig struct {
 	// DefaultDFAMaxStates, minimum 2). When a new state would exceed the
 	// bound the whole cache is reset and rebuilt from the current state.
 	MaxStates int
+	// NoAccel disables skip-ahead acceleration, forcing every byte through
+	// the per-byte edge lookup. The accelerated and unaccelerated paths are
+	// byte-for-byte equivalent; the switch exists for differential testing
+	// and benchmarking.
+	NoAccel bool
+}
+
+// Skip-ahead acceleration bounds: a state accelerates only when at most
+// dfaAccelMaxInteresting byte classes can move it (the rest self-loop with
+// no events), and the scan uses literal bytes.IndexByte-style search when
+// those classes cover at most dfaAccelMaxLiterals byte values.
+const (
+	dfaAccelMaxInteresting = 3
+	dfaAccelMaxLiterals    = 3
+)
+
+// dfaAccel is the skip-ahead plan of one accelerable state: a state that,
+// for every "boring" byte class b consumed under any boring lookahead
+// class, transitions to itself with no emissions, no collision, no
+// recovery and no pending change. Runs of boring bytes are skipped with a
+// literal scan (RE2/Hyperscan-style acceleration) instead of per-byte edge
+// lookups.
+type dfaAccel struct {
+	// boring[c] reports whether byte class c is inert for this state, both
+	// as the consumed byte and as the figure-7 lookahead.
+	boring []bool
+	// lits holds the interesting byte values when few enough for a literal
+	// scan; empty means the state absorbs every byte (scan to end of chunk).
+	lits []byte
+	// table is the fallback membership table when the interesting classes
+	// span too many byte values for a literal scan.
+	table *[256]bool
+}
+
+// scan returns the index of the first interesting byte at or after i, or
+// len(p) when the rest of the chunk is boring.
+func (a *dfaAccel) scan(p []byte, i int) int {
+	if a.table != nil {
+		t := a.table
+		for ; i < len(p); i++ {
+			if t[p[i]] {
+				return i
+			}
+		}
+		return i
+	}
+	switch len(a.lits) {
+	case 0:
+		return len(p)
+	case 1:
+		if j := bytes.IndexByte(p[i:], a.lits[0]); j >= 0 {
+			return i + j
+		}
+		return len(p)
+	case 2:
+		b0, b1 := a.lits[0], a.lits[1]
+		for ; i < len(p); i++ {
+			if b := p[i]; b == b0 || b == b1 {
+				return i
+			}
+		}
+		return i
+	default:
+		b0, b1, b2 := a.lits[0], a.lits[1], a.lits[2]
+		for ; i < len(p); i++ {
+			if b := p[i]; b == b0 || b == b1 || b == b2 {
+				return i
+			}
+		}
+		return i
+	}
 }
 
 // dfaOutcome is everything one cached transition does: successor state,
@@ -76,6 +148,7 @@ type dfaState struct {
 	pending []uint64
 	fast    []*dfaOutcome
 	rows    []*dfaEdge
+	accel   *dfaAccel // nil unless the state qualifies for skip-ahead
 }
 
 // DFA is a streaming token tagger over one input, equivalent byte for byte
@@ -162,8 +235,10 @@ func (d *DFA) Reset() {
 func (d *DFA) Pos() int64 { return d.pos }
 
 // CacheStats reports the transition cache's lifetime totals: bytes served
-// from cached outcomes, bytes that required an NFA fallback computation,
-// and whole-cache resets forced by the MaxStates bound.
+// without an NFA step (cached outcomes plus bytes consumed by skip-ahead
+// acceleration), bytes that required an NFA fallback computation, and
+// whole-cache resets forced by the MaxStates bound. hits+misses always
+// equals the number of bytes fully processed.
 func (d *DFA) CacheStats() (hits, misses, resets int64) {
 	return d.hits, d.misses, d.resets
 }
@@ -202,6 +277,23 @@ func (d *DFA) Write(p []byte) (int, error) {
 	pos := d.pos
 	var hits int64
 	for ; i < len(p); i++ {
+		// Skip-ahead: when the state self-loops on the held class, burn
+		// through the run of boring bytes with a literal scan. The bytes
+		// collapsed are exactly the loop iterations whose consumed byte AND
+		// lookahead are both boring; the byte before the first interesting
+		// lookahead goes through the normal path below, so conditional
+		// (figure 7) emissions still see their lookahead.
+		if a := cur.accel; a != nil && a.boring[c] {
+			if j := a.scan(p, i); j > i {
+				hits += int64(j - i)
+				pos += int64(j - i)
+				c = int(classOf[p[j-1]])
+				i = j
+				if i == len(p) {
+					break
+				}
+			}
+		}
 		nc := int(classOf[p[i]])
 		if out := cur.fast[c]; out != nil {
 			hits++
@@ -475,6 +567,117 @@ func (d *DFA) canonical(active, pending []uint64) *dfaState {
 		fast:    make([]*dfaOutcome, d.e.numClasses),
 		rows:    make([]*dfaEdge, d.e.numClasses),
 	}
+	if !d.cfg.NoAccel {
+		st.accel = d.probeAccel(st)
+	}
 	d.states[string(key)] = st
 	return st
+}
+
+// probeAccel decides, from the engine masks alone, whether st qualifies
+// for skip-ahead and builds its scan plan. A byte class c is boring when
+//
+//   - as a lookahead it confirms no match: active & last &^ extendC[c]
+//     is empty (so any boring transition under this lookahead emits
+//     nothing), and
+//   - consuming it is a pure self-move: nextActive(st, c) == st.active,
+//     the pending latch is preserved (c is a delimiter, or pending is
+//     already empty), and section 5.2 recovery would not fire.
+//
+// Any run of boring bytes then holds the state at (active, pending) with
+// no events, which is exactly what Write's scan collapses. The probe never
+// touches the transition cache, so it is side-effect free even under tiny
+// MaxStates bounds.
+func (d *DFA) probeAccel(st *dfaState) *dfaAccel {
+	e := d.e
+	words := e.words
+	pendingZero := isZero(st.pending)
+	activeZero := isZero(st.active)
+
+	// Scatter the sparse non-chain edges once; they do not depend on the
+	// byte class (only the final matchC intersection does).
+	var scattered []uint64
+	if e.hasExtras {
+		for w := 0; w < words; w++ {
+			if st.active[w]&e.extraSrc[w] != 0 {
+				scattered = make([]uint64, words)
+				src := make([]uint64, words)
+				for v := 0; v < words; v++ {
+					src[v] = st.active[v] & e.extraSrc[v]
+				}
+				forEachBit(src, func(p int) {
+					orInto(scattered, e.extraTo[p])
+				})
+				break
+			}
+		}
+	}
+
+	boring := make([]bool, e.numClasses)
+	n := 0
+	for c := 0; c < e.numClasses; c++ {
+		// Lookahead safety: no accepting position of the (unchanged)
+		// active set survives the figure-7 extend check under class c.
+		ext := e.extendC[c]
+		ok := true
+		for w := 0; w < words; w++ {
+			if st.active[w]&e.last[w]&^ext[w] != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Pending preservation: non-delimiters clear the latch.
+		if !e.delimC[c] && !pendingZero {
+			continue
+		}
+		// Recovery would fire (and rewrite pending) on a dead state.
+		if e.recoveryMask != nil && activeZero && (pendingZero || !e.delimC[c]) {
+			continue
+		}
+		// Pure self-move: the full NFA step must reproduce the active set.
+		mb := e.matchC[c]
+		var carry uint64
+		same := true
+		for w := 0; w < words; w++ {
+			a := st.active[w]
+			shifted := a<<1 | carry
+			carry = a >> 63
+			nx := (shifted & e.succ[w]) | (a & e.self[w]) | st.pending[w] | e.alwaysPending[w]
+			if scattered != nil {
+				nx |= scattered[w]
+			}
+			if nx&mb[w] != a {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		boring[c] = true
+		n++
+	}
+	if n == 0 || e.numClasses-n > dfaAccelMaxInteresting {
+		return nil
+	}
+	a := &dfaAccel{boring: boring}
+	var lits []byte
+	for b := 0; b < 256; b++ {
+		if !boring[e.classOf[b]] {
+			lits = append(lits, byte(b))
+		}
+	}
+	if len(lits) <= dfaAccelMaxLiterals {
+		a.lits = lits
+	} else {
+		var t [256]bool
+		for _, b := range lits {
+			t[b] = true
+		}
+		a.table = &t
+	}
+	return a
 }

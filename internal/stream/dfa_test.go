@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -237,5 +238,124 @@ func TestByteClassCompression(t *testing.T) {
 				t.Fatalf("%s: byte %d delimiter bit differs from its class", g.Name, b)
 			}
 		}
+	}
+}
+
+// accelInputs builds inputs crafted to park the DFA in accelerable
+// states: generated sentences stitched together with long delimiter runs,
+// long non-matching runs and long token-interior runs.
+func accelInputs(spec *core.Spec, seed int64) [][]byte {
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 6})
+	runs := [][]byte{
+		bytes.Repeat([]byte(" "), 4096),
+		bytes.Repeat([]byte("\n"), 2048),
+		bytes.Repeat([]byte("z"), 4096),
+		bytes.Repeat([]byte{0xee}, 2048),
+		bytes.Repeat([]byte("ab"), 1024),
+	}
+	var out [][]byte
+	for _, run := range runs {
+		a, _ := gen.Sentence()
+		b, _ := gen.Sentence()
+		var buf []byte
+		buf = append(buf, run...)
+		buf = append(buf, a...)
+		buf = append(buf, run...)
+		buf = append(buf, b...)
+		buf = append(buf, run...)
+		out = append(out, buf)
+	}
+	return out
+}
+
+// TestDFAAccelMatchesUnaccelerated runs the full option matrix over
+// run-heavy inputs and asserts accelerated DFA == unaccelerated DFA ==
+// NFA tagger, matches and counters alike.
+func TestDFAAccelMatchesUnaccelerated(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(), grammar.XMLRPCFull(),
+	} {
+		for name, opts := range optionMatrix() {
+			spec := mustSpec(t, g, opts)
+			tg := NewTagger(spec)
+			acc := NewDFA(spec, DFAConfig{})
+			plain := NewDFA(spec, DFAConfig{NoAccel: true})
+			for i, input := range accelInputs(spec, 17) {
+				label := fmt.Sprintf("%s/%s/run#%d", g.Name, name, i)
+				checkAgainstTagger(t, tg, acc, input, label+"/accel")
+				checkAgainstTagger(t, tg, plain, input, label+"/noaccel")
+			}
+		}
+	}
+}
+
+// TestDFAAccelEngages checks the probe actually marks states on the
+// grammar the benches use, and that skipped bytes keep hits+misses equal
+// to the bytes processed.
+func TestDFAAccelEngages(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	d := NewDFA(spec, DFAConfig{})
+	input := accelInputs(spec, 3)[0]
+	matches := d.Tag(input)
+	if len(matches) == 0 {
+		t.Fatal("crafted input produced no matches at all")
+	}
+	accelStates := 0
+	for _, st := range d.states {
+		if st.accel != nil {
+			accelStates++
+		}
+	}
+	if accelStates == 0 {
+		t.Error("no cached state qualified for skip-ahead on a run-heavy input")
+	}
+	hits, misses, _ := d.CacheStats()
+	if got, want := hits+misses, int64(len(input)); got != want {
+		t.Errorf("hits+misses = %d, want %d (every byte accounted for)", got, want)
+	}
+	plain := NewDFA(spec, DFAConfig{NoAccel: true})
+	plain.Tag(input)
+	for _, st := range plain.states {
+		if st.accel != nil {
+			t.Fatal("NoAccel still built a skip-ahead plan")
+		}
+	}
+}
+
+// TestDFAAccelChunkingInvariance streams run-heavy input in random chunk
+// sizes: skip-ahead must not depend on where chunk boundaries fall.
+func TestDFAAccelChunkingInvariance(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	d := NewDFA(spec, DFAConfig{})
+	rng := rand.New(rand.NewSource(99))
+	for trial, text := range accelInputs(spec, 29) {
+		want := d.Tag(text)
+		d.Reset()
+		var got []Match
+		d.OnMatch = func(m Match) { got = append(got, m) }
+		for off := 0; off < len(text); {
+			n := 1 + rng.Intn(300)
+			if off+n > len(text) {
+				n = len(text) - off
+			}
+			d.Write(text[off : off+n])
+			off += n
+		}
+		d.Close()
+		d.OnMatch = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: chunked %d matches, whole %d", trial, len(got), len(want))
+		}
+	}
+}
+
+// TestDFAAccelTinyCache runs skip-ahead under a 2-state bound: resets must
+// not invalidate in-flight acceleration.
+func TestDFAAccelTinyCache(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	tg := NewTagger(spec)
+	d := NewDFA(spec, DFAConfig{MaxStates: 2})
+	for i, input := range accelInputs(spec, 41) {
+		checkAgainstTagger(t, tg, d, input, fmt.Sprintf("tiny/run#%d", i))
 	}
 }

@@ -9,8 +9,15 @@
 # only awk, so CI boxes without benchstat still get the gate.
 #
 # Usage:
-#   scripts/bench.sh            run + compare against baseline
-#   scripts/bench.sh -update    run + rewrite the baseline's raw samples
+#   scripts/bench.sh                 run + compare against baseline
+#   scripts/bench.sh -update         run + rewrite the baseline's raw samples
+#   scripts/bench.sh -cpuprofile     also capture a CPU profile and print the
+#                                    top 10 cumulative entries
+#   scripts/bench.sh -memprofile     same for the allocation profile
+#
+# Profile flags compose with each other and with -update; profiles land in
+# $BENCH_OUT/cpu.pprof and $BENCH_OUT/mem.pprof for deeper digging with
+# `go tool pprof`.
 #
 # Environment:
 #   BENCH_COUNT      samples per benchmark   (default: count from baseline)
@@ -23,7 +30,19 @@ cd "$(dirname "$0")/.."
 
 BASE=BENCH_baseline.json
 OUT=${BENCH_OUT:-bench_out}
-PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkShardedPipeline)$'
+PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline)$'
+
+UPDATE=0
+CPUPROF=0
+MEMPROF=0
+for arg in "$@"; do
+    case "$arg" in
+    -update)     UPDATE=1 ;;
+    -cpuprofile) CPUPROF=1 ;;
+    -memprofile) MEMPROF=1 ;;
+    *) echo "bench.sh: unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
 
 [ -f "$BASE" ] || { echo "bench.sh: $BASE not found" >&2; exit 2; }
 mkdir -p "$OUT"
@@ -36,13 +55,29 @@ COUNT=${BENCH_COUNT:-$(json_field count)}
 BENCHTIME=${BENCH_TIME:-$(json_field benchtime)}
 TOL=${BENCH_TOLERANCE:-$(json_field tolerance_pct)}
 
+PROFILE_FLAGS=""
+[ "$CPUPROF" -eq 1 ] && PROFILE_FLAGS="$PROFILE_FLAGS -cpuprofile $OUT/cpu.pprof"
+[ "$MEMPROF" -eq 1 ] && PROFILE_FLAGS="$PROFILE_FLAGS -memprofile $OUT/mem.pprof"
+
 echo "== running benchmarks ($COUNT x $BENCHTIME per benchmark)"
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$OUT/current.txt"
+# shellcheck disable=SC2086 # PROFILE_FLAGS is deliberately word-split
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" $PROFILE_FLAGS . | tee "$OUT/current.txt"
+
+# pprof_top <file> <label> — top-10 cumulative entries of a profile.
+pprof_top() {
+    [ -f "$1" ] || { echo "bench.sh: profile $1 missing" >&2; return 1; }
+    echo "== $2 profile: top 10 cumulative ($1)"
+    go tool pprof -top -cum -nodecount=10 "$1" 2>/dev/null |
+        awk '/^ *flat +flat%/ { hdr = 1 } hdr' | tee "$OUT/$2.top10.txt"
+}
+
+[ "$CPUPROF" -eq 1 ] && pprof_top "$OUT/cpu.pprof" cpu
+[ "$MEMPROF" -eq 1 ] && pprof_top "$OUT/mem.pprof" mem
 
 # Extract the baseline's verbatim benchmark lines from the JSON raw array.
 awk -F'"' '/^[[:space:]]*"Benchmark/ { print $2 }' "$BASE" > "$OUT/baseline.txt"
 
-if [ "${1:-}" = "-update" ]; then
+if [ "$UPDATE" -eq 1 ]; then
     echo "== rewriting $BASE raw samples from this run"
     tmp=$(mktemp)
     awk -v cur="$OUT/current.txt" '
