@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"cfgtag/internal/core"
@@ -332,6 +333,78 @@ func BenchmarkShardedPipeline(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTenantGrid measures the multi-tenant platform end to end: T
+// tenants, each a sharded DFA pipeline behind the versioned registry,
+// fed the same interleaved chunked workload as BenchmarkShardedPipeline.
+// Every tenant compiles the same grammar, so the shared lazy-DFA cache
+// fills once and all T×streams streams run off the published tables;
+// aggregate throughput is bytes across all tenants per wall-clock
+// second. tenants-1 vs BenchmarkShardedPipeline/shards-2/streams-8
+// isolates the facade + registry dispatch overhead; the larger grid
+// points show how aggregate throughput holds as tenants multiply on
+// fixed cores.
+func BenchmarkTenantGrid(b *testing.B) {
+	data := corpus(b, 200)
+	const chunk = 4 << 10
+	const streamsPerTenant = 8
+	for _, tenants := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("tenants-%d/streams-%d", tenants, streamsPerTenant), func(b *testing.B) {
+			cfg := PlatformConfig{}
+			names := make([]string, tenants)
+			for t := range names {
+				names[t] = fmt.Sprintf("tenant-%d", t)
+				cfg.Tenants = append(cfg.Tenants, TenantDef{
+					Name:    names[t],
+					Grammar: grammar.XMLRPCSrc,
+					Options: []string{"free-running-start"},
+					Backend: "dfa",
+					Shards:  2,
+					Queue:   256,
+				})
+			}
+			// Tenant sinks run concurrently; the counter must be atomic.
+			var tags atomic.Int64
+			p, err := NewPlatform(&cfg, func(_ string, tb *TagBatch) error {
+				tags.Add(int64(len(tb.Tags)))
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, streamsPerTenant)
+			for s := range keys {
+				keys[s] = fmt.Sprintf("stream-%d", s)
+			}
+			b.SetBytes(int64(tenants * streamsPerTenant * len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < len(data); lo += chunk {
+					hi := lo + chunk
+					if hi > len(data) {
+						hi = len(data)
+					}
+					for _, name := range names {
+						for _, key := range keys {
+							if err := p.Send(name, key, data[lo:hi]); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+			// Close drains every queued chunk, so all b.N iterations'
+			// bytes are fully processed inside the timed region.
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if tags.Load() == 0 {
+				b.Fatal("platform delivered no tags")
+			}
+		})
 	}
 }
 

@@ -536,10 +536,14 @@ type TagBatch struct {
 	// the fault that quarantined the stream (test with errors.Is against
 	// ErrBackendPanic).
 	Err error
+	// Version identifies the backend factory version that tagged this
+	// batch: 1 at construction, incremented by each zero-downtime reload
+	// (see Platform.Reload). Streams never change version mid-life.
+	Version int
 }
 
 func (e *Engine) toTagBatch(b *runtime.Batch) *TagBatch {
-	tb := &TagBatch{Stream: b.Key, Shard: b.Shard, Data: b.Data, EOS: b.EOS, Evicted: b.Evicted, Err: b.Err}
+	tb := &TagBatch{Stream: b.Key, Shard: b.Shard, Data: b.Data, EOS: b.EOS, Evicted: b.Evicted, Err: b.Err, Version: b.Version}
 	if len(b.Tags) > 0 {
 		tb.Tags = make([]Match, len(b.Tags))
 		for i, m := range b.Tags {

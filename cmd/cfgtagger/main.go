@@ -24,16 +24,28 @@
 // error, the rest are unaffected, and the fault counters are printed:
 //
 //	cfgtagger -builtin ifthenelse -free -shards 4 -chaos 0.05 -in lines.txt
+//
+// -config FILE switches to multi-tenant platform mode: the JSON file
+// declares one pipeline per tenant (grammar, backend, shards, quotas — see
+// cfgtag.PlatformConfig), every input line "tenant|payload" is tagged as
+// its own stream of that tenant, and SIGHUP re-reads the config and
+// hot-swaps changed grammars with zero downtime — live streams finish on
+// the grammar that started them:
+//
+//	cfgtagger -config platform.json -in lines.txt
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"cfgtag"
@@ -60,8 +72,30 @@ func main() {
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 		batchBytes  = flag.Int("batch-bytes", 0, "pipeline mode: coalesce Sends into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch every Send immediately)")
 		sinkWorkers = flag.Int("sink-workers", 0, "pipeline mode: deliver batches on this many workers (0 or 1 = single serialized sink)")
+		configFile  = flag.String("config", "", "platform mode: multi-tenant JSON config; input lines are 'tenant|payload', SIGHUP hot-swaps changed grammars")
 	)
 	flag.Parse()
+
+	if *configFile != "" {
+		in := io.Reader(os.Stdin)
+		if *inFile != "" {
+			f, err := os.Open(*inFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		out := bufio.NewWriter(os.Stdout)
+		err := runPlatform(*configFile, in, out)
+		out.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	engine, err := load(*grammarFile, *builtin, *free)
 	if err != nil {
@@ -336,5 +370,189 @@ func load(grammarFile, builtin string, free bool) (*cfgtag.Engine, error) {
 		return cfgtag.Compile("balanced-parens", cfgtag.BalancedParensSource, opts...)
 	default:
 		return nil, fmt.Errorf("need -grammar FILE or -builtin {xmlrpc,ifthenelse,parens}")
+	}
+}
+
+// runPlatform is -config mode: a multi-tenant platform built from the JSON
+// config, with each input line "tenant|payload" tagged as its own stream
+// of that tenant. SIGHUP re-reads the config and hot-swaps any tenant
+// whose grammar changed — a zero-downtime reload; streams alive across the
+// swap finish on the grammar that started them.
+func runPlatform(path string, in io.Reader, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := cfgtag.ParsePlatformConfig(data)
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex // serializes printing across tenant sinks
+	tagged := make(map[string]int)
+	faulted := 0
+	deliver := func(tenant string, b *cfgtag.TagBatch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range b.Tags {
+			tagged[tenant]++
+			fmt.Fprintf(out, "%-10s %-10s %8d  idx=%-4d %-20q %s\n",
+				tenant, b.Stream, m.End, m.Index, m.Term, m.Context)
+		}
+		if b.Err != nil {
+			faulted++
+			fmt.Fprintf(out, "%-10s %-10s fault: %v\n", tenant, b.Stream, b.Err)
+		}
+		return nil
+	}
+	p, err := cfgtag.NewPlatform(cfg, deliver)
+	if err != nil {
+		return err
+	}
+
+	// Remember each tenant's applied grammar source so SIGHUP only swaps
+	// tenants whose grammar actually changed.
+	applied := make(map[string]string)
+	for _, t := range cfg.Tenants {
+		src, err := tenantSource(t)
+		if err != nil {
+			p.Close()
+			return err
+		}
+		applied[t.Name] = src
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			reloadPlatform(p, path, applied, &mu)
+		}
+	}()
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo := lines
+		lines++
+		tenant, payload, ok := bytes.Cut(line, []byte("|"))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cfgtagger: line %d: want 'tenant|payload'\n", lineNo)
+			continue
+		}
+		key := fmt.Sprintf("line-%d", lineNo)
+		name := string(tenant)
+		if err := p.Send(name, key, payload); err != nil {
+			if recoverable(err) {
+				fmt.Fprintf(os.Stderr, "cfgtagger: line %d: %v\n", lineNo, err)
+				continue
+			}
+			p.Close()
+			return err
+		}
+		if err := p.CloseStream(name, key); err != nil && !recoverable(err) {
+			p.Close()
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		p.Close()
+		return err
+	}
+	tenants := p.Tenants()
+	if err := p.Close(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(out, "%d lines, %d stream faults\n", lines, faulted)
+	for _, name := range tenants {
+		fmt.Fprintf(out, "tenant %-10s %d tokens tagged\n", name, tagged[name])
+	}
+	return nil
+}
+
+// recoverable reports Send/CloseStream errors that end one line's stream
+// without ending the run: admission-control rejections and quarantines.
+func recoverable(err error) bool {
+	return errors.Is(err, cfgtag.ErrQuotaExceeded) ||
+		errors.Is(err, cfgtag.ErrUnknownTenant) ||
+		errors.Is(err, runtime.ErrQuarantined)
+}
+
+// tenantSource resolves a tenant's grammar text (inline or from file).
+func tenantSource(t cfgtag.TenantDef) (string, error) {
+	if t.Grammar != "" {
+		return t.Grammar, nil
+	}
+	b, err := os.ReadFile(t.GrammarFile)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// reloadPlatform is the SIGHUP handler body: re-read the config, and for
+// every running tenant whose grammar source changed, publish the new
+// grammar as a new factory version. Tenants added or removed in the file
+// are reported but need a restart; a config or compile error leaves the
+// running platform untouched.
+func reloadPlatform(p *cfgtag.Platform, path string, applied map[string]string, mu *sync.Mutex) {
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cfgtagger: reload: "+format+"\n", args...)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		warn("%v", err)
+		return
+	}
+	cfg, err := cfgtag.ParsePlatformConfig(data)
+	if err != nil {
+		warn("%v", err)
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		warn("%v", err)
+		return
+	}
+	running := make(map[string]bool)
+	for _, name := range p.Tenants() {
+		running[name] = true
+	}
+	seen := make(map[string]bool)
+	for _, t := range cfg.Tenants {
+		seen[t.Name] = true
+		if !running[t.Name] {
+			warn("tenant %q is new; restart to add tenants", t.Name)
+			continue
+		}
+		src, err := tenantSource(t)
+		if err != nil {
+			warn("%v", err)
+			continue
+		}
+		mu.Lock()
+		prev := applied[t.Name]
+		mu.Unlock()
+		if src == prev {
+			continue
+		}
+		v, err := p.Reload(t.Name, src)
+		if err != nil {
+			warn("tenant %q: %v", t.Name, err)
+			continue
+		}
+		mu.Lock()
+		applied[t.Name] = src
+		mu.Unlock()
+		warn("tenant %q reloaded as version %d", t.Name, v)
+	}
+	for name := range running {
+		if !seen[name] {
+			warn("tenant %q removed from config; restart to drop tenants", name)
+		}
 	}
 }

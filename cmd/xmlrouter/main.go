@@ -21,17 +21,30 @@
 // the grammar engine, and a single router.Sink consumes the tag batches and
 // forwards messages — the software shape of the paper's replicated-hardware
 // deployment.
+//
+// With -config FILE the process hosts many tenant routers at once, each
+// with its own listen address, grammar, route addresses and pipeline
+// knobs, declared in a JSON file. SIGHUP re-reads every tenant's
+// grammar_file and hot-swaps changed grammars with zero downtime:
+// connections alive across the swap keep routing on the grammar that
+// tagged their first bytes.
+//
+//	xmlrouter -config routers.json
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cfgtag/internal/core"
@@ -56,11 +69,16 @@ func main() {
 		maxStreams   = flag.Int("max-streams", 0, "cap live streams per shard; the least-recently-fed stream is flushed at the cap (0 = unlimited)")
 		quarantine   = flag.Duration("quarantine", 0, "how long a stream is rejected after its backend faults (0 = 30s default, negative = disabled)")
 		batchBytes   = flag.Int("batch-bytes", 0, "coalesce chunks into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch immediately)")
+		configFile   = flag.String("config", "", "multi-tenant JSON config: one router per tenant, SIGHUP hot-swaps changed grammars")
 	)
 	flag.Parse()
 
 	pcfg := pipelineConfig{shards: *shards, maxStreams: *maxStreams, quarantine: *quarantine, batchBytes: *batchBytes}
 	switch {
+	case *configFile != "":
+		if err := runConfig(*configFile); err != nil {
+			fail(err)
+		}
 	case *stdin:
 		if err := routeStdin(*validateMsgs); err != nil {
 			fail(err)
@@ -132,7 +150,11 @@ func serve(listen, bank, shop, fallback string, pcfg pipelineConfig) error {
 	defer ln.Close()
 	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, pcfg.shards)
 	if pcfg.shards > 0 {
-		sw, err := newSwitchboard(bank, shop, fallback, pcfg)
+		spec, err := xmlrpcSpec()
+		if err != nil {
+			return err
+		}
+		sw, err := newSwitchboard(spec, bank, shop, fallback, pcfg)
 		if err != nil {
 			return err
 		}
@@ -175,13 +197,17 @@ type switchboard struct {
 	conns    map[int]net.Conn
 	fwdErr   error
 	nextConn int64
+	reloadMu sync.Mutex // serializes grammar hot-swaps
 }
 
-func newSwitchboard(bank, shop, fallback string, pcfg pipelineConfig) (*switchboard, error) {
-	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
-	if err != nil {
-		return nil, err
-	}
+// xmlrpcSpec compiles the built-in figure 14 grammar the way the router
+// needs it: free-running so long-lived connections route message after
+// message.
+func xmlrpcSpec() (*core.Spec, error) {
+	return core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+}
+
+func newSwitchboard(spec *core.Spec, bank, shop, fallback string, pcfg pipelineConfig) (*switchboard, error) {
 	sink, err := router.NewSink(spec, "methodName", router.FigureTwelve(), 2)
 	if err != nil {
 		return nil, err
@@ -224,11 +250,32 @@ func newSwitchboard(bank, shop, fallback string, pcfg pipelineConfig) (*switchbo
 		MaxStreams: pcfg.maxStreams,
 		Quarantine: pcfg.quarantine,
 		BatchBytes: pcfg.batchBytes,
+		Hooks:      &runtime.Hooks{VersionRetired: sink.DropVersion},
 	}, sink)
 	if err != nil {
 		return nil, err
 	}
 	return sw, nil
+}
+
+// Reload hot-swaps the switchboard's grammar with zero downtime: the spec
+// is staged in the version-aware sink, published as a new factory version,
+// and bound to the id the swap returns. Connections alive across the swap
+// keep routing on the grammar that tagged their first bytes; new
+// connections run the new one.
+func (sw *switchboard) Reload(spec *core.Spec) (int, error) {
+	sw.reloadMu.Lock()
+	defer sw.reloadMu.Unlock()
+	if err := sw.sink.StageVersion(spec); err != nil {
+		return 0, err
+	}
+	v, err := sw.pipeline.SwapFactory(runtime.TaggerFactory(spec))
+	if err != nil {
+		sw.sink.CommitVersion(0)
+		return 0, err
+	}
+	sw.sink.CommitVersion(v)
+	return v, nil
 }
 
 // HandleConn pumps one connection into the pipeline as its own stream.
@@ -363,7 +410,12 @@ func runDemo(messages int, seed int64, pcfg pipelineConfig) error {
 		}
 		defer conn.Close()
 		if pcfg.shards > 0 {
-			sw, err := newSwitchboard(sinkAddr[0], sinkAddr[1], "", pcfg)
+			spec, err := xmlrpcSpec()
+			if err != nil {
+				routerDone <- err
+				return
+			}
+			sw, err := newSwitchboard(spec, sinkAddr[0], sinkAddr[1], "", pcfg)
 			if err != nil {
 				routerDone <- err
 				return
@@ -410,4 +462,209 @@ func runDemo(messages int, seed int64, pcfg pipelineConfig) error {
 	}
 	fmt.Println("demo OK: every message reached the server its content selects")
 	return nil
+}
+
+// tenantRouter declares one tenant in -config mode: its own listen
+// address, grammar, back-end addresses and pipeline knobs.
+type tenantRouter struct {
+	// Name identifies the tenant; required, unique within the config.
+	Name string `json:"name"`
+	// Listen is the tenant's accept address; required.
+	Listen string `json:"listen"`
+	// Bank and Shop are the two back-end addresses of the figure 12 route
+	// table; both required. Default receives unknown services ("" = drop).
+	Bank    string `json:"bank"`
+	Shop    string `json:"shop"`
+	Default string `json:"default,omitempty"`
+	// GrammarFile is the tenant's grammar source path; empty selects the
+	// built-in figure 14 XML-RPC grammar. SIGHUP re-reads the file and
+	// hot-swaps the grammar when it changed. The grammar must keep a
+	// methodName production carrying the service name.
+	GrammarFile string `json:"grammar_file,omitempty"`
+	// Shards, MaxStreams, Quarantine and BatchBytes mirror the flags of
+	// -shards mode (Shards 0 = GOMAXPROCS here; Quarantine is a Go
+	// duration string).
+	Shards     int    `json:"shards,omitempty"`
+	MaxStreams int    `json:"max_streams,omitempty"`
+	Quarantine string `json:"quarantine,omitempty"`
+	BatchBytes int    `json:"batch_bytes,omitempty"`
+}
+
+// routerConfig is the -config file: one router per tenant.
+type routerConfig struct {
+	Routers []tenantRouter `json:"routers"`
+}
+
+// loadRouterConfig reads, strictly decodes and validates a -config file.
+func loadRouterConfig(path string) (*routerConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg routerConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("config %s: trailing data after config object", path)
+	}
+	if len(cfg.Routers) == 0 {
+		return nil, fmt.Errorf("config %s: at least one router is required", path)
+	}
+	seen := make(map[string]bool)
+	for i, def := range cfg.Routers {
+		switch {
+		case def.Name == "":
+			return nil, fmt.Errorf("config %s: routers[%d]: name is required", path, i)
+		case seen[def.Name]:
+			return nil, fmt.Errorf("config %s: routers[%d]: duplicate name %q", path, i, def.Name)
+		case def.Listen == "":
+			return nil, fmt.Errorf("config %s: router %q: listen is required", path, def.Name)
+		case def.Bank == "" || def.Shop == "":
+			return nil, fmt.Errorf("config %s: router %q: bank and shop addresses are required", path, def.Name)
+		}
+		seen[def.Name] = true
+		if def.Quarantine != "" {
+			if _, err := time.ParseDuration(def.Quarantine); err != nil {
+				return nil, fmt.Errorf("config %s: router %q: quarantine: %w", path, def.Name, err)
+			}
+		}
+	}
+	return &cfg, nil
+}
+
+// tenantSpec compiles a tenant's grammar (file-based or the built-in
+// figure 14 dialect) and returns the applied source text for change
+// detection.
+func tenantSpec(def tenantRouter) (*core.Spec, string, error) {
+	if def.GrammarFile == "" {
+		spec, err := xmlrpcSpec()
+		return spec, "", err
+	}
+	src, err := os.ReadFile(def.GrammarFile)
+	if err != nil {
+		return nil, "", fmt.Errorf("router %q: %w", def.Name, err)
+	}
+	g, err := grammar.Parse(def.Name, string(src))
+	if err != nil {
+		return nil, "", fmt.Errorf("router %q: %w", def.Name, err)
+	}
+	spec, err := core.Compile(g, core.Options{FreeRunningStart: true})
+	if err != nil {
+		return nil, "", fmt.Errorf("router %q: %w", def.Name, err)
+	}
+	return spec, string(src), nil
+}
+
+// tenantInstance is one running tenant router: its definition, its
+// switchboard, and the grammar source currently applied.
+type tenantInstance struct {
+	def     tenantRouter
+	sw      *switchboard
+	ln      net.Listener
+	applied string
+}
+
+// runConfig is -config mode: every tenant router accepts on its own
+// address with its own pipeline and grammar; SIGHUP re-reads each tenant's
+// grammar_file and hot-swaps changed grammars with zero downtime.
+func runConfig(path string) error {
+	cfg, err := loadRouterConfig(path)
+	if err != nil {
+		return err
+	}
+	tenants := make([]*tenantInstance, 0, len(cfg.Routers))
+	defer func() {
+		for _, tn := range tenants {
+			tn.ln.Close()
+			tn.sw.Close()
+		}
+	}()
+	for _, def := range cfg.Routers {
+		spec, src, err := tenantSpec(def)
+		if err != nil {
+			return err
+		}
+		quar := time.Duration(0)
+		if def.Quarantine != "" {
+			quar, _ = time.ParseDuration(def.Quarantine) // validated by loadRouterConfig
+		}
+		sw, err := newSwitchboard(spec, def.Bank, def.Shop, def.Default, pipelineConfig{
+			shards:     def.Shards,
+			maxStreams: def.MaxStreams,
+			quarantine: quar,
+			batchBytes: def.BatchBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("router %q: %w", def.Name, err)
+		}
+		ln, err := net.Listen("tcp", def.Listen)
+		if err != nil {
+			sw.Close()
+			return fmt.Errorf("router %q: %w", def.Name, err)
+		}
+		tenants = append(tenants, &tenantInstance{def: def, sw: sw, ln: ln, applied: src})
+		fmt.Printf("xmlrouter: tenant %q listening on %s (bank=%s shop=%s shards=%d)\n",
+			def.Name, ln.Addr(), def.Bank, def.Shop, def.Shards)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			for _, tn := range tenants {
+				reloadTenant(tn)
+			}
+		}
+	}()
+
+	errCh := make(chan error, len(tenants))
+	for _, tn := range tenants {
+		tn := tn
+		go func() {
+			for {
+				conn, err := tn.ln.Accept()
+				if err != nil {
+					errCh <- fmt.Errorf("router %q: %w", tn.def.Name, err)
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					if err := tn.sw.HandleConn(c); err != nil {
+						fmt.Fprintf(os.Stderr, "xmlrouter: router %q: %v\n", tn.def.Name, err)
+					}
+				}(conn)
+			}
+		}()
+	}
+	return <-errCh
+}
+
+// reloadTenant re-reads one tenant's grammar_file and hot-swaps it when
+// the source changed; errors leave the running grammar untouched.
+func reloadTenant(tn *tenantInstance) {
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "xmlrouter: reload: "+format+"\n", args...)
+	}
+	if tn.def.GrammarFile == "" {
+		return // built-in grammar, nothing to re-read
+	}
+	spec, src, err := tenantSpec(tn.def)
+	if err != nil {
+		warn("%v", err)
+		return
+	}
+	if src == tn.applied {
+		return
+	}
+	v, err := tn.sw.Reload(spec)
+	if err != nil {
+		warn("router %q: %v", tn.def.Name, err)
+		return
+	}
+	tn.applied = src
+	warn("router %q reloaded as version %d", tn.def.Name, v)
 }

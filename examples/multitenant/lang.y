@@ -1,0 +1,4 @@
+// Figure 9: if-then-else statement
+%%
+E : "if" C "then" E "else" E | "go" | "stop" ;
+C : "true" | "false" ;

@@ -1,0 +1,30 @@
+STRING   [a-zA-Z0-9]+
+INT      [+-]?[0-9]+
+DOUBLE   [+-]?[0-9]+\.[0-9]+
+YEAR     [0-9][0-9][0-9][0-9]
+MONTH    [0-9][0-9]
+DAY      [0-9][0-9]
+HOUR     [0-9][0-9]
+MIN      [0-9][0-9]
+SEC      [0-9][0-9]
+BASE64   [+/=A-Za-z0-9]+
+%%
+methodCall : "<methodCall>" methodName params "</methodCall>" ;
+methodName : "<methodName>" STRING "</methodName>" ;
+params     : "<params>" param "</params>" ;
+param      : | "<param>" value "</param>" param ;
+value      : i4 | int | string | dateTime | double | base64 | struct | array ;
+i4         : "<i4>" INT "</i4>" ;
+int        : "<int>" INT "</int>" ;
+string     : "<string>" STRING "</string>" ;
+dateTime   : "<dateTime.iso8601>" YEAR MONTH DAY 'T' HOUR ':' MIN ':' SEC "</dateTime.iso8601>" ;
+double     : "<double>" DOUBLE "</double>" ;
+base64     : "<base64>" BASE64 "</base64>" ;
+struct     : "<struct>" member member_list "</struct>" ;
+member_list: | member member_list ;
+member     : "<member>" name value "</member>" ;
+name       : "<name>" STRING "</name>" ;
+array      : "<array>" data "</array>" ;
+data       : "<data>" value_list "</data>" ;
+value_list : | value value_list ;
+%%

@@ -1,6 +1,8 @@
 package cfgtag
 
 import (
+	"encoding/json"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -167,6 +169,54 @@ func FuzzDifferential(f *testing.F) {
 				t.Fatalf("recovery counters diverged on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
 					data, sc.Recoveries, sc.Collisions, name, dc.Recoveries, dc.Collisions)
 			}
+		}
+	})
+}
+
+// FuzzConfig throws arbitrary bytes at the declarative platform-config
+// parser: decoding and validating must reject garbage with a clean error
+// (validation failures specifically with ErrInvalidConfig), never a panic,
+// and any config that validates must survive a marshal/re-parse round trip
+// unchanged — so a config written back to disk keeps meaning the same
+// platform.
+//
+// Seed corpus: testdata/fuzz/FuzzConfig.
+func FuzzConfig(f *testing.F) {
+	f.Add([]byte(`{"tenants":[{"name":"t","grammar":"%%\nE : \"a\" ;\n"}]}`))
+	f.Add([]byte(`{"tenants":[
+		{"name":"xml","grammar":"g","backend":"dfa","shards":4,"options":["free-running-start"],
+		 "quarantine":"30s","batch_bytes":65536,"quota":{"max_streams":64,"bytes_per_sec":1048576}},
+		{"name":"lang","grammar_file":"lang.y","backend":"stream"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"t","grammar":"g","quarantine":-1}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"t"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"t","grammar":"g","backend":"fpga"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","grammar":"g"},{"name":"a","grammar":"g"}]}`))
+	f.Add([]byte(`{"unknown_knob":1}`))
+	f.Add([]byte(`{"tenants":[]}{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParsePlatformConfig(data)
+		if err != nil {
+			return // rejecting is fine; panicking is the bug
+		}
+		if err := cfg.Validate(); err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate rejected without ErrInvalidConfig: %v", err)
+			}
+			return
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed to marshal: %v", err)
+		}
+		cfg2, err := ParsePlatformConfig(out)
+		if err != nil {
+			t.Fatalf("marshaled config failed to re-parse: %v\n%s", err, out)
+		}
+		if err := cfg2.Validate(); err != nil {
+			t.Fatalf("marshaled config failed to re-validate: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(cfg, cfg2) {
+			t.Fatalf("config changed across marshal round trip:\nin  %+v\nout %+v", cfg, cfg2)
 		}
 	})
 }

@@ -124,6 +124,11 @@ type Hooks struct {
 	// DeadLetter observes each batch handed to Config.DeadLetter after
 	// its Deliver attempts were exhausted.
 	DeadLetter func(key string, err error)
+	// VersionRetired observes each backend-factory version retired after a
+	// SwapFactory: the version is no longer current and its last stream's
+	// final batch has been delivered, so resources the factory closed over
+	// are safe to tear down.
+	VersionRetired func(version int)
 }
 
 func (h *Hooks) bytes(shard, n int) {
@@ -189,6 +194,12 @@ func (h *Hooks) sinkRetry(attempt int, err error) {
 func (h *Hooks) deadLetter(key string, err error) {
 	if h != nil && h.DeadLetter != nil {
 		h.DeadLetter(key, err)
+	}
+}
+
+func (h *Hooks) versionRetired(version int) {
+	if h != nil && h.VersionRetired != nil {
+		h.VersionRetired(version)
 	}
 }
 

@@ -25,11 +25,12 @@ type dfaBackend struct {
 }
 
 // DFAFactory returns a Factory producing lazy-DFA engines. The spec is
-// compiled once; every Backend shares the read-only engine masks and owns
-// a private transition cache bounded by maxStates states (0 =
-// stream.DefaultDFAMaxStates). On overflow the cache resets wholesale and
-// rebuilds from live traffic, so the path degrades to NFA speed, never to
-// unbounded memory.
+// compiled once and every Backend executes against one shared transition
+// cache bounded by maxStates states (0 = stream.DefaultDFAMaxStates):
+// determinization is paid once per factory, not once per stream, and
+// late-arriving streams run warm from their first byte. On overflow the
+// cache resets wholesale and rebuilds from live traffic, so the path
+// degrades to NFA speed, never to unbounded memory.
 func DFAFactory(spec *core.Spec, maxStates int) Factory {
 	return DFAFactoryConfig(spec, stream.DFAConfig{MaxStates: maxStates})
 }
@@ -37,9 +38,9 @@ func DFAFactory(spec *core.Spec, maxStates int) Factory {
 // DFAFactoryConfig is DFAFactory with the full stream.DFAConfig exposed,
 // notably NoAccel for differential runs against the skip-ahead path.
 func DFAFactoryConfig(spec *core.Spec, cfg stream.DFAConfig) Factory {
-	proto := stream.NewDFA(spec, cfg)
+	cache := stream.NewDFACache(spec, cfg)
 	return func(shard int, h *Hooks) (Backend, error) {
-		d := proto.Clone()
+		d := cache.NewDFA()
 		b := &dfaBackend{d: d, shard: shard, hooks: h}
 		d.OnMatch = func(m stream.Match) {
 			b.pending = append(b.pending, m)

@@ -88,6 +88,16 @@ type Batch struct {
 	// the parse error for the exact-recognition parser path. A failed or
 	// panicking Feed also ends the stream, reporting here with EOS set.
 	Err error
+	// Version identifies the backend factory version that produced this
+	// batch's tags (see SwapFactory). Spec-dependent sinks use it to
+	// decode tags with the grammar generation the stream is actually
+	// running, across zero-downtime reloads.
+	Version int
+
+	// ver releases the stream's factory-version binding after this final
+	// batch is delivered; set only on EOS batches of streams that bound a
+	// version.
+	ver *factoryVersion
 }
 
 // Sink consumes completed tag batches. With the default single sink
@@ -224,6 +234,13 @@ type Pipeline struct {
 	stateMu sync.RWMutex
 	closed  bool
 
+	// verMu guards the factory-version registry: the current version,
+	// per-version stream counts and retirement (see version.go).
+	verMu     sync.Mutex
+	curVer    *factoryVersion
+	liveVers  map[int]*factoryVersion
+	nextVerID int
+
 	errMu   sync.Mutex
 	sinkErr error
 }
@@ -257,11 +274,14 @@ type sinkGroup struct {
 // streamEntry is one live stream on a shard: its Backend plus its position
 // in the shard's recency list (front = most recently active). rec is the
 // backend's match-buffer recycler when it supports pooled match slices.
+// ver is the factory version the stream bound at creation; it is released
+// after the stream's final batch is delivered.
 type streamEntry struct {
 	key string
 	b   Backend
 	rec matchRecycler
 	el  *list.Element
+	ver *factoryVersion
 }
 
 // shard owns the streams hashed to it: one Backend per live stream key,
@@ -287,8 +307,8 @@ type shard struct {
 // NewPipeline starts the shard, sink-worker and idle-flusher goroutines.
 // Close releases them.
 func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
-	if cfg.Factory == nil {
-		return nil, fmt.Errorf("runtime: Config.Factory is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if sink == nil {
 		return nil, fmt.Errorf("runtime: sink is required")
@@ -331,6 +351,12 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 	p.bufs.New = func() any { return []byte(nil) }
 	p.sbPool.New = func() any { return new(shardBatch) }
 	p.grpPool.New = func() any { return new(sinkGroup) }
+
+	// Version 1 is the construction-time factory; SwapFactory publishes
+	// successors.
+	p.nextVerID = 1
+	p.curVer = &factoryVersion{id: 1, factory: cfg.Factory}
+	p.liveVers = map[int]*factoryVersion{1: p.curVer}
 
 	workers := cfg.SinkWorkers
 	if workers <= 0 {
@@ -713,7 +739,7 @@ func (s *shard) evictOldest(g *sinkGroup) {
 		return
 	}
 	e := el.Value.(*streamEntry)
-	batch := &Batch{Key: e.key, Shard: s.id, EOS: true, Evicted: true}
+	batch := &Batch{Key: e.key, Shard: s.id, EOS: true, Evicted: true, Version: e.ver.id, ver: e.ver}
 	batch.Err = s.guard("Close", e.b.Close)
 	if merr := s.drain(e, batch); merr != nil && batch.Err == nil {
 		batch.Err = merr
@@ -738,20 +764,25 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 		if max := s.p.cfg.MaxStreams; max > 0 && !eos && len(s.streams) >= max {
 			s.evictOldest(g)
 		}
-		b, err := s.p.cfg.Factory(s.id, s.p.cfg.Hooks)
+		// The stream binds the factory version current at creation and
+		// keeps it for life; a concurrent SwapFactory only affects
+		// streams created after it.
+		ver := s.p.acquireVersion()
+		b, err := ver.factory(s.id, s.p.cfg.Hooks)
 		if err != nil {
+			s.p.releaseVersion(ver)
 			s.poison(key)
-			g.batches = append(g.batches, &Batch{Key: key, Shard: s.id, EOS: true, Err: err})
+			g.batches = append(g.batches, &Batch{Key: key, Shard: s.id, EOS: true, Err: err, Version: ver.id})
 			return
 		}
-		e = &streamEntry{key: key, b: b, rec: asMatchRecycler(b)}
+		e = &streamEntry{key: key, b: b, rec: asMatchRecycler(b), ver: ver}
 		e.el = s.lru.PushFront(e)
 		s.streams[key] = e
 	} else {
 		s.lru.MoveToFront(e.el)
 	}
 
-	batch := &Batch{Key: key, Shard: s.id, Data: data, EOS: eos}
+	batch := &Batch{Key: key, Shard: s.id, Data: data, EOS: eos, Version: e.ver.id}
 	if len(data) > 0 {
 		batch.Err = s.guard("Feed", func() error { return e.b.Feed(data) })
 	}
@@ -761,6 +792,7 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 		// the error batch doubles as the stream's EOS. Matches confirmed
 		// before the fault are still drained (best effort).
 		batch.EOS = true
+		batch.ver = e.ver
 		s.drain(e, batch)
 		s.guard("Close", e.b.Close)
 		s.remove(e)
@@ -773,6 +805,7 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 			batch.Err = cerr
 		}
 		s.remove(e)
+		batch.ver = e.ver
 	}
 	if merr := s.drain(e, batch); merr != nil {
 		if batch.Err == nil {
@@ -782,6 +815,7 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 			// A panic while draining matches poisons the stream just
 			// like a Feed fault.
 			batch.EOS = true
+			batch.ver = e.ver
 			s.remove(e)
 			s.poison(key)
 		}
@@ -816,6 +850,15 @@ func (p *Pipeline) sinkWorker(ch chan *sinkGroup, seed int64) {
 				p.deliver(b, rng)
 			}
 			p.putMatchBuf(b.Tags)
+			if b.ver != nil {
+				// The stream's final batch is out (delivered,
+				// dead-lettered, or dropped on a failed sink): release its
+				// factory-version binding, possibly retiring the version.
+				// Never earlier — per-version resources must outlive every
+				// batch that references them.
+				p.releaseVersion(b.ver)
+				b.ver = nil
+			}
 		}
 		p.putBuf(g.arena)
 		p.putGroup(g)

@@ -18,15 +18,26 @@
 // NFA fallback — so variable-length/self-loop emissions cost one NFA step
 // per (state, class, lookahead-class) triple, once.
 //
+// The cache is shared: a DFACache is a concurrent read-mostly structure
+// that any number of streams (one DFA each) execute against. Transitions
+// fill under the cache mutex and publish atomically into per-slot
+// atomic.Pointer cells, so readers are lock-free — in steady state the hot
+// loop never takes a lock, and determinization is paid once per
+// (grammar, config) per cache, not once per stream.
+//
 // The cache is bounded: when the state count would exceed MaxStates the
-// whole cache is dropped and rebuilt from the current state (the RE2
-// policy), so adversarial inputs degrade to NFA speed instead of unbounded
-// memory. Hits, misses and resets are surfaced via CacheStats.
+// whole cache is dropped and rebuilt from live traffic (the RE2 policy),
+// so adversarial inputs degrade to NFA speed instead of unbounded memory.
+// Streams parked in pre-reset states stay valid — their cached edges still
+// work, and their next fills re-converge into the rebuilt map. Hits,
+// misses and resets are surfaced via CacheStats.
 package stream
 
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cfgtag/internal/core"
 )
@@ -121,6 +132,7 @@ func (a *dfaAccel) scan(p []byte, i int) int {
 // aligned collision flags (a collision is always against the cycle's first
 // emission), and whether the section 5.2 recovery re-armed the engine.
 // hasEvents folds "anything beyond the state move" into one hot-loop load.
+// Outcomes are immutable once published.
 type dfaOutcome struct {
 	next      *dfaState
 	emits     []int32
@@ -131,11 +143,12 @@ type dfaOutcome struct {
 
 // dfaEdge is one (state, byte-class) transition: outcomes indexed by the
 // lookahead byte's class (last slot = end of stream). Lookahead-independent
-// edges fill every slot with one shared outcome at creation; conditional
-// edges (accept candidates under figure 7 lookahead) keep the precomputed
-// next-active set and fill slots on demand.
+// edges fill every slot with one shared outcome before the edge is
+// published; conditional edges (accept candidates under figure 7
+// lookahead) keep the precomputed next-active set and fill slots on
+// demand, each slot published atomically.
 type dfaEdge struct {
-	outs       []*dfaOutcome
+	outs       []atomic.Pointer[dfaOutcome]
 	nextActive []uint64 // nil for lookahead-independent edges
 }
 
@@ -143,24 +156,108 @@ type dfaEdge struct {
 // filled transition rows, indexed by byte class. fast[c] short-circuits
 // lookahead-independent edges to their single outcome — the common case,
 // served with one load fewer than the general rows[c].outs[look] path.
+// The slot cells are atomic so concurrent streams read them lock-free
+// while the fill path (under the cache mutex) publishes into them; an
+// atomic pointer load is a plain load on the hot architectures, so the
+// sharing costs the single-stream path nothing.
 type dfaState struct {
 	active  []uint64
 	pending []uint64
-	fast    []*dfaOutcome
-	rows    []*dfaEdge
+	fast    []atomic.Pointer[dfaOutcome]
+	rows    []atomic.Pointer[dfaEdge]
 	accel   *dfaAccel // nil unless the state qualifies for skip-ahead
 }
 
-// DFA is a streaming token tagger over one input, equivalent byte for byte
-// to Tagger but executing through the lazy DFA cache. It is not safe for
-// concurrent use; Clone shares the compiled engine and gives each stream
-// its own cache.
-type DFA struct {
+// DFACache is the shared transition cache of one (grammar, config) pair: a
+// concurrent read-mostly structure any number of streams execute against.
+// Readers (the DFA hot loop) are lock-free; fills serialize on mu and
+// publish completed outcomes atomically. Create one cache per pipeline (or
+// per backend-factory version) and mint one DFA per stream with NewDFA —
+// determinization then happens once per cache, not once per stream.
+type DFACache struct {
 	e   *engine
 	cfg DFAConfig
 
+	// mu serializes fills and whole-cache resets; the states map and
+	// keyBuf are only touched with mu held.
+	mu     sync.Mutex
 	states map[string]*dfaState
-	cur    *dfaState
+	keyBuf []byte
+
+	// start is the canonical stream-start state, re-seeded on every
+	// whole-cache reset so Reset never needs the map.
+	start atomic.Pointer[dfaState]
+
+	nStates atomic.Int64 // len(states), readable without mu
+	fills   atomic.Int64 // fleet-wide NFA fallback computations
+	resets  atomic.Int64 // fleet-wide whole-cache resets
+}
+
+// NewDFACache compiles the spec and returns an empty shared transition
+// cache. The engine masks are shared with any Tagger compiled from the
+// same call chain.
+func NewDFACache(spec *core.Spec, cfg DFAConfig) *DFACache {
+	return newDFACache(compile(spec), cfg)
+}
+
+func newDFACache(e *engine, cfg DFAConfig) *DFACache {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultDFAMaxStates
+	}
+	if cfg.MaxStates < 2 {
+		cfg.MaxStates = 2
+	}
+	c := &DFACache{
+		e:      e,
+		cfg:    cfg,
+		states: make(map[string]*dfaState),
+		keyBuf: make([]byte, 16*e.words),
+	}
+	c.mu.Lock()
+	c.start.Store(c.canonical(e.zeroMask, e.startPending))
+	c.mu.Unlock()
+	return c
+}
+
+// Spec returns the specification the cache was compiled from.
+func (c *DFACache) Spec() *core.Spec { return c.e.spec }
+
+// NewDFA mints a stream tagger executing against this shared cache. The
+// DFA itself is single-stream (not safe for concurrent use), but any
+// number of DFAs from one cache may run concurrently.
+func (c *DFACache) NewDFA() *DFA {
+	d := &DFA{e: c.e, cache: c}
+	d.Reset()
+	return d
+}
+
+// States reports the number of states currently hash-consed in the cache.
+// It never exceeds the configured MaxStates bound.
+func (c *DFACache) States() int { return int(c.nStates.Load()) }
+
+// MaxStates reports the configured cache bound.
+func (c *DFACache) MaxStates() int { return c.cfg.MaxStates }
+
+// Stats reports the cache's fleet-wide lifetime totals: fills is the
+// number of NFA fallback computations performed (by any stream), resets
+// the number of whole-cache resets forced by the MaxStates bound. With N
+// streams of identical traffic sharing the cache, fills stays what a
+// single stream would have paid — that is the amortization the shared
+// cache buys.
+func (c *DFACache) Stats() (fills, resets int64) {
+	return c.fills.Load(), c.resets.Load()
+}
+
+// DFA is a streaming token tagger over one input, equivalent byte for byte
+// to Tagger but executing through a lazy DFA cache. It is not safe for
+// concurrent use; mint one per stream from a shared DFACache (concurrent
+// streams then share determinization work), or use NewDFA/Clone for a
+// private cache.
+type DFA struct {
+	e     *engine
+	cache *DFACache
+
+	cur *dfaState
 
 	// OnMatch receives every detection in input order (identical to
 	// Tagger.OnMatch on the same input).
@@ -184,79 +281,70 @@ type DFA struct {
 	hits   int64
 	misses int64
 	resets int64
-
-	keyBuf []byte
 }
 
-// NewDFA compiles the spec and returns a lazy-DFA tagger. The engine masks
-// are shared with any Tagger compiled from the same call chain; the
-// transition cache is private to this DFA (use Clone for more streams).
+// NewDFA compiles the spec and returns a lazy-DFA tagger with a private
+// transition cache (shared with no other stream). For many streams of one
+// grammar, build one DFACache and mint DFAs from it instead.
 func NewDFA(spec *core.Spec, cfg DFAConfig) *DFA {
-	return newDFA(compile(spec), cfg)
+	return NewDFACache(spec, cfg).NewDFA()
 }
 
 func newDFA(e *engine, cfg DFAConfig) *DFA {
-	if cfg.MaxStates <= 0 {
-		cfg.MaxStates = DefaultDFAMaxStates
-	}
-	if cfg.MaxStates < 2 {
-		cfg.MaxStates = 2
-	}
-	d := &DFA{
-		e:      e,
-		cfg:    cfg,
-		states: make(map[string]*dfaState),
-		keyBuf: make([]byte, 16*e.words),
-	}
-	d.Reset()
-	return d
+	return newDFACache(e, cfg).NewDFA()
 }
 
 // Clone creates an independent DFA sharing this one's compiled engine but
-// with its own (empty) transition cache and stream state.
-func (d *DFA) Clone() *DFA { return newDFA(d.e, d.cfg) }
+// with its own private (empty) transition cache and stream state. To share
+// the cache instead, mint siblings from one DFACache.
+func (d *DFA) Clone() *DFA { return newDFA(d.e, d.cache.cfg) }
+
+// Cache returns the transition cache this DFA executes against.
+func (d *DFA) Cache() *DFACache { return d.cache }
 
 // Spec returns the specification the DFA was compiled from.
 func (d *DFA) Spec() *core.Spec { return d.e.spec }
 
-// Reset rewinds to stream start. The transition cache is retained: reusing
-// a DFA across streams of the same traffic shape runs warm.
+// Reset rewinds to stream start for reuse. The transition cache is
+// retained (it belongs to the cache, not the stream): reusing a DFA across
+// streams of the same traffic shape runs warm.
 func (d *DFA) Reset() {
 	d.pos = 0
 	d.have = false
 	d.closed = false
 	d.Errors = 0
 	d.Collisions = 0
-	d.cur = d.canonical(d.e.zeroMask, d.e.startPending)
+	d.cur = d.cache.start.Load()
 }
 
 // Pos returns the number of bytes fully processed (confirmed, not merely
 // buffered for lookahead).
 func (d *DFA) Pos() int64 { return d.pos }
 
-// CacheStats reports the transition cache's lifetime totals: bytes served
+// CacheStats reports this stream's lifetime cache totals: bytes served
 // without an NFA step (cached outcomes plus bytes consumed by skip-ahead
-// acceleration), bytes that required an NFA fallback computation, and
-// whole-cache resets forced by the MaxStates bound. hits+misses always
-// equals the number of bytes fully processed.
+// acceleration), bytes that required an NFA fallback computation by this
+// stream, and whole-cache resets this stream triggered. hits+misses always
+// equals the number of bytes this DFA fully processed; on a shared cache,
+// transitions another stream already filled count as hits here.
 func (d *DFA) CacheStats() (hits, misses, resets int64) {
 	return d.hits, d.misses, d.resets
 }
 
 // CacheStates reports the number of states currently cached. It never
 // exceeds the configured MaxStates bound.
-func (d *DFA) CacheStates() int { return len(d.states) }
+func (d *DFA) CacheStates() int { return d.cache.States() }
 
 // MaxStates reports the configured cache bound.
-func (d *DFA) MaxStates() int { return d.cfg.MaxStates }
+func (d *DFA) MaxStates() int { return d.cache.cfg.MaxStates }
 
 // Write feeds stream bytes; matches fire on OnMatch as they are confirmed
 // (one byte of lookahead latency, exactly as Tagger).
 //
 // The loop is the engine's hot path: in steady state every byte resolves
-// to one classOf lookup, one cached-edge load and one cached-outcome load.
-// Only uncached transitions (and their emission/recovery bookkeeping) drop
-// into the fill functions.
+// to one classOf lookup, one cached-edge load and one cached-outcome load,
+// all lock-free. Only uncached transitions (and their emission/recovery
+// bookkeeping) drop into the locked fill path.
 func (d *DFA) Write(p []byte) (int, error) {
 	if d.closed {
 		return 0, fmt.Errorf("stream: Write after Close")
@@ -295,7 +383,7 @@ func (d *DFA) Write(p []byte) (int, error) {
 			}
 		}
 		nc := int(classOf[p[i]])
-		if out := cur.fast[c]; out != nil {
+		if out := cur.fast[c].Load(); out != nil {
 			hits++
 			if out.hasEvents {
 				d.pos = pos
@@ -306,8 +394,8 @@ func (d *DFA) Write(p []byte) (int, error) {
 			c = nc
 			continue
 		}
-		if edge := cur.rows[c]; edge != nil {
-			if out := edge.outs[nc]; out != nil {
+		if edge := cur.rows[c].Load(); edge != nil {
+			if out := edge.outs[nc].Load(); out != nil {
 				hits++
 				if out.hasEvents {
 					d.pos = pos
@@ -360,21 +448,26 @@ func (d *DFA) Tag(data []byte) []Match {
 }
 
 // process advances one byte through the cache's slow path, filling the
-// missing edge or conditional outcome; c is the byte's equivalence class,
-// look the lookahead byte's class (e.numClasses at end of stream).
+// missing edge or conditional outcome under the cache mutex; c is the
+// byte's equivalence class, look the lookahead byte's class (e.numClasses
+// at end of stream). The slots are re-checked under the lock: when a
+// sibling stream filled the transition first, this byte counts as a hit.
 func (d *DFA) process(c, look int) {
 	st := d.cur
-	edge := st.rows[c]
+	ca := d.cache
+	ca.mu.Lock()
+	edge := st.rows[c].Load()
 	filled := false
 	if edge == nil {
-		edge = d.fillEdge(st, c)
+		edge = ca.fillEdge(st, c, d)
 		filled = true
 	}
-	out := edge.outs[look]
+	out := edge.outs[look].Load()
 	if out == nil {
-		out = d.fillCond(st, edge, c, look)
+		out = ca.fillCond(st, edge, c, look, d)
 		filled = true
 	}
+	ca.mu.Unlock()
 	if filled {
 		d.misses++
 	} else {
@@ -417,9 +510,11 @@ func (d *DFA) deliver(out *dfaOutcome) {
 // fillEdge computes the NFA transition for (st, class c) and caches it:
 // the next active set, and — when every accept candidate is
 // lookahead-independent — the single shared outcome. Conditional edges get
-// an empty per-lookahead row instead.
-func (d *DFA) fillEdge(st *dfaState, c int) *dfaEdge {
-	e := d.e
+// an empty per-lookahead row instead. Must be called with c.mu held; by
+// is the stream performing the fill (it pays for any cache reset).
+func (c *DFACache) fillEdge(st *dfaState, cls int, by *DFA) *dfaEdge {
+	e := c.e
+	c.fills.Add(1)
 	words := e.words
 	nextActive := make([]uint64, words)
 
@@ -442,7 +537,7 @@ func (d *DFA) fillEdge(st *dfaState, c int) *dfaEdge {
 		}
 	}
 
-	mb := e.matchC[c]
+	mb := e.matchC[cls]
 	var carry uint64
 	conditional := false
 	for w := 0; w < words; w++ {
@@ -460,28 +555,35 @@ func (d *DFA) fillEdge(st *dfaState, c int) *dfaEdge {
 		}
 	}
 
-	edge := &dfaEdge{outs: make([]*dfaOutcome, e.numClasses+1)}
+	edge := &dfaEdge{outs: make([]atomic.Pointer[dfaOutcome], e.numClasses+1)}
 	if conditional {
 		edge.nextActive = nextActive
-	} else {
-		ending := make([]uint64, words)
-		for w := 0; w < words; w++ {
-			ending[w] = nextActive[w] & e.last[w]
-		}
-		out := d.buildOutcome(st, c, nextActive, ending)
-		for i := range edge.outs {
-			edge.outs[i] = out
-		}
-		st.fast[c] = out
+		// Publish the edge with its (immutable) next-active set; outcome
+		// slots fill on demand.
+		st.rows[cls].Store(edge)
+		return edge
 	}
-	st.rows[c] = edge
+	ending := make([]uint64, words)
+	for w := 0; w < words; w++ {
+		ending[w] = nextActive[w] & e.last[w]
+	}
+	out := c.buildOutcome(st, cls, nextActive, ending, by)
+	// Fill every slot before the edge (and the fast cell) become visible,
+	// so a lock-free reader never sees a half-built unconditional edge.
+	for i := range edge.outs {
+		edge.outs[i].Store(out)
+	}
+	st.rows[cls].Store(edge)
+	st.fast[cls].Store(out)
 	return edge
 }
 
 // fillCond computes and caches the outcome of a conditional edge for one
 // lookahead class (the figure 7 check against that class's extend column).
-func (d *DFA) fillCond(st *dfaState, edge *dfaEdge, c, look int) *dfaOutcome {
-	e := d.e
+// Must be called with c.mu held.
+func (c *DFACache) fillCond(st *dfaState, edge *dfaEdge, cls, look int, by *DFA) *dfaOutcome {
+	e := c.e
+	c.fills.Add(1)
 	ext := e.zeroMask // end of stream extends nothing
 	if look < e.numClasses {
 		ext = e.extendC[look]
@@ -490,19 +592,19 @@ func (d *DFA) fillCond(st *dfaState, edge *dfaEdge, c, look int) *dfaOutcome {
 	for w := 0; w < e.words; w++ {
 		ending[w] = edge.nextActive[w] & e.last[w] &^ ext[w]
 	}
-	out := d.buildOutcome(st, c, edge.nextActive, ending)
-	edge.outs[look] = out
+	out := c.buildOutcome(st, cls, edge.nextActive, ending, by)
+	edge.outs[look].Store(out)
 	return out
 }
 
 // buildOutcome precomputes everything the emit cycle does — per-instance
 // dedup in bit order, collision pairs against the first emission, follow
 // wiring into the pending latch, the dead-state recovery check — and
-// hash-conses the successor state.
-func (d *DFA) buildOutcome(st *dfaState, c int, nextActive, ending []uint64) *dfaOutcome {
-	e := d.e
+// hash-conses the successor state. Must be called with c.mu held.
+func (c *DFACache) buildOutcome(st *dfaState, cls int, nextActive, ending []uint64, by *DFA) *dfaOutcome {
+	e := c.e
 	pending := make([]uint64, e.words)
-	if e.delimC[c] {
+	if e.delimC[cls] {
 		copy(pending, st.pending)
 	}
 	out := &dfaOutcome{}
@@ -531,16 +633,55 @@ func (d *DFA) buildOutcome(st *dfaState, c int, nextActive, ending []uint64) *df
 		copy(pending, e.recoveryMask)
 	}
 	out.hasEvents = len(out.emits) > 0 || out.recovered
-	out.next = d.canonical(nextActive, pending)
+	out.next = c.canonicalBy(nextActive, pending, by)
 	return out
 }
 
-// canonical hash-conses an (active, pending) pair. When inserting a new
+// canonical hash-conses an (active, pending) pair; mu must be held.
+func (c *DFACache) canonical(active, pending []uint64) *dfaState {
+	return c.canonicalBy(active, pending, nil)
+}
+
+// canonicalBy is canonical with reset attribution: when inserting a new
 // state would exceed the MaxStates bound, the whole cache is reset first
-// (the RE2 policy): cheaper and simpler than eviction, and the next bytes
-// rebuild only the states the traffic actually revisits.
-func (d *DFA) canonical(active, pending []uint64) *dfaState {
-	key := d.keyBuf[:0]
+// (the RE2 policy) and the triggering stream's reset counter advances.
+// Streams parked in pre-reset states stay valid — the objects are simply
+// no longer indexed, and live traffic re-canonicalizes the states it still
+// needs into the rebuilt map.
+func (c *DFACache) canonicalBy(active, pending []uint64, by *DFA) *dfaState {
+	// Materialize the key: stateKey reuses keyBuf, and the reset path
+	// below keys the start state through the same buffer.
+	key := string(c.stateKey(active, pending))
+	if st, ok := c.states[key]; ok {
+		return st
+	}
+	if len(c.states) >= c.cfg.MaxStates {
+		c.states = make(map[string]*dfaState)
+		c.resets.Add(1)
+		if by != nil {
+			by.resets++
+		}
+		// Re-seed the canonical start state so Reset (which reads the
+		// start pointer lock-free) lands in the rebuilt map's world.
+		start := c.newState(c.e.zeroMask, c.e.startPending)
+		c.states[string(c.stateKey(c.e.zeroMask, c.e.startPending))] = start
+		c.start.Store(start)
+		// The state being inserted may BE the start state.
+		if st, ok := c.states[key]; ok {
+			c.nStates.Store(int64(len(c.states)))
+			return st
+		}
+	}
+	st := c.newState(active, pending)
+	c.states[key] = st
+	c.nStates.Store(int64(len(c.states)))
+	return st
+}
+
+// stateKey serializes an (active, pending) pair into the reusable key
+// buffer; mu must be held.
+func (c *DFACache) stateKey(active, pending []uint64) []byte {
+	key := c.keyBuf[:0]
 	for _, w := range active {
 		key = append(key,
 			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
@@ -551,26 +692,21 @@ func (d *DFA) canonical(active, pending []uint64) *dfaState {
 			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
 			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	if st, ok := d.states[string(key)]; ok {
-		return st
-	}
-	if len(d.states) >= d.cfg.MaxStates {
-		// Whole-cache reset. The current state object (and any edge in
-		// flight) stays valid — it is simply no longer indexed, so the
-		// traffic re-canonicalizes the states it still needs.
-		d.states = make(map[string]*dfaState)
-		d.resets++
-	}
+	c.keyBuf = key
+	return key
+}
+
+// newState builds a fresh state object (no bound check, no indexing).
+func (c *DFACache) newState(active, pending []uint64) *dfaState {
 	st := &dfaState{
 		active:  append([]uint64(nil), active...),
 		pending: append([]uint64(nil), pending...),
-		fast:    make([]*dfaOutcome, d.e.numClasses),
-		rows:    make([]*dfaEdge, d.e.numClasses),
+		fast:    make([]atomic.Pointer[dfaOutcome], c.e.numClasses),
+		rows:    make([]atomic.Pointer[dfaEdge], c.e.numClasses),
 	}
-	if !d.cfg.NoAccel {
-		st.accel = d.probeAccel(st)
+	if !c.cfg.NoAccel {
+		st.accel = c.probeAccel(st)
 	}
-	d.states[string(key)] = st
 	return st
 }
 
@@ -588,8 +724,8 @@ func (d *DFA) canonical(active, pending []uint64) *dfaState {
 // no events, which is exactly what Write's scan collapses. The probe never
 // touches the transition cache, so it is side-effect free even under tiny
 // MaxStates bounds.
-func (d *DFA) probeAccel(st *dfaState) *dfaAccel {
-	e := d.e
+func (c *DFACache) probeAccel(st *dfaState) *dfaAccel {
+	e := c.e
 	words := e.words
 	pendingZero := isZero(st.pending)
 	activeZero := isZero(st.active)
@@ -615,10 +751,10 @@ func (d *DFA) probeAccel(st *dfaState) *dfaAccel {
 
 	boring := make([]bool, e.numClasses)
 	n := 0
-	for c := 0; c < e.numClasses; c++ {
+	for cls := 0; cls < e.numClasses; cls++ {
 		// Lookahead safety: no accepting position of the (unchanged)
-		// active set survives the figure-7 extend check under class c.
-		ext := e.extendC[c]
+		// active set survives the figure-7 extend check under class cls.
+		ext := e.extendC[cls]
 		ok := true
 		for w := 0; w < words; w++ {
 			if st.active[w]&e.last[w]&^ext[w] != 0 {
@@ -630,15 +766,15 @@ func (d *DFA) probeAccel(st *dfaState) *dfaAccel {
 			continue
 		}
 		// Pending preservation: non-delimiters clear the latch.
-		if !e.delimC[c] && !pendingZero {
+		if !e.delimC[cls] && !pendingZero {
 			continue
 		}
 		// Recovery would fire (and rewrite pending) on a dead state.
-		if e.recoveryMask != nil && activeZero && (pendingZero || !e.delimC[c]) {
+		if e.recoveryMask != nil && activeZero && (pendingZero || !e.delimC[cls]) {
 			continue
 		}
 		// Pure self-move: the full NFA step must reproduce the active set.
-		mb := e.matchC[c]
+		mb := e.matchC[cls]
 		var carry uint64
 		same := true
 		for w := 0; w < words; w++ {
@@ -657,7 +793,7 @@ func (d *DFA) probeAccel(st *dfaState) *dfaAccel {
 		if !same {
 			continue
 		}
-		boring[c] = true
+		boring[cls] = true
 		n++
 	}
 	if n == 0 || e.numClasses-n > dfaAccelMaxInteresting {

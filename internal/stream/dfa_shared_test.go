@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/workload"
+)
+
+// TestDFASharedCacheAmortizes runs N streams of identical traffic against
+// one DFACache and asserts the fleet-wide fill count is what a single
+// stream would have paid: determinization once per cache, not per stream.
+func TestDFASharedCacheAmortizes(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	gen := workload.NewGenerator(spec, 19, workload.SentenceOptions{MaxDepth: 8})
+	text, _ := gen.Sentence()
+
+	solo := NewDFA(spec, DFAConfig{})
+	want := solo.Tag(text)
+	soloFills, _ := solo.Cache().Stats()
+	if soloFills == 0 {
+		t.Fatal("solo stream recorded no fills; input too trivial for the test")
+	}
+
+	cache := NewDFACache(spec, DFAConfig{})
+	const n = 16
+	for i := 0; i < n; i++ {
+		d := cache.NewDFA()
+		if got := d.Tag(text); !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream %d: shared-cache tags %v, want %v", i, got, want)
+		}
+	}
+	fills, resets := cache.Stats()
+	if resets != 0 {
+		t.Fatalf("unexpected cache resets: %d", resets)
+	}
+	if fills != soloFills {
+		t.Errorf("%d streams filled %d transitions, single stream fills %d (want equal: O(1) in stream count)",
+			n, fills, soloFills)
+	}
+	// Every byte of every stream is accounted for, and streams after the
+	// first run entirely warm.
+	var hits, misses int64
+	d := cache.NewDFA()
+	d.Tag(text)
+	hits, misses, _ = d.CacheStats()
+	if got, want := hits+misses, int64(len(text)); got != want {
+		t.Errorf("hits+misses = %d, want %d", got, want)
+	}
+	if misses != 0 {
+		t.Errorf("warm sibling stream computed %d transitions, want 0", misses)
+	}
+}
+
+// TestDFASharedCacheConcurrent hammers one cache from many goroutines —
+// mixed traffic, so streams race to fill the same transitions — and
+// asserts every stream's output matches the serial NFA oracle. Run under
+// -race this exercises the lock-free read / locked-fill publication
+// protocol.
+func TestDFASharedCacheConcurrent(t *testing.T) {
+	for name, opts := range optionMatrix() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			spec := mustSpec(t, grammar.XMLRPC(), opts)
+			inputs := diffInputs(spec, 37, 8)
+			// Serial oracle per input.
+			tg := NewTagger(spec)
+			wants := make([][]Match, len(inputs))
+			for i, in := range inputs {
+				wants[i] = tg.Tag(in)
+			}
+			cache := NewDFACache(spec, DFAConfig{})
+			const workers = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					d := cache.NewDFA()
+					for rep := 0; rep < 4; rep++ {
+						for i, in := range inputs {
+							// Random chunking so streams desynchronize.
+							d.Reset()
+							var got []Match
+							d.OnMatch = func(m Match) { got = append(got, m) }
+							for off := 0; off < len(in); {
+								n := 1 + rng.Intn(64)
+								if off+n > len(in) {
+									n = len(in) - off
+								}
+								d.Write(in[off : off+n])
+								off += n
+							}
+							d.Close()
+							d.OnMatch = nil
+							if !reflect.DeepEqual(got, wants[i]) {
+								errs <- fmt.Errorf("worker %d input %d: got %v, want %v", w, i, got, wants[i])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if cache.States() > cache.MaxStates() {
+				t.Errorf("cache holds %d states, bound %d", cache.States(), cache.MaxStates())
+			}
+		})
+	}
+}
+
+// TestDFASharedCacheConcurrentTinyBound races many streams through
+// whole-cache resets: a 2-state bound forces constant reset churn while
+// streams hold references to pre-reset states. Outputs must stay exact.
+func TestDFASharedCacheConcurrentTinyBound(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	inputs := diffInputs(spec, 53, 4)
+	tg := NewTagger(spec)
+	wants := make([][]Match, len(inputs))
+	for i, in := range inputs {
+		wants[i] = tg.Tag(in)
+	}
+	cache := NewDFACache(spec, DFAConfig{MaxStates: 2})
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := cache.NewDFA()
+			for rep := 0; rep < 3; rep++ {
+				for i, in := range inputs {
+					d.Reset()
+					var got []Match
+					d.OnMatch = func(m Match) { got = append(got, m) }
+					d.Write(in)
+					d.Close()
+					d.OnMatch = nil
+					if !reflect.DeepEqual(got, wants[i]) {
+						errs <- fmt.Errorf("worker %d input %d: got %v, want %v", w, i, got, wants[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if _, resets := cache.Stats(); resets == 0 {
+		t.Error("tiny shared cache saw no resets")
+	}
+}

@@ -195,6 +195,9 @@ func TestDFACloneSharesEngineNotCache(t *testing.T) {
 	if c.e != d.e {
 		t.Error("clone does not share the compiled engine")
 	}
+	if c.Cache() == d.Cache() {
+		t.Error("clone shares the transition cache; want a private one")
+	}
 }
 
 func TestDFAWriteAfterClose(t *testing.T) {
@@ -301,7 +304,7 @@ func TestDFAAccelEngages(t *testing.T) {
 		t.Fatal("crafted input produced no matches at all")
 	}
 	accelStates := 0
-	for _, st := range d.states {
+	for _, st := range d.cache.states {
 		if st.accel != nil {
 			accelStates++
 		}
@@ -315,7 +318,7 @@ func TestDFAAccelEngages(t *testing.T) {
 	}
 	plain := NewDFA(spec, DFAConfig{NoAccel: true})
 	plain.Tag(input)
-	for _, st := range plain.states {
+	for _, st := range plain.cache.states {
 		if st.accel != nil {
 			t.Fatal("NoAccel still built a skip-ahead plan")
 		}

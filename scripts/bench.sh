@@ -2,7 +2,8 @@
 # bench.sh — benchmark-regression rail.
 #
 # Runs the guarded throughput benchmarks (BenchmarkStream, BenchmarkDFA,
-# BenchmarkShardedPipeline), compares per-benchmark median MB/s against the
+# BenchmarkShardedPipeline, BenchmarkTenantGrid), compares per-benchmark
+# median MB/s against the
 # committed BENCH_baseline.json, and fails when any benchmark drops below
 # (100 - tolerance_pct)% of its baseline median. When benchstat is on PATH
 # it also prints a proper statistical comparison; the rail itself needs
@@ -30,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 BASE=BENCH_baseline.json
 OUT=${BENCH_OUT:-bench_out}
-PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline)$'
+PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline|BenchmarkTenantGrid)$'
 
 UPDATE=0
 CPUPROF=0
