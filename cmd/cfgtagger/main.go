@@ -33,6 +33,16 @@
 // the grammar that started them:
 //
 //	cfgtagger -config platform.json -in lines.txt
+//
+// -listen / -listen-http add network stream inputs on top of -config:
+// TCP connections speak the CFGTAG/1 protocol (one dedicated stream per
+// connection, or many keyed streams multiplexed over one), HTTP serves
+// one stream per chunked POST body plus /metrics and /healthz, and tag
+// events are written back to each client as newline-delimited text.
+// SIGHUP reloads grammars with zero downtime; SIGTERM drains gracefully
+// (stop accepting, flush every live stream's final batch, close):
+//
+//	cfgtagger -config platform.json -listen :7733 -listen-http :7734
 package main
 
 import (
@@ -73,8 +83,23 @@ func main() {
 		batchBytes  = flag.Int("batch-bytes", 0, "pipeline mode: coalesce Sends into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch every Send immediately)")
 		sinkWorkers = flag.Int("sink-workers", 0, "pipeline mode: deliver batches on this many workers (0 or 1 = single serialized sink)")
 		configFile  = flag.String("config", "", "platform mode: multi-tenant JSON config; input lines are 'tenant|payload', SIGHUP hot-swaps changed grammars")
+		listenTCP   = flag.String("listen", "", "serve mode: accept CFGTAG/1 TCP stream connections on this address (requires -config)")
+		listenHTTP  = flag.String("listen-http", "", "serve mode: accept HTTP chunked-POST streams on this address, plus /metrics and /healthz (requires -config)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "serve mode: how long SIGTERM waits for live streams before force-flushing them")
 	)
 	flag.Parse()
+
+	if *listenTCP != "" || *listenHTTP != "" {
+		if *configFile == "" {
+			fmt.Fprintln(os.Stderr, "cfgtagger: -listen/-listen-http need -config FILE")
+			os.Exit(1)
+		}
+		if err := runServe(*configFile, *listenTCP, *listenHTTP, *drainWait); err != nil {
+			fmt.Fprintln(os.Stderr, "cfgtagger:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *configFile != "" {
 		in := io.Reader(os.Stdin)

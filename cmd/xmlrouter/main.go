@@ -36,6 +36,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ import (
 	"cfgtag/internal/grammar"
 	"cfgtag/internal/router"
 	"cfgtag/internal/runtime"
+	"cfgtag/internal/serve"
 	"cfgtag/internal/xmlrpc"
 )
 
@@ -70,13 +72,14 @@ func main() {
 		quarantine   = flag.Duration("quarantine", 0, "how long a stream is rejected after its backend faults (0 = 30s default, negative = disabled)")
 		batchBytes   = flag.Int("batch-bytes", 0, "coalesce chunks into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch immediately)")
 		configFile   = flag.String("config", "", "multi-tenant JSON config: one router per tenant, SIGHUP hot-swaps changed grammars")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for live streams to finish before force-flushing them")
 	)
 	flag.Parse()
 
 	pcfg := pipelineConfig{shards: *shards, maxStreams: *maxStreams, quarantine: *quarantine, batchBytes: *batchBytes}
 	switch {
 	case *configFile != "":
-		if err := runConfig(*configFile); err != nil {
+		if err := runConfig(*configFile, *drainWait); err != nil {
 			fail(err)
 		}
 	case *stdin:
@@ -91,10 +94,30 @@ func main() {
 		if *bank == "" || *shop == "" {
 			fail(fmt.Errorf("need -bank and -shop addresses (or -demo / -stdin)"))
 		}
-		if err := serve(*listen, *bank, *shop, *fallback, pcfg); err != nil {
+		if err := runListener(*listen, *bank, *shop, *fallback, pcfg, *drainWait); err != nil {
 			fail(err)
 		}
 	}
+}
+
+// awaitDrain blocks until SIGTERM/SIGINT, then drains srv: stop
+// accepting, wait for live connections to finish (up to drain), flush
+// whatever remains through the pipeline so no in-flight bytes are
+// dropped, and close the listeners.
+func awaitDrain(srv *serve.Server, drain time.Duration) error {
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(term)
+	<-term
+	fmt.Fprintln(os.Stderr, "xmlrouter: draining...")
+	if err := srv.Shutdown(drain); err != nil {
+		if errors.Is(err, serve.ErrDrainTimeout) {
+			fmt.Fprintf(os.Stderr, "xmlrouter: drain deadline (%v) hit; open streams were force-flushed\n", drain)
+		}
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "xmlrouter: drained clean")
+	return nil
 }
 
 // pipelineConfig carries the sharded-deployment knobs from the flags to
@@ -139,51 +162,207 @@ func routeStdin(validate bool) error {
 	return nil
 }
 
-// serve runs the production shape. Without shards: one inline router per
-// inbound connection. With shards: one shared pipeline tags every
-// connection's stream and a single Sink forwards the messages.
-func serve(listen, bank, shop, fallback string, pcfg pipelineConfig) error {
-	ln, err := net.Listen("tcp", listen)
+// runListener is the production shape behind the serve layer: every
+// inbound connection is one raw stream (no protocol, no echo), tagged
+// either inline (shards = 0, one router per stream) or on one shared
+// sharded pipeline with a router.Sink. SIGTERM drains gracefully — no
+// in-flight bytes are dropped.
+func runListener(listen, bank, shop, fallback string, pcfg pipelineConfig, drain time.Duration) error {
+	srv, _, err := buildRouterServer(listen, bank, shop, fallback, pcfg)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, pcfg.shards)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	return awaitDrain(srv, drain)
+}
+
+// routerTenant is the fixed tenant name of single-router deployments.
+const routerTenant = "router"
+
+// buildRouterServer assembles the single-router server: a raw TCP input
+// bound to either the inline core or a switchboard core. It returns the
+// bound listen address for tests that pick port 0.
+func buildRouterServer(listen, bank, shop, fallback string, pcfg pipelineConfig) (*serve.Server, string, error) {
+	srv := serve.NewServer()
 	if pcfg.shards > 0 {
 		spec, err := xmlrpcSpec()
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		sw, err := newSwitchboard(spec, bank, shop, fallback, pcfg)
+		sw, err := newSwitchboard(spec, bank, shop, fallback, pcfg,
+			func(key string) { srv.EndStream(routerTenant, key) })
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		defer sw.Close()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return err
+		srv.Bind(swCore{sw})
+	} else {
+		srv.Bind(newInlineCore(srv, routerTenant, bank, shop, fallback))
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		srv.Core().Close()
+		return nil, "", err
+	}
+	srv.AddInput(serve.NewTCPInput(ln, serve.TCPOptions{
+		Tenant: routerTenant, Raw: true, NoEcho: true,
+	}))
+	fmt.Printf("xmlrouter: listening on %s (bank=%s shop=%s shards=%d)\n", ln.Addr(), bank, shop, pcfg.shards)
+	return srv, ln.Addr().String(), nil
+}
+
+// swCore adapts one switchboard to serve.Core; the tenant is implied by
+// the listener, so only the stream key reaches the pipeline.
+type swCore struct{ sw *switchboard }
+
+func (c swCore) Send(_, key string, data []byte) error { return c.sw.pipeline.Send(key, data) }
+func (c swCore) CloseStream(_, key string) error       { return c.sw.pipeline.CloseStream(key) }
+func (c swCore) Close() error                          { return c.sw.Close() }
+
+// inlineCore adapts the shards=0 deployment to serve.Core: one router
+// instance per stream, created on first byte, routing to per-stream
+// back-end connections. Sessions end synchronously in CloseStream, so no
+// EOS batch plumbing is needed.
+type inlineCore struct {
+	srv                          *serve.Server
+	tenant, bank, shop, fallback string
+
+	mu      sync.Mutex
+	streams map[string]*inlineStream
+	closed  bool
+}
+
+type inlineStream struct {
+	// mu serializes the feeding connection against a force-flush from
+	// the drain path (Close on a timed-out drain races the last Write).
+	mu    sync.Mutex
+	r     *router.Router
+	conns map[int]net.Conn
+	err   error
+}
+
+func newInlineCore(srv *serve.Server, tenant, bank, shop, fallback string) *inlineCore {
+	return &inlineCore{
+		srv: srv, tenant: tenant, bank: bank, shop: shop, fallback: fallback,
+		streams: make(map[string]*inlineStream),
+	}
+}
+
+// stream returns the key's router, creating it on first use.
+func (c *inlineCore) stream(key string) (*inlineStream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, runtime.ErrClosed
+	}
+	if st, ok := c.streams[key]; ok {
+		return st, nil
+	}
+	r, err := router.New(router.FigureTwelve(), 2)
+	if err != nil {
+		return nil, err
+	}
+	st := &inlineStream{r: r, conns: make(map[int]net.Conn)}
+	addrs := map[int]string{0: c.bank, 1: c.shop}
+	if c.fallback != "" {
+		addrs[2] = c.fallback
+	}
+	r.OnRoute = func(port int, service string, message []byte) {
+		if st.err != nil {
+			return
+		}
+		bc, ok := st.conns[port]
+		if !ok {
+			addr, have := addrs[port]
+			if !have {
+				return // drop
 			}
-			go func(c net.Conn) {
-				defer c.Close()
-				if err := sw.HandleConn(c); err != nil {
-					fmt.Fprintln(os.Stderr, "xmlrouter:", err)
-				}
-			}(conn)
+			var err error
+			if bc, err = net.Dial("tcp", addr); err != nil {
+				st.err = err
+				return
+			}
+			st.conns[port] = bc
+		}
+		if _, err := bc.Write(append(message, '\n')); err != nil {
+			st.err = err
 		}
 	}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go func(c net.Conn) {
-			defer c.Close()
-			if err := routeConn(c, bank, shop, fallback); err != nil {
-				fmt.Fprintln(os.Stderr, "xmlrouter:", err)
-			}
-		}(conn)
+	c.streams[key] = st
+	return st, nil
+}
+
+func (c *inlineCore) Send(_, key string, data []byte) error {
+	st, err := c.stream(key)
+	if err != nil {
+		return err
 	}
+	st.mu.Lock()
+	_, werr := st.r.Write(data)
+	ferr := st.err
+	st.mu.Unlock()
+	if werr == nil {
+		werr = ferr
+	}
+	if werr != nil {
+		c.drop(key)
+		return werr
+	}
+	return nil
+}
+
+func (c *inlineCore) CloseStream(_, key string) error {
+	c.mu.Lock()
+	st := c.streams[key]
+	delete(c.streams, key)
+	c.mu.Unlock()
+	defer c.srv.EndStream(c.tenant, key)
+	if st == nil {
+		return nil // zero-byte stream: never materialized
+	}
+	return st.close()
+}
+
+// drop discards a failed stream's state; the caller reports the error.
+func (c *inlineCore) drop(key string) {
+	c.mu.Lock()
+	st := c.streams[key]
+	delete(c.streams, key)
+	c.mu.Unlock()
+	if st != nil {
+		st.close()
+	}
+}
+
+func (st *inlineStream) close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	err := st.r.Close()
+	for _, bc := range st.conns {
+		bc.Close()
+	}
+	if err != nil {
+		return err
+	}
+	return st.err
+}
+
+// Close flushes every stream still open (the drain's force-flush path).
+func (c *inlineCore) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	streams := c.streams
+	c.streams = make(map[string]*inlineStream)
+	c.mu.Unlock()
+	var first error
+	for key, st := range streams {
+		if err := st.close(); err != nil && first == nil {
+			first = err
+		}
+		c.srv.EndStream(c.tenant, key)
+	}
+	return first
 }
 
 // switchboard is the sharded deployment: one pipeline shared by every
@@ -207,7 +386,25 @@ func xmlrpcSpec() (*core.Spec, error) {
 	return core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
 }
 
-func newSwitchboard(spec *core.Spec, bank, shop, fallback string, pcfg pipelineConfig) (*switchboard, error) {
+// eosSink decorates a pipeline sink with a stream-end callback — the
+// serve layer uses it to release a stream's session (and let its
+// connection hang up) once the final batch has been routed.
+type eosSink struct {
+	runtime.Sink
+	onEOS func(key string)
+}
+
+func (s eosSink) Deliver(b *runtime.Batch) error {
+	if err := s.Sink.Deliver(b); err != nil {
+		return err
+	}
+	if b.EOS {
+		s.onEOS(b.Key)
+	}
+	return nil
+}
+
+func newSwitchboard(spec *core.Spec, bank, shop, fallback string, pcfg pipelineConfig, onEOS func(key string)) (*switchboard, error) {
 	sink, err := router.NewSink(spec, "methodName", router.FigureTwelve(), 2)
 	if err != nil {
 		return nil, err
@@ -244,6 +441,10 @@ func newSwitchboard(spec *core.Spec, bank, shop, fallback string, pcfg pipelineC
 	// The router's sink mutates shared per-service connections, so the
 	// pipeline keeps the single serialized sink worker; only batching is
 	// configurable here.
+	var pipeSink runtime.Sink = sink
+	if onEOS != nil {
+		pipeSink = eosSink{Sink: sink, onEOS: onEOS}
+	}
 	sw.pipeline, err = runtime.NewPipeline(runtime.Config{
 		Shards:     pcfg.shards,
 		Factory:    runtime.TaggerFactory(spec),
@@ -251,7 +452,7 @@ func newSwitchboard(spec *core.Spec, bank, shop, fallback string, pcfg pipelineC
 		Quarantine: pcfg.quarantine,
 		BatchBytes: pcfg.batchBytes,
 		Hooks:      &runtime.Hooks{VersionRetired: sink.DropVersion},
-	}, sink)
+	}, pipeSink)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +616,7 @@ func runDemo(messages int, seed int64, pcfg pipelineConfig) error {
 				routerDone <- err
 				return
 			}
-			sw, err := newSwitchboard(spec, sinkAddr[0], sinkAddr[1], "", pcfg)
+			sw, err := newSwitchboard(spec, sinkAddr[0], sinkAddr[1], "", pcfg, nil)
 			if err != nil {
 				routerDone <- err
 				return
@@ -563,53 +764,107 @@ func tenantSpec(def tenantRouter) (*core.Spec, string, error) {
 type tenantInstance struct {
 	def     tenantRouter
 	sw      *switchboard
-	ln      net.Listener
 	applied string
 }
 
-// runConfig is -config mode: every tenant router accepts on its own
-// address with its own pipeline and grammar; SIGHUP re-reads each tenant's
-// grammar_file and hot-swaps changed grammars with zero downtime.
-func runConfig(path string) error {
+// multiCore routes serve.Core calls to the per-tenant switchboards; the
+// tenant name comes from the listener each connection arrived on.
+type multiCore struct{ tenants map[string]*switchboard }
+
+func (c multiCore) Send(tenant, key string, data []byte) error {
+	sw, ok := c.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("unknown tenant %q", tenant)
+	}
+	return sw.pipeline.Send(key, data)
+}
+
+func (c multiCore) CloseStream(tenant, key string) error {
+	sw, ok := c.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("unknown tenant %q", tenant)
+	}
+	return sw.pipeline.CloseStream(key)
+}
+
+func (c multiCore) Close() error {
+	var first error
+	for _, sw := range c.tenants {
+		if err := sw.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// buildConfigServer assembles the -config server: one raw TCP input per
+// tenant, all bound to one serve.Server over the per-tenant
+// switchboards. It returns the tenant instances for the SIGHUP handler.
+func buildConfigServer(path string) (*serve.Server, []*tenantInstance, error) {
 	cfg, err := loadRouterConfig(path)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
+	srv := serve.NewServer()
+	cores := make(map[string]*switchboard, len(cfg.Routers))
 	tenants := make([]*tenantInstance, 0, len(cfg.Routers))
-	defer func() {
+	var lns []net.Listener
+	cleanup := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
 		for _, tn := range tenants {
-			tn.ln.Close()
 			tn.sw.Close()
 		}
-	}()
+	}
 	for _, def := range cfg.Routers {
 		spec, src, err := tenantSpec(def)
 		if err != nil {
-			return err
+			cleanup()
+			return nil, nil, err
 		}
 		quar := time.Duration(0)
 		if def.Quarantine != "" {
 			quar, _ = time.ParseDuration(def.Quarantine) // validated by loadRouterConfig
 		}
+		name := def.Name
 		sw, err := newSwitchboard(spec, def.Bank, def.Shop, def.Default, pipelineConfig{
 			shards:     def.Shards,
 			maxStreams: def.MaxStreams,
 			quarantine: quar,
 			batchBytes: def.BatchBytes,
-		})
+		}, func(key string) { srv.EndStream(name, key) })
 		if err != nil {
-			return fmt.Errorf("router %q: %w", def.Name, err)
+			cleanup()
+			return nil, nil, fmt.Errorf("router %q: %w", def.Name, err)
 		}
+		tenants = append(tenants, &tenantInstance{def: def, sw: sw, applied: src})
+		cores[def.Name] = sw
 		ln, err := net.Listen("tcp", def.Listen)
 		if err != nil {
-			sw.Close()
-			return fmt.Errorf("router %q: %w", def.Name, err)
+			cleanup()
+			return nil, nil, fmt.Errorf("router %q: %w", def.Name, err)
 		}
-		tenants = append(tenants, &tenantInstance{def: def, sw: sw, ln: ln, applied: src})
+		lns = append(lns, ln)
+		srv.AddInput(serve.NewTCPInput(ln, serve.TCPOptions{
+			Tenant: def.Name, Raw: true, NoEcho: true,
+		}))
 		fmt.Printf("xmlrouter: tenant %q listening on %s (bank=%s shop=%s shards=%d)\n",
 			def.Name, ln.Addr(), def.Bank, def.Shop, def.Shards)
 	}
+	srv.Bind(multiCore{tenants: cores})
+	return srv, tenants, nil
+}
 
+// runConfig is -config mode: every tenant router accepts on its own
+// address with its own pipeline and grammar; SIGHUP re-reads each tenant's
+// grammar_file and hot-swaps changed grammars with zero downtime, and
+// SIGTERM drains every tenant's listener through the serve layer.
+func runConfig(path string, drain time.Duration) error {
+	srv, tenants, err := buildConfigServer(path)
+	if err != nil {
+		return err
+	}
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)
@@ -620,27 +875,10 @@ func runConfig(path string) error {
 			}
 		}
 	}()
-
-	errCh := make(chan error, len(tenants))
-	for _, tn := range tenants {
-		tn := tn
-		go func() {
-			for {
-				conn, err := tn.ln.Accept()
-				if err != nil {
-					errCh <- fmt.Errorf("router %q: %w", tn.def.Name, err)
-					return
-				}
-				go func(c net.Conn) {
-					defer c.Close()
-					if err := tn.sw.HandleConn(c); err != nil {
-						fmt.Fprintf(os.Stderr, "xmlrouter: router %q: %v\n", tn.def.Name, err)
-					}
-				}(conn)
-			}
-		}()
+	if err := srv.Start(); err != nil {
+		return err
 	}
-	return <-errCh
+	return awaitDrain(srv, drain)
 }
 
 // reloadTenant re-reads one tenant's grammar_file and hot-swaps it when

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cfgtag/internal/xmlrpc"
+)
+
+// lineSink is a fake back-end service: a TCP listener counting the
+// newline-delimited messages the router forwards to it.
+type lineSink struct {
+	ln    net.Listener
+	lines atomic.Int64
+}
+
+func newLineSink(t *testing.T) *lineSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &lineSink{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+				for sc.Scan() {
+					s.lines.Add(1)
+				}
+			}(conn)
+		}
+	}()
+	return s
+}
+
+func (s *lineSink) addr() string { return s.ln.Addr().String() }
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestListenerDrainNoByteLoss proves the SIGTERM drain path loses no
+// in-flight bytes in either deployment shape: a client writes half its
+// corpus, Shutdown begins mid-stream (new connections are refused), the
+// client finishes, and every message still reaches the back-end server
+// its content selects.
+func TestListenerDrainNoByteLoss(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			bank, shop := newLineSink(t), newLineSink(t)
+			srv, addr, err := buildRouterServer("127.0.0.1:0", bank.addr(), shop.addr(), "",
+				pipelineConfig{shards: shards, batchBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			const messages = 60
+			gen := xmlrpc.NewGenerator(7, xmlrpc.Options{})
+			corpus, services := gen.Corpus(messages)
+			wantBank, wantShop := 0, 0
+			for _, s := range services {
+				if xmlrpc.ServiceDestination(s) == 0 {
+					wantBank++
+				} else {
+					wantShop++
+				}
+			}
+
+			client, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			half := len(corpus) / 2
+			if _, err := client.Write([]byte(corpus[:half])); err != nil {
+				t.Fatal(err)
+			}
+			waitCond(t, 5*time.Second, "stream registered", func() bool {
+				return srv.ActiveSessions() == 1
+			})
+
+			// Begin the drain mid-stream, exactly as SIGTERM would.
+			shutdownErr := make(chan error, 1)
+			go func() { shutdownErr <- srv.Shutdown(time.Minute) }()
+			waitCond(t, 5*time.Second, "draining state", func() bool {
+				return srv.Draining()
+			})
+
+			// New work is refused while draining...
+			late, err := net.Dial("tcp", addr)
+			if err == nil {
+				late.SetReadDeadline(time.Now().Add(5 * time.Second))
+				buf := make([]byte, 64)
+				if n, _ := late.Read(buf); n > 0 {
+					t.Fatalf("refused conn got %d unexpected bytes: %q", n, buf[:n])
+				}
+				late.Close()
+			}
+
+			// ...but the in-flight stream finishes and loses nothing.
+			if _, err := client.Write(append([]byte(corpus[half:]), '\n')); err != nil {
+				t.Fatal(err)
+			}
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			if err := <-shutdownErr; err != nil {
+				t.Fatalf("Shutdown: %v", err)
+			}
+			if n := srv.ActiveSessions(); n != 0 {
+				t.Fatalf("ActiveSessions after drain = %d, want 0", n)
+			}
+			waitCond(t, 5*time.Second, "sink byte counts", func() bool {
+				return int(bank.lines.Load()) == wantBank && int(shop.lines.Load()) == wantShop
+			})
+			if srv.Refused() == 0 {
+				t.Fatal("draining refusal was not counted")
+			}
+		})
+	}
+}

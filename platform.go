@@ -3,6 +3,7 @@ package cfgtag
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -27,6 +28,12 @@ var ErrUnknownTenant = runtime.ErrUnknownTenant
 // violate the tenant's quota (MaxStreams or BytesPerSec); nothing is
 // enqueued. Test with errors.Is.
 var ErrQuotaExceeded = runtime.ErrQuotaExceeded
+
+// ErrPlatformClosed is returned by every Platform operation — including
+// a second Close — once the platform has been closed. Close is
+// idempotent and safe to race: exactly one caller performs the shutdown,
+// the rest observe this error. Test with errors.Is.
+var ErrPlatformClosed = errors.New("cfgtag: platform closed")
 
 // Duration is a time.Duration that unmarshals from JSON as either a
 // number of nanoseconds or a Go duration string ("30s", "1ms", "-1ns").
@@ -118,6 +125,13 @@ type TenantDef struct {
 // governance knobs.
 type PlatformConfig struct {
 	Tenants []TenantDef `json:"tenants"`
+
+	// WrapFactory, when set, wraps every tenant's backend factory —
+	// including the factories published by later Reloads — before it is
+	// installed. It is the seam fault-injection and instrumentation
+	// harnesses use to sit between the pipeline and the real backends;
+	// it is code, not configuration, and never round-trips through JSON.
+	WrapFactory func(runtime.Factory) runtime.Factory `json:"-"`
 }
 
 // optionByName maps the declarative option names to compile Options.
@@ -289,9 +303,11 @@ func (pt *platformTenant) dropVersion(ver int) {
 // zero-downtime grammar reloads, and per-tenant metrics and quotas. All
 // methods are safe for concurrent use.
 type Platform struct {
-	reg *runtime.Registry
+	reg  *runtime.Registry
+	wrap func(runtime.Factory) runtime.Factory
 
 	mu      sync.RWMutex
+	closed  bool
 	tenants map[string]*platformTenant
 }
 
@@ -306,7 +322,7 @@ func NewPlatform(cfg *PlatformConfig, deliver func(tenant string, b *TagBatch) e
 	if deliver == nil {
 		return nil, fmt.Errorf("cfgtag: NewPlatform: deliver is required")
 	}
-	p := &Platform{reg: runtime.NewRegistry(), tenants: make(map[string]*platformTenant)}
+	p := &Platform{reg: runtime.NewRegistry(), wrap: cfg.WrapFactory, tenants: make(map[string]*platformTenant)}
 	for i := range cfg.Tenants {
 		def := cfg.Tenants[i]
 		if err := p.addTenant(def, deliver); err != nil {
@@ -330,6 +346,9 @@ func (p *Platform) addTenant(def TenantDef, deliver func(string, *TagBatch) erro
 	factory, err := engine.factory(kind)
 	if err != nil {
 		return fmt.Errorf("cfgtag: tenant %q: %w", def.Name, err)
+	}
+	if p.wrap != nil {
+		factory = p.wrap(factory)
 	}
 	pt := &platformTenant{
 		def:     def,
@@ -371,6 +390,10 @@ func (p *Platform) addTenant(def TenantDef, deliver func(string, *TagBatch) erro
 
 func (p *Platform) tenant(name string) (*platformTenant, error) {
 	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrPlatformClosed
+	}
 	pt, ok := p.tenants[name]
 	p.mu.RUnlock()
 	if !ok {
@@ -379,16 +402,29 @@ func (p *Platform) tenant(name string) (*platformTenant, error) {
 	return pt, nil
 }
 
+// isClosed reports whether Close has begun.
+func (p *Platform) isClosed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
 // Send routes one chunk of the keyed stream to the tenant's pipeline,
 // enforcing the tenant's quotas (ErrQuotaExceeded) before anything is
-// enqueued.
+// enqueued. After Close it fails with ErrPlatformClosed.
 func (p *Platform) Send(tenant, stream string, data []byte) error {
+	if p.isClosed() {
+		return ErrPlatformClosed
+	}
 	return p.reg.Send(tenant, stream, data)
 }
 
 // CloseStream ends one stream of the tenant; its final batch is delivered
-// with EOS set.
+// with EOS set. After Close it fails with ErrPlatformClosed.
 func (p *Platform) CloseStream(tenant, stream string) error {
+	if p.isClosed() {
+		return ErrPlatformClosed
+	}
 	return p.reg.CloseStream(tenant, stream)
 }
 
@@ -413,6 +449,9 @@ func (p *Platform) Reload(tenant, grammarSrc string) (int, error) {
 	factory, err := engine.factory(pt.kind)
 	if err != nil {
 		return 0, fmt.Errorf("cfgtag: tenant %q: %w", tenant, err)
+	}
+	if p.wrap != nil {
+		factory = p.wrap(factory)
 	}
 	// Publish the engine before the factory: the new version's first
 	// batch may reach the sink before Swap returns its id.
@@ -491,5 +530,17 @@ func (p *Platform) LiveVersions(tenant string) ([]int, error) {
 }
 
 // Close shuts every tenant pipeline down — flushing open streams and
-// delivering their EOS batches — and returns the first error.
-func (p *Platform) Close() error { return p.reg.Close() }
+// delivering their EOS batches — and returns the first error. Close is
+// idempotent: exactly one caller (even under a race) performs the
+// shutdown; every later or losing call returns ErrPlatformClosed without
+// touching the pipelines.
+func (p *Platform) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPlatformClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
+	return p.reg.Close()
+}

@@ -343,3 +343,62 @@ func TestDurationJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestPlatformDoubleClose pins Close idempotency under concurrency:
+// exactly one caller wins (nil), every other racer gets the typed
+// ErrPlatformClosed, and the platform's entry points fail closed after.
+func TestPlatformDoubleClose(t *testing.T) {
+	pc := testPlatformConfig(t)
+	sink := newPlatformSink()
+	p, err := NewPlatform(pc, sink.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("lang", "s1", []byte("if true then go else stop")); err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 8
+	errs := make(chan error, racers)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < racers; i++ {
+		go func() {
+			start.Wait()
+			errs <- p.Close()
+		}()
+	}
+	start.Done()
+	var wins, closed int
+	for i := 0; i < racers; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrPlatformClosed):
+			closed++
+		default:
+			t.Errorf("concurrent Close: unexpected error %v", err)
+		}
+	}
+	if wins != 1 || closed != racers-1 {
+		t.Fatalf("concurrent Close: %d nil / %d ErrPlatformClosed, want 1 / %d",
+			wins, closed, racers-1)
+	}
+
+	// Every entry point fails closed with the typed error.
+	if err := p.Send("lang", "s2", []byte("x")); !errors.Is(err, ErrPlatformClosed) {
+		t.Fatalf("Send after Close: %v, want ErrPlatformClosed", err)
+	}
+	if err := p.CloseStream("lang", "s1"); !errors.Is(err, ErrPlatformClosed) {
+		t.Fatalf("CloseStream after Close: %v, want ErrPlatformClosed", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrPlatformClosed) {
+		t.Fatalf("third Close: %v, want ErrPlatformClosed", err)
+	}
+	// Close flushed the open stream: its EOS batch was delivered.
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if !sink.eos["lang/s1"] {
+		t.Fatal("open stream not flushed by Close")
+	}
+}

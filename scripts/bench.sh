@@ -2,8 +2,8 @@
 # bench.sh — benchmark-regression rail.
 #
 # Runs the guarded throughput benchmarks (BenchmarkStream, BenchmarkDFA,
-# BenchmarkShardedPipeline, BenchmarkTenantGrid), compares per-benchmark
-# median MB/s against the
+# BenchmarkShardedPipeline, BenchmarkTenantGrid, BenchmarkServeTCP),
+# compares per-benchmark median MB/s against the
 # committed BENCH_baseline.json, and fails when any benchmark drops below
 # (100 - tolerance_pct)% of its baseline median. When benchstat is on PATH
 # it also prints a proper statistical comparison; the rail itself needs
@@ -31,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 BASE=BENCH_baseline.json
 OUT=${BENCH_OUT:-bench_out}
-PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline|BenchmarkTenantGrid)$'
+PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline|BenchmarkTenantGrid|BenchmarkServeTCP)$'
 
 UPDATE=0
 CPUPROF=0
