@@ -48,6 +48,9 @@ const (
 	// XMLRPCFullSource is the real-wire-format XML-RPC grammar (with the
 	// <value> wrapper tags figure 14 omits).
 	XMLRPCFullSource = grammar.XMLRPCFullSrc
+	// EnglishSource is the section 5.1 natural-language fragment
+	// (examples/natlang).
+	EnglishSource = grammar.EnglishSrc
 )
 
 // Option tunes compilation; the defaults select the paper's design.
@@ -418,7 +421,7 @@ func (c *CheckedTagger) Errors() int64 { return c.inner.Tagger.Errors }
 // stack would have needed for this stream.
 func (c *CheckedTagger) StackDepth() int { return c.inner.Validator.StackDepth() }
 
-// BackendKind selects one of the engine's four execution paths when they
+// BackendKind selects one of the engine's five execution paths when they
 // are driven through the uniform Backend interface.
 type BackendKind string
 
@@ -440,6 +443,15 @@ const (
 	// grammar must be LL(1), and matches appear only after a successful
 	// Close.
 	ParserBackend BackendKind = "parser"
+	// EarleyBackend is the exact-language oracle: a Leo-optimized Earley
+	// recognizer handling every grammar class — left and right recursion,
+	// ambiguity, ambiguous lexicons — where the FSA paths accept a
+	// superset and the LL(1) parser refuses most grammars outright. Like
+	// ParserBackend it buffers the stream and recognizes at Close (one
+	// stream = one sentence); on ambiguous input its matches are the union
+	// over all derivations. It is the reference the precision rail
+	// (scripts/precision.sh) measures the hardware paths against.
+	EarleyBackend BackendKind = "earley"
 )
 
 // BackendCounters reports what a Backend has processed: bytes fed, matches
@@ -447,9 +459,10 @@ const (
 // on the dfa path — transition-cache hits, misses and resets.
 type BackendCounters = runtime.Counters
 
-// Backend drives any of the four execution paths through one streaming
+// Backend drives any of the five execution paths through one streaming
 // contract: Feed bytes, drain Matches, Close to flush the final byte (and,
-// for the parser path, to obtain the verdict). Not safe for concurrent use.
+// for the parser and earley paths, to obtain the verdict). Not safe for
+// concurrent use.
 type Backend struct {
 	engine *Engine
 	inner  runtime.Backend
@@ -466,14 +479,17 @@ func (e *Engine) factory(kind BackendKind) (runtime.Factory, error) {
 		return runtime.GateFactory(e.spec)
 	case ParserBackend:
 		return runtime.ParserFactory(e.spec)
+	case EarleyBackend:
+		return runtime.EarleyFactory(e.spec)
 	default:
 		return nil, fmt.Errorf("cfgtag: unknown backend kind %q", kind)
 	}
 }
 
 // NewBackend instantiates one execution path behind the uniform contract.
-// GatesBackend generates the netlist and ParserBackend builds the LL(1)
-// table, so both can fail; StreamBackend cannot.
+// GatesBackend generates the netlist, ParserBackend builds the LL(1) table
+// and EarleyBackend compiles the recognizer, so those can fail;
+// StreamBackend cannot.
 func (e *Engine) NewBackend(kind BackendKind) (*Backend, error) {
 	f, err := e.factory(kind)
 	if err != nil {

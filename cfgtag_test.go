@@ -395,7 +395,7 @@ func TestBackendKindsAgree(t *testing.T) {
 	if len(want) == 0 {
 		t.Fatal("reference tagger found nothing")
 	}
-	for _, kind := range []BackendKind{StreamBackend, GatesBackend, ParserBackend} {
+	for _, kind := range []BackendKind{StreamBackend, GatesBackend, ParserBackend, EarleyBackend} {
 		b, err := engine.NewBackend(kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -441,6 +441,14 @@ func TestBackendParserVerdict(t *testing.T) {
 	b.Feed([]byte("if true go")) // missing "then"
 	if err := b.Close(); err == nil {
 		t.Error("parser backend accepted a non-sentence")
+	}
+	eb, err := engine.NewBackend(EarleyBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb.Feed([]byte("if true go"))
+	if err := eb.Close(); err == nil {
+		t.Error("earley backend accepted a non-sentence")
 	}
 	if _, err := engine.NewBackend(BackendKind("fpga")); err == nil {
 		t.Error("unknown backend kind accepted")

@@ -13,8 +13,10 @@
 // -backend selects the execution path: "stream" (the bit-parallel software
 // engine, default), "dfa" (the lazily-determinized cached compilation of
 // the same engine — identical output, highest throughput), "gates"
-// (cycle-accurate simulation of the generated netlist) or "parser" (the
-// LL(1) baseline, which also prints the accept/reject verdict).
+// (cycle-accurate simulation of the generated netlist), "parser" (the
+// LL(1) baseline, which also prints the accept/reject verdict) or
+// "earley" (the exact-language oracle — any grammar class, tags unioned
+// over all derivations, accept/reject verdict printed like the parser's).
 //
 // -shards N switches to pipeline mode: every input line becomes its own
 // keyed stream, tagged concurrently on N shards and printed in per-stream
@@ -74,7 +76,7 @@ func main() {
 		showFollow  = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
 		lint        = flag.Bool("lint", false, "print grammar design warnings and exit")
 		dot         = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
-		backend     = flag.String("backend", "stream", "execution path: stream, dfa, gates or parser")
+		backend     = flag.String("backend", "stream", "execution path: stream, dfa, gates, parser or earley")
 		shards      = flag.Int("shards", 0, "pipeline mode: tag each input line as its own stream on this many shards")
 		maxStreams  = flag.Int("max-streams", 0, "pipeline mode: cap live streams per shard, evicting the least-recently-fed at the cap (0 = unlimited)")
 		quarantine  = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
@@ -253,7 +255,7 @@ func main() {
 func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 	if verdict != nil {
 		fmt.Fprintf(out, "verdict: reject (%v)\n", verdict)
-	} else if b.Kind() == cfgtag.ParserBackend {
+	} else if b.Kind() == cfgtag.ParserBackend || b.Kind() == cfgtag.EarleyBackend {
 		fmt.Fprintln(out, "verdict: accept")
 	}
 	if c := b.Counters(); c.Recoveries > 0 || c.Collisions > 0 {
@@ -295,6 +297,11 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 	case "parser":
 		var err error
 		if factory, err = runtime.ParserFactory(spec); err != nil {
+			return err
+		}
+	case "earley":
+		var err error
+		if factory, err = runtime.EarleyFactory(spec); err != nil {
 			return err
 		}
 	default:

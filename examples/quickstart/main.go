@@ -49,11 +49,12 @@ func main() {
 			s, tagged, p.Accepts([]byte(s)))
 	}
 
-	// All three execution paths — software tagger, gate-level simulation of
-	// the generated hardware, and the LL(1) baseline — also run behind one
-	// streaming Backend contract.
+	// All five execution paths — software tagger, lazy DFA, gate-level
+	// simulation of the generated hardware, the LL(1) baseline, and the
+	// Earley exact-language oracle — run behind one streaming Backend
+	// contract.
 	fmt.Println("\nSame stream through every backend:")
-	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.DFABackend, cfgtag.GatesBackend, cfgtag.ParserBackend} {
+	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.DFABackend, cfgtag.GatesBackend, cfgtag.ParserBackend, cfgtag.EarleyBackend} {
 		b, err := engine.NewBackend(kind)
 		if err != nil {
 			panic(err)

@@ -173,6 +173,104 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
+// earleyRig lazily builds the oracle-vs-parser fuzz fixture: earley,
+// parser and stream backends over the anchored if-then-else grammar
+// (LL(1), unambiguous lexicon — the class where the two exact recognizers
+// must agree completely), reused via Reset across inputs.
+type earleyRig struct {
+	earley, parser, stream runtime.Backend
+}
+
+var (
+	earleyRigOnce sync.Once
+	earleyRigV    earleyRig
+	earleyRigErr  error
+)
+
+func buildEarleyRig() {
+	mk := func(f runtime.Factory, err error) runtime.Backend {
+		if earleyRigErr != nil {
+			return nil
+		}
+		if err != nil {
+			earleyRigErr = err
+			return nil
+		}
+		b, err := f(0, nil)
+		if err != nil {
+			earleyRigErr = err
+			return nil
+		}
+		return b
+	}
+	engine, err := Compile("fuzz-earley", IfThenElseSource)
+	if err != nil {
+		earleyRigErr = err
+		return
+	}
+	spec := engine.Spec()
+	earleyRigV.earley = mk(runtime.EarleyFactory(spec))
+	earleyRigV.parser = mk(runtime.ParserFactory(spec))
+	earleyRigV.stream = mk(runtime.TaggerFactory(spec), nil)
+}
+
+// runVerdict is runDiff plus the Close verdict, which the exact-language
+// backends use to reject non-sentences.
+func runVerdict(b runtime.Backend, data []byte) ([]stream.Match, error) {
+	b.Reset()
+	b.Feed(data)
+	err := b.Close()
+	return b.Matches(), err
+}
+
+// FuzzEarleyDifferential feeds arbitrary bytes to both exact-language
+// recognizers — the Earley oracle and the LL(1) predictive parser — over
+// an LL(1) grammar where they must agree completely: same accept/reject
+// verdict, and identical tags on accept. Accepted inputs additionally
+// check the precision-rail invariant that the oracle's tags are among the
+// FSA path's tags.
+//
+// Seed corpus: testdata/fuzz/FuzzEarleyDifferential.
+func FuzzEarleyDifferential(f *testing.F) {
+	f.Add([]byte("if true then go else stop"))
+	f.Add([]byte("if false then if true then go else stop else go"))
+	f.Add([]byte("  if   true\tthen go  "))
+	f.Add([]byte("if true then go")) // missing else: both must reject
+	f.Add([]byte("if tru then go"))  // lexeme near-miss
+	f.Add([]byte("go stop"))         // two sentences, not one
+	f.Add([]byte{0, 255, 'i', 'f', ' ', 0xC3, 0x28})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return // quadratic-worst-case oracle chart on adversarial input
+		}
+		earleyRigOnce.Do(buildEarleyRig)
+		if earleyRigErr != nil {
+			t.Fatal(earleyRigErr)
+		}
+		em, eErr := runVerdict(earleyRigV.earley, data)
+		pm, pErr := runVerdict(earleyRigV.parser, data)
+		if (eErr == nil) != (pErr == nil) {
+			t.Fatalf("verdicts diverged on %q: earley %v, parser %v", data, eErr, pErr)
+		}
+		if eErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(em, pm) {
+			t.Fatalf("tags diverged on accepted %q:\nearley %v\nparser %v", data, em, pm)
+		}
+		sm, _ := runVerdict(earleyRigV.stream, data)
+		fsa := make(map[stream.Match]bool, len(sm))
+		for _, m := range sm {
+			fsa[m] = true
+		}
+		for _, m := range em {
+			if !fsa[m] {
+				t.Fatalf("earley tag %v missing from stream tags on %q", m, data)
+			}
+		}
+	})
+}
+
 // FuzzConfig throws arbitrary bytes at the declarative platform-config
 // parser: decoding and validating must reject garbage with a clean error
 // (validation failures specifically with ErrInvalidConfig), never a panic,

@@ -1,0 +1,497 @@
+// Package earley implements a general context-free recognizer over a
+// compiled tagging spec — the exact-language oracle the FSA execution paths
+// are measured against.
+//
+// The paper's engine deliberately collapses the grammar's push-down
+// automaton into a finite automaton that accepts a *superset* of the
+// language (section 3.1, figure 2). The recognizer here accepts the
+// language exactly, for every grammar class the grammar package admits —
+// left recursion, right recursion, ambiguity — so it can judge inputs the
+// LL(1) parser baseline cannot.
+//
+// It is an Earley recognizer in the style of Marpa: chart sets live at
+// token-start byte offsets, completions are memoized per set, and Leo's
+// right-recursion optimization keeps deterministic right-recursive
+// derivations linear instead of quadratic. Scanning is hardware-faithful
+// rather than lexer-faithful: a lexeme starting at byte s is valid up to
+// byte e exactly when the terminal's Glushkov automaton holds an accepting
+// position at e whose own follow set cannot consume the byte at e+1 (the
+// per-position figure 7 lookahead), so one (start, terminal) pair can
+// yield several valid ends — the same ambiguous-lexicon scanning the
+// stream engine performs in parallel. Under Options.NoLongestMatch every
+// accepting step is a valid end. Tokens start at the first non-delimiter
+// byte after the previous lexeme (the pending latch is consumed there) and
+// leading/trailing delimiter runs are skipped, mirroring the inverted
+// delimiter enable of section 3.2.
+//
+// Tags returns the union of terminal tags over *all* derivations: every
+// item records its causes (scan, completion, or a Leo chain) and a
+// backward reachability pass from the accepting item keeps exactly the
+// scans that participate in some full parse. An Earley item (rule, dot,
+// origin) in a given set spans fixed byte offsets, so alternative causes
+// of one item are interchangeable sub-derivations and the union is exact.
+package earley
+
+import (
+	"fmt"
+	"sort"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+// Tag is one terminal occurrence used by a successful derivation: the
+// grammar rule index and RHS position of the occurrence (the same
+// coordinates core.Spec.InstanceAt resolves), the token index, and the
+// inclusive byte span of the lexeme. For ambiguous grammars the tag list
+// is the union over all derivations.
+type Tag struct {
+	Rule, Pos  int
+	TokenIndex int
+	Start, End int
+}
+
+// RejectError reports input that is not a sentence of the grammar.
+type RejectError struct {
+	Grammar string
+	// Pos is the furthest token-start byte offset recognition reached —
+	// the first position no derivation could move past.
+	Pos int
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("earley: %s: input rejected at byte %d", e.Grammar, e.Pos)
+}
+
+// symbol is one RHS element with interned identity: a token index when
+// terminal, a nonterminal id otherwise.
+type symbol struct {
+	terminal bool
+	idx      int
+}
+
+// prod is one interned production. gri is the grammar rule index (-1 for
+// the augmented start production), preserved so tags carry the occurrence
+// coordinates of the source grammar.
+type prod struct {
+	lhs int
+	rhs []symbol
+	gri int
+}
+
+// Recognizer is the reusable, immutable compilation of one spec. It is
+// safe for concurrent use; each Tags call builds its own chart.
+type Recognizer struct {
+	spec    *core.Spec
+	prods   []prod
+	ntRules [][]int // nonterminal id -> prod indices
+	aug     int     // augmented production index
+}
+
+// New compiles a recognizer for the spec's grammar. Options that change
+// the engine's *intent* away from "recognize one anchored sentence" —
+// FreeRunningStart, AllEnabled, error recovery — have no exact-language
+// counterpart and are rejected; NoLongestMatch and NoContextDuplication
+// are supported.
+func New(spec *core.Spec) (*Recognizer, error) {
+	o := spec.Opts
+	switch {
+	case o.FreeRunningStart:
+		return nil, fmt.Errorf("earley: FreeRunningStart specs scan for sentences at every boundary; the oracle recognizes anchored sentences only")
+	case o.AllEnabled:
+		return nil, fmt.Errorf("earley: AllEnabled specs discard the syntactic wiring; there is no language to recognize exactly")
+	case o.Recovery != core.RecoveryNone:
+		return nil, fmt.Errorf("earley: recovery mode %v resumes after errors; the oracle rejects non-sentences", o.Recovery)
+	}
+	g := spec.Grammar
+	ids := make(map[string]int)
+	nts := g.NonTerminals()
+	for _, nt := range nts {
+		ids[nt] = len(ids)
+	}
+	r := &Recognizer{spec: spec, ntRules: make([][]int, len(nts)+1)}
+	for gri, gr := range g.Rules {
+		p := prod{lhs: ids[gr.LHS], gri: gri}
+		for _, s := range gr.RHS {
+			if s.Kind == grammar.Terminal {
+				p.rhs = append(p.rhs, symbol{terminal: true, idx: g.TokenIndex(s.Name)})
+			} else {
+				p.rhs = append(p.rhs, symbol{idx: ids[s.Name]})
+			}
+		}
+		r.ntRules[p.lhs] = append(r.ntRules[p.lhs], len(r.prods))
+		r.prods = append(r.prods, p)
+	}
+	augNT := len(nts)
+	r.aug = len(r.prods)
+	r.prods = append(r.prods, prod{lhs: augNT, rhs: []symbol{{idx: ids[g.Start]}}, gri: -1})
+	r.ntRules[augNT] = []int{r.aug}
+	return r, nil
+}
+
+// itemKey identifies an Earley item within one set: a dotted production
+// and the index of the set the item originated in.
+type itemKey struct{ prod, dot, origin int }
+
+type causeKind uint8
+
+const (
+	causeScan causeKind = iota
+	causeComplete
+	causeLeo
+)
+
+// cause records how an item instance arose, for the backward tag pass.
+type cause struct {
+	kind  causeKind
+	prev  *item    // the item whose dot advanced (scan, complete)
+	sub   *item    // the completed child (complete, leo)
+	chain *leoItem // leo: bottom link of the transitive chain
+	tag   Tag      // scan: the consumed lexeme
+}
+
+type item struct {
+	key    itemKey
+	causes []cause
+}
+
+// leoItem memoizes Leo's transitive completion for (set, nonterminal):
+// when exactly one item in the set expects B as its final symbol, every
+// completion of B may jump straight to the topmost item of the chain. The
+// penult links let the tag pass recover the skipped intermediate
+// derivation steps.
+type leoItem struct {
+	penult    *item
+	parent    *leoItem
+	topProd   int
+	topOrigin int
+}
+
+// earleySet is the chart column at one canonical byte position (a token
+// start, or end of input).
+type earleySet struct {
+	idx       int
+	pos       int
+	items     []*item // insertion order doubles as the worklist
+	index     map[itemKey]*item
+	postdot   map[int][]*item // nonterminal id -> items expecting it
+	predicted map[int]bool
+	nullDone  map[int][]*item // empty-span completions by LHS id
+	leo       map[int]*leoItem
+	leoTried  map[int]bool
+	scans     []*item // items expecting a terminal
+}
+
+// run is the per-input chart state.
+type run struct {
+	r        *Recognizer
+	input    []byte
+	sets     []*earleySet
+	byPos    map[int]*earleySet
+	scanMemo map[int][]int
+}
+
+// parse builds the full chart for input. Sets are processed in increasing
+// byte position; scans only ever target strictly later positions, so every
+// set is complete before anything reads it.
+func (r *Recognizer) parse(input []byte) *run {
+	p := &run{r: r, input: input, byPos: make(map[int]*earleySet), scanMemo: make(map[int][]int)}
+	s0 := p.setAt(p.skipDelims(0))
+	p.add(s0, itemKey{r.aug, 0, 0}, cause{}, false)
+	for pos := 0; pos <= len(input); pos++ {
+		if s, ok := p.byPos[pos]; ok {
+			p.process(s)
+			p.scan(s)
+		}
+	}
+	return p
+}
+
+// Tags recognizes input and returns the union of terminal tags over all
+// derivations, sorted by (End, Rule, Pos). A non-nil error is a
+// *RejectError (or wraps one) and carries no tags, mirroring the parser
+// backend's tag-nothing-on-reject contract.
+func (r *Recognizer) Tags(input []byte) ([]Tag, error) {
+	p := r.parse(input)
+	var goal *item
+	if fs, ok := p.byPos[len(input)]; ok {
+		goal = fs.index[itemKey{r.aug, 1, 0}]
+	}
+	if goal == nil {
+		return nil, &RejectError{Grammar: r.spec.Grammar.Name, Pos: p.furthest()}
+	}
+	return p.extract(goal), nil
+}
+
+// Accepts reports whether input is a sentence of the grammar.
+func (r *Recognizer) Accepts(input []byte) bool {
+	p := r.parse(input)
+	fs, ok := p.byPos[len(input)]
+	return ok && fs.index[itemKey{r.aug, 1, 0}] != nil
+}
+
+func (p *run) skipDelims(pos int) int {
+	for pos < len(p.input) && p.r.spec.Delim.Has(p.input[pos]) {
+		pos++
+	}
+	return pos
+}
+
+func (p *run) setAt(pos int) *earleySet {
+	if s, ok := p.byPos[pos]; ok {
+		return s
+	}
+	s := &earleySet{
+		idx:       len(p.sets),
+		pos:       pos,
+		index:     make(map[itemKey]*item),
+		postdot:   make(map[int][]*item),
+		predicted: make(map[int]bool),
+		nullDone:  make(map[int][]*item),
+		leo:       make(map[int]*leoItem),
+		leoTried:  make(map[int]bool),
+	}
+	p.sets = append(p.sets, s)
+	p.byPos[pos] = s
+	return s
+}
+
+// add inserts the item if new and appends the cause. Re-adding an existing
+// key only accumulates the cause: item effects depend on the key alone, so
+// nothing is reprocessed, which is what terminates cyclic grammars.
+func (p *run) add(s *earleySet, k itemKey, c cause, hasCause bool) {
+	it, ok := s.index[k]
+	if !ok {
+		it = &item{key: k}
+		s.index[k] = it
+		s.items = append(s.items, it)
+	}
+	if hasCause {
+		it.causes = append(it.causes, c)
+	}
+}
+
+// process runs the predict/complete worklist of one set to fixpoint.
+func (p *run) process(s *earleySet) {
+	for i := 0; i < len(s.items); i++ {
+		it := s.items[i]
+		pr := &p.r.prods[it.key.prod]
+		if it.key.dot == len(pr.rhs) {
+			p.complete(s, it, pr)
+			continue
+		}
+		sym := pr.rhs[it.key.dot]
+		if sym.terminal {
+			s.scans = append(s.scans, it)
+			continue
+		}
+		b := sym.idx
+		s.postdot[b] = append(s.postdot[b], it)
+		if !s.predicted[b] {
+			s.predicted[b] = true
+			for _, ri := range p.r.ntRules[b] {
+				p.add(s, itemKey{ri, 0, s.idx}, cause{}, false)
+			}
+		}
+		// Aycock–Horspool: if b already completed over an empty span in
+		// this set, advance immediately — each (expecter, completion)
+		// pair fires exactly once between this loop and complete's.
+		for _, c := range s.nullDone[b] {
+			p.add(s, itemKey{it.key.prod, it.key.dot + 1, it.key.origin}, cause{kind: causeComplete, prev: it, sub: c}, true)
+		}
+	}
+}
+
+// complete advances every item expecting the finished nonterminal, or the
+// memoized Leo top item when the origin set qualifies.
+func (p *run) complete(s *earleySet, it *item, pr *prod) {
+	b := pr.lhs
+	if it.key.origin == s.idx {
+		// Empty span: the origin set is still being built, so advance
+		// current expecters here and let later ones replay from nullDone.
+		s.nullDone[b] = append(s.nullDone[b], it)
+		for _, x := range s.postdot[b] {
+			p.add(s, itemKey{x.key.prod, x.key.dot + 1, x.key.origin}, cause{kind: causeComplete, prev: x, sub: it}, true)
+		}
+		return
+	}
+	os := p.sets[it.key.origin]
+	if l := p.leoFor(os, b); l != nil {
+		top := &p.r.prods[l.topProd]
+		p.add(s, itemKey{l.topProd, len(top.rhs), l.topOrigin}, cause{kind: causeLeo, sub: it, chain: l}, true)
+		return
+	}
+	for _, x := range os.postdot[b] {
+		p.add(s, itemKey{x.key.prod, x.key.dot + 1, x.key.origin}, cause{kind: causeComplete, prev: x, sub: it}, true)
+	}
+}
+
+// leoFor computes (memoized) the Leo transitive item for nonterminal b in
+// set s: defined when exactly one item in s expects b and that item
+// completes on advancing. leoTried doubles as the cycle guard for unit
+// cycles (A→B, B→A): re-entry observes nil and breaks the chain there,
+// which merely shortens the jump — the intermediate completion then
+// proceeds as its own item.
+func (p *run) leoFor(s *earleySet, b int) *leoItem {
+	if s.leoTried[b] {
+		return s.leo[b]
+	}
+	s.leoTried[b] = true
+	if len(s.postdot[b]) != 1 {
+		return nil
+	}
+	x := s.postdot[b][0]
+	pr := &p.r.prods[x.key.prod]
+	if x.key.dot+1 != len(pr.rhs) {
+		return nil
+	}
+	l := &leoItem{penult: x, topProd: x.key.prod, topOrigin: x.key.origin}
+	if parent := p.leoFor(p.sets[x.key.origin], pr.lhs); parent != nil {
+		l.parent = parent
+		l.topProd = parent.topProd
+		l.topOrigin = parent.topOrigin
+	}
+	s.leo[b] = l
+	return l
+}
+
+// scan advances every terminal-expecting item of s over each valid lexeme
+// end, landing in the set at the next token-start position.
+func (p *run) scan(s *earleySet) {
+	if s.pos >= len(p.input) {
+		return
+	}
+	for _, it := range s.scans {
+		pr := &p.r.prods[it.key.prod]
+		tok := pr.rhs[it.key.dot].idx
+		for _, end := range p.matchEnds(s.pos, tok) {
+			ns := p.setAt(p.skipDelims(end + 1))
+			tag := Tag{Rule: pr.gri, Pos: it.key.dot, TokenIndex: tok, Start: s.pos, End: end}
+			p.add(ns, itemKey{it.key.prod, it.key.dot + 1, it.key.origin}, cause{kind: causeScan, prev: it, tag: tag}, true)
+		}
+	}
+}
+
+// matchEnds simulates the token's position automaton from pos and returns
+// every hardware-valid lexeme end: offsets holding an accepting position
+// whose own follow set cannot consume the next byte (every accepting
+// offset under NoLongestMatch). Memoized per (pos, token).
+func (p *run) matchEnds(pos, tok int) []int {
+	key := pos*len(p.r.spec.Programs) + tok
+	if ends, ok := p.scanMemo[key]; ok {
+		return ends
+	}
+	prog := p.r.spec.Programs[tok]
+	noLongest := p.r.spec.Opts.NoLongestMatch
+	var ends []int
+	first := p.input[pos]
+	cur := make([]int, 0, len(prog.First))
+	for _, q := range prog.First {
+		if prog.Classes[q].Has(first) {
+			cur = append(cur, q)
+		}
+	}
+	inNext := make([]bool, prog.Len())
+	for off := pos; len(cur) > 0; off++ {
+		var next byte
+		hasNext := off+1 < len(p.input)
+		if hasNext {
+			next = p.input[off+1]
+		}
+		for _, q := range cur {
+			if !prog.IsLast(q) {
+				continue
+			}
+			if noLongest || !hasNext || !prog.CanExtend(q, next) {
+				ends = append(ends, off)
+				break
+			}
+		}
+		if !hasNext {
+			break
+		}
+		var nxt []int
+		for _, q := range cur {
+			for _, t := range prog.Follow[q] {
+				if !inNext[t] && prog.Classes[t].Has(next) {
+					inNext[t] = true
+					nxt = append(nxt, t)
+				}
+			}
+		}
+		for _, t := range nxt {
+			inNext[t] = false
+		}
+		cur = nxt
+	}
+	p.scanMemo[key] = ends
+	return ends
+}
+
+// furthest is the largest token-start position any item reached.
+func (p *run) furthest() int {
+	f := 0
+	for _, s := range p.sets {
+		if s.pos > f {
+			f = s.pos
+		}
+	}
+	return f
+}
+
+// extract walks causes backward from the accepting item, keeping every
+// scan that participates in some complete derivation.
+func (p *run) extract(goal *item) []Tag {
+	var out []Tag
+	tagSeen := make(map[Tag]bool)
+	seen := make(map[*item]bool)
+	stack := []*item{goal}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
+		for _, c := range it.causes {
+			switch c.kind {
+			case causeScan:
+				if !tagSeen[c.tag] {
+					tagSeen[c.tag] = true
+					out = append(out, c.tag)
+				}
+				stack = append(stack, c.prev)
+			case causeComplete:
+				stack = append(stack, c.prev, c.sub)
+			case causeLeo:
+				stack = append(stack, c.sub)
+				for l := c.chain; l != nil; l = l.parent {
+					stack = append(stack, l.penult)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Pos < b.Pos
+	})
+	return out
+}
+
+// chartItems reports the total item count of the last chart a fresh parse
+// of input would build; tests use it to pin Leo's linear growth on right
+// recursion.
+func (r *Recognizer) chartItems(input []byte) int {
+	p := r.parse(input)
+	n := 0
+	for _, s := range p.sets {
+		n += len(s.items)
+	}
+	return n
+}

@@ -1,0 +1,328 @@
+package earley
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/parser"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+func compile(t *testing.T, g *grammar.Grammar, opts core.Options) (*core.Spec, *Recognizer) {
+	t.Helper()
+	spec, err := core.Compile(g, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", g.Name, err)
+	}
+	rec, err := New(spec)
+	if err != nil {
+		t.Fatalf("recognizer %s: %v", g.Name, err)
+	}
+	return spec, rec
+}
+
+func parse(t *testing.T, name, src string) *grammar.Grammar {
+	t.Helper()
+	g, err := grammar.Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return g
+}
+
+// tagsAsMatches projects earley tags to the (instance, end) pairs the
+// stream engine reports.
+func tagsAsMatches(spec *core.Spec, tags []Tag) map[stream.Match]bool {
+	out := make(map[stream.Match]bool, len(tags))
+	for _, tag := range tags {
+		in := spec.InstanceAt(tag.Rule, tag.Pos)
+		out[stream.Match{InstanceID: in.ID, End: int64(tag.End)}] = true
+	}
+	return out
+}
+
+// TestAgainstParserOnBuiltins: on LL(1) grammars the oracle and the
+// predictive parser recognize the same language with the same tags.
+func TestAgainstParserOnBuiltins(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(),
+		grammar.IfThenElse(),
+		grammar.XMLRPC(),
+	} {
+		t.Run(g.Name, func(t *testing.T) {
+			spec, rec := compile(t, g, core.Options{})
+			table, err := parser.BuildTable(spec)
+			if err != nil {
+				t.Fatalf("LL(1) table: %v", err)
+			}
+			gen := workload.NewGenerator(spec, 11, workload.SentenceOptions{MaxDepth: 8})
+			for trial := 0; trial < 25; trial++ {
+				text, _ := gen.Sentence()
+				want, err := table.Parse(text)
+				if err != nil {
+					t.Fatalf("parser rejected conforming %q: %v", text, err)
+				}
+				got, err := rec.Tags(text)
+				if err != nil {
+					t.Fatalf("earley rejected conforming %q: %v", text, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%q: earley %d tags, parser %d\nearley %v\nparser %v", text, len(got), len(want), got, want)
+				}
+				for i := range got {
+					w := Tag(want[i])
+					if got[i] != w {
+						t.Fatalf("%q tag %d: earley %+v, parser %+v", text, i, got[i], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubsetOfStream: earley tags are always among the FSA path's tags —
+// the direction that makes the oracle a precision bound.
+func TestSubsetOfStream(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.IfThenElse(),
+		grammar.XMLRPC(),
+		grammar.English(),
+	} {
+		t.Run(g.Name, func(t *testing.T) {
+			spec, rec := compile(t, g, core.Options{})
+			gen := workload.NewGenerator(spec, 7, workload.SentenceOptions{MaxDepth: 8})
+			for trial := 0; trial < 25; trial++ {
+				text, _ := gen.Sentence()
+				tags, err := rec.Tags(text)
+				if err != nil {
+					t.Fatalf("earley rejected conforming %q: %v", text, err)
+				}
+				fsa := make(map[stream.Match]bool)
+				for _, m := range stream.NewTagger(spec).Tag(text) {
+					fsa[m] = true
+				}
+				for m := range tagsAsMatches(spec, tags) {
+					if !fsa[m] {
+						t.Fatalf("%q: earley tag %v missing from stream tags", text, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAmbiguousUnion: tags are the union over all derivations, not one
+// parse's worth.
+func TestAmbiguousUnion(t *testing.T) {
+	g := parse(t, "amb", `
+%%
+s : a | b ;
+a : "x" ;
+b : "x" ;
+`)
+	_, rec := compile(t, g, core.Options{})
+	tags, err := rec.Tags([]byte("x"))
+	if err != nil {
+		t.Fatalf("reject: %v", err)
+	}
+	// Rules: 0 s:a, 1 s:b, 2 a:"x", 3 b:"x". Both occurrences tag.
+	if len(tags) != 2 || tags[0].Rule != 2 || tags[1].Rule != 3 {
+		t.Fatalf("tags = %+v, want both x occurrences", tags)
+	}
+}
+
+// TestLexicalAmbiguity: one (start, terminal) scan can end at several
+// offsets when the pattern holds a non-extendable accepting position
+// mid-run — the per-position figure 7 lookahead, not global longest match.
+func TestLexicalAmbiguity(t *testing.T) {
+	g := parse(t, "lex", `
+T (ab)|a
+%%
+s : T T ;
+`)
+	_, rec := compile(t, g, core.Options{})
+	// "aab" must split as a + ab ("a"+"a" leaves the b unconsumed).
+	tags, err := rec.Tags([]byte("aab"))
+	if err != nil {
+		t.Fatalf("reject aab: %v", err)
+	}
+	if len(tags) != 2 || tags[0].End != 0 || tags[1].End != 2 {
+		t.Fatalf("aab tags = %+v, want ends 0 and 2", tags)
+	}
+	// "ab" cannot split into two tokens: "ab" is one lexeme, and after
+	// "a" no T starts at b.
+	if rec.Accepts([]byte("ab")) {
+		t.Fatal("accepted ab, want reject")
+	}
+	// "a ab": both tokens, delimiter-separated.
+	if !rec.Accepts([]byte("a ab")) {
+		t.Fatal("rejected a ab")
+	}
+}
+
+// TestLeoRightRecursion: chart growth on a right-recursive list stays
+// linear (Leo), not quadratic.
+func TestLeoRightRecursion(t *testing.T) {
+	g := parse(t, "rlist", `
+ITEM [a-z]+
+%%
+list : ITEM ";" list | ITEM ;
+`)
+	_, rec := compile(t, g, core.Options{})
+	input := func(n int) []byte {
+		return []byte(strings.Repeat("a;", n-1) + "a")
+	}
+	if !rec.Accepts(input(400)) {
+		t.Fatal("rejected 400-item list")
+	}
+	small, big := rec.chartItems(input(100)), rec.chartItems(input(400))
+	if ratio := float64(big) / float64(small); ratio > 5.5 {
+		t.Fatalf("chart grew superlinearly: %d items at n=100, %d at n=400 (ratio %.1f)", small, big, ratio)
+	}
+	tags, err := rec.Tags(input(5))
+	if err != nil {
+		t.Fatalf("reject: %v", err)
+	}
+	if len(tags) != 9 { // 5 items + 4 separators
+		t.Fatalf("5-item list yielded %d tags: %+v", len(tags), tags)
+	}
+}
+
+// TestUnitCycle: unit-production cycles terminate (the Leo cycle guard)
+// and still tag correctly.
+func TestUnitCycle(t *testing.T) {
+	g := parse(t, "cycle", `
+%%
+a : b ;
+b : a | "x" ;
+`)
+	_, rec := compile(t, g, core.Options{})
+	tags, err := rec.Tags([]byte("x"))
+	if err != nil {
+		t.Fatalf("reject: %v", err)
+	}
+	if len(tags) != 1 || tags[0].Rule != 2 || tags[0].Pos != 0 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if rec.Accepts([]byte("y")) {
+		t.Fatal("accepted y")
+	}
+}
+
+// TestNullableAndDelims: empty derivations, leading/trailing delimiter
+// runs, and all-delimiter input.
+func TestNullableAndDelims(t *testing.T) {
+	g := parse(t, "dyck", `
+%%
+s : | "(" s ")" s ;
+`)
+	_, rec := compile(t, g, core.Options{})
+	for _, in := range []string{"", "  ", "()", " ( ) ", "(())()", "( ( ) ) ( )  "} {
+		if !rec.Accepts([]byte(in)) {
+			t.Fatalf("rejected %q", in)
+		}
+	}
+	for _, in := range []string{"(", ")", "(()", "())", "x"} {
+		if rec.Accepts([]byte(in)) {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+	tags, err := rec.Tags([]byte("  "))
+	if err != nil || len(tags) != 0 {
+		t.Fatalf("all-delim input: tags %v, err %v", tags, err)
+	}
+}
+
+// TestRejectPosition: the reject error reports the furthest token start.
+func TestRejectPosition(t *testing.T) {
+	_, rec := compile(t, grammar.IfThenElse(), core.Options{})
+	in := "if true then go else @@"
+	_, err := rec.Tags([]byte(in))
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectError", err)
+	}
+	if want := strings.Index(in, "@"); rej.Pos != want {
+		t.Fatalf("reject pos %d, want %d", rej.Pos, want)
+	}
+}
+
+// TestNoLongestMatch: with the figure 7 lookahead disabled every accepting
+// step is a valid lexeme end, and the language grows accordingly.
+func TestNoLongestMatch(t *testing.T) {
+	g := parse(t, "nolm", `
+A [a-z]+
+%%
+s : A A ;
+`)
+	spec, rec := compile(t, g, core.Options{NoLongestMatch: true})
+	// Under longest match "ab" is a single lexeme, so s : A A rejects it;
+	// without it, "a"+"b" is a valid split.
+	tags, err := rec.Tags([]byte("ab"))
+	if err != nil {
+		t.Fatalf("rejected ab without longest match: %v", err)
+	}
+	fsa := make(map[stream.Match]bool)
+	for _, m := range stream.NewTagger(spec).Tag([]byte("ab")) {
+		fsa[m] = true
+	}
+	for m := range tagsAsMatches(spec, tags) {
+		if !fsa[m] {
+			t.Fatalf("earley tag %v missing from stream tags", m)
+		}
+	}
+
+	_, recLM := compile(t, g, core.Options{})
+	if recLM.Accepts([]byte("ab")) {
+		t.Fatal("longest-match recognizer accepted ab")
+	}
+	if !recLM.Accepts([]byte("ab cd")) {
+		t.Fatal("longest-match recognizer rejected ab cd")
+	}
+}
+
+// TestUnsupportedOptions: engine modes with no exact language are refused.
+func TestUnsupportedOptions(t *testing.T) {
+	g := grammar.IfThenElse()
+	for _, opts := range []core.Options{
+		{FreeRunningStart: true},
+		{AllEnabled: true},
+		{Recovery: core.RecoveryRestart},
+	} {
+		spec, err := core.Compile(g, opts)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if _, err := New(spec); err == nil {
+			t.Fatalf("New accepted options %+v", opts)
+		}
+	}
+}
+
+// TestLeftRecursion: the grammar package admits left recursion the LL(1)
+// parser cannot handle; the oracle must.
+func TestLeftRecursion(t *testing.T) {
+	g := parse(t, "leftrec", `
+NUM [0-9]+
+%%
+e : e "+" NUM | NUM ;
+`)
+	spec, rec := compile(t, g, core.Options{})
+	if _, err := parser.BuildTable(spec); err == nil {
+		t.Fatal("left-recursive grammar unexpectedly LL(1)")
+	}
+	for _, in := range []string{"1", "1 + 2", "1 + 2 + 3", "12+34+56"} {
+		if !rec.Accepts([]byte(in)) {
+			t.Fatalf("rejected %q", in)
+		}
+	}
+	for _, in := range []string{"+", "1 +", "+ 1", "1 2"} {
+		if rec.Accepts([]byte(in)) {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

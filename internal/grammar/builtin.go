@@ -107,6 +107,24 @@ value_list : | value value_list ;
 %%
 `
 
+// EnglishSrc is the small English fragment of the section 5.1
+// natural-language application (grammars/english.y, examples/natlang):
+// tagging a word reveals its part of speech via the production context.
+// The recursive nominal chain and the shared word tokens make it the
+// canonical non-trivial workload for the exact-language oracle.
+const EnglishSrc = `
+// Section 5.1: part-of-speech tagging via production context
+%%
+sentence : np vp ;
+np       : det nominal ;
+det      : "the" | "a" ;
+nominal  : "big" nominal | "old" nominal | noun ;
+noun     : "dog" | "cat" | "router" | "packet" ;
+vp       : verb object ;
+verb     : "sees" | "routes" | "parses" ;
+object   : | np ;
+`
+
 // BalancedParens returns the figure 1 grammar.
 func BalancedParens() *Grammar { return MustParse("balanced-parens", BalancedParensSrc) }
 
@@ -118,3 +136,6 @@ func XMLRPC() *Grammar { return MustParse("xml-rpc", XMLRPCSrc) }
 
 // XMLRPCFull returns the real-wire-format grammar with <value> wrappers.
 func XMLRPCFull() *Grammar { return MustParse("xml-rpc-full", XMLRPCFullSrc) }
+
+// English returns the section 5.1 natural-language fragment.
+func English() *Grammar { return MustParse("english", EnglishSrc) }

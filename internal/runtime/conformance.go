@@ -1,8 +1,11 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"cfgtag/internal/core"
 	"cfgtag/internal/grammar"
@@ -20,6 +23,13 @@ type ConformanceOptions struct {
 	// Corrupt additionally re-runs each sentence with one byte smashed,
 	// checking the accept/reject relation instead of match equality.
 	Corrupt bool
+	// ExactOracle additionally asserts the Earley oracle and the LL(1)
+	// parser agree *exactly* (same tag set) on conforming sentences. This
+	// holds for LL(1) grammars whose lexicon is unambiguous under the
+	// per-position lookahead; grammars where one lexeme admits several
+	// valid ends can legitimately give the oracle extra derivations, so
+	// the harness only asserts parser ⊆ earley by default.
+	ExactOracle bool
 	// WrapFactory, when set, wraps every backend factory before use, so
 	// the whole differential relation must keep holding through the
 	// wrapper. Fault-injection wrappers use it to prove they are
@@ -27,7 +37,7 @@ type ConformanceOptions struct {
 	WrapFactory func(Factory) Factory
 }
 
-// Conformance differentially tests the four Backend implementations on
+// Conformance differentially tests the five Backend implementations on
 // one grammar: every generated conforming sentence is fed to all backends
 // in random chunkings and the results are compared under the documented
 // relation —
@@ -40,14 +50,21 @@ type ConformanceOptions struct {
 //     forces the overflow/reset path on every input (whose state count
 //     must also never exceed the configured bound), and with skip-ahead
 //     acceleration disabled,
+//   - the Earley oracle must accept every conforming sentence — on any
+//     grammar class, not just LL(1) — and its tags must be a subset of
+//     the stream path's tags (the FSA accepts a superset of the
+//     language; dfa ⊇ earley follows from dfa == stream),
 //   - the LL(1) parser, when the grammar is LL(1), must accept and its
-//     tags must be a subset of the FSA paths' tags (the FSA accepts a
-//     superset of the language, so it may legitimately tag more on
-//     ambiguous grammars),
-//   - on corrupted input a parser reject says nothing about the FSA
-//     paths beyond their mutual equality.
+//     tags must be a subset of both the stream tags and the oracle tags;
+//     with ExactOracle the parser and the oracle must agree exactly,
+//   - on corrupted input a parser or oracle reject says nothing about
+//     the FSA paths beyond their mutual equality, but an input the
+//     parser accepts is in the language, so the oracle must accept it
+//     too and the subset relations must hold.
 //
-// It returns the first violation found, nil when the grammar conforms.
+// A failing trial reports every divergence found on that input (joined
+// with errors.Join), not just the first, so one run is enough to see the
+// full disagreement surface. It returns nil when the grammar conforms.
 func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error {
 	if opts.Trials == 0 {
 		opts.Trials = 8
@@ -64,17 +81,23 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 	if err != nil {
 		return fmt.Errorf("conformance %s: gate factory: %w", g.Name, err)
 	}
+	earleyF, err := EarleyFactory(spec)
+	if err != nil {
+		return fmt.Errorf("conformance %s: earley factory: %w", g.Name, err)
+	}
 	parserF, _ := ParserFactory(spec) // nil factory when the grammar is not LL(1)
 	fs := backendSet{
 		tagger:     taggerF,
 		gate:       gateF,
 		parser:     parserF,
+		earley:     earleyF,
 		dfa:        DFAFactory(spec, 0),
 		dfaTiny:    DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
 		dfaNoAccel: DFAFactoryConfig(spec, stream.DFAConfig{NoAccel: true}),
+		exact:      opts.ExactOracle,
 	}
 	if opts.WrapFactory != nil {
-		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.dfa, &fs.dfaTiny, &fs.dfaNoAccel} {
+		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.earley, &fs.dfa, &fs.dfaTiny, &fs.dfaNoAccel} {
 			*f = opts.WrapFactory(*f)
 		}
 		if fs.parser != nil {
@@ -104,8 +127,10 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 // backendSet bundles the per-path factories one Conformance run compares.
 type backendSet struct {
 	tagger, gate, parser Factory
+	earley               Factory
 	dfa, dfaTiny         Factory
 	dfaNoAccel           Factory
+	exact                bool
 }
 
 // runResult is one backend's complete observable output for one input.
@@ -166,73 +191,104 @@ func asCacheBounded(b Backend) (cacheBounded, bool) {
 	}
 }
 
-// checkDFA asserts one dfa variant is indistinguishable from the stream
-// path and never exceeded its cache bound.
-func checkDFA(name, variant string, text []byte, sw runResult, f Factory, rng *rand.Rand, maxChunk int) error {
+// checkDFA collects every way one dfa variant is distinguishable from the
+// stream path, including a cache-bound breach.
+func checkDFA(name, variant string, text []byte, sw runResult, f Factory, rng *rand.Rand, maxChunk int) []error {
 	df, err := runBackend(f, text, rng, maxChunk)
 	if err != nil {
-		return fmt.Errorf("%s: %s backend: %w", name, variant, err)
+		return []error{fmt.Errorf("%s: %s backend: %w", name, variant, err)}
 	}
+	var errs []error
 	if !equalMatches(sw.matches, df.matches) {
-		return fmt.Errorf("%s: stream and %s paths disagree on %q\nstream %v\n%s %v",
-			name, variant, text, sw.matches, variant, df.matches)
+		errs = append(errs, fmt.Errorf("%s: stream and %s paths disagree on %q\n%s",
+			name, variant, text, matchDiff("stream", sw.matches, variant, df.matches)))
 	}
 	if sw.counters.Recoveries != df.counters.Recoveries || sw.counters.Collisions != df.counters.Collisions {
-		return fmt.Errorf("%s: %s counters differ on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
+		errs = append(errs, fmt.Errorf("%s: %s counters differ on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
 			name, variant, text, sw.counters.Recoveries, sw.counters.Collisions,
-			variant, df.counters.Recoveries, df.counters.Collisions)
+			variant, df.counters.Recoveries, df.counters.Collisions))
 	}
 	if cb, ok := asCacheBounded(df.backend); ok && cb.CacheStates() > cb.MaxStates() {
-		return fmt.Errorf("%s: %s cache holds %d states, bound %d", name, variant, cb.CacheStates(), cb.MaxStates())
+		errs = append(errs, fmt.Errorf("%s: %s cache holds %d states, bound %d", name, variant, cb.CacheStates(), cb.MaxStates()))
 	}
-	return nil
+	return errs
 }
 
-// compareAll runs one input through every backend and checks the relation.
+// compareAll runs one input through every backend and checks the relation,
+// collecting every divergence rather than stopping at the first.
 // conforming reports whether the input is a known sentence of the grammar.
 func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, fs backendSet, conforming bool) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
 	sw, err := runBackend(fs.tagger, text, rng, maxChunk)
 	if err != nil {
+		// Without the reference run nothing else is comparable.
 		return fmt.Errorf("%s: stream backend: %w", name, err)
 	}
-	hw, err := runBackend(fs.gate, text, rng, maxChunk)
-	if err != nil {
-		return fmt.Errorf("%s: gate backend: %w", name, err)
+	if hw, err := runBackend(fs.gate, text, rng, maxChunk); err != nil {
+		fail("%s: gate backend: %w", name, err)
+	} else if !equalMatches(sw.matches, hw.matches) {
+		fail("%s: stream and gate paths disagree on %q\n%s",
+			name, text, matchDiff("stream", sw.matches, "gates", hw.matches))
 	}
-	if !equalMatches(sw.matches, hw.matches) {
-		return fmt.Errorf("%s: stream and gate paths disagree on %q\nstream %v\ngates  %v",
-			name, text, sw.matches, hw.matches)
+	for _, v := range []struct {
+		variant string
+		f       Factory
+	}{{"dfa", fs.dfa}, {"dfa-tiny", fs.dfaTiny}, {"dfa-noaccel", fs.dfaNoAccel}} {
+		errs = append(errs, checkDFA(name, v.variant, text, sw, v.f, rng, maxChunk)...)
 	}
-	if err := checkDFA(name, "dfa", text, sw, fs.dfa, rng, maxChunk); err != nil {
-		return err
+
+	er, erErr := runBackend(fs.earley, text, rng, maxChunk)
+	if erErr != nil {
+		fail("%s: earley backend: %w", name, erErr)
+	} else {
+		if conforming && er.verdict != nil {
+			fail("%s: earley oracle rejected conforming sentence %q: %w", name, text, er.verdict)
+		}
+		if er.verdict == nil && !subsetOf(er.matches, sw.matches) {
+			fail("%s: earley tags not a subset of stream tags on %q\n%s",
+				name, text, matchDiff("earley", er.matches, "stream", sw.matches))
+		}
 	}
-	if err := checkDFA(name, "dfa-tiny", text, sw, fs.dfaTiny, rng, maxChunk); err != nil {
-		return err
-	}
-	if err := checkDFA(name, "dfa-noaccel", text, sw, fs.dfaNoAccel, rng, maxChunk); err != nil {
-		return err
-	}
+
 	if fs.parser == nil {
-		return nil
+		return errors.Join(errs...)
 	}
 	pr, err := runBackend(fs.parser, text, rng, maxChunk)
 	if err != nil {
-		return fmt.Errorf("%s: parser backend: %w", name, err)
+		fail("%s: parser backend: %w", name, err)
+		return errors.Join(errs...)
 	}
 	ll, verdict := pr.matches, pr.verdict
-	if conforming {
-		if verdict != nil {
-			return fmt.Errorf("%s: LL(1) parser rejected conforming sentence %q: %w", name, text, verdict)
-		}
-		if !subsetOf(ll, sw.matches) {
-			return fmt.Errorf("%s: parser tags not a subset of stream tags on %q\nparser %v\nstream %v", name, text, ll, sw.matches)
-		}
-	} else if verdict == nil && !subsetOf(ll, sw.matches) {
-		// Corrupted input the parser still accepts is in the language, so
-		// the subset relation must hold there too.
-		return fmt.Errorf("%s: parser tags not a subset of stream tags on accepted input %q", name, text)
+	if conforming && verdict != nil {
+		fail("%s: LL(1) parser rejected conforming sentence %q: %w", name, text, verdict)
 	}
-	return nil
+	if verdict == nil {
+		// An accepted input is in the language whether or not the trial
+		// marked it conforming, so every relation below applies.
+		if !subsetOf(ll, sw.matches) {
+			fail("%s: parser tags not a subset of stream tags on %q\n%s",
+				name, text, matchDiff("parser", ll, "stream", sw.matches))
+		}
+		if erErr == nil {
+			if er.verdict != nil {
+				fail("%s: parser accepted %q but earley oracle rejected: %w", name, text, er.verdict)
+			} else {
+				if !subsetOf(ll, er.matches) {
+					fail("%s: parser tags not a subset of earley tags on %q\n%s",
+						name, text, matchDiff("parser", ll, "earley", er.matches))
+				}
+				if fs.exact && conforming && !equalMatchSets(ll, er.matches) {
+					fail("%s: earley and parser tag sets differ on %q (ExactOracle)\n%s",
+						name, text, matchDiff("parser", ll, "earley", er.matches))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func equalMatches(a, b []stream.Match) bool {
@@ -247,6 +303,11 @@ func equalMatches(a, b []stream.Match) bool {
 	return true
 }
 
+// equalMatchSets compares two match lists as sets, ignoring order.
+func equalMatchSets(a, b []stream.Match) bool {
+	return len(sortedSetMinus(a, b)) == 0 && len(sortedSetMinus(b, a)) == 0
+}
+
 func subsetOf(sub, super []stream.Match) bool {
 	set := make(map[stream.Match]bool, len(super))
 	for _, m := range super {
@@ -258,4 +319,70 @@ func subsetOf(sub, super []stream.Match) bool {
 		}
 	}
 	return true
+}
+
+// sortedSetMinus returns the matches of a absent from b, sorted by
+// (End, InstanceID).
+func sortedSetMinus(a, b []stream.Match) []stream.Match {
+	set := make(map[stream.Match]bool, len(b))
+	for _, m := range b {
+		set[m] = true
+	}
+	var out []stream.Match
+	seen := make(map[stream.Match]bool)
+	for _, m := range a {
+		if !set[m] && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].InstanceID < out[j].InstanceID
+	})
+	return out
+}
+
+// matchDiff renders every divergent position between two match lists: the
+// first order divergence plus the full (bounded) set difference in each
+// direction, so one failure report pinpoints all disagreements.
+func matchDiff(aName string, a []stream.Match, bName string, b []stream.Match) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %d matches, %s %d matches", aName, len(a), bName, len(b))
+	idx := -1
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 && len(a) != len(b) {
+		idx = len(a)
+		if len(b) < idx {
+			idx = len(b)
+		}
+	}
+	if idx >= 0 {
+		fmt.Fprintf(&sb, "; first order divergence at index %d", idx)
+	}
+	const cap = 12
+	render := func(label string, ms []stream.Match) {
+		if len(ms) == 0 {
+			return
+		}
+		shown := ms
+		extra := 0
+		if len(shown) > cap {
+			shown, extra = shown[:cap], len(shown)-cap
+		}
+		fmt.Fprintf(&sb, "\n  only in %s: %v", label, shown)
+		if extra > 0 {
+			fmt.Fprintf(&sb, " (+%d more)", extra)
+		}
+	}
+	render(aName, sortedSetMinus(a, b))
+	render(bName, sortedSetMinus(b, a))
+	return sb.String()
 }

@@ -96,7 +96,7 @@ type TenantDef struct {
 	// "recover-restart", "recover-resync".
 	Options []string `json:"options,omitempty"`
 	// Backend selects the execution path: "stream" (default), "dfa",
-	// "gates" or "parser".
+	// "gates", "parser" or "earley".
 	Backend string `json:"backend,omitempty"`
 	// Shards is the tenant's pipeline width (0 = GOMAXPROCS).
 	Shards int `json:"shards,omitempty"`
@@ -151,6 +151,7 @@ var backendKinds = map[string]BackendKind{
 	"dfa":    DFABackend,
 	"gates":  GatesBackend,
 	"parser": ParserBackend,
+	"earley": EarleyBackend,
 }
 
 // ParsePlatformConfig decodes a JSON platform configuration strictly:

@@ -1,0 +1,113 @@
+#!/bin/sh
+# precision.sh — FSA precision rail.
+#
+# Runs cmd/precisionrail (stream tags vs the exact-language Earley oracle
+# over the workload generators, per grammar and per grammar class) and
+# compares the false-positive rates against the committed
+# PRECISION_baseline.json. The measurement is deterministic in (seed,
+# trials), so on an unchanged tree the rates reproduce exactly; the
+# tolerance_pp headroom exists for deliberate engine changes that shift
+# the approximation slightly. A rate rising above baseline + tolerance
+# fails the gate — the FSA got *less* precise; falling rates only print.
+# Oracle violations make precisionrail itself exit nonzero regardless of
+# mode.
+#
+# Usage:
+#   scripts/precision.sh            full run + gate against the baseline
+#   scripts/precision.sh -smoke     reduced trial count (the baseline's
+#                                   smoke_trials), gated against the
+#                                   baseline's smoke section — the CI mode
+#   scripts/precision.sh -update    full run + rewrite the baseline
+#
+# Environment:
+#   PRECISION_TOLERANCE  gate tolerance in pp (default: tolerance_pp from baseline)
+#   PRECISION_OUT        report directory     (default: precision_out)
+
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE=PRECISION_baseline.json
+OUT=${PRECISION_OUT:-precision_out}
+
+UPDATE=0
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+    -update) UPDATE=1 ;;
+    -smoke)  SMOKE=1 ;;
+    *) echo "precision.sh: unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
+
+mkdir -p "$OUT"
+
+json_field() {
+    awk -F'"' -v k="$1" '$2 == k { sub(/^[^:]*:[[:space:]]*/, ""); sub(/,[[:space:]]*$/, ""); gsub(/"/, ""); print; exit }' "$BASE"
+}
+
+if [ "$UPDATE" -eq 1 ]; then
+    echo "== measuring precision (full) and rewriting $BASE"
+    go run ./cmd/precisionrail -out "$BASE"
+    echo "baseline updated; commit $BASE"
+    exit 0
+fi
+
+[ -f "$BASE" ] || { echo "precision.sh: $BASE not found (run with -update to create it)" >&2; exit 2; }
+
+SEED=$(json_field seed)
+TRIALS=$(json_field trials)
+SMOKE_TRIALS=$(json_field smoke_trials)
+TOL=${PRECISION_TOLERANCE:-$(json_field tolerance_pp)}
+
+MODE=full
+[ "$SMOKE" -eq 1 ] && MODE=smoke
+
+echo "== measuring precision ($MODE: seed $SEED, $TRIALS/$SMOKE_TRIALS trials)"
+go run ./cmd/precisionrail -seed "$SEED" -trials "$TRIALS" -smoke-trials "$SMOKE_TRIALS" \
+    -tolerance "$TOL" -out "$OUT/current.json"
+
+# rates <file> <mode> — "label rate" per grammar and per class, from the
+# requested section pair (grammars/classes or smoke_grammars/smoke_classes).
+rates() {
+    awk -F'"' -v mode="$2" '
+        $2 ~ /^(smoke_)?(grammars|classes)$/ && /\[[[:space:]]*$/ {
+            sec = ($2 ~ /^smoke_/) ? "smoke" : "full"
+            next
+        }
+        $2 == "grammar" { g = $4 }
+        $2 == "class" && $4 != "" { c = $4 }
+        $2 == "fp_rate_pct" && sec == mode {
+            v = $3
+            sub(/^[^:]*:[[:space:]]*/, "", v); sub(/,[[:space:]]*$/, "", v)
+            if (g != "") { print "grammar/" g, v } else { print "class/" c, v }
+            g = ""; c = ""
+        }
+    ' "$1" | sort
+}
+
+rates "$BASE" "$MODE" > "$OUT/baseline.rates"
+rates "$OUT/current.json" "$MODE" > "$OUT/current.rates"
+
+[ -s "$OUT/baseline.rates" ] || { echo "precision.sh: no $MODE rates in $BASE" >&2; exit 2; }
+
+echo "== false-positive rate gate (fail above baseline + ${TOL}pp)"
+fail=0
+while read -r name base; do
+    cur=$(awk -v n="$name" '$1 == n { print $2 }' "$OUT/current.rates")
+    if [ -z "$cur" ]; then
+        echo "MISSING   $name (baseline ${base}pp, no current measurement)"
+        fail=1
+        continue
+    fi
+    verdict=$(awk -v b="$base" -v c="$cur" -v tol="$TOL" '
+        BEGIN { print (c <= b + tol) ? "ok" : "REGRESSED" }')
+    printf '%-9s %-28s %8.3f -> %8.3f pp\n' "$verdict" "$name" "$base" "$cur"
+    [ "$verdict" = "ok" ] || fail=1
+done < "$OUT/baseline.rates" | tee "$OUT/report.txt"
+
+grep -Eq 'REGRESSED|MISSING' "$OUT/report.txt" && fail=1
+if [ "$fail" -ne 0 ]; then
+    echo "precision.sh: precision regression detected (see $OUT/report.txt)" >&2
+    exit 1
+fi
+echo "precision.sh: no regression (report in $OUT/report.txt)"

@@ -1,0 +1,7 @@
+// Ambiguous left-recursive arithmetic: the classic expr grammar with no
+// precedence, so "1 + 2 * 3" has multiple parse trees and the LL(1)
+// builder must refuse it. Exercises the Earley oracle's left recursion
+// and tag-union-over-derivations paths.
+NUM [0-9]+
+%%
+expr : expr "+" expr | expr "*" expr | "(" expr ")" | NUM ;

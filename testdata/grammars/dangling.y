@@ -1,0 +1,7 @@
+// Dangling else: the textbook ambiguity. "if c then if c then print
+// else print" derives with the else bound to either if. Non-LL(1)
+// (FIRST/FIRST conflict on "if"), so only the FSA paths and the Earley
+// oracle run it.
+%%
+stmt : "if" cond "then" stmt | "if" cond "then" stmt "else" stmt | "print" ;
+cond : "ok" | "no" ;

@@ -1,0 +1,6 @@
+// Right-recursive separated list, non-LL(1) (both alternatives start
+// with ITEM). The workload that makes a naive Earley chart quadratic and
+// a Leo-optimized one linear.
+ITEM [a-z]+
+%%
+list : ITEM ";" list | ITEM ;
