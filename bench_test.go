@@ -15,11 +15,13 @@
 package cfgtag
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cfgtag/internal/core"
 	"cfgtag/internal/fpga"
@@ -334,6 +336,145 @@ func BenchmarkShardedPipeline(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkPipelineOverload measures the admission-control layer. The
+// admission-on point runs the exact BenchmarkShardedPipeline workload
+// through bounded-wait admission (a generous SendTimeout): the producer
+// outruns the DFA shard, so admission waits on the drain signal exactly
+// where blocking mode waits on the queue — zero Sends shed, and the
+// delta against admission-off is the cost of the watermark check and
+// wait loop, which must be noise. The overload-2x point throttles the
+// sink so the offered load is about twice what it drains and lets
+// immediate shed mode reject the excess: throughput is *offered* bytes
+// per second (accepted work plus cheap rejections), and the shed
+// fraction is reported per op — a pipeline that sheds the excess while
+// continuing to drain at capacity is the contract under overload.
+func BenchmarkPipelineOverload(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpus(b, 200)
+	const chunk = 4 << 10
+	const streams = 8
+
+	run := func(b *testing.B, cfg runtime.Config, sink runtime.Sink) (sent, shed int64) {
+		keys := make([]string, streams)
+		for s := range keys {
+			keys[s] = fmt.Sprintf("stream-%d", s)
+		}
+		p, err := runtime.NewPipeline(cfg, sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(streams * len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(data); lo += chunk {
+				hi := lo + chunk
+				if hi > len(data) {
+					hi = len(data)
+				}
+				for _, key := range keys {
+					sent++
+					if err := p.Send(key, data[lo:hi]); err != nil {
+						if errors.Is(err, runtime.ErrOverloaded) {
+							shed++
+							continue
+						}
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		// Close drains every accepted chunk inside the timed region, so
+		// throughput covers fully processed bytes.
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		return sent, shed
+	}
+
+	tags := 0
+	fastSink := runtime.SinkFunc(func(bt *runtime.Batch) error { tags += len(bt.Tags); return nil })
+
+	b.Run("admission-off", func(b *testing.B) {
+		tags = 0
+		run(b, runtime.Config{Shards: 2, Queue: 256, Factory: runtime.DFAFactory(spec, 0)}, fastSink)
+		if tags == 0 {
+			b.Fatal("pipeline delivered no tags")
+		}
+	})
+	b.Run("admission-on", func(b *testing.B) {
+		tags = 0
+		_, shed := run(b, runtime.Config{
+			Shards: 2, Queue: 256, SendTimeout: time.Minute,
+			Factory: runtime.DFAFactory(spec, 0),
+		}, fastSink)
+		if tags == 0 {
+			b.Fatal("pipeline delivered no tags")
+		}
+		if shed != 0 {
+			b.Fatalf("unloaded pipeline shed %d sends", shed)
+		}
+	})
+	b.Run("overload-2x", func(b *testing.B) {
+		// Coalescing is off so one sink call drains one chunk, making
+		// capacity exactly one chunk per sinkDelay. The producer paces
+		// itself to offer one chunk per sinkDelay/2 — twice capacity by
+		// construction, machine-independent — and immediate shed mode
+		// rejects the excess. The interesting outputs are shed-frac
+		// (should sit near 0.5) and accepted bytes per op, not ns/op
+		// (which the pacing dominates).
+		const sinkDelay = time.Millisecond
+		var accepted atomic.Int64
+		slowSink := runtime.SinkFunc(func(bt *runtime.Batch) error {
+			accepted.Add(int64(len(bt.Data)))
+			time.Sleep(sinkDelay)
+			return nil
+		})
+		keys := make([]string, streams)
+		for s := range keys {
+			keys[s] = fmt.Sprintf("stream-%d", s)
+		}
+		p, err := runtime.NewPipeline(runtime.Config{
+			Shards: 2, Queue: 4, BatchBytes: -1, SendTimeout: -1,
+			Factory: runtime.DFAFactory(spec, 0),
+		}, slowSink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sent, shed int64
+		b.SetBytes(int64(streams * len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(data); lo += chunk {
+				hi := lo + chunk
+				if hi > len(data) {
+					hi = len(data)
+				}
+				for _, key := range keys {
+					sent++
+					if err := p.Send(key, data[lo:hi]); err != nil {
+						if errors.Is(err, runtime.ErrOverloaded) {
+							shed++
+							continue
+						}
+						b.Fatal(err)
+					}
+				}
+				time.Sleep(time.Duration(streams) * sinkDelay / 2)
+			}
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(shed)/float64(sent), "shed-frac")
+		b.ReportMetric(float64(accepted.Load())/float64(b.N), "accepted-B/op")
+	})
 }
 
 // BenchmarkTenantGrid measures the multi-tenant platform end to end: T

@@ -470,17 +470,28 @@ type Backend struct {
 }
 
 func (e *Engine) factory(kind BackendKind) (runtime.Factory, error) {
+	return e.factoryLimits(kind, runtime.Limits{})
+}
+
+// factoryLimits builds the execution path's factory with per-stream
+// resource bounds baked in. The gates path has no bounded variant (it is
+// the cycle-accurate reference, never a production backend); it ignores
+// every limit but still counts toward tenant memory budgets via arenas.
+func (e *Engine) factoryLimits(kind BackendKind, lim runtime.Limits) (runtime.Factory, error) {
+	if err := lim.Validate(); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case StreamBackend, "":
-		return runtime.TaggerFactory(e.spec), nil
+		return runtime.TaggerFactoryLimits(e.spec, lim), nil
 	case DFABackend:
-		return runtime.DFAFactory(e.spec, 0), nil
+		return runtime.DFAFactoryLimits(e.spec, stream.DFAConfig{}, lim), nil
 	case GatesBackend:
 		return runtime.GateFactory(e.spec)
 	case ParserBackend:
-		return runtime.ParserFactory(e.spec)
+		return runtime.ParserFactoryLimits(e.spec, lim)
 	case EarleyBackend:
-		return runtime.EarleyFactory(e.spec)
+		return runtime.EarleyFactoryLimits(e.spec, lim)
 	default:
 		return nil, fmt.Errorf("cfgtag: unknown backend kind %q", kind)
 	}
@@ -613,7 +624,43 @@ type PipelineConfig struct {
 	// for the same stream still arrive in order on one worker, but
 	// deliver must be safe for concurrent use across streams.
 	SinkWorkers int
+	// SendTimeout switches Send from backpressure to load shedding: 0
+	// blocks on a full shard queue (the default), a negative value sheds
+	// immediately, and a positive value waits at most that long before
+	// shedding. A shed Send fails with ErrOverloaded, accepts none of the
+	// chunk's bytes, and leaves the stream otherwise intact.
+	SendTimeout time.Duration
+	// ShedHighWater is the shard queue depth (in batches) at which shed
+	// mode starts rejecting (0 = the full Queue capacity). Only meaningful
+	// with SendTimeout set.
+	ShedHighWater int
+	// FeedDeadline arms the backend watchdog: a Feed or Close call
+	// exceeding it marks the stream's backend stalled, ends the stream
+	// with an error wrapping ErrBackendStalled and quarantines its key
+	// (0 = watchdog disabled).
+	FeedDeadline time.Duration
+	// BreakerThreshold arms the sink circuit breaker: after this many
+	// consecutive retry-exhausted deliveries a sink worker opens and sheds
+	// batches straight to DeadLetter (wrapping ErrBreakerOpen) until a
+	// cooldown probe succeeds (0 = breaker disabled; requires DeadLetter).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before probing the
+	// sink again (0 = 1s).
+	BreakerCooldown time.Duration
+	// Limits bounds each stream's backend resources (buffer bytes, pending
+	// matches, Earley chart) and optionally carries the memory gauge
+	// aggregate budgets read; the zero value is unlimited.
+	Limits StreamLimits
 }
+
+// StreamLimits bounds one stream's backend resource consumption; see
+// runtime.Limits for field semantics. A tripped bound ends only the
+// offending stream, with a TagBatch.Err wrapping ErrResourceExhausted.
+type StreamLimits = runtime.Limits
+
+// MemGauge aggregates the pipeline's estimated live bytes — arenas,
+// stream buffers, DFA cache, Earley charts — for memory budgeting.
+type MemGauge = runtime.MemGauge
 
 // ErrPipelineClosed is returned by Pipeline.Send, Pipeline.CloseStream and
 // a second Pipeline.Close once the pipeline has been closed (test with
@@ -631,6 +678,26 @@ var ErrStreamQuarantined = runtime.ErrQuarantined
 // stream's backend panicked; the pipeline recovers the panic, ends the
 // stream and quarantines its key.
 var ErrBackendPanic = runtime.ErrBackendPanic
+
+// ErrOverloaded is returned (wrapped, test with errors.Is) by Send in shed
+// mode (PipelineConfig.SendTimeout != 0) when the stream's shard queue is
+// at its high watermark: the chunk was rejected whole, the stream remains
+// healthy, and the caller should back off and retry.
+var ErrOverloaded = runtime.ErrOverloaded
+
+// ErrResourceExhausted is the sentinel wrapped into a TagBatch.Err (and
+// Send errors under a tenant memory budget) when a per-stream resource
+// bound tripped: buffer bytes, pending matches or the Earley chart budget.
+// The stream is ended and quarantined; other streams are unaffected.
+var ErrResourceExhausted = runtime.ErrResourceExhausted
+
+// ErrBackendStalled is the sentinel wrapped into a TagBatch.Err when a
+// backend call outran PipelineConfig.FeedDeadline (the watchdog verdict).
+var ErrBackendStalled = runtime.ErrBackendStalled
+
+// ErrBreakerOpen is the sentinel wrapped into the DeadLetter error for
+// batches shed by an open sink circuit breaker.
+var ErrBreakerOpen = runtime.ErrBreakerOpen
 
 // PermanentDeliverError marks an error returned by the deliver callback as
 // permanent: the pipeline skips retries and dead-lettering and fails fast,
@@ -654,20 +721,26 @@ type Pipeline struct {
 // NewPipeline starts a sharded pipeline delivering tag batches to deliver.
 // The pipeline owns its goroutines until Close.
 func (e *Engine) NewPipeline(cfg PipelineConfig, deliver func(*TagBatch) error) (*Pipeline, error) {
-	f, err := e.factory(cfg.Backend)
+	f, err := e.factoryLimits(cfg.Backend, cfg.Limits)
 	if err != nil {
 		return nil, err
 	}
 	rcfg := runtime.Config{
-		Shards:       cfg.Shards,
-		Queue:        cfg.Queue,
-		Factory:      f,
-		MaxStreams:   cfg.MaxStreams,
-		Quarantine:   cfg.Quarantine,
-		SinkAttempts: cfg.SinkAttempts,
-		SinkBackoff:  cfg.SinkBackoff,
-		BatchBytes:   cfg.BatchBytes,
-		SinkWorkers:  cfg.SinkWorkers,
+		Shards:           cfg.Shards,
+		Queue:            cfg.Queue,
+		Factory:          f,
+		MaxStreams:       cfg.MaxStreams,
+		Quarantine:       cfg.Quarantine,
+		SinkAttempts:     cfg.SinkAttempts,
+		SinkBackoff:      cfg.SinkBackoff,
+		BatchBytes:       cfg.BatchBytes,
+		SinkWorkers:      cfg.SinkWorkers,
+		SendTimeout:      cfg.SendTimeout,
+		ShedHighWater:    cfg.ShedHighWater,
+		FeedDeadline:     cfg.FeedDeadline,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Mem:              cfg.Limits.Mem,
 	}
 	if cfg.Metrics != nil {
 		rcfg.Hooks = cfg.Metrics.Hooks()

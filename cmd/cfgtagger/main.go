@@ -67,27 +67,30 @@ import (
 
 func main() {
 	var (
-		grammarFile = flag.String("grammar", "", "grammar file in the Lex/Yacc-style format")
-		builtin     = flag.String("builtin", "", "built-in grammar: xmlrpc, ifthenelse or parens")
-		inFile      = flag.String("in", "", "input file (default stdin)")
-		free        = flag.Bool("free", false, "free-running start: find sentences anywhere in the stream")
-		lexemes     = flag.Bool("lexemes", false, "recover and print matched text (buffers the whole input)")
-		showWiring  = flag.Bool("show-wiring", false, "print the tokenizer wiring (figure 11) and exit")
-		showFollow  = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
-		lint        = flag.Bool("lint", false, "print grammar design warnings and exit")
-		dot         = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
-		backend     = flag.String("backend", "stream", "execution path: stream, dfa, gates, parser or earley")
-		shards      = flag.Int("shards", 0, "pipeline mode: tag each input line as its own stream on this many shards")
-		maxStreams  = flag.Int("max-streams", 0, "pipeline mode: cap live streams per shard, evicting the least-recently-fed at the cap (0 = unlimited)")
-		quarantine  = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
-		chaos       = flag.Float64("chaos", 0, "pipeline mode: inject backend faults at this per-chunk rate (errors, panics, latency) to exercise the fault-tolerance layer")
-		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
-		batchBytes  = flag.Int("batch-bytes", 0, "pipeline mode: coalesce Sends into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch every Send immediately)")
-		sinkWorkers = flag.Int("sink-workers", 0, "pipeline mode: deliver batches on this many workers (0 or 1 = single serialized sink)")
-		configFile  = flag.String("config", "", "platform mode: multi-tenant JSON config; input lines are 'tenant|payload', SIGHUP hot-swaps changed grammars")
-		listenTCP   = flag.String("listen", "", "serve mode: accept CFGTAG/1 TCP stream connections on this address (requires -config)")
-		listenHTTP  = flag.String("listen-http", "", "serve mode: accept HTTP chunked-POST streams on this address, plus /metrics and /healthz (requires -config)")
-		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "serve mode: how long SIGTERM waits for live streams before force-flushing them")
+		grammarFile  = flag.String("grammar", "", "grammar file in the Lex/Yacc-style format")
+		builtin      = flag.String("builtin", "", "built-in grammar: xmlrpc, ifthenelse or parens")
+		inFile       = flag.String("in", "", "input file (default stdin)")
+		free         = flag.Bool("free", false, "free-running start: find sentences anywhere in the stream")
+		lexemes      = flag.Bool("lexemes", false, "recover and print matched text (buffers the whole input)")
+		showWiring   = flag.Bool("show-wiring", false, "print the tokenizer wiring (figure 11) and exit")
+		showFollow   = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
+		lint         = flag.Bool("lint", false, "print grammar design warnings and exit")
+		dot          = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
+		backend      = flag.String("backend", "stream", "execution path: stream, dfa, gates, parser or earley")
+		shards       = flag.Int("shards", 0, "pipeline mode: tag each input line as its own stream on this many shards")
+		maxStreams   = flag.Int("max-streams", 0, "pipeline mode: cap live streams per shard, evicting the least-recently-fed at the cap (0 = unlimited)")
+		quarantine   = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
+		chaos        = flag.Float64("chaos", 0, "pipeline mode: inject backend faults at this per-chunk rate (errors, panics, latency) to exercise the fault-tolerance layer")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
+		batchBytes   = flag.Int("batch-bytes", 0, "pipeline mode: coalesce Sends into per-shard batches of this many bytes (0 = 64 KiB default, negative = dispatch every Send immediately)")
+		sinkWorkers  = flag.Int("sink-workers", 0, "pipeline mode: deliver batches on this many workers (0 or 1 = single serialized sink)")
+		sendTimeout  = flag.Duration("send-timeout", 0, "pipeline mode: shed Sends instead of blocking when a shard queue is full — 0 blocks, negative sheds immediately, positive waits at most this long")
+		feedDeadline = flag.Duration("feed-deadline", 0, "pipeline mode: watchdog deadline per backend call; a slower call ends its stream as stalled (0 = disabled)")
+		memBudget    = flag.Int64("mem-budget", 0, "pipeline mode: estimated live-memory budget in bytes (arenas, stream buffers, charts); Sends over budget are shed (0 = unlimited)")
+		configFile   = flag.String("config", "", "platform mode: multi-tenant JSON config; input lines are 'tenant|payload', SIGHUP hot-swaps changed grammars")
+		listenTCP    = flag.String("listen", "", "serve mode: accept CFGTAG/1 TCP stream connections on this address (requires -config)")
+		listenHTTP   = flag.String("listen-http", "", "serve mode: accept HTTP chunked-POST streams on this address, plus /metrics and /healthz (requires -config)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "serve mode: how long SIGTERM waits for live streams before force-flushing them")
 	)
 	flag.Parse()
 
@@ -166,13 +169,16 @@ func main() {
 
 	if *shards > 0 {
 		err := runPipeline(engine, *backend, in, out, pipelineOptions{
-			shards:      *shards,
-			maxStreams:  *maxStreams,
-			quarantine:  *quarantine,
-			chaos:       *chaos,
-			chaosSeed:   *chaosSeed,
-			batchBytes:  *batchBytes,
-			sinkWorkers: *sinkWorkers,
+			shards:       *shards,
+			maxStreams:   *maxStreams,
+			quarantine:   *quarantine,
+			chaos:        *chaos,
+			chaosSeed:    *chaosSeed,
+			batchBytes:   *batchBytes,
+			sinkWorkers:  *sinkWorkers,
+			sendTimeout:  *sendTimeout,
+			feedDeadline: *feedDeadline,
+			memBudget:    *memBudget,
 		})
 		if err != nil {
 			out.Flush()
@@ -269,13 +275,16 @@ func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 
 // pipelineOptions bundles the pipeline-mode flags.
 type pipelineOptions struct {
-	shards      int
-	maxStreams  int
-	quarantine  time.Duration
-	chaos       float64
-	chaosSeed   int64
-	batchBytes  int
-	sinkWorkers int
+	shards       int
+	maxStreams   int
+	quarantine   time.Duration
+	chaos        float64
+	chaosSeed    int64
+	batchBytes   int
+	sinkWorkers  int
+	sendTimeout  time.Duration
+	feedDeadline time.Duration
+	memBudget    int64
 }
 
 // runPipeline tags every input line as its own keyed stream on a sharded
@@ -334,14 +343,21 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 		}
 		return nil
 	})
+	var mem *runtime.MemGauge
+	if opts.memBudget > 0 {
+		mem = &runtime.MemGauge{}
+	}
 	p, err := runtime.NewPipeline(runtime.Config{
-		Shards:      opts.shards,
-		Factory:     factory,
-		Hooks:       mc.Hooks(),
-		MaxStreams:  opts.maxStreams,
-		Quarantine:  opts.quarantine,
-		BatchBytes:  opts.batchBytes,
-		SinkWorkers: opts.sinkWorkers,
+		Shards:       opts.shards,
+		Factory:      factory,
+		Hooks:        mc.Hooks(),
+		MaxStreams:   opts.maxStreams,
+		Quarantine:   opts.quarantine,
+		BatchBytes:   opts.batchBytes,
+		SinkWorkers:  opts.sinkWorkers,
+		SendTimeout:  opts.sendTimeout,
+		FeedDeadline: opts.feedDeadline,
+		Mem:          mem,
 	}, sink)
 	if err != nil {
 		return err
@@ -349,14 +365,26 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lines := 0
+	lines, shed := 0, 0
 	for sc.Scan() {
 		key := fmt.Sprintf("line-%d", lines)
 		lines++
+		// The registry enforces memory budgets at Send for tenants; the
+		// flat pipeline mode applies the same admission check here.
+		if opts.memBudget > 0 && mem.Load() >= opts.memBudget {
+			shed++
+			fmt.Fprintf(out, "%-10s shed: over %d-byte memory budget\n", key, opts.memBudget)
+			continue
+		}
 		// A fault can quarantine the key between Send and CloseStream;
 		// the stream already ended with an error batch, so carry on.
 		if err := p.Send(key, sc.Bytes()); err != nil {
 			if errors.Is(err, runtime.ErrQuarantined) {
+				continue
+			}
+			if errors.Is(err, runtime.ErrOverloaded) {
+				shed++
+				fmt.Fprintf(out, "%-10s shed: %v\n", key, err)
 				continue
 			}
 			p.Close()
@@ -374,10 +402,18 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 	if err := p.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%d streams, %d tokens tagged, %d stream faults\n", lines, tagged, faulted)
+	fmt.Fprintf(out, "%d streams, %d tokens tagged, %d stream faults", lines, tagged, faulted)
+	if shed > 0 {
+		fmt.Fprintf(out, ", %d shed", shed)
+	}
+	fmt.Fprintln(out)
 	if f := mc.Faults(); f.PanicsRecovered+f.StreamsQuarantined+f.StreamsEvicted+f.SinkRetries+f.DeadLetters > 0 {
 		fmt.Fprintf(out, "faults: %d panics recovered, %d quarantined, %d evicted, %d sink retries, %d dead-lettered\n",
 			f.PanicsRecovered, f.StreamsQuarantined, f.StreamsEvicted, f.SinkRetries, f.DeadLetters)
+	}
+	if f := mc.Faults(); f.SendsShed+f.WatchdogTrips+f.ResourceExhausted > 0 {
+		fmt.Fprintf(out, "overload: %d sends shed, %d watchdog trips, %d resource exhausted\n",
+			f.SendsShed, f.WatchdogTrips, f.ResourceExhausted)
 	}
 	return nil
 }

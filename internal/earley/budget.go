@@ -1,0 +1,59 @@
+package earley
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the sentinel under every BudgetError: recognition stopped
+// because the chart hit a configured resource bound, not because the input
+// was rejected. Test with errors.Is.
+var ErrBudget = errors.New("earley: resource budget exhausted")
+
+// Config bounds one recognition's resource consumption. The zero value is
+// unlimited — the behavior of New.
+//
+// Earley charts grow superlinearly on ambiguous grammars (O(n³) worst
+// case), so an adversarial input can otherwise pin a CPU and balloon
+// memory without bound. Marpa-style deployments bound the chart
+// explicitly; these knobs are that bound.
+type Config struct {
+	// MaxChartItems caps the total Earley items across all chart sets of
+	// one recognition (0 = unlimited). The cap is exact: recognition stops
+	// before inserting the item that would exceed it.
+	MaxChartItems int
+	// MaxWorkPerByte caps recognition work — worklist steps, cause
+	// recordings and scanner automaton steps — at MaxWorkPerByte ×
+	// (len(input)+1) units (0 = unlimited). Unambiguous grammars need a
+	// small constant per byte; a trip means the input is adversarially
+	// ambiguous for this grammar.
+	MaxWorkPerByte int
+	// MemDelta, when set, observes the chart's estimated memory: charged
+	// per item as the chart grows and discharged in one call when the
+	// recognition's chart is released. Deltas are bytes; the callback must
+	// be safe for concurrent use when the Recognizer is shared.
+	MemDelta func(delta int64)
+}
+
+// earleyItemBytes is the per-item memory estimate MemDelta is charged
+// with: the item struct, its map entry and the amortized share of set
+// bookkeeping. An estimate, not an accounting — it only needs to scale
+// with real usage.
+const earleyItemBytes = 192
+
+// BudgetError reports a recognition stopped by Config bounds, carrying the
+// consumption at the stop. It wraps ErrBudget.
+type BudgetError struct {
+	Grammar  string
+	Items    int
+	MaxItems int
+	Work     int64
+	MaxWork  int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("earley: %s: budget exhausted (items %d/%d, work %d/%d)",
+		e.Grammar, e.Items, e.MaxItems, e.Work, e.MaxWork)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudget }

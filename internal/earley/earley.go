@@ -83,6 +83,7 @@ type prod struct {
 // safe for concurrent use; each Tags call builds its own chart.
 type Recognizer struct {
 	spec    *core.Spec
+	cfg     Config
 	prods   []prod
 	ntRules [][]int // nonterminal id -> prod indices
 	aug     int     // augmented production index
@@ -94,6 +95,18 @@ type Recognizer struct {
 // counterpart and are rejected; NoLongestMatch and NoContextDuplication
 // are supported.
 func New(spec *core.Spec) (*Recognizer, error) {
+	return NewWithConfig(spec, Config{})
+}
+
+// NewWithConfig compiles a recognizer whose recognitions are bounded by
+// cfg (see Config). Negative bounds are rejected.
+func NewWithConfig(spec *core.Spec, cfg Config) (*Recognizer, error) {
+	if cfg.MaxChartItems < 0 {
+		return nil, fmt.Errorf("earley: MaxChartItems must be >= 0 (0 = unlimited), got %d", cfg.MaxChartItems)
+	}
+	if cfg.MaxWorkPerByte < 0 {
+		return nil, fmt.Errorf("earley: MaxWorkPerByte must be >= 0 (0 = unlimited), got %d", cfg.MaxWorkPerByte)
+	}
 	o := spec.Opts
 	switch {
 	case o.FreeRunningStart:
@@ -109,7 +122,7 @@ func New(spec *core.Spec) (*Recognizer, error) {
 	for _, nt := range nts {
 		ids[nt] = len(ids)
 	}
-	r := &Recognizer{spec: spec, ntRules: make([][]int, len(nts)+1)}
+	r := &Recognizer{spec: spec, cfg: cfg, ntRules: make([][]int, len(nts)+1)}
 	for gri, gr := range g.Rules {
 		p := prod{lhs: ids[gr.LHS], gri: gri}
 		for _, s := range gr.RHS {
@@ -189,16 +202,32 @@ type run struct {
 	sets     []*earleySet
 	byPos    map[int]*earleySet
 	scanMemo map[int][]int
+
+	// Resource-budget state (see Config). exhausted latches the first
+	// bound violation; once set no further items are inserted and the
+	// parse loop stops, so the chart never exceeds the caps.
+	items     int
+	work      int64
+	maxWork   int64
+	charged   int64
+	exhausted bool
 }
 
 // parse builds the full chart for input. Sets are processed in increasing
 // byte position; scans only ever target strictly later positions, so every
-// set is complete before anything reads it.
+// set is complete before anything reads it. The caller must release() the
+// run when done with the chart (discharges MemDelta).
 func (r *Recognizer) parse(input []byte) *run {
 	p := &run{r: r, input: input, byPos: make(map[int]*earleySet), scanMemo: make(map[int][]int)}
+	if r.cfg.MaxWorkPerByte > 0 {
+		p.maxWork = int64(r.cfg.MaxWorkPerByte) * int64(len(input)+1)
+	}
 	s0 := p.setAt(p.skipDelims(0))
 	p.add(s0, itemKey{r.aug, 0, 0}, cause{}, false)
 	for pos := 0; pos <= len(input); pos++ {
+		if p.exhausted {
+			break
+		}
 		if s, ok := p.byPos[pos]; ok {
 			p.process(s)
 			p.scan(s)
@@ -207,12 +236,45 @@ func (r *Recognizer) parse(input []byte) *run {
 	return p
 }
 
+// spend charges n work units, latching exhaustion past the budget.
+func (p *run) spend(n int64) {
+	p.work += n
+	if p.maxWork > 0 && p.work > p.maxWork {
+		p.exhausted = true
+	}
+}
+
+// release discharges the chart's MemDelta charge; safe to call once the
+// chart is no longer read.
+func (p *run) release() {
+	if p.charged > 0 {
+		p.r.cfg.MemDelta(-p.charged)
+		p.charged = 0
+	}
+}
+
+// budgetErr reports the consumption that tripped the budget.
+func (p *run) budgetErr() *BudgetError {
+	return &BudgetError{
+		Grammar:  p.r.spec.Grammar.Name,
+		Items:    p.items,
+		MaxItems: p.r.cfg.MaxChartItems,
+		Work:     p.work,
+		MaxWork:  p.maxWork,
+	}
+}
+
 // Tags recognizes input and returns the union of terminal tags over all
-// derivations, sorted by (End, Rule, Pos). A non-nil error is a
-// *RejectError (or wraps one) and carries no tags, mirroring the parser
-// backend's tag-nothing-on-reject contract.
+// derivations, sorted by (End, Rule, Pos). A non-nil error carries no
+// tags: it is a *RejectError for non-sentences, or a *BudgetError
+// (wrapping ErrBudget) when recognition hit a Config resource bound
+// before reaching a verdict.
 func (r *Recognizer) Tags(input []byte) ([]Tag, error) {
 	p := r.parse(input)
+	defer p.release()
+	if p.exhausted {
+		return nil, p.budgetErr()
+	}
 	var goal *item
 	if fs, ok := p.byPos[len(input)]; ok {
 		goal = fs.index[itemKey{r.aug, 1, 0}]
@@ -223,11 +285,15 @@ func (r *Recognizer) Tags(input []byte) ([]Tag, error) {
 	return p.extract(goal), nil
 }
 
-// Accepts reports whether input is a sentence of the grammar.
+// Accepts reports whether input is a sentence of the grammar. A
+// recognition stopped by a Config resource bound reports false (the chart
+// is incomplete, so acceptance cannot be proven); use Tags to distinguish
+// a budget trip from a rejection.
 func (r *Recognizer) Accepts(input []byte) bool {
 	p := r.parse(input)
+	defer p.release()
 	fs, ok := p.byPos[len(input)]
-	return ok && fs.index[itemKey{r.aug, 1, 0}] != nil
+	return ok && !p.exhausted && fs.index[itemKey{r.aug, 1, 0}] != nil
 }
 
 func (p *run) skipDelims(pos int) int {
@@ -258,15 +324,30 @@ func (p *run) setAt(pos int) *earleySet {
 
 // add inserts the item if new and appends the cause. Re-adding an existing
 // key only accumulates the cause: item effects depend on the key alone, so
-// nothing is reprocessed, which is what terminates cyclic grammars.
+// nothing is reprocessed, which is what terminates cyclic grammars. Once
+// the budget is exhausted add is a no-op, so MaxChartItems is an exact cap
+// even mid-way through a completion fan-out.
 func (p *run) add(s *earleySet, k itemKey, c cause, hasCause bool) {
+	if p.exhausted {
+		return
+	}
 	it, ok := s.index[k]
 	if !ok {
+		if max := p.r.cfg.MaxChartItems; max > 0 && p.items >= max {
+			p.exhausted = true
+			return
+		}
+		p.items++
+		if p.r.cfg.MemDelta != nil {
+			p.r.cfg.MemDelta(earleyItemBytes)
+			p.charged += earleyItemBytes
+		}
 		it = &item{key: k}
 		s.index[k] = it
 		s.items = append(s.items, it)
 	}
 	if hasCause {
+		p.spend(1)
 		it.causes = append(it.causes, c)
 	}
 }
@@ -274,6 +355,10 @@ func (p *run) add(s *earleySet, k itemKey, c cause, hasCause bool) {
 // process runs the predict/complete worklist of one set to fixpoint.
 func (p *run) process(s *earleySet) {
 	for i := 0; i < len(s.items); i++ {
+		p.spend(1)
+		if p.exhausted {
+			return
+		}
 		it := s.items[i]
 		pr := &p.r.prods[it.key.prod]
 		if it.key.dot == len(pr.rhs) {
@@ -362,6 +447,9 @@ func (p *run) scan(s *earleySet) {
 		return
 	}
 	for _, it := range s.scans {
+		if p.exhausted {
+			return
+		}
 		pr := &p.r.prods[it.key.prod]
 		tok := pr.rhs[it.key.dot].idx
 		for _, end := range p.matchEnds(s.pos, tok) {
@@ -393,6 +481,10 @@ func (p *run) matchEnds(pos, tok int) []int {
 	}
 	inNext := make([]bool, prog.Len())
 	for off := pos; len(cur) > 0; off++ {
+		p.spend(int64(len(cur)))
+		if p.exhausted {
+			break
+		}
 		var next byte
 		hasNext := off+1 < len(p.input)
 		if hasNext {
@@ -424,7 +516,11 @@ func (p *run) matchEnds(pos, tok int) []int {
 		}
 		cur = nxt
 	}
-	p.scanMemo[key] = ends
+	if !p.exhausted {
+		// A budget trip mid-simulation leaves ends partial; don't memoize
+		// it (recognition is aborting anyway).
+		p.scanMemo[key] = ends
+	}
 	return ends
 }
 
@@ -489,6 +585,7 @@ func (p *run) extract(goal *item) []Tag {
 // recursion.
 func (r *Recognizer) chartItems(input []byte) int {
 	p := r.parse(input)
+	defer p.release()
 	n := 0
 	for _, s := range p.sets {
 		n += len(s.items)

@@ -1,0 +1,112 @@
+package earley
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+)
+
+// fuzzRig holds budget-capped recognizers over the two worst-case grammar
+// shapes: the exponentially ambiguous s : s s | "x" (completion fan-out
+// grows the chart fastest) and a right-recursive lexeme list (deep Leo
+// chains). Budgets span tight to roomy so the fuzzer exercises both the
+// trip path and the complete path on the same inputs.
+type fuzzRig struct {
+	recs []*Recognizer
+	caps []int
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzR    fuzzRig
+	fuzzErr  error
+)
+
+func buildFuzzRig() {
+	grammars := []struct{ name, src string }{
+		{"amb", "\n%%\ns : s s | \"x\" ;\n"},
+		{"list", "ITEM [a-z]+\n%%\nlist : ITEM \";\" list | ITEM ;\n"},
+	}
+	budgets := []int{48, 300, 2048}
+	for _, gs := range grammars {
+		g, err := grammar.Parse(gs.name, gs.src)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		spec, err := core.Compile(g, core.Options{})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		for _, max := range budgets {
+			rec, err := NewWithConfig(spec, Config{MaxChartItems: max, MaxWorkPerByte: 512})
+			if err != nil {
+				fuzzErr = err
+				return
+			}
+			fuzzR.recs = append(fuzzR.recs, rec)
+			fuzzR.caps = append(fuzzR.caps, max)
+		}
+	}
+}
+
+// FuzzEarleyResourceBound throws arbitrary bytes at budget-capped
+// recognizers: every recognition must end in exactly one of three
+// verdicts — tags, *RejectError, or a *BudgetError wrapping ErrBudget —
+// without panicking, and a budget trip must report a chart no larger
+// than MaxChartItems (the cap is exact; the overload contract allows at
+// most 2x and this pins the stronger bound). Accepts must agree with
+// Tags on every input, budget-tripped ones included.
+//
+// Seed corpus: testdata/fuzz/FuzzEarleyResourceBound.
+func FuzzEarleyResourceBound(f *testing.F) {
+	f.Add([]byte("x"))
+	f.Add([]byte("xx xx"))
+	f.Add([]byte("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	f.Add([]byte("a;b;c"))
+	f.Add([]byte("item;item;item;item;item;item;item;item;item;item;item;item"))
+	f.Add([]byte(";;;;"))
+	f.Add([]byte{0, 255, 'x', 0xC3, 0x28})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return // work budget already linearizes; keep iterations fast
+		}
+		fuzzOnce.Do(buildFuzzRig)
+		if fuzzErr != nil {
+			t.Fatal(fuzzErr)
+		}
+		for i, rec := range fuzzR.recs {
+			tags, err := rec.Tags(data)
+			accepted := rec.Accepts(data)
+			switch {
+			case err == nil:
+				if !accepted {
+					t.Fatalf("rec %d: Tags accepted %q (%d tags) but Accepts rejects", i, data, len(tags))
+				}
+			case errors.Is(err, ErrBudget):
+				var be *BudgetError
+				if !errors.As(err, &be) {
+					t.Fatalf("rec %d: ErrBudget without BudgetError detail: %v", i, err)
+				}
+				if be.Items > fuzzR.caps[i] {
+					t.Fatalf("rec %d: budget trip reports %d chart items, cap %d", i, be.Items, fuzzR.caps[i])
+				}
+				if accepted {
+					t.Fatalf("rec %d: budget-tripped %q but Accepts claims proof", i, data)
+				}
+			default:
+				var re *RejectError
+				if !errors.As(err, &re) {
+					t.Fatalf("rec %d: verdict on %q is neither tags, budget, nor reject: %v", i, data, err)
+				}
+				if accepted {
+					t.Fatalf("rec %d: Tags rejected %q but Accepts accepts", i, data)
+				}
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ package runtime
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"cfgtag/internal/stream"
 )
@@ -129,6 +130,25 @@ type Hooks struct {
 	// final batch has been delivered, so resources the factory closed over
 	// are safe to tear down.
 	VersionRetired func(version int)
+	// Overloaded observes each Send shed by admission control (shed mode,
+	// see Config.SendTimeout): the chunk was rejected with ErrOverloaded
+	// and nothing was enqueued.
+	Overloaded func(shard int, key string)
+	// Watchdog observes each backend call (Feed or Close) caught running
+	// past Config.FeedDeadline, exactly once per overdue call, with the
+	// elapsed time at detection.
+	Watchdog func(shard int, key, origin string, elapsed time.Duration)
+	// ResourceExhausted observes each stream ended by a resource budget
+	// (its EOS batch carries an error wrapping ErrResourceExhausted),
+	// exactly once per stream.
+	ResourceExhausted func(shard int, key string)
+	// Breaker observes sink circuit-breaker state flips: open=true when a
+	// worker's breaker trips, open=false when a half-open probe closes
+	// it. Half-open probing itself is not a flip.
+	Breaker func(worker int, open bool)
+	// BreakerShed observes each batch shed to DeadLetter while a worker's
+	// breaker is open.
+	BreakerShed func(worker int, key string)
 }
 
 func (h *Hooks) bytes(shard, n int) {
@@ -203,6 +223,36 @@ func (h *Hooks) versionRetired(version int) {
 	}
 }
 
+func (h *Hooks) overloaded(shard int, key string) {
+	if h != nil && h.Overloaded != nil {
+		h.Overloaded(shard, key)
+	}
+}
+
+func (h *Hooks) watchdog(shard int, key, origin string, elapsed time.Duration) {
+	if h != nil && h.Watchdog != nil {
+		h.Watchdog(shard, key, origin, elapsed)
+	}
+}
+
+func (h *Hooks) resourceExhausted(shard int, key string) {
+	if h != nil && h.ResourceExhausted != nil {
+		h.ResourceExhausted(shard, key)
+	}
+}
+
+func (h *Hooks) breaker(worker int, open bool) {
+	if h != nil && h.Breaker != nil {
+		h.Breaker(worker, open)
+	}
+}
+
+func (h *Hooks) breakerShed(worker int, key string) {
+	if h != nil && h.BreakerShed != nil {
+		h.BreakerShed(worker, key)
+	}
+}
+
 // Factory creates one Backend per stream. shard identifies the pipeline
 // shard the backend will live on (0 for standalone use) and is forwarded
 // to the hooks; h may be nil.
@@ -225,6 +275,13 @@ type MetricCounters struct {
 	evicted     atomicInt64
 	sinkRetries atomicInt64
 	deadLetters atomicInt64
+
+	shed          atomicInt64
+	watchdogTrips atomicInt64
+	resExhausted  atomicInt64
+	breakerOpens  atomicInt64
+	breakerSheds  atomicInt64
+	breakerOpen   atomicInt64 // gauge: workers currently open
 }
 
 // Hooks returns a Hooks wiring every event into the counters.
@@ -242,24 +299,47 @@ func (c *MetricCounters) Hooks() *Hooks {
 			c.cacheMisses.Add(misses)
 			c.cacheResets.Add(resets)
 		},
-		PanicRecovered: func(int, string) { c.panics.Add(1) },
-		Quarantined:    func(int, string) { c.quarantined.Add(1) },
-		Evicted:        func(int, string) { c.evicted.Add(1) },
-		SinkRetry:      func(int, error) { c.sinkRetries.Add(1) },
-		DeadLetter:     func(string, error) { c.deadLetters.Add(1) },
+		PanicRecovered:    func(int, string) { c.panics.Add(1) },
+		Quarantined:       func(int, string) { c.quarantined.Add(1) },
+		Evicted:           func(int, string) { c.evicted.Add(1) },
+		SinkRetry:         func(int, error) { c.sinkRetries.Add(1) },
+		DeadLetter:        func(string, error) { c.deadLetters.Add(1) },
+		Overloaded:        func(int, string) { c.shed.Add(1) },
+		Watchdog:          func(int, string, string, time.Duration) { c.watchdogTrips.Add(1) },
+		ResourceExhausted: func(int, string) { c.resExhausted.Add(1) },
+		Breaker: func(_ int, open bool) {
+			if open {
+				c.breakerOpens.Add(1)
+				c.breakerOpen.Add(1)
+			} else {
+				c.breakerOpen.Add(-1)
+			}
+		},
+		BreakerShed: func(int, string) { c.breakerSheds.Add(1) },
 	}
 }
 
-// FaultStats aggregates the pipeline's fault-tolerance counters: panics
-// recovered (backend or sink), streams quarantined after a fault, streams
-// evicted under the MaxStreams cap, sink Deliver retries, and batches
-// dead-lettered after exhausting their retries.
+// FaultStats aggregates the pipeline's fault-tolerance and overload
+// counters: panics recovered (backend or sink), streams quarantined after
+// a fault, streams evicted under the MaxStreams cap, sink Deliver
+// retries, batches dead-lettered after exhausting their retries, Sends
+// shed by admission control, watchdog trips on overdue backend calls,
+// streams ended by resource budgets, sink circuit-breaker opens (flips to
+// open; BreakerOpenWorkers gauges how many are open now) and batches shed
+// while a breaker was open.
 type FaultStats struct {
 	PanicsRecovered    int64
 	StreamsQuarantined int64
 	StreamsEvicted     int64
 	SinkRetries        int64
 	DeadLetters        int64
+
+	SendsShed          int64
+	WatchdogTrips      int64
+	ResourceExhausted  int64
+	BreakerOpens       int64
+	BreakerSheds       int64
+	BreakerOpenWorkers int64
 }
 
 // Faults returns the current fault-tolerance totals.
@@ -270,6 +350,12 @@ func (c *MetricCounters) Faults() FaultStats {
 		StreamsEvicted:     c.evicted.Load(),
 		SinkRetries:        c.sinkRetries.Load(),
 		DeadLetters:        c.deadLetters.Load(),
+		SendsShed:          c.shed.Load(),
+		WatchdogTrips:      c.watchdogTrips.Load(),
+		ResourceExhausted:  c.resExhausted.Load(),
+		BreakerOpens:       c.breakerOpens.Load(),
+		BreakerSheds:       c.breakerSheds.Load(),
+		BreakerOpenWorkers: c.breakerOpen.Load(),
 	}
 }
 

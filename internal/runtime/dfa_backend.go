@@ -14,6 +14,7 @@ type dfaBackend struct {
 	d       *stream.DFA
 	shard   int
 	hooks   *Hooks
+	lim     Limits
 	pending []stream.Match
 	bytes   int64
 	matches int64
@@ -38,10 +39,22 @@ func DFAFactory(spec *core.Spec, maxStates int) Factory {
 // DFAFactoryConfig is DFAFactory with the full stream.DFAConfig exposed,
 // notably NoAccel for differential runs against the skip-ahead path.
 func DFAFactoryConfig(spec *core.Spec, cfg stream.DFAConfig) Factory {
+	return DFAFactoryLimits(spec, cfg, Limits{})
+}
+
+// DFAFactoryLimits is DFAFactoryConfig with per-stream resource bounds:
+// MaxPendingMatches bounds each stream's undrained match buffer (error
+// wrapping ErrResourceExhausted on trip), and Limits.Mem — unless the
+// DFAConfig already carries a MemDelta — observes the shared transition
+// cache's estimated footprint, so tenant memory budgets see cache growth.
+func DFAFactoryLimits(spec *core.Spec, cfg stream.DFAConfig, lim Limits) Factory {
+	if cfg.MemDelta == nil {
+		cfg.MemDelta = lim.Mem.Delta()
+	}
 	cache := stream.NewDFACache(spec, cfg)
 	return func(shard int, h *Hooks) (Backend, error) {
 		d := cache.NewDFA()
-		b := &dfaBackend{d: d, shard: shard, hooks: h}
+		b := &dfaBackend{d: d, shard: shard, hooks: h, lim: lim}
 		d.OnMatch = func(m stream.Match) {
 			b.pending = append(b.pending, m)
 			b.matches++
@@ -64,6 +77,9 @@ func (b *dfaBackend) Feed(p []byte) error {
 	n, err := b.d.Write(p)
 	b.bytes += int64(n)
 	b.hooks.bytes(b.shard, n)
+	if err == nil {
+		err = b.lim.checkPending(len(b.pending))
+	}
 	return err
 }
 

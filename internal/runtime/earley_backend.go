@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"cfgtag/internal/core"
@@ -20,7 +22,9 @@ type earleyBackend struct {
 	rec     *earley.Recognizer
 	shard   int
 	hooks   *Hooks
+	lim     Limits
 	buf     []byte
+	charged int64
 	pending []stream.Match
 	matches int64
 	closed  bool
@@ -32,12 +36,26 @@ type earleyBackend struct {
 // for spec options with no exact-language counterpart (FreeRunningStart,
 // AllEnabled, recovery modes).
 func EarleyFactory(spec *core.Spec) (Factory, error) {
-	rec, err := earley.New(spec)
+	return EarleyFactoryLimits(spec, Limits{})
+}
+
+// EarleyFactoryLimits is EarleyFactory with per-stream resource bounds:
+// MaxBufferBytes caps the whole-sentence buffer, MaxChartItems and
+// MaxWorkPerByte bound the Close-time recognition's chart and worklist
+// (see earley.Config), and Limits.Mem is charged with the buffer capacity
+// and the live chart estimate. Every trip surfaces as an error wrapping
+// ErrResourceExhausted, ending only the offending stream.
+func EarleyFactoryLimits(spec *core.Spec, lim Limits) (Factory, error) {
+	rec, err := earley.NewWithConfig(spec, earley.Config{
+		MaxChartItems:  lim.MaxChartItems,
+		MaxWorkPerByte: lim.MaxWorkPerByte,
+		MemDelta:       lim.Mem.Delta(),
+	})
 	if err != nil {
 		return nil, err
 	}
 	return func(shard int, h *Hooks) (Backend, error) {
-		return &earleyBackend{spec: spec, rec: rec, shard: shard, hooks: h}, nil
+		return &earleyBackend{spec: spec, rec: rec, shard: shard, hooks: h, lim: lim}, nil
 	}, nil
 }
 
@@ -52,9 +70,31 @@ func (b *earleyBackend) Feed(p []byte) error {
 	if b.closed {
 		return errClosed
 	}
+	if err := b.lim.checkBuffer(len(b.buf), len(p)); err != nil {
+		return err
+	}
 	b.buf = append(b.buf, p...)
+	b.chargeBuf()
 	b.hooks.bytes(b.shard, len(p))
 	return nil
+}
+
+// chargeBuf settles the memory gauge with the buffer's current capacity.
+func (b *earleyBackend) chargeBuf() {
+	if b.lim.Mem != nil {
+		if c := int64(cap(b.buf)); c != b.charged {
+			b.lim.Mem.Add(c - b.charged)
+			b.charged = c
+		}
+	}
+}
+
+// releaseMem discharges the buffer charge when the stream retires.
+func (b *earleyBackend) releaseMem() {
+	if b.charged != 0 {
+		b.lim.Mem.Add(-b.charged)
+		b.charged = 0
+	}
 }
 
 func (b *earleyBackend) Close() error {
@@ -64,6 +104,12 @@ func (b *earleyBackend) Close() error {
 	b.closed = true
 	tags, err := b.rec.Tags(b.buf)
 	if err != nil {
+		if errors.Is(err, earley.ErrBudget) {
+			// The chart outgrew its per-stream budget: surface the
+			// pipeline's typed verdict so the stream is quarantined and
+			// counted, keeping earley's sentinel as detail.
+			return fmt.Errorf("%w: %v", ErrResourceExhausted, err)
+		}
 		return err
 	}
 	for _, tag := range tags {

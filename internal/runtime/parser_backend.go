@@ -16,7 +16,9 @@ type parserBackend struct {
 	table   *parser.Table
 	shard   int
 	hooks   *Hooks
+	lim     Limits
 	buf     []byte
+	charged int64
 	pending []stream.Match
 	matches int64
 	closed  bool
@@ -26,12 +28,21 @@ type parserBackend struct {
 // table is built once (failing here if the grammar is not LL(1)); each
 // Backend carries only its input buffer.
 func ParserFactory(spec *core.Spec) (Factory, error) {
+	return ParserFactoryLimits(spec, Limits{})
+}
+
+// ParserFactoryLimits is ParserFactory with per-stream resource bounds:
+// MaxBufferBytes caps the whole-sentence buffer (the Feed that would
+// exceed it fails with an error wrapping ErrResourceExhausted, accepting
+// none of its bytes), and Limits.Mem is charged with the buffer's
+// capacity while the stream is live.
+func ParserFactoryLimits(spec *core.Spec, lim Limits) (Factory, error) {
 	table, err := parser.BuildTable(spec)
 	if err != nil {
 		return nil, err
 	}
 	return func(shard int, h *Hooks) (Backend, error) {
-		return &parserBackend{spec: spec, table: table, shard: shard, hooks: h}, nil
+		return &parserBackend{spec: spec, table: table, shard: shard, hooks: h, lim: lim}, nil
 	}, nil
 }
 
@@ -46,9 +57,31 @@ func (b *parserBackend) Feed(p []byte) error {
 	if b.closed {
 		return errClosed
 	}
+	if err := b.lim.checkBuffer(len(b.buf), len(p)); err != nil {
+		return err
+	}
 	b.buf = append(b.buf, p...)
+	b.chargeBuf()
 	b.hooks.bytes(b.shard, len(p))
 	return nil
+}
+
+// chargeBuf settles the memory gauge with the buffer's current capacity.
+func (b *parserBackend) chargeBuf() {
+	if b.lim.Mem != nil {
+		if c := int64(cap(b.buf)); c != b.charged {
+			b.lim.Mem.Add(c - b.charged)
+			b.charged = c
+		}
+	}
+}
+
+// releaseMem discharges the buffer charge when the stream retires.
+func (b *parserBackend) releaseMem() {
+	if b.charged != 0 {
+		b.lim.Mem.Add(-b.charged)
+		b.charged = 0
+	}
 }
 
 func (b *parserBackend) Close() error {

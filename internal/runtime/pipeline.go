@@ -36,6 +36,33 @@ var ErrBackendPanic = errors.New("runtime: backend panicked")
 // permanent sink failure. Test with errors.Is.
 var ErrSinkPanic = errors.New("runtime: sink panicked")
 
+// ErrOverloaded is returned by Send in shed mode (Config.SendTimeout != 0)
+// when the target shard's queue sat at the ShedHighWater mark past the
+// timeout. The chunk is not accepted — bytes are never partially enqueued
+// — and surviving streams are untouched: the caller decides whether to
+// retry, back off, or end the stream. Test with errors.Is.
+var ErrOverloaded = errors.New("runtime: pipeline overloaded")
+
+// ErrResourceExhausted marks a stream stopped by a resource budget: a
+// per-stream buffer or pending-match bound (Limits), an Earley chart
+// budget, or a tenant memory budget (Quota.MemBudgetBytes). A budgeted
+// stream ends with an error-carrying EOS batch and its key is quarantined
+// like any other backend fault. Test with errors.Is.
+var ErrResourceExhausted = errors.New("runtime: resource budget exhausted")
+
+// ErrBackendStalled marks a backend call (Feed or Close) the watchdog
+// caught running past Config.FeedDeadline. Go code cannot be interrupted,
+// so the verdict lands when the call finally returns: the stream ends with
+// an error-carrying EOS batch and its key is quarantined. A call that
+// never returns is still observable through Hooks.Watchdog. Test with
+// errors.Is.
+var ErrBackendStalled = errors.New("runtime: backend stalled")
+
+// ErrBreakerOpen is the error a batch is dead-lettered with while a sink
+// worker's circuit breaker is open (see Config.BreakerThreshold). Test
+// with errors.Is.
+var ErrBreakerOpen = errors.New("runtime: sink circuit breaker open")
+
 // DefaultQuarantine is the stream-quarantine TTL used when Config leaves
 // Quarantine zero.
 const DefaultQuarantine = 30 * time.Second
@@ -60,6 +87,14 @@ const maxPooledMatchCap = 8192
 
 // sinkBackoffCap caps the exponential Deliver-retry backoff.
 const sinkBackoffCap = 250 * time.Millisecond
+
+// DefaultBreakerCooldown is how long an open sink circuit breaker sheds
+// before its half-open probe when Config.BreakerCooldown is zero.
+const DefaultBreakerCooldown = time.Second
+
+// quarSweepMin floors the amortized quarantine-sweep threshold so tiny
+// maps are not swept on every insert.
+const quarSweepMin = 16
 
 // Batch is one unit of Sink delivery: the chunk of stream bytes a shard
 // just processed and the detections it confirmed. Offsets in Tags are
@@ -192,6 +227,40 @@ type Config struct {
 	// retain b.Data or b.Tags past the call. It runs on the delivering
 	// sink worker.
 	DeadLetter func(b *Batch, err error)
+	// SendTimeout selects the overload policy at dispatch. 0 (the
+	// default) keeps the blocking behavior: Send waits while the target
+	// shard's queue is full. Non-zero enables admission control: a Send
+	// that finds the queue at the ShedHighWater mark is shed with
+	// ErrOverloaded — immediately when SendTimeout is negative, or after
+	// waiting up to SendTimeout for the queue to drain when positive.
+	// CloseStream always blocks regardless, so streams can always close.
+	SendTimeout time.Duration
+	// ShedHighWater is the queue depth (in coalesced batches) at which
+	// shed-mode Sends are rejected. 0 — or anything past Queue — means
+	// the full queue capacity: shed only when no slot is free. Meaningful
+	// only when SendTimeout != 0.
+	ShedHighWater int
+	// FeedDeadline arms the backend watchdog: a Feed or Close call
+	// running past this deadline fires Hooks.Watchdog, and when it
+	// finally returns, its stream ends with an ErrBackendStalled EOS
+	// batch and a quarantined key. 0 disables the watchdog.
+	FeedDeadline time.Duration
+	// BreakerThreshold is the number of consecutive exhausted deliveries
+	// (all SinkAttempts failed) that open a sink worker's circuit
+	// breaker: while open, the worker stops calling Deliver and sheds
+	// batches straight to DeadLetter with ErrBreakerOpen; after
+	// BreakerCooldown one half-open probe decides whether to close it.
+	// 0 disables the breaker; enabling it requires DeadLetter.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before the
+	// half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Mem, when set, aggregates the pipeline's estimated memory: dispatch
+	// arenas checked out of the pool charge it, and backends built by a
+	// Limits- or budget-aware factory (buffered stream bytes, DFA cache
+	// states, Earley charts) charge the same gauge. Registry.Send
+	// enforces Quota.MemBudgetBytes against it.
+	Mem *MemGauge
 }
 
 // Pipeline is the sharded runtime: messages enter via Send, are coalesced
@@ -213,10 +282,17 @@ type Pipeline struct {
 	sinkChs []chan *sinkGroup
 
 	quarTTL      time.Duration
+	quarSweep    time.Duration
 	batchBytes   int
 	batchIdle    time.Duration
 	sinkAttempts int
 	sinkBackoff  time.Duration
+
+	sendTimeout  time.Duration
+	highWater    int
+	feedDeadline time.Duration
+	brThreshold  int
+	brCooldown   time.Duration
 
 	bufs    sync.Pool // chunk arenas, recycled after Deliver
 	matches sync.Pool // match slices, recycled after Deliver
@@ -299,9 +375,22 @@ type shard struct {
 	pend   *shardBatch
 	pendAt time.Time // when the pending batch got its first message
 
-	quarMu sync.Mutex
-	quar   map[string]time.Time // key -> quarantine expiry
-	quarN  atomic.Int32         // live entries in quar (lock-free fast path)
+	// drainSig is pulsed (non-blockingly) by run() after each batch it
+	// drains, waking one shed-mode Send waiting out its SendTimeout.
+	drainSig chan struct{}
+
+	quarMu   sync.Mutex
+	quar     map[string]time.Time // key -> quarantine expiry
+	quarN    atomic.Int32         // live entries in quar (lock-free fast path)
+	quarHigh int                  // map size that triggers the next amortized sweep
+
+	// Watchdog in-flight record, armed only when FeedDeadline > 0: the
+	// backend call currently running on this shard's goroutine, if any.
+	wdMu     sync.Mutex
+	wdKey    string
+	wdOrigin string
+	wdStart  time.Time // zero = no call in flight
+	wdFired  bool      // Hooks.Watchdog already fired for this call
 }
 
 // NewPipeline starts the shard, sink-worker and idle-flusher goroutines.
@@ -348,6 +437,24 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 	if p.sinkBackoff <= 0 {
 		p.sinkBackoff = time.Millisecond
 	}
+	p.sendTimeout = cfg.SendTimeout
+	p.highWater = cfg.ShedHighWater
+	if p.highWater <= 0 || p.highWater > cfg.Queue {
+		p.highWater = cfg.Queue
+	}
+	p.feedDeadline = cfg.FeedDeadline
+	p.brThreshold = cfg.BreakerThreshold
+	p.brCooldown = cfg.BreakerCooldown
+	if p.brCooldown <= 0 {
+		p.brCooldown = DefaultBreakerCooldown
+	}
+	// Dead quarantine entries are reaped well before they could double
+	// the map again, but never so often that sweeping competes with
+	// dispatch.
+	p.quarSweep = p.quarTTL / 2
+	if p.quarSweep < 50*time.Millisecond {
+		p.quarSweep = 50 * time.Millisecond
+	}
 	p.bufs.New = func() any { return []byte(nil) }
 	p.sbPool.New = func() any { return new(shardBatch) }
 	p.grpPool.New = func() any { return new(sinkGroup) }
@@ -369,16 +476,17 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 		ch := make(chan *sinkGroup, cfg.Queue)
 		p.sinkChs = append(p.sinkChs, ch)
 		p.sinkWG.Add(1)
-		go p.sinkWorker(ch, 0x5eed5eed^int64(w)*0x9e3779b9)
+		go p.sinkWorker(ch, w, 0x5eed5eed^int64(w)*0x9e3779b9)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
-			id:      i,
-			in:      make(chan *shardBatch, cfg.Queue),
-			streams: make(map[string]*streamEntry),
-			lru:     list.New(),
-			quar:    make(map[string]time.Time),
-			p:       p,
+			id:       i,
+			in:       make(chan *shardBatch, cfg.Queue),
+			streams:  make(map[string]*streamEntry),
+			lru:      list.New(),
+			quar:     make(map[string]time.Time),
+			drainSig: make(chan struct{}, 1),
+			p:        p,
 		}
 		p.shards = append(p.shards, s)
 		p.shardWG.Add(1)
@@ -386,6 +494,10 @@ func NewPipeline(cfg Config, sink Sink) (*Pipeline, error) {
 	}
 	p.flushWG.Add(1)
 	go p.idleFlusher()
+	if p.feedDeadline > 0 {
+		p.flushWG.Add(1)
+		go p.watchdog()
+	}
 	return p, nil
 }
 
@@ -439,17 +551,65 @@ func (p *Pipeline) dispatch(key string, data []byte, eos bool) error {
 	if p.quarTTL > 0 && s.poisoned(key) {
 		return fmt.Errorf("%w: %q", ErrQuarantined, key)
 	}
-	s.enqueue(key, data, eos)
+	if p.sendTimeout != 0 && !eos {
+		if err := s.admit(key); err != nil {
+			return err
+		}
+	}
+	if err := s.enqueue(key, data, eos); err != nil {
+		return err
+	}
 	p.cfg.Hooks.queueDepth(s.id, len(s.in))
 	return nil
+}
+
+// admit is shed-mode admission control: a Send that finds the shard queue
+// at the high watermark is rejected with ErrOverloaded — immediately when
+// SendTimeout < 0, or after waiting up to SendTimeout for the shard to
+// drain below the mark. The depth reads are racy by design; the
+// enqueue-level flush guard is the exact arbiter.
+func (s *shard) admit(key string) error {
+	p := s.p
+	if len(s.in) < p.highWater {
+		return nil
+	}
+	if p.sendTimeout > 0 {
+		timer := time.NewTimer(p.sendTimeout)
+		defer timer.Stop()
+		for {
+			select {
+			case <-s.drainSig:
+				if len(s.in) < p.highWater {
+					return nil
+				}
+			case <-timer.C:
+				return s.shed(key)
+			}
+		}
+	}
+	return s.shed(key)
+}
+
+// shed records one rejected Send and returns its typed error.
+func (s *shard) shed(key string) error {
+	s.p.cfg.Hooks.overloaded(s.id, key)
+	return fmt.Errorf("%w: shard %d queue at high watermark (%q rejected)", ErrOverloaded, s.id, key)
 }
 
 // enqueue appends one message to the shard's pending batch, flushing it
 // when the arena target is reached, when coalescing is off, or when the
 // shard queue is empty (nothing would be gained by waiting: the shard is
 // starved, so latency wins over amortization).
-func (s *shard) enqueue(key string, data []byte, eos bool) {
+//
+// In shed mode (SendTimeout != 0) the flushes are non-blocking: when the
+// full arena cannot be handed off because the queue is full, the message
+// is shed with ErrOverloaded *before* being appended — bytes are never
+// partially accepted — and an already-complete pending batch simply stays
+// pending until a later enqueue, the idle flusher, or Close moves it. EOS
+// messages always take the blocking path so streams can always close.
+func (s *shard) enqueue(key string, data []byte, eos bool) error {
 	p := s.p
+	canBlock := p.sendTimeout == 0 || eos
 	s.pendMu.Lock()
 	if s.pend == nil {
 		s.pend = p.getShardBatch()
@@ -457,7 +617,10 @@ func (s *shard) enqueue(key string, data []byte, eos bool) {
 	b := s.pend
 	if len(data) > 0 {
 		if b.data != nil && len(b.data)+len(data) > cap(b.data) {
-			s.flushLocked()
+			if !s.flushPendLocked(canBlock) {
+				s.pendMu.Unlock()
+				return s.shed(key)
+			}
 			s.pend = p.getShardBatch()
 			b = s.pend
 		}
@@ -478,30 +641,46 @@ func (s *shard) enqueue(key string, data []byte, eos bool) {
 		s.pendAt = time.Now()
 	}
 	if p.batchBytes == 0 || len(b.data) >= p.batchBytes || len(s.in) == 0 {
-		s.flushLocked()
+		s.flushPendLocked(canBlock)
 	}
 	s.pendMu.Unlock()
+	return nil
 }
 
-// flushLocked hands the pending batch to the shard goroutine; pendMu must
-// be held. The channel send may block under backpressure — the shard keeps
-// draining, so progress is guaranteed.
-func (s *shard) flushLocked() {
+// flushPendLocked hands the pending batch to the shard goroutine; pendMu
+// must be held. With block set the channel send may wait under
+// backpressure — the shard keeps draining, so progress is guaranteed.
+// Without it a full queue leaves the batch pending and reports false.
+// Every send into s.in happens here, under pendMu.
+func (s *shard) flushPendLocked(block bool) bool {
 	b := s.pend
 	if b == nil || len(b.msgs) == 0 {
-		return
+		return true
 	}
-	s.pend = nil
-	s.in <- b
+	if block {
+		s.pend = nil
+		s.in <- b
+		return true
+	}
+	select {
+	case s.in <- b:
+		s.pend = nil
+		return true
+	default:
+		return false
+	}
 }
 
 // idleFlusher bounds batching latency: every BatchIdle tick it pushes any
-// pending batch older than the deadline to its shard. It exits as soon as
-// the pipeline closes (Close flushes the remaining batches itself).
+// pending batch older than the deadline to its shard. It doubles as the
+// periodic quarantine sweeper (every quarSweep), so dead entries are
+// reaped even when dispatch goes quiet. It exits as soon as the pipeline
+// closes (Close flushes the remaining batches itself).
 func (p *Pipeline) idleFlusher() {
 	defer p.flushWG.Done()
 	t := time.NewTicker(p.batchIdle)
 	defer t.Stop()
+	lastSweep := time.Now()
 	for {
 		select {
 		case <-p.flushStop:
@@ -516,9 +695,18 @@ func (p *Pipeline) idleFlusher() {
 		for _, s := range p.shards {
 			s.pendMu.Lock()
 			if s.pend != nil && len(s.pend.msgs) > 0 && time.Since(s.pendAt) >= p.batchIdle {
-				s.flushLocked()
+				// In shed mode the idle flush must not block either: a
+				// stuck queue keeps the batch pending (its messages were
+				// accepted; they move as soon as the shard drains).
+				s.flushPendLocked(p.sendTimeout == 0)
 			}
 			s.pendMu.Unlock()
+		}
+		if p.quarTTL > 0 && time.Since(lastSweep) >= p.quarSweep {
+			lastSweep = time.Now()
+			for _, s := range p.shards {
+				s.sweepQuarantine(lastSweep)
+			}
 		}
 		p.stateMu.RUnlock()
 	}
@@ -553,7 +741,7 @@ func (p *Pipeline) Close() error {
 	// are stable; flush them before closing the shard channels.
 	for _, s := range p.shards {
 		s.pendMu.Lock()
-		s.flushLocked()
+		s.flushPendLocked(true)
 		s.pendMu.Unlock()
 	}
 	for _, s := range p.shards {
@@ -573,16 +761,24 @@ func (p *Pipeline) Close() error {
 	return err
 }
 
+// getBuf checks an arena out of the pool. The memory gauge tracks
+// checked-out bytes: charged here, discharged in putBuf — idle pool
+// capacity is bounded by maxPooledBufCap and not counted.
 func (p *Pipeline) getBuf(n int) []byte {
 	b := p.bufs.Get().([]byte)
 	if cap(b) < n {
 		b = make([]byte, n)
 	}
+	p.cfg.Mem.Add(int64(cap(b)))
 	return b[:n]
 }
 
 func (p *Pipeline) putBuf(b []byte) {
-	if b == nil || cap(b) > maxPooledBufCap {
+	if b == nil {
+		return
+	}
+	p.cfg.Mem.Add(-int64(cap(b)))
+	if cap(b) > maxPooledBufCap {
 		return // oversized chunks go to the GC, not the pool
 	}
 	p.bufs.Put(b[:0]) //nolint:staticcheck // slice, not pointer, by design
@@ -654,17 +850,48 @@ func (s *shard) poisoned(key string) bool {
 }
 
 // poison quarantines key for the configured TTL (no-op when disabled).
+// Inserts are where the map grows, so they amortize the sweep: once the
+// map doubles past the size left by the previous sweep, expired entries
+// are reaped before inserting — a churn of unique faulted keys holds the
+// map at O(live entries) instead of growing it forever.
 func (s *shard) poison(key string) {
 	if s.p.quarTTL <= 0 {
 		return
 	}
+	now := time.Now()
 	s.quarMu.Lock()
+	if len(s.quar) >= s.quarHigh {
+		s.sweepLocked(now)
+		s.quarHigh = 2*len(s.quar) + quarSweepMin
+	}
 	if _, ok := s.quar[key]; !ok {
 		s.quarN.Add(1)
 	}
-	s.quar[key] = time.Now().Add(s.p.quarTTL)
+	s.quar[key] = now.Add(s.p.quarTTL)
 	s.quarMu.Unlock()
 	s.p.cfg.Hooks.quarantined(s.id, key)
+}
+
+// sweepQuarantine reaps expired quarantine entries (the periodic path;
+// see poison for the amortized one).
+func (s *shard) sweepQuarantine(now time.Time) {
+	if s.quarN.Load() == 0 {
+		return
+	}
+	s.quarMu.Lock()
+	s.sweepLocked(now)
+	s.quarHigh = 2*len(s.quar) + quarSweepMin
+	s.quarMu.Unlock()
+}
+
+// sweepLocked deletes every expired entry; quarMu must be held.
+func (s *shard) sweepLocked(now time.Time) {
+	for k, until := range s.quar {
+		if now.After(until) {
+			delete(s.quar, k)
+			s.quarN.Add(-1)
+		}
+	}
 }
 
 // run is the shard loop: per-stream Backend lifecycle and batch emission.
@@ -690,6 +917,12 @@ func (s *shard) run() {
 		sb.data = nil
 		s.p.putShardBatch(sb)
 		s.emit(g)
+		// Wake one shed-mode Send waiting on admission: a queue slot just
+		// freed up.
+		select {
+		case s.drainSig <- struct{}{}:
+		default:
+		}
 	}
 	g := s.p.getGroup()
 	for key := range s.streams {
@@ -711,10 +944,84 @@ func (s *shard) guard(origin string, fn func() error) (err error) {
 	return fn()
 }
 
-// remove forgets a stream's backend and recency entry.
+// guardTimed wraps guard with the watchdog's in-flight record: while fn
+// runs, the watchdog goroutine can see how long it has been running and
+// fire Hooks.Watchdog once it is overdue. Go code cannot be interrupted,
+// so a stalled call is converted into an ErrBackendStalled verdict when
+// it finally returns; a call that never returns remains observable
+// through the hook.
+func (s *shard) guardTimed(key, origin string, fn func() error) error {
+	p := s.p
+	if p.feedDeadline <= 0 {
+		return s.guard(origin, fn)
+	}
+	s.wdMu.Lock()
+	s.wdKey, s.wdOrigin, s.wdStart, s.wdFired = key, origin, time.Now(), false
+	s.wdMu.Unlock()
+	err := s.guard(origin, fn)
+	s.wdMu.Lock()
+	elapsed := time.Since(s.wdStart)
+	fired := s.wdFired
+	s.wdStart = time.Time{}
+	s.wdMu.Unlock()
+	if elapsed > p.feedDeadline {
+		if !fired {
+			// The call outran the deadline between watchdog ticks; the
+			// hook still fires exactly once per overdue call.
+			p.cfg.Hooks.watchdog(s.id, key, origin, elapsed)
+		}
+		if err == nil {
+			err = fmt.Errorf("%w: %s on %q took %v (deadline %v)", ErrBackendStalled, origin, key, elapsed, p.feedDeadline)
+		}
+	}
+	return err
+}
+
+// watchdog is the pipeline's stall detector: it scans every shard's
+// in-flight backend call on a fraction of FeedDeadline and fires
+// Hooks.Watchdog (once per call) when one is overdue. The verdict on the
+// stream lands in guardTimed when the call returns.
+func (p *Pipeline) watchdog() {
+	defer p.flushWG.Done()
+	tick := p.feedDeadline / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.flushStop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for _, s := range p.shards {
+			s.wdMu.Lock()
+			overdue := !s.wdStart.IsZero() && !s.wdFired && now.Sub(s.wdStart) > p.feedDeadline
+			var key, origin string
+			var elapsed time.Duration
+			if overdue {
+				s.wdFired = true
+				key, origin, elapsed = s.wdKey, s.wdOrigin, now.Sub(s.wdStart)
+			}
+			s.wdMu.Unlock()
+			if overdue {
+				p.cfg.Hooks.watchdog(s.id, key, origin, elapsed)
+			}
+		}
+	}
+}
+
+// remove forgets a stream's backend and recency entry, releasing any
+// memory-gauge charge the backend holds (limit-aware backends account
+// their stream buffers; the charge must not outlive the stream).
 func (s *shard) remove(e *streamEntry) {
 	delete(s.streams, e.key)
 	s.lru.Remove(e.el)
+	if r, ok := e.b.(memReleaser); ok {
+		r.releaseMem()
+	}
 }
 
 // drain moves the backend's confirmed matches into batch.Tags, through a
@@ -740,12 +1047,23 @@ func (s *shard) evictOldest(g *sinkGroup) {
 	}
 	e := el.Value.(*streamEntry)
 	batch := &Batch{Key: e.key, Shard: s.id, EOS: true, Evicted: true, Version: e.ver.id, ver: e.ver}
-	batch.Err = s.guard("Close", e.b.Close)
+	batch.Err = s.guardTimed(e.key, "Close", e.b.Close)
 	if merr := s.drain(e, batch); merr != nil && batch.Err == nil {
 		batch.Err = merr
 	}
 	s.remove(e)
 	s.p.cfg.Hooks.evicted(s.id, e.key)
+	s.append(g, batch)
+}
+
+// append records the finished batch on the delivery group, noting
+// resource-budget verdicts on the way: every batch a shard produces goes
+// through here, so the ResourceExhausted hook fires exactly once per
+// budget-tripped stream.
+func (s *shard) append(g *sinkGroup, batch *Batch) {
+	if batch.Err != nil && errors.Is(batch.Err, ErrResourceExhausted) {
+		s.p.cfg.Hooks.resourceExhausted(s.id, batch.Key)
+	}
 	g.batches = append(g.batches, batch)
 }
 
@@ -772,7 +1090,7 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 		if err != nil {
 			s.p.releaseVersion(ver)
 			s.poison(key)
-			g.batches = append(g.batches, &Batch{Key: key, Shard: s.id, EOS: true, Err: err, Version: ver.id})
+			s.append(g, &Batch{Key: key, Shard: s.id, EOS: true, Err: err, Version: ver.id})
 			return
 		}
 		e = &streamEntry{key: key, b: b, rec: asMatchRecycler(b), ver: ver}
@@ -784,28 +1102,35 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 
 	batch := &Batch{Key: key, Shard: s.id, Data: data, EOS: eos, Version: e.ver.id}
 	if len(data) > 0 {
-		batch.Err = s.guard("Feed", func() error { return e.b.Feed(data) })
+		batch.Err = s.guardTimed(key, "Feed", func() error { return e.b.Feed(data) })
 	}
 	if batch.Err != nil && !eos {
-		// A failed or panicking Feed ends the stream: the backend's
-		// state is suspect, so it is retired, the key is poisoned, and
-		// the error batch doubles as the stream's EOS. Matches confirmed
-		// before the fault are still drained (best effort).
+		// A failed, panicking, budget-tripped or stalled Feed ends the
+		// stream: the backend's state is suspect, so it is retired, the
+		// key is poisoned, and the error batch doubles as the stream's
+		// EOS. Matches confirmed before the fault are still drained (best
+		// effort).
 		batch.EOS = true
 		batch.ver = e.ver
 		s.drain(e, batch)
 		s.guard("Close", e.b.Close)
 		s.remove(e)
 		s.poison(key)
-		g.batches = append(g.batches, batch)
+		s.append(g, batch)
 		return
 	}
 	if eos {
-		if cerr := s.guard("Close", e.b.Close); batch.Err == nil {
+		if cerr := s.guardTimed(key, "Close", e.b.Close); batch.Err == nil {
 			batch.Err = cerr
 		}
 		s.remove(e)
 		batch.ver = e.ver
+		if batch.Err != nil && (errors.Is(batch.Err, ErrResourceExhausted) || errors.Is(batch.Err, ErrBackendStalled)) {
+			// Whole-stream backends (parser, earley) trip budgets — and
+			// stall — at Close; quarantine the key like a Feed fault so
+			// the adversarial input cannot immediately re-open.
+			s.poison(key)
+		}
 	}
 	if merr := s.drain(e, batch); merr != nil {
 		if batch.Err == nil {
@@ -820,7 +1145,7 @@ func (s *shard) process(key string, data []byte, eos bool, g *sinkGroup) {
 			s.poison(key)
 		}
 	}
-	g.batches = append(g.batches, batch)
+	s.append(g, batch)
 }
 
 // emit hands one delivery group to the sink worker owning this shard.
@@ -841,13 +1166,17 @@ func (s *shard) emit(g *sinkGroup) {
 // hook when one is configured, otherwise — like errors marked with
 // PermanentError — they fail the sink permanently and further batches are
 // dropped.
-func (p *Pipeline) sinkWorker(ch chan *sinkGroup, seed int64) {
+func (p *Pipeline) sinkWorker(ch chan *sinkGroup, worker int, seed int64) {
 	defer p.sinkWG.Done()
 	rng := rand.New(rand.NewSource(seed)) // backoff jitter only
+	var br *breaker
+	if p.brThreshold > 0 {
+		br = &breaker{p: p, worker: worker}
+	}
 	for g := range ch {
 		for _, b := range g.batches {
 			if p.Err() == nil {
-				p.deliver(b, rng)
+				p.deliver(b, rng, br)
 			}
 			p.putMatchBuf(b.Tags)
 			if b.ver != nil {
@@ -865,7 +1194,28 @@ func (p *Pipeline) sinkWorker(ch chan *sinkGroup, seed int64) {
 	}
 }
 
-func (p *Pipeline) deliver(b *Batch, rng *rand.Rand) {
+func (p *Pipeline) deliver(b *Batch, rng *rand.Rand, br *breaker) {
+	if br != nil && br.open {
+		if time.Now().Before(br.openUntil) {
+			br.shed(b)
+			return
+		}
+		// Half-open: one probe attempt, no retries. Success closes the
+		// breaker (the batch is delivered); a transient failure restarts
+		// the cooldown and sheds.
+		err := p.deliverOnce(b)
+		if err == nil {
+			br.success()
+			return
+		}
+		if isPermanent(err) {
+			p.failSink(err)
+			return
+		}
+		br.openUntil = time.Now().Add(p.brCooldown)
+		br.shed(b)
+		return
+	}
 	var err error
 	for attempt := 1; attempt <= p.sinkAttempts; attempt++ {
 		if attempt > 1 {
@@ -873,6 +1223,9 @@ func (p *Pipeline) deliver(b *Batch, rng *rand.Rand) {
 			time.Sleep(p.backoff(attempt-1, rng))
 		}
 		if err = p.deliverOnce(b); err == nil {
+			if br != nil {
+				br.success()
+			}
 			return
 		}
 		if isPermanent(err) {
@@ -883,9 +1236,54 @@ func (p *Pipeline) deliver(b *Batch, rng *rand.Rand) {
 	if p.cfg.DeadLetter != nil {
 		p.cfg.Hooks.deadLetter(b.Key, err)
 		p.cfg.DeadLetter(b, err)
+		if br != nil {
+			br.failure()
+		}
 		return
 	}
 	p.failSink(err)
+}
+
+// breaker is one sink worker's circuit breaker over the retry/backoff
+// layer: BreakerThreshold consecutive exhausted deliveries open it, shed
+// batches go straight to DeadLetter with ErrBreakerOpen while it is open,
+// and after BreakerCooldown a single half-open probe decides whether it
+// closes. It lives on one worker goroutine, so no locking.
+type breaker struct {
+	p         *Pipeline
+	worker    int
+	consec    int // consecutive exhausted deliveries
+	open      bool
+	openUntil time.Time
+}
+
+// success resets the failure streak, closing the breaker after a
+// successful half-open probe.
+func (br *breaker) success() {
+	br.consec = 0
+	if br.open {
+		br.open = false
+		br.p.cfg.Hooks.breaker(br.worker, false)
+	}
+}
+
+// failure records one exhausted delivery, opening the breaker at the
+// threshold.
+func (br *breaker) failure() {
+	br.consec++
+	if !br.open && br.consec >= br.p.brThreshold {
+		br.open = true
+		br.openUntil = time.Now().Add(br.p.brCooldown)
+		br.p.cfg.Hooks.breaker(br.worker, true)
+	}
+}
+
+// shed hands one batch to DeadLetter without touching the sink.
+// DeadLetter is guaranteed non-nil (Validate requires it with the
+// breaker).
+func (br *breaker) shed(b *Batch) {
+	br.p.cfg.Hooks.breakerShed(br.worker, b.Key)
+	br.p.cfg.DeadLetter(b, fmt.Errorf("%w: worker %d", ErrBreakerOpen, br.worker))
 }
 
 // deliverOnce shields the pipeline from a panicking Sink.

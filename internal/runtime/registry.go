@@ -37,6 +37,14 @@ type Quota struct {
 	// unlimited) with a token bucket holding one second of burst. Sends
 	// beyond the rate fail with ErrQuotaExceeded rather than blocking.
 	BytesPerSec int64
+	// MemBudgetBytes caps the tenant's estimated live memory (0 =
+	// unlimited), accounted on the pipeline's MemGauge across dispatch
+	// arenas, per-stream backend buffers, DFA cache states and Earley
+	// charts. A Send arriving while the tenant is over budget fails with
+	// ErrResourceExhausted and nothing is enqueued; existing streams
+	// drain normally, releasing memory. Add installs a gauge on the
+	// tenant's Config.Mem when one is not already set.
+	MemBudgetBytes int64
 }
 
 // validate rejects negative quotas with typed errors.
@@ -46,6 +54,9 @@ func (q Quota) validate() error {
 	}
 	if q.BytesPerSec < 0 {
 		return &ConfigError{Field: "Quota.BytesPerSec", Value: q.BytesPerSec, Reason: "must be >= 0 (0 = unlimited)"}
+	}
+	if q.MemBudgetBytes < 0 {
+		return &ConfigError{Field: "Quota.MemBudgetBytes", Value: q.MemBudgetBytes, Reason: "must be >= 0 (0 = unlimited)"}
 	}
 	return nil
 }
@@ -75,6 +86,7 @@ type tenantState struct {
 	live   map[string]struct{}
 
 	bucket *tokenBucket // nil when BytesPerSec is unlimited
+	mem    *MemGauge    // the pipeline's gauge; nil when no budget and none configured
 }
 
 // Registry is the multi-tenant front door: it owns one Pipeline per
@@ -112,6 +124,10 @@ func (r *Registry) Add(t Tenant, sink Sink) error {
 	}
 	cfg := t.Config
 	cfg.Hooks = chainHooks(ts.mc.Hooks(), t.Config.Hooks)
+	if t.Quota.MemBudgetBytes > 0 && cfg.Mem == nil {
+		cfg.Mem = &MemGauge{}
+	}
+	ts.mem = cfg.Mem
 	var s Sink = sink
 	if ts.live != nil {
 		s = &tenantSink{ts: ts, inner: sink}
@@ -183,6 +199,9 @@ func (r *Registry) Send(tenant, key string, data []byte) error {
 	if ts.bucket != nil && !ts.bucket.take(len(data)) {
 		return fmt.Errorf("%w: tenant %q over %d bytes/sec", ErrQuotaExceeded, tenant, ts.tenant.Quota.BytesPerSec)
 	}
+	if bb := ts.tenant.Quota.MemBudgetBytes; bb > 0 && ts.mem.Load() >= bb {
+		return fmt.Errorf("%w: tenant %q over %d-byte memory budget", ErrResourceExhausted, tenant, bb)
+	}
 	added, err := ts.admit(key)
 	if err != nil {
 		return err
@@ -244,6 +263,16 @@ func (r *Registry) Faults(tenant string) (FaultStats, error) {
 		return FaultStats{}, err
 	}
 	return ts.mc.Faults(), nil
+}
+
+// MemUsage reports the tenant's current estimated memory (0 when no
+// gauge is configured).
+func (r *Registry) MemUsage(tenant string) (int64, error) {
+	ts, err := r.state(tenant)
+	if err != nil {
+		return 0, err
+	}
+	return ts.mem.Load(), nil
 }
 
 // LiveStreams reports the tenant's currently admitted stream count. It is
@@ -358,6 +387,14 @@ func chainHooks(a, b *Hooks) *Hooks {
 		SinkRetry:      func(attempt int, err error) { a.sinkRetry(attempt, err); b.sinkRetry(attempt, err) },
 		DeadLetter:     func(key string, err error) { a.deadLetter(key, err); b.deadLetter(key, err) },
 		VersionRetired: func(v int) { a.versionRetired(v); b.versionRetired(v) },
+		Overloaded:     func(shard int, key string) { a.overloaded(shard, key); b.overloaded(shard, key) },
+		Watchdog: func(shard int, key, origin string, el time.Duration) {
+			a.watchdog(shard, key, origin, el)
+			b.watchdog(shard, key, origin, el)
+		},
+		ResourceExhausted: func(shard int, key string) { a.resourceExhausted(shard, key); b.resourceExhausted(shard, key) },
+		Breaker:           func(worker int, open bool) { a.breaker(worker, open); b.breaker(worker, open) },
+		BreakerShed:       func(worker int, key string) { a.breakerShed(worker, key); b.breakerShed(worker, key) },
 	}
 }
 

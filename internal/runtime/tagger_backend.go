@@ -11,6 +11,7 @@ type taggerBackend struct {
 	tg      *stream.Tagger
 	shard   int
 	hooks   *Hooks
+	lim     Limits
 	pending []stream.Match
 	bytes   int64
 	matches int64
@@ -20,12 +21,19 @@ type taggerBackend struct {
 // The spec is compiled once; every Backend shares the read-only masks, so
 // per-stream instantiation is cheap (state vectors only).
 func TaggerFactory(spec *core.Spec) Factory {
+	return TaggerFactoryLimits(spec, Limits{})
+}
+
+// TaggerFactoryLimits is TaggerFactory with per-stream resource bounds:
+// MaxPendingMatches ends a stream whose undrained match buffer outgrows
+// the bound (a match bomb) with an error wrapping ErrResourceExhausted.
+func TaggerFactoryLimits(spec *core.Spec, lim Limits) Factory {
 	proto := stream.NewTagger(spec) // compile masks once
 	return func(shard int, h *Hooks) (Backend, error) {
 		// Clone, never hand out proto: factories run concurrently on
 		// shard goroutines and clones share only read-only masks.
 		tg := proto.Clone()
-		b := &taggerBackend{tg: tg, shard: shard, hooks: h}
+		b := &taggerBackend{tg: tg, shard: shard, hooks: h, lim: lim}
 		tg.OnMatch = func(m stream.Match) {
 			b.pending = append(b.pending, m)
 			b.matches++
@@ -48,6 +56,9 @@ func (b *taggerBackend) Feed(p []byte) error {
 	n, err := b.tg.Write(p)
 	b.bytes += int64(n)
 	b.hooks.bytes(b.shard, n)
+	if err == nil {
+		err = b.lim.checkPending(len(b.pending))
+	}
 	return err
 }
 

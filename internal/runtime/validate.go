@@ -54,5 +54,22 @@ func (cfg *Config) Validate() error {
 	if cfg.SinkBackoff < 0 {
 		return &ConfigError{Field: "SinkBackoff", Value: cfg.SinkBackoff, Reason: "must be >= 0 (0 = default)"}
 	}
+	// SendTimeout: all values are meaningful (0 = block, < 0 = shed
+	// immediately, > 0 = bounded wait), so nothing to reject.
+	if cfg.ShedHighWater < 0 {
+		return &ConfigError{Field: "ShedHighWater", Value: cfg.ShedHighWater, Reason: "must be >= 0 (0 = full queue capacity)"}
+	}
+	if cfg.FeedDeadline < 0 {
+		return &ConfigError{Field: "FeedDeadline", Value: cfg.FeedDeadline, Reason: "must be >= 0 (0 = watchdog disabled)"}
+	}
+	if cfg.BreakerThreshold < 0 {
+		return &ConfigError{Field: "BreakerThreshold", Value: cfg.BreakerThreshold, Reason: "must be >= 0 (0 = breaker disabled)"}
+	}
+	if cfg.BreakerThreshold > 0 && cfg.DeadLetter == nil {
+		return &ConfigError{Field: "BreakerThreshold", Value: cfg.BreakerThreshold, Reason: "breaker requires DeadLetter (an open breaker sheds batches to it)"}
+	}
+	if cfg.BreakerCooldown < 0 {
+		return &ConfigError{Field: "BreakerCooldown", Value: cfg.BreakerCooldown, Reason: "must be >= 0 (0 = default)"}
+	}
 	return nil
 }

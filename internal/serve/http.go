@@ -64,6 +64,10 @@ func (h *HTTPInput) Close() error {
 // httpStatus maps core errors onto HTTP statuses.
 func httpStatus(err error) int {
 	switch {
+	case errors.Is(err, cfgtag.ErrOverloaded), errors.Is(err, cfgtag.ErrResourceExhausted):
+		// Load shedding and budget exhaustion are both transient
+		// server-side pressure: the client should back off and retry.
+		return http.StatusTooManyRequests
 	case errors.Is(err, cfgtag.ErrQuotaExceeded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, cfgtag.ErrUnknownTenant):
@@ -76,6 +80,17 @@ func httpStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// httpError writes err with its mapped status; 429 responses carry
+// Retry-After so shed clients back off instead of hammering the shard
+// queues they just overflowed.
+func httpError(w http.ResponseWriter, err error) {
+	code := httpStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), code)
 }
 
 func (h *HTTPInput) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -111,7 +126,7 @@ func (h *HTTPInput) serveStream(s *Server, w http.ResponseWriter, r *http.Reques
 	bo := newBufferOutput()
 	sess, err := s.OpenStream(tenant, key, bo)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		httpError(w, err)
 		return
 	}
 	core := s.Core()
@@ -130,7 +145,7 @@ func (h *HTTPInput) serveStream(s *Server, w http.ResponseWriter, r *http.Reques
 					return
 				}
 				s.CountRefusal()
-				http.Error(w, serr.Error(), httpStatus(serr))
+				httpError(w, serr)
 				return
 			}
 			sent = true
@@ -148,7 +163,7 @@ func (h *HTTPInput) serveStream(s *Server, w http.ResponseWriter, r *http.Reques
 	if cerr := core.CloseStream(tenant, key); cerr != nil {
 		if !errors.Is(cerr, cfgtag.ErrStreamQuarantined) {
 			s.EndStream(tenant, key)
-			http.Error(w, cerr.Error(), httpStatus(cerr))
+			httpError(w, cerr)
 			return
 		}
 	}

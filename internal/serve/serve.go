@@ -63,6 +63,12 @@ var ErrServerClosed = errors.New("serve: server closed")
 // already open on the server. Test with errors.Is.
 var ErrDuplicateStream = errors.New("serve: duplicate stream")
 
+// ErrSlowConsumer marks a write back to a client that missed its write
+// deadline: the client stopped reading faster than the server tags, so
+// its output is dropped (the session goes dead) while the pipeline keeps
+// flowing. Test with errors.Is against the connWriter's sticky error.
+var ErrSlowConsumer = errors.New("serve: slow consumer")
+
 // StreamInput is a pluggable stream source: an accept loop feeding the
 // server's Core. Serve blocks until the input is closed; the server
 // calls Close during the final shutdown stage, after every session's
@@ -116,10 +122,11 @@ type Server struct {
 	shutdownMu sync.Mutex // serializes Shutdown
 
 	// counters surfaced in /metrics
-	opened      atomic.Int64 // sessions ever opened
-	ended       atomic.Int64 // sessions fully ended
-	refused     atomic.Int64 // conns/streams refused (draining, dup, quota…)
-	writeErrors atomic.Int64 // output writes dropped on client error
+	opened        atomic.Int64 // sessions ever opened
+	ended         atomic.Int64 // sessions fully ended
+	refused       atomic.Int64 // conns/streams refused (draining, dup, quota…)
+	writeErrors   atomic.Int64 // output writes dropped on client error
+	slowConsumers atomic.Int64 // sessions gone dead on a write deadline
 }
 
 // NewServer returns a server with no inputs bound yet; call Bind, then
@@ -178,6 +185,13 @@ func (s *Server) Refused() int64 { return s.refused.Load() }
 
 // CountRefusal lets inputs record a refusal they handled themselves.
 func (s *Server) CountRefusal() { s.refused.Add(1) }
+
+// CountSlowConsumer records a client write that missed its deadline.
+func (s *Server) CountSlowConsumer() { s.slowConsumers.Add(1) }
+
+// SlowConsumers counts sessions whose output went dead on a missed write
+// deadline.
+func (s *Server) SlowConsumers() int64 { return s.slowConsumers.Load() }
 
 // OpenStream registers a live network stream and its output. It fails
 // with ErrDraining once drain has begun and ErrDuplicateStream when the

@@ -134,11 +134,15 @@ func (t *TCPInput) Close() error {
 
 // connWriter serializes writes back to one connection with a per-write
 // deadline and a sticky error: after the first failure every write fails
-// fast, so a dead client costs nothing further.
+// fast, so a dead client costs nothing further. A write that misses its
+// deadline is wrapped as ErrSlowConsumer and reported through onSlow —
+// dropping a reader that stalled, not one that hung up, is a shedding
+// decision worth counting separately.
 type connWriter struct {
 	mu      sync.Mutex
 	c       net.Conn
 	timeout time.Duration
+	onSlow  func()
 	err     error
 }
 
@@ -151,6 +155,12 @@ func (cw *connWriter) Write(p []byte) (int, error) {
 	cw.c.SetWriteDeadline(time.Now().Add(cw.timeout))
 	n, err := cw.c.Write(p)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			err = fmt.Errorf("%w: %v", ErrSlowConsumer, err)
+			if cw.onSlow != nil {
+				cw.onSlow()
+			}
+		}
 		cw.err = err
 	}
 	return n, err
@@ -161,6 +171,10 @@ func (cw *connWriter) line(s string) { cw.Write(append([]byte(s), '\n')) }
 // errText maps Send/open errors to the short reason written on the wire.
 func errText(err error) string {
 	switch {
+	case errors.Is(err, cfgtag.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, cfgtag.ErrResourceExhausted):
+		return "resource exhausted"
 	case errors.Is(err, cfgtag.ErrQuotaExceeded):
 		return "quota exceeded"
 	case errors.Is(err, cfgtag.ErrUnknownTenant):
@@ -178,7 +192,7 @@ func errText(err error) string {
 
 func (t *TCPInput) handle(s *Server, conn net.Conn) {
 	defer conn.Close()
-	cw := &connWriter{c: conn, timeout: t.opt.writeTimeout()}
+	cw := &connWriter{c: conn, timeout: t.opt.writeTimeout(), onSlow: s.CountSlowConsumer}
 	if t.opt.Raw {
 		key := fmt.Sprintf("%s#%d", conn.RemoteAddr(), t.rawSeq.Add(1))
 		t.pumpStream(s, conn, cw, t.opt.Tenant, key, nil)

@@ -59,6 +59,12 @@ type DFAConfig struct {
 	// byte-for-byte equivalent; the switch exists for differential testing
 	// and benchmarking.
 	NoAccel bool
+	// MemDelta, when set, is called with an estimated byte delta every time
+	// the cache grows a state (positive) or resets wholesale (negative), so
+	// an aggregate memory gauge can account the cache alongside arenas and
+	// charts. Calls happen under the cache mutex; the callback must not
+	// re-enter the cache.
+	MemDelta func(delta int64)
 }
 
 // Skip-ahead acceleration bounds: a state accelerates only when at most
@@ -188,6 +194,12 @@ type DFACache struct {
 	// whole-cache reset so Reset never needs the map.
 	start atomic.Pointer[dfaState]
 
+	// stateBytes is the per-state charge reported through cfg.MemDelta: the
+	// state object, its mask copies, its outcome/edge pointer rows, and the
+	// map entry that indexes it. Lazily filled edges are charged up front at
+	// this flat estimate rather than tracked individually.
+	stateBytes int64
+
 	nStates atomic.Int64 // len(states), readable without mu
 	fills   atomic.Int64 // fleet-wide NFA fallback computations
 	resets  atomic.Int64 // fleet-wide whole-cache resets
@@ -208,10 +220,11 @@ func newDFACache(e *engine, cfg DFAConfig) *DFACache {
 		cfg.MaxStates = 2
 	}
 	c := &DFACache{
-		e:      e,
-		cfg:    cfg,
-		states: make(map[string]*dfaState),
-		keyBuf: make([]byte, 16*e.words),
+		e:          e,
+		cfg:        cfg,
+		states:     make(map[string]*dfaState),
+		keyBuf:     make([]byte, 16*e.words),
+		stateBytes: int64(160 + 32*e.words + 16*e.numClasses),
 	}
 	c.mu.Lock()
 	c.start.Store(c.canonical(e.zeroMask, e.startPending))
@@ -656,6 +669,7 @@ func (c *DFACache) canonicalBy(active, pending []uint64, by *DFA) *dfaState {
 		return st
 	}
 	if len(c.states) >= c.cfg.MaxStates {
+		c.memStates(-len(c.states))
 		c.states = make(map[string]*dfaState)
 		c.resets.Add(1)
 		if by != nil {
@@ -666,6 +680,7 @@ func (c *DFACache) canonicalBy(active, pending []uint64, by *DFA) *dfaState {
 		start := c.newState(c.e.zeroMask, c.e.startPending)
 		c.states[string(c.stateKey(c.e.zeroMask, c.e.startPending))] = start
 		c.start.Store(start)
+		c.memStates(1)
 		// The state being inserted may BE the start state.
 		if st, ok := c.states[key]; ok {
 			c.nStates.Store(int64(len(c.states)))
@@ -675,7 +690,16 @@ func (c *DFACache) canonicalBy(active, pending []uint64, by *DFA) *dfaState {
 	st := c.newState(active, pending)
 	c.states[key] = st
 	c.nStates.Store(int64(len(c.states)))
+	c.memStates(1)
 	return st
+}
+
+// memStates reports n states' worth of estimated bytes through the
+// configured MemDelta callback; mu must be held.
+func (c *DFACache) memStates(n int) {
+	if c.cfg.MemDelta != nil && n != 0 {
+		c.cfg.MemDelta(int64(n) * c.stateBytes)
+	}
 }
 
 // stateKey serializes an (active, pending) pair into the reusable key

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfgtag/internal/runtime"
+	"cfgtag/internal/stream"
 )
 
 // ErrInvalidConfig is the sentinel wrapped by every configuration
@@ -76,6 +78,19 @@ type QuotaConfig struct {
 	// BytesPerSec caps the tenant's sustained Send rate with a one-second
 	// burst; Sends beyond it fail with ErrQuotaExceeded.
 	BytesPerSec int64 `json:"bytes_per_sec,omitempty"`
+	// MemBudgetBytes caps the tenant's estimated live memory — dispatch
+	// arenas, stream buffers, DFA cache, Earley charts — rejecting Sends
+	// with ErrResourceExhausted while the gauge is at or over budget.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+}
+
+// LimitsConfig bounds each stream's backend resources declaratively; see
+// StreamLimits for semantics. Zero values are unlimited.
+type LimitsConfig struct {
+	MaxBufferBytes    int `json:"max_buffer_bytes,omitempty"`
+	MaxPendingMatches int `json:"max_pending_matches,omitempty"`
+	MaxChartItems     int `json:"max_chart_items,omitempty"`
+	MaxWorkPerByte    int `json:"max_work_per_byte,omitempty"`
 }
 
 // TenantDef declares one tenant in a PlatformConfig: a name, a grammar
@@ -116,6 +131,18 @@ type TenantDef struct {
 	SinkAttempts int      `json:"sink_attempts,omitempty"`
 	SinkBackoff  Duration `json:"sink_backoff,omitempty"`
 	SinkWorkers  int      `json:"sink_workers,omitempty"`
+	// SendTimeout switches the tenant's Sends from backpressure to load
+	// shedding with ErrOverloaded (see PipelineConfig.SendTimeout:
+	// 0 = block, "-1ns" = shed immediately, positive = bounded wait).
+	SendTimeout Duration `json:"send_timeout,omitempty"`
+	// ShedHighWater is the queue depth where shed mode engages (0 = full
+	// queue capacity).
+	ShedHighWater int `json:"shed_high_water,omitempty"`
+	// FeedDeadline arms the backend watchdog (see
+	// PipelineConfig.FeedDeadline; 0 = disabled).
+	FeedDeadline Duration `json:"feed_deadline,omitempty"`
+	// Limits bounds each stream's backend resources (see LimitsConfig).
+	Limits LimitsConfig `json:"limits,omitempty"`
 	// Quota bounds the tenant's admission (see QuotaConfig).
 	Quota QuotaConfig `json:"quota,omitempty"`
 }
@@ -222,11 +249,34 @@ func (pc *PlatformConfig) Validate() error {
 		if t.SinkWorkers < 0 {
 			return &ConfigError{Field: field("sink_workers"), Value: t.SinkWorkers, Reason: "must be >= 0 (0 = single worker)"}
 		}
+		// send_timeout: every value is meaningful (0 = block, negative =
+		// shed immediately, positive = bounded wait), nothing to reject.
+		if t.ShedHighWater < 0 {
+			return &ConfigError{Field: field("shed_high_water"), Value: t.ShedHighWater, Reason: "must be >= 0 (0 = full queue capacity)"}
+		}
+		if t.FeedDeadline < 0 {
+			return &ConfigError{Field: field("feed_deadline"), Value: t.FeedDeadline, Reason: "must be >= 0 (0 = watchdog disabled)"}
+		}
+		if t.Limits.MaxBufferBytes < 0 {
+			return &ConfigError{Field: field("limits.max_buffer_bytes"), Value: t.Limits.MaxBufferBytes, Reason: "must be >= 0 (0 = unlimited)"}
+		}
+		if t.Limits.MaxPendingMatches < 0 {
+			return &ConfigError{Field: field("limits.max_pending_matches"), Value: t.Limits.MaxPendingMatches, Reason: "must be >= 0 (0 = unlimited)"}
+		}
+		if t.Limits.MaxChartItems < 0 {
+			return &ConfigError{Field: field("limits.max_chart_items"), Value: t.Limits.MaxChartItems, Reason: "must be >= 0 (0 = unlimited)"}
+		}
+		if t.Limits.MaxWorkPerByte < 0 {
+			return &ConfigError{Field: field("limits.max_work_per_byte"), Value: t.Limits.MaxWorkPerByte, Reason: "must be >= 0 (0 = unlimited)"}
+		}
 		if t.Quota.MaxStreams < 0 {
 			return &ConfigError{Field: field("quota.max_streams"), Value: t.Quota.MaxStreams, Reason: "must be >= 0 (0 = unlimited)"}
 		}
 		if t.Quota.BytesPerSec < 0 {
 			return &ConfigError{Field: field("quota.bytes_per_sec"), Value: t.Quota.BytesPerSec, Reason: "must be >= 0 (0 = unlimited)"}
+		}
+		if t.Quota.MemBudgetBytes < 0 {
+			return &ConfigError{Field: field("quota.mem_budget_bytes"), Value: t.Quota.MemBudgetBytes, Reason: "must be >= 0 (0 = unlimited)"}
 		}
 	}
 	return nil
@@ -261,13 +311,43 @@ func (t *TenantDef) grammarSource() (string, error) {
 type platformTenant struct {
 	def  TenantDef
 	kind BackendKind
+	lim  StreamLimits // resolved limits, shared by every factory version
 
 	reloadMu sync.Mutex // serializes Reload per tenant
 
-	mu      sync.RWMutex
-	engines map[int]*Engine
-	pending *Engine // compiled but not yet bound to a version id
-	current *Engine // the newest engine (Reload target)
+	mu       sync.RWMutex
+	engines  map[int]*Engine
+	releases map[int]func() // per-version memory-gauge discharge, if any
+	pending  *Engine        // compiled but not yet bound to a version id
+	current  *Engine        // the newest engine (Reload target)
+}
+
+// limits resolves the declarative limits plus the tenant's memory gauge.
+func (t *TenantDef) limits(mem *MemGauge) StreamLimits {
+	return StreamLimits{
+		MaxBufferBytes:    t.Limits.MaxBufferBytes,
+		MaxPendingMatches: t.Limits.MaxPendingMatches,
+		MaxChartItems:     t.Limits.MaxChartItems,
+		MaxWorkPerByte:    t.Limits.MaxWorkPerByte,
+		Mem:               mem,
+	}
+}
+
+// buildFactory builds one factory version with the tenant's limits. The
+// dfa path charges its shared transition cache to the memory gauge for
+// the version's lifetime; the returned release discharges that charge
+// when the version retires (nil when there is nothing to release), so
+// zero-downtime reloads do not accrete gauge drift.
+func buildFactory(engine *Engine, kind BackendKind, lim StreamLimits) (runtime.Factory, func(), error) {
+	if kind == DFABackend && lim.Mem != nil {
+		var charged atomic.Int64
+		mem := lim.Mem
+		cfg := stream.DFAConfig{MemDelta: func(d int64) { charged.Add(d); mem.Add(d) }}
+		f := runtime.DFAFactoryLimits(engine.spec, cfg, lim)
+		return f, func() { mem.Add(-charged.Swap(0)) }, nil
+	}
+	f, err := engine.factoryLimits(kind, lim)
+	return f, nil, err
 }
 
 // engineFor resolves the engine for a batch's factory version. A version
@@ -291,12 +371,18 @@ func (pt *platformTenant) engineFor(ver int) *Engine {
 	return cur
 }
 
-// dropVersion forgets a retired version's engine — the resource-cleanup
-// counterpart of the runtime's version retirement.
+// dropVersion forgets a retired version's engine and discharges its
+// memory-gauge charge — the resource-cleanup counterpart of the runtime's
+// version retirement.
 func (pt *platformTenant) dropVersion(ver int) {
 	pt.mu.Lock()
 	delete(pt.engines, ver)
+	release := pt.releases[ver]
+	delete(pt.releases, ver)
 	pt.mu.Unlock()
+	if release != nil {
+		release()
+	}
 }
 
 // Platform is the config-driven multi-tenant runtime: one isolated
@@ -344,7 +430,14 @@ func (p *Platform) addTenant(def TenantDef, deliver func(string, *TagBatch) erro
 		return fmt.Errorf("cfgtag: tenant %q: %w", def.Name, err)
 	}
 	kind := backendKinds[def.Backend]
-	factory, err := engine.factory(kind)
+	// One gauge per tenant, shared by the factory (stream buffers, DFA
+	// cache, charts), the pipeline (arenas) and the quota check at Send.
+	var mem *MemGauge
+	if def.Quota.MemBudgetBytes > 0 {
+		mem = &MemGauge{}
+	}
+	lim := def.limits(mem)
+	factory, release, err := buildFactory(engine, kind, lim)
 	if err != nil {
 		return fmt.Errorf("cfgtag: tenant %q: %w", def.Name, err)
 	}
@@ -352,10 +445,12 @@ func (p *Platform) addTenant(def TenantDef, deliver func(string, *TagBatch) erro
 		factory = p.wrap(factory)
 	}
 	pt := &platformTenant{
-		def:     def,
-		kind:    kind,
-		engines: map[int]*Engine{1: engine},
-		current: engine,
+		def:      def,
+		kind:     kind,
+		lim:      lim,
+		engines:  map[int]*Engine{1: engine},
+		releases: map[int]func(){1: release},
+		current:  engine,
 	}
 	name := def.Name
 	sink := runtime.SinkFunc(func(b *runtime.Batch) error {
@@ -364,23 +459,31 @@ func (p *Platform) addTenant(def TenantDef, deliver func(string, *TagBatch) erro
 	tenant := runtime.Tenant{
 		Name: name,
 		Config: runtime.Config{
-			Shards:       def.Shards,
-			Queue:        def.Queue,
-			Factory:      factory,
-			MaxStreams:   def.MaxStreams,
-			Quarantine:   time.Duration(def.Quarantine),
-			BatchBytes:   def.BatchBytes,
-			SinkAttempts: def.SinkAttempts,
-			SinkBackoff:  time.Duration(def.SinkBackoff),
-			SinkWorkers:  def.SinkWorkers,
-			Hooks:        &runtime.Hooks{VersionRetired: pt.dropVersion},
+			Shards:        def.Shards,
+			Queue:         def.Queue,
+			Factory:       factory,
+			MaxStreams:    def.MaxStreams,
+			Quarantine:    time.Duration(def.Quarantine),
+			BatchBytes:    def.BatchBytes,
+			SinkAttempts:  def.SinkAttempts,
+			SinkBackoff:   time.Duration(def.SinkBackoff),
+			SinkWorkers:   def.SinkWorkers,
+			SendTimeout:   time.Duration(def.SendTimeout),
+			ShedHighWater: def.ShedHighWater,
+			FeedDeadline:  time.Duration(def.FeedDeadline),
+			Mem:           mem,
+			Hooks:         &runtime.Hooks{VersionRetired: pt.dropVersion},
 		},
 		Quota: runtime.Quota{
-			MaxStreams:  def.Quota.MaxStreams,
-			BytesPerSec: def.Quota.BytesPerSec,
+			MaxStreams:     def.Quota.MaxStreams,
+			BytesPerSec:    def.Quota.BytesPerSec,
+			MemBudgetBytes: def.Quota.MemBudgetBytes,
 		},
 	}
 	if err := p.reg.Add(tenant, sink); err != nil {
+		if release != nil {
+			release()
+		}
 		return err
 	}
 	p.mu.Lock()
@@ -447,7 +550,7 @@ func (p *Platform) Reload(tenant, grammarSrc string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cfgtag: tenant %q: %w", tenant, err)
 	}
-	factory, err := engine.factory(pt.kind)
+	factory, release, err := buildFactory(engine, pt.kind, pt.lim)
 	if err != nil {
 		return 0, fmt.Errorf("cfgtag: tenant %q: %w", tenant, err)
 	}
@@ -463,11 +566,15 @@ func (p *Platform) Reload(tenant, grammarSrc string) (int, error) {
 	pt.mu.Lock()
 	if err == nil {
 		pt.engines[v] = engine
+		pt.releases[v] = release
 		pt.current = engine
 	}
 	pt.pending = nil
 	pt.mu.Unlock()
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		return 0, err
 	}
 	return v, nil
@@ -508,6 +615,13 @@ func (p *Platform) Faults(tenant string) (FaultStats, error) {
 // only when the tenant has a MaxStreams quota).
 func (p *Platform) LiveStreams(tenant string) (int, error) {
 	return p.reg.LiveStreams(tenant)
+}
+
+// MemUsage reports the tenant's estimated live bytes — the gauge the
+// mem_budget_bytes quota reads. Always zero for tenants without a memory
+// budget (no gauge is installed).
+func (p *Platform) MemUsage(tenant string) (int64, error) {
+	return p.reg.MemUsage(tenant)
 }
 
 // CurrentVersion reports the factory version new streams of the tenant
