@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"cfgtag/internal/aot"
 	"cfgtag/internal/core"
 	"cfgtag/internal/fpga"
 	"cfgtag/internal/fpx"
@@ -223,6 +224,91 @@ func BenchmarkDFASparse(b *testing.B) {
 	}
 }
 
+// BenchmarkAOT measures the ahead-of-time compiled tables on the dense
+// workload of BenchmarkDFA: the whole DFA is determinized offline, so the
+// hot loop is a flat-slice transition walk with no cache lookups, no
+// atomic stat counters and no reset risk. The delta against BenchmarkDFA
+// is the price of laziness on traffic that touches the whole automaton;
+// the compile-time metrics show what the offline build costs.
+func BenchmarkAOT(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := aot.Compile(spec, aot.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := prog.NewRunner()
+	data := corpus(b, 200)
+	count := 0
+	r.OnMatch = func(stream.Match) { count++ }
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset()
+		r.Write(data)
+		r.Close()
+	}
+	if count == 0 {
+		b.Fatal("aot found nothing")
+	}
+	st := prog.Stats()
+	b.ReportMetric(float64(st.States), "states")
+	b.ReportMetric(float64(st.TableBytes)/1024, "tableKB")
+	b.ReportMetric(float64(st.Duration.Microseconds()), "compile-µs")
+}
+
+// BenchmarkAOTSparse is BenchmarkDFASparse on the ahead-of-time tables:
+// the determinizer carries the DFA's fill-time skip-ahead plans into the
+// flat encoding, so run-heavy traffic burns in memchr-style scans exactly
+// as the lazy path does. accel vs noaccel isolates that win on the AOT
+// side.
+func BenchmarkAOTSparse(b *testing.B) {
+	spec, err := core.Compile(grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := xmlrpc.NewGenerator(424242, xmlrpc.Options{})
+	pad := make([]byte, 16<<10)
+	for i := range pad {
+		pad[i] = ' '
+	}
+	var data []byte
+	for i := 0; i < 20; i++ {
+		m, _ := gen.Message()
+		data = append(data, m...)
+		data = append(data, pad...)
+	}
+	for _, cfg := range []struct {
+		name string
+		conf aot.Config
+	}{
+		{"accel", aot.Config{}},
+		{"noaccel", aot.Config{NoAccel: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			prog, err := aot.Compile(spec, cfg.conf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := prog.NewRunner()
+			count := 0
+			r.OnMatch = func(stream.Match) { count++ }
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.Write(data)
+				r.Close()
+			}
+			if count == 0 {
+				b.Fatal("aot found nothing")
+			}
+		})
+	}
+}
+
 // BenchmarkParallelTagger scales the software engine across cores with a
 // tagger pool (one message stream per borrowed tagger) — the software
 // analogue of replicating the hardware engine.
@@ -289,51 +375,69 @@ func BenchmarkShardedPipeline(b *testing.B) {
 		}
 	})
 
-	for _, shards := range []int{1, 2, 4, 8} {
-		for _, streams := range []int{8, 32} {
-			b.Run(fmt.Sprintf("shards-%d/streams-%d", shards, streams), func(b *testing.B) {
-				keys := make([]string, streams)
-				for s := range keys {
-					keys[s] = fmt.Sprintf("stream-%d", s)
-				}
-				// One long-lived pipeline for the whole run: streams stay
-				// open across iterations, so the per-stream DFA caches warm
-				// once and the bench measures the steady state. Close —
-				// which drains every queued chunk — stays inside the timed
-				// region so all b.N iterations' bytes are fully processed.
-				tags := 0
-				p, err := runtime.NewPipeline(
-					runtime.Config{Shards: shards, Queue: 256, Factory: runtime.DFAFactory(spec, 0)},
-					runtime.SinkFunc(func(bt *runtime.Batch) error { tags += len(bt.Tags); return nil }),
-				)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.SetBytes(int64(streams * len(data)))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					// Interleave chunks across streams, as a multiplexed
-					// source would deliver them.
-					for lo := 0; lo < len(data); lo += chunk {
-						hi := lo + chunk
-						if hi > len(data) {
-							hi = len(data)
-						}
-						for _, key := range keys {
-							if err := p.Send(key, data[lo:hi]); err != nil {
-								b.Fatal(err)
+	// The dfa column keeps the historical sub-benchmark names; the aot
+	// column runs the identical grid on the ahead-of-time tables, so the
+	// per-point delta is the dispatch-layer view of lazy vs offline
+	// compilation (the program is compiled once, outside the timed region,
+	// and shared by every stream's runner).
+	aotFactory, err := runtime.AOTFactory(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backends := []struct {
+		prefix  string
+		factory runtime.Factory
+	}{
+		{"", runtime.DFAFactory(spec, 0)},
+		{"aot-", aotFactory},
+	}
+	for _, be := range backends {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, streams := range []int{8, 32} {
+				b.Run(fmt.Sprintf("%sshards-%d/streams-%d", be.prefix, shards, streams), func(b *testing.B) {
+					keys := make([]string, streams)
+					for s := range keys {
+						keys[s] = fmt.Sprintf("stream-%d", s)
+					}
+					// One long-lived pipeline for the whole run: streams stay
+					// open across iterations, so the per-stream DFA caches warm
+					// once and the bench measures the steady state. Close —
+					// which drains every queued chunk — stays inside the timed
+					// region so all b.N iterations' bytes are fully processed.
+					tags := 0
+					p, err := runtime.NewPipeline(
+						runtime.Config{Shards: shards, Queue: 256, Factory: be.factory},
+						runtime.SinkFunc(func(bt *runtime.Batch) error { tags += len(bt.Tags); return nil }),
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(streams * len(data)))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						// Interleave chunks across streams, as a multiplexed
+						// source would deliver them.
+						for lo := 0; lo < len(data); lo += chunk {
+							hi := lo + chunk
+							if hi > len(data) {
+								hi = len(data)
+							}
+							for _, key := range keys {
+								if err := p.Send(key, data[lo:hi]); err != nil {
+									b.Fatal(err)
+								}
 							}
 						}
 					}
-				}
-				if err := p.Close(); err != nil {
-					b.Fatal(err)
-				}
-				b.StopTimer()
-				if tags == 0 {
-					b.Fatal("pipeline delivered no tags")
-				}
-			})
+					if err := p.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if tags == 0 {
+						b.Fatal("pipeline delivered no tags")
+					}
+				})
+			}
 		}
 	}
 }
@@ -491,61 +595,70 @@ func BenchmarkTenantGrid(b *testing.B) {
 	data := corpus(b, 200)
 	const chunk = 4 << 10
 	const streamsPerTenant = 8
-	for _, tenants := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("tenants-%d/streams-%d", tenants, streamsPerTenant), func(b *testing.B) {
-			cfg := PlatformConfig{}
-			names := make([]string, tenants)
-			for t := range names {
-				names[t] = fmt.Sprintf("tenant-%d", t)
-				cfg.Tenants = append(cfg.Tenants, TenantDef{
-					Name:    names[t],
-					Grammar: grammar.XMLRPCSrc,
-					Options: []string{"free-running-start"},
-					Backend: "dfa",
-					Shards:  2,
-					Queue:   256,
+	// The dfa column keeps the historical names; the aot column runs the
+	// same grid with every tenant on the ahead-of-time tables (each tenant
+	// compiles its program once at platform build, so T tenants pay T
+	// offline compiles outside the timed region).
+	for _, be := range []struct{ prefix, backend string }{
+		{"", "dfa"},
+		{"aot-", "aot"},
+	} {
+		for _, tenants := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%stenants-%d/streams-%d", be.prefix, tenants, streamsPerTenant), func(b *testing.B) {
+				cfg := PlatformConfig{}
+				names := make([]string, tenants)
+				for t := range names {
+					names[t] = fmt.Sprintf("tenant-%d", t)
+					cfg.Tenants = append(cfg.Tenants, TenantDef{
+						Name:    names[t],
+						Grammar: grammar.XMLRPCSrc,
+						Options: []string{"free-running-start"},
+						Backend: be.backend,
+						Shards:  2,
+						Queue:   256,
+					})
+				}
+				// Tenant sinks run concurrently; the counter must be atomic.
+				var tags atomic.Int64
+				p, err := NewPlatform(&cfg, func(_ string, tb *TagBatch) error {
+					tags.Add(int64(len(tb.Tags)))
+					return nil
 				})
-			}
-			// Tenant sinks run concurrently; the counter must be atomic.
-			var tags atomic.Int64
-			p, err := NewPlatform(&cfg, func(_ string, tb *TagBatch) error {
-				tags.Add(int64(len(tb.Tags)))
-				return nil
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			keys := make([]string, streamsPerTenant)
-			for s := range keys {
-				keys[s] = fmt.Sprintf("stream-%d", s)
-			}
-			b.SetBytes(int64(tenants * streamsPerTenant * len(data)))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for lo := 0; lo < len(data); lo += chunk {
-					hi := lo + chunk
-					if hi > len(data) {
-						hi = len(data)
-					}
-					for _, name := range names {
-						for _, key := range keys {
-							if err := p.Send(name, key, data[lo:hi]); err != nil {
-								b.Fatal(err)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keys := make([]string, streamsPerTenant)
+				for s := range keys {
+					keys[s] = fmt.Sprintf("stream-%d", s)
+				}
+				b.SetBytes(int64(tenants * streamsPerTenant * len(data)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for lo := 0; lo < len(data); lo += chunk {
+						hi := lo + chunk
+						if hi > len(data) {
+							hi = len(data)
+						}
+						for _, name := range names {
+							for _, key := range keys {
+								if err := p.Send(name, key, data[lo:hi]); err != nil {
+									b.Fatal(err)
+								}
 							}
 						}
 					}
 				}
-			}
-			// Close drains every queued chunk, so all b.N iterations'
-			// bytes are fully processed inside the timed region.
-			if err := p.Close(); err != nil {
-				b.Fatal(err)
-			}
-			b.StopTimer()
-			if tags.Load() == 0 {
-				b.Fatal("platform delivered no tags")
-			}
-		})
+				// Close drains every queued chunk, so all b.N iterations'
+				// bytes are fully processed inside the timed region.
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if tags.Load() == 0 {
+					b.Fatal("platform delivered no tags")
+				}
+			})
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"cfgtag/internal/aot"
 	"cfgtag/internal/core"
 	"cfgtag/internal/fpga"
 	"cfgtag/internal/grammar"
@@ -421,7 +422,7 @@ func (c *CheckedTagger) Errors() int64 { return c.inner.Tagger.Errors }
 // stack would have needed for this stream.
 func (c *CheckedTagger) StackDepth() int { return c.inner.Validator.StackDepth() }
 
-// BackendKind selects one of the engine's five execution paths when they
+// BackendKind selects one of the engine's six execution paths when they
 // are driven through the uniform Backend interface.
 type BackendKind string
 
@@ -435,6 +436,14 @@ const (
 	// the cache warms. The cache is bounded (DFAMaxStates) and resets
 	// wholesale on overflow, so memory never grows with input.
 	DFABackend BackendKind = "dfa"
+	// AOTBackend runs the lazy-DFA construction to closure ahead of time
+	// and executes flat precompiled transition tables: no warmup, no
+	// hash lookups, no cache resets — the software analogue of the
+	// paper's synthesized hardware, and the fastest dense-input path.
+	// Detections are identical to StreamBackend and DFABackend. The
+	// trade is a hard compile-time state budget: a grammar that does not
+	// determinize within it fails NewBackend and must use DFABackend.
+	AOTBackend BackendKind = "aot"
 	// GatesBackend is the cycle-accurate simulation of the generated
 	// netlist — the hardware reference, byte-per-cycle slow.
 	GatesBackend BackendKind = "gates"
@@ -486,6 +495,8 @@ func (e *Engine) factoryLimits(kind BackendKind, lim runtime.Limits) (runtime.Fa
 		return runtime.TaggerFactoryLimits(e.spec, lim), nil
 	case DFABackend:
 		return runtime.DFAFactoryLimits(e.spec, stream.DFAConfig{}, lim), nil
+	case AOTBackend:
+		return runtime.AOTFactoryLimits(e.spec, aot.Config{}, lim)
 	case GatesBackend:
 		return runtime.GateFactory(e.spec)
 	case ParserBackend:
@@ -498,9 +509,9 @@ func (e *Engine) factoryLimits(kind BackendKind, lim runtime.Limits) (runtime.Fa
 }
 
 // NewBackend instantiates one execution path behind the uniform contract.
-// GatesBackend generates the netlist, ParserBackend builds the LL(1) table
-// and EarleyBackend compiles the recognizer, so those can fail;
-// StreamBackend cannot.
+// GatesBackend generates the netlist, ParserBackend builds the LL(1) table,
+// EarleyBackend compiles the recognizer and AOTBackend determinizes the
+// grammar offline, so those can fail; StreamBackend cannot.
 func (e *Engine) NewBackend(kind BackendKind) (*Backend, error) {
 	f, err := e.factory(kind)
 	if err != nil {
@@ -541,6 +552,20 @@ func (b *Backend) Matches() []Match {
 
 // Counters reports the backend's lifetime totals.
 func (b *Backend) Counters() BackendCounters { return b.inner.Counters() }
+
+// CompileStats is the AOT path's synthesis report: closed state count,
+// byte-equivalence classes, flattened table bytes and offline compile
+// duration.
+type CompileStats = stream.CompileStats
+
+// CompileStats reports the aot path's offline compile cost; zero for
+// every other execution path (they compile nothing ahead of time).
+func (b *Backend) CompileStats() CompileStats {
+	if cs, ok := b.inner.(interface{ CompileStats() stream.CompileStats }); ok {
+		return cs.CompileStats()
+	}
+	return CompileStats{}
+}
 
 // TagBatch is one unit of pipeline output: a chunk of one stream plus the
 // matches confirmed over it. Data is pooled — it is only valid during the

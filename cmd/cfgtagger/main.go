@@ -12,11 +12,15 @@
 //
 // -backend selects the execution path: "stream" (the bit-parallel software
 // engine, default), "dfa" (the lazily-determinized cached compilation of
-// the same engine — identical output, highest throughput), "gates"
-// (cycle-accurate simulation of the generated netlist), "parser" (the
-// LL(1) baseline, which also prints the accept/reject verdict) or
-// "earley" (the exact-language oracle — any grammar class, tags unioned
-// over all derivations, accept/reject verdict printed like the parser's).
+// the same engine — identical output, highest throughput), "aot" (the
+// ahead-of-time determinized compilation — the whole DFA is built to
+// closure up front into flat tables, so tagging pays no cache lookups and
+// can never hit a runtime state-budget reset; fails fast if the grammar
+// does not close within the state budget), "gates" (cycle-accurate
+// simulation of the generated netlist), "parser" (the LL(1) baseline,
+// which also prints the accept/reject verdict) or "earley" (the
+// exact-language oracle — any grammar class, tags unioned over all
+// derivations, accept/reject verdict printed like the parser's).
 //
 // -shards N switches to pipeline mode: every input line becomes its own
 // keyed stream, tagged concurrently on N shards and printed in per-stream
@@ -76,7 +80,7 @@ func main() {
 		showFollow   = flag.Bool("show-follow", false, "print the per-terminal Follow table (figure 10) and exit")
 		lint         = flag.Bool("lint", false, "print grammar design warnings and exit")
 		dot          = flag.Bool("dot", false, "print the tokenizer wiring as Graphviz DOT (figure 11) and exit")
-		backend      = flag.String("backend", "stream", "execution path: stream, dfa, gates, parser or earley")
+		backend      = flag.String("backend", "stream", "execution path: stream, dfa, aot, gates, parser or earley")
 		shards       = flag.Int("shards", 0, "pipeline mode: tag each input line as its own stream on this many shards")
 		maxStreams   = flag.Int("max-streams", 0, "pipeline mode: cap live streams per shard, evicting the least-recently-fed at the cap (0 = unlimited)")
 		quarantine   = flag.Duration("quarantine", 0, "pipeline mode: how long a faulted stream's key is rejected (0 = 30s default, negative = disabled)")
@@ -271,6 +275,11 @@ func report(out io.Writer, b *cfgtag.Backend, verdict error) {
 		fmt.Fprintf(out, "dfa cache: %d hits, %d misses, %d resets\n",
 			c.CacheHits, c.CacheMisses, c.CacheResets)
 	}
+	if b.Kind() == cfgtag.AOTBackend {
+		s := b.CompileStats()
+		fmt.Fprintf(out, "aot tables: %d states, %d classes, %d bytes, compiled in %v\n",
+			s.States, s.Classes, s.TableBytes, s.Duration)
+	}
 }
 
 // pipelineOptions bundles the pipeline-mode flags.
@@ -298,6 +307,11 @@ func runPipeline(engine *cfgtag.Engine, backend string, in io.Reader, out io.Wri
 		factory = runtime.TaggerFactory(spec)
 	case "dfa":
 		factory = runtime.DFAFactory(spec, 0)
+	case "aot":
+		var err error
+		if factory, err = runtime.AOTFactory(spec, 0); err != nil {
+			return err
+		}
 	case "gates":
 		var err error
 		if factory, err = runtime.GateFactory(spec); err != nil {

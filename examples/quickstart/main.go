@@ -49,12 +49,12 @@ func main() {
 			s, tagged, p.Accepts([]byte(s)))
 	}
 
-	// All five execution paths — software tagger, lazy DFA, gate-level
-	// simulation of the generated hardware, the LL(1) baseline, and the
-	// Earley exact-language oracle — run behind one streaming Backend
-	// contract.
+	// All six execution paths — software tagger, lazy DFA, ahead-of-time
+	// compiled tables, gate-level simulation of the generated hardware,
+	// the LL(1) baseline, and the Earley exact-language oracle — run
+	// behind one streaming Backend contract.
 	fmt.Println("\nSame stream through every backend:")
-	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.DFABackend, cfgtag.GatesBackend, cfgtag.ParserBackend, cfgtag.EarleyBackend} {
+	for _, kind := range []cfgtag.BackendKind{cfgtag.StreamBackend, cfgtag.DFABackend, cfgtag.AOTBackend, cfgtag.GatesBackend, cfgtag.ParserBackend, cfgtag.EarleyBackend} {
 		b, err := engine.NewBackend(kind)
 		if err != nil {
 			panic(err)

@@ -3,10 +3,12 @@ package cfgtag
 import (
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
 
+	"cfgtag/internal/aot"
 	"cfgtag/internal/runtime"
 	"cfgtag/internal/stream"
 )
@@ -39,6 +41,19 @@ func FuzzGrammarParse(f *testing.F) {
 		b.Feed(probe)
 		b.Close()
 		b.Matches()
+		// The ahead-of-time path may legitimately refuse a grammar whose
+		// DFA does not close within the budget; refusing is fine,
+		// panicking is the bug. A tiny budget keeps pathological fuzz
+		// grammars from spending the whole run determinizing.
+		if f, err := runtime.AOTFactoryConfig(engine.Spec(), aot.Config{MaxStates: 64}); err == nil {
+			ab, err := f(0, nil)
+			if err != nil {
+				t.Fatalf("aot factory built but backend mint failed: %v", err)
+			}
+			ab.Feed(probe)
+			ab.Close()
+			ab.Matches()
+		}
 	})
 }
 
@@ -168,6 +183,128 @@ func FuzzDifferential(f *testing.F) {
 			if sc.Recoveries != dc.Recoveries || sc.Collisions != dc.Collisions {
 				t.Fatalf("recovery counters diverged on %q: stream (%d recov, %d coll), %s (%d recov, %d coll)",
 					data, sc.Recoveries, sc.Collisions, name, dc.Recoveries, dc.Collisions)
+			}
+		}
+	})
+}
+
+// aotRig lazily builds the ahead-of-time differential fuzz fixture: the
+// lazy DFA reference plus every AOT configuration (accelerated, skip-
+// ahead disabled) over the free-running if-then-else grammar, and the
+// same pair again under the recovery compile. Reused via Reset across
+// inputs.
+type aotRig struct {
+	dfa, aot, aotNoAccel runtime.Backend
+	recDFA, recAOT       runtime.Backend
+}
+
+var (
+	aotRigOnce sync.Once
+	aotRigV    aotRig
+	aotRigErr  error
+)
+
+func buildAOTRig() {
+	mk := func(f runtime.Factory, err error) runtime.Backend {
+		if aotRigErr != nil {
+			return nil
+		}
+		if err != nil {
+			aotRigErr = err
+			return nil
+		}
+		b, err := f(0, nil)
+		if err != nil {
+			aotRigErr = err
+			return nil
+		}
+		return b
+	}
+	engine, err := Compile("fuzz-aot", IfThenElseSource, FreeRunningStart())
+	if err != nil {
+		aotRigErr = err
+		return
+	}
+	spec := engine.Spec()
+	aotRigV.dfa = mk(runtime.DFAFactory(spec, 0), nil)
+	aotRigV.aot = mk(runtime.AOTFactory(spec, 0))
+	aotRigV.aotNoAccel = mk(runtime.AOTFactoryConfig(spec, aot.Config{NoAccel: true}))
+	rec, err := Compile("fuzz-aot-rec", IfThenElseSource, FreeRunningStart(), RecoverResync())
+	if err != nil {
+		aotRigErr = err
+		return
+	}
+	aotRigV.recDFA = mk(runtime.DFAFactory(rec.Spec(), 0), nil)
+	aotRigV.recAOT = mk(runtime.AOTFactory(rec.Spec(), 0))
+}
+
+// runDiffChunked is runDiff with the input split into random 1–9 byte
+// chunks drawn from seed, so every chunk boundary — including ones that
+// straddle the held-lookahead byte — is differentially exercised.
+func runDiffChunked(b runtime.Backend, data []byte, seed uint64) []stream.Match {
+	b.Reset()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := 0; i < len(data); {
+		n := 1 + rng.Intn(9)
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		b.Feed(data[i : i+n])
+		i += n
+	}
+	b.Close()
+	return b.Matches()
+}
+
+// FuzzAOTDifferential feeds arbitrary bytes to the lazy DFA and the
+// ahead-of-time compiled tables — whole-buffer and under random
+// chunkings — and requires the exact same match sequence from all of
+// them, plus recovery/collision counter agreement under the recovery
+// compile. aot == dfa is the offline determinizer's contract: the AOT
+// tables are the lazy DFA run to closure, so any divergence here is a
+// bug in the determinizer's flat encoding or the generated hot loop.
+//
+// Seed corpus: testdata/fuzz/FuzzAOTDifferential.
+func FuzzAOTDifferential(f *testing.F) {
+	f.Add([]byte("if true then go else stop"), uint64(1))
+	f.Add([]byte("if tru# then go if false then stop else go"), uint64(7))
+	f.Add([]byte{0, 255, 'i', 'f', ' ', 0xC3, 0x28}, uint64(3))
+	f.Add([]byte("if         true then go else stop        if"), uint64(11))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) > 1<<16 {
+			return
+		}
+		aotRigOnce.Do(buildAOTRig)
+		if aotRigErr != nil {
+			t.Fatal(aotRigErr)
+		}
+		want := runDiff(aotRigV.dfa, data)
+		for name, got := range map[string][]stream.Match{
+			"aot":               runDiff(aotRigV.aot, data),
+			"aot-chunked":       runDiffChunked(aotRigV.aot, data, seed),
+			"aot-noaccel":       runDiff(aotRigV.aotNoAccel, data),
+			"aot-noaccel-chunk": runDiffChunked(aotRigV.aotNoAccel, data, seed),
+			"dfa-chunked":       runDiffChunked(aotRigV.dfa, data, seed),
+		} {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s diverged from dfa on %q (seed %d):\n%s %v\ndfa %v",
+					name, data, seed, name, got, want)
+			}
+		}
+		recWant := runDiff(aotRigV.recDFA, data)
+		dc := aotRigV.recDFA.Counters()
+		for name, got := range map[string][]stream.Match{
+			"rec-aot":         runDiff(aotRigV.recAOT, data),
+			"rec-aot-chunked": runDiffChunked(aotRigV.recAOT, data, seed),
+		} {
+			if !reflect.DeepEqual(got, recWant) {
+				t.Fatalf("recovery %s diverged from dfa on %q (seed %d):\n%s %v\ndfa %v",
+					name, data, seed, name, got, recWant)
+			}
+			ac := aotRigV.recAOT.Counters()
+			if dc.Recoveries != ac.Recoveries || dc.Collisions != ac.Collisions {
+				t.Fatalf("recovery counters diverged on %q: dfa (%d recov, %d coll), %s (%d recov, %d coll)",
+					data, dc.Recoveries, dc.Collisions, name, ac.Recoveries, ac.Collisions)
 			}
 		}
 	})

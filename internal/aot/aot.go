@@ -1,0 +1,291 @@
+// Package aot executes a grammar through ahead-of-time compiled tables:
+// the sixth execution path, and the software analogue of the paper's
+// synthesized hardware.
+//
+// Where the lazy DFA (internal/stream) determinizes on demand — paying hash
+// lookups, atomic loads and occasional locked fills on the hot path, and
+// wholesale cache resets when the state bound overflows — an aot Program is
+// the lazy construction run to closure offline (stream.Determinize) and
+// flattened into contiguous []int32 tables. The runner's steady state is
+// one byte-class lookup and one slice index per byte: no pointers chased,
+// no atomics, no fills, no resets. The trade is compile-time work and a
+// hard state budget: a grammar that does not close within MaxStates fails
+// Compile and must run on the lazy path instead (DESIGN.md §6k).
+//
+// The same flattened tables feed GenGo, which bakes them into a generated
+// self-contained Go package — the cfggen analogue of the VHDL emitted by
+// internal/hwgen.
+package aot
+
+import (
+	"fmt"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/stream"
+)
+
+// Config tunes ahead-of-time compilation.
+type Config struct {
+	// MaxStates bounds offline determinization (0 = the lazy path's
+	// DefaultDFAMaxStates). Unlike the lazy cache bound, exceeding it is
+	// a compile error, not a reset policy.
+	MaxStates int
+	// NoAccel disables skip-ahead acceleration plans (differential
+	// testing and benchmarking; output is identical either way).
+	NoAccel bool
+}
+
+// Program is an immutable, fully determinized tagger: flat transition
+// tables plus the deduplicated effect list. One Program is safe for
+// concurrent use by any number of Runners (it is read-only after Compile),
+// so a platform compiles once per grammar version and mints runners per
+// stream.
+type Program struct {
+	det     *stream.Det
+	classOf [256]uint16
+	nc      int // byte-equivalence classes
+	nEff    int // effect count; references ^r >= nEff are conditional rows
+	trans   []int32
+	cond    []int32
+	effects []stream.DetEffect
+	accel   []*stream.DetAccel
+}
+
+// Compile builds spec's closed automaton offline. It fails when the
+// grammar does not determinize within cfg.MaxStates states.
+func Compile(spec *core.Spec, cfg Config) (*Program, error) {
+	det, err := stream.Determinize(spec, stream.DetConfig{MaxStates: cfg.MaxStates, NoAccel: cfg.NoAccel})
+	if err != nil {
+		return nil, err
+	}
+	return FromDet(det), nil
+}
+
+// FromDet wraps an already determinized automaton as an executable
+// Program (Compile = Determinize + FromDet).
+func FromDet(det *stream.Det) *Program {
+	return &Program{
+		det:     det,
+		classOf: det.ClassOf,
+		nc:      det.NumClasses,
+		nEff:    len(det.Effects),
+		trans:   det.Trans,
+		cond:    det.Cond,
+		effects: det.Effects,
+		accel:   det.Accel,
+	}
+}
+
+// Det returns the underlying flattened automaton (the generator input).
+func (p *Program) Det() *stream.Det { return p.det }
+
+// Spec returns the specification the program was compiled from.
+func (p *Program) Spec() *core.Spec { return p.det.Spec() }
+
+// Stats reports the compile cost: states, classes, table bytes, duration.
+func (p *Program) Stats() stream.CompileStats { return p.det.Stats }
+
+// NewRunner mints an independent stream executor over the shared tables.
+func (p *Program) NewRunner() *Runner {
+	r := &Runner{p: p}
+	r.Reset()
+	return r
+}
+
+// Runner is a streaming token tagger over one input, equivalent byte for
+// byte to the lazy DFA (and thus to Tagger) on the same input, but
+// executing through the program's ahead-of-time tables. Not safe for
+// concurrent use; mint one per stream.
+type Runner struct {
+	p *Program
+
+	// OnMatch receives every detection in input order (identical to
+	// Tagger.OnMatch on the same input).
+	OnMatch func(stream.Match)
+	// OnError receives section 5.2 recovery offsets, as Tagger.OnError.
+	OnError func(pos int64)
+	// OnCollision receives residual index collisions, as
+	// Tagger.OnCollision.
+	OnCollision func(pos int64, a, b int)
+
+	// Errors and Collisions mirror Tagger's counters.
+	Errors     int64
+	Collisions int64
+
+	cur       int
+	pos       int64
+	have      bool
+	heldClass int
+	closed    bool
+}
+
+// Program returns the shared compiled tables the runner executes against.
+func (r *Runner) Program() *Program { return r.p }
+
+// Reset rewinds to stream start for reuse. The tables are immutable and
+// shared; reset cost is a few scalar stores.
+func (r *Runner) Reset() {
+	r.cur = int(r.p.det.Start)
+	r.pos = 0
+	r.have = false
+	r.closed = false
+	r.Errors = 0
+	r.Collisions = 0
+}
+
+// Pos returns the number of bytes fully processed (confirmed, not merely
+// buffered for lookahead).
+func (r *Runner) Pos() int64 { return r.pos }
+
+// Write feeds stream bytes; matches fire on OnMatch as they are confirmed
+// (one byte of lookahead latency, exactly as Tagger and the lazy DFA).
+//
+// The loop is the whole point of the aot path: in steady state every byte
+// is one classOf lookup and one trans index — no hash probes, no atomic
+// loads, no lock fallback, because the automaton was closed offline.
+func (r *Runner) Write(b []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("aot: Write after Close")
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	i := 0
+	pr := r.p
+	classOf := &pr.classOf
+	if !r.have {
+		r.heldClass = int(classOf[b[0]])
+		r.have = true
+		i = 1
+	}
+	c := r.heldClass
+	cur := r.cur
+	pos := r.pos
+	nc := pr.nc
+	nEff := pr.nEff
+	trans := pr.trans
+	accel := pr.accel
+	for ; i < len(b); i++ {
+		// Skip-ahead: same plan, same re-entry protocol as the lazy DFA —
+		// the byte before the first interesting lookahead re-enters the
+		// normal path so conditional (figure 7) emissions see lookahead.
+		if a := accel[cur]; a != nil && a.Boring[c] {
+			if j := a.Scan(b, i); j > i {
+				pos += int64(j - i)
+				c = int(classOf[b[j-1]])
+				i = j
+				if i == len(b) {
+					break
+				}
+			}
+		}
+		look := int(classOf[b[i]])
+		ref := int(trans[cur*nc+c])
+		if ref >= 0 {
+			cur = ref
+			pos++
+			c = look
+			continue
+		}
+		e := ^ref
+		if e >= nEff {
+			// Conditional edge: the restricted row picks by lookahead class.
+			ref = int(pr.cond[(e-nEff)*(nc+1)+look])
+			if ref >= 0 {
+				cur = ref
+				pos++
+				c = look
+				continue
+			}
+			e = ^ref
+		}
+		ef := &pr.effects[e]
+		r.pos = pos
+		r.deliver(ef)
+		cur = int(ef.Next)
+		pos++
+		c = look
+	}
+	r.cur, r.pos = cur, pos
+	r.heldClass = c
+	return len(b), nil
+}
+
+// Close flushes the final byte (whose lookahead is end-of-stream) and
+// prevents further writes.
+func (r *Runner) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.have {
+		r.step(r.heldClass, r.p.nc) // EOS lookahead slot
+		r.have = false
+	}
+	return nil
+}
+
+// Tag runs a whole buffer through a fresh pass and returns the matches
+// (Reset first, Close implied).
+func (r *Runner) Tag(data []byte) []stream.Match {
+	r.Reset()
+	var out []stream.Match
+	prev := r.OnMatch
+	r.OnMatch = func(m stream.Match) { out = append(out, m) }
+	defer func() { r.OnMatch = prev }()
+	r.Write(data)
+	r.Close()
+	return out
+}
+
+// step advances one byte outside the hot loop (Close's EOS flush); c is
+// the byte's equivalence class, look the lookahead class (p.nc at EOS).
+func (r *Runner) step(c, look int) {
+	p := r.p
+	ref := int(p.trans[r.cur*p.nc+c])
+	if ref < 0 {
+		e := ^ref
+		if e >= p.nEff {
+			ref = int(p.cond[(e-p.nEff)*(p.nc+1)+look])
+			if ref >= 0 {
+				r.cur = ref
+				r.pos++
+				return
+			}
+			e = ^ref
+		}
+		ef := &p.effects[e]
+		r.deliver(ef)
+		r.cur = int(ef.Next)
+		r.pos++
+		return
+	}
+	r.cur = ref
+	r.pos++
+}
+
+// deliver fires one effect's events at the current position: collision
+// pairs (always against the cycle's first emission) interleaved before
+// their matches, then the recovery event — the exact lazy-DFA ordering.
+func (r *Runner) deliver(ef *stream.DetEffect) {
+	if len(ef.Emits) > 0 {
+		first := int(ef.Emits[0])
+		for i, k := range ef.Emits {
+			if ef.Collide[i] {
+				r.Collisions++
+				if r.OnCollision != nil {
+					r.OnCollision(r.pos, first, int(k))
+				}
+			}
+			if r.OnMatch != nil {
+				r.OnMatch(stream.Match{InstanceID: int(k), End: r.pos})
+			}
+		}
+	}
+	if ef.Recovered {
+		r.Errors++
+		if r.OnError != nil {
+			r.OnError(r.pos)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package aot
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+func mustSpec(t *testing.T, g *grammar.Grammar, opts core.Options) *core.Spec {
+	t.Helper()
+	spec, err := core.Compile(g, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", g.Name, err)
+	}
+	return spec
+}
+
+// optionMatrix mirrors the lazy DFA's sweep: the aot tables must track the
+// NFA through every compile option that changes the mask tables.
+func optionMatrix() map[string]core.Options {
+	return map[string]core.Options{
+		"default":     {},
+		"free":        {FreeRunningStart: true},
+		"restart":     {Recovery: core.RecoveryRestart},
+		"resync":      {Recovery: core.RecoveryResync},
+		"no-longest":  {NoLongestMatch: true},
+		"all-enabled": {AllEnabled: true},
+	}
+}
+
+// diffInputs builds a mixed corpus for one spec: conforming sentences,
+// corrupted sentences, and raw random bytes.
+func diffInputs(spec *core.Spec, seed int64, n int) [][]byte {
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 6})
+	rng := rand.New(rand.NewSource(seed * 31))
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		text, _ := gen.Sentence()
+		out = append(out, text)
+		if len(text) > 2 {
+			bad := append([]byte(nil), text...)
+			bad[rng.Intn(len(bad))] = '@'
+			out = append(out, bad)
+		}
+		junk := make([]byte, rng.Intn(64))
+		for j := range junk {
+			junk[j] = byte(rng.Intn(256))
+		}
+		out = append(out, junk)
+	}
+	return out
+}
+
+// checkAgainstDFA asserts the aot runner and the lazy DFA agree bit for
+// bit on one input: same matches, same recovery and collision counters.
+func checkAgainstDFA(t *testing.T, d *stream.DFA, r *Runner, input []byte, label string) {
+	t.Helper()
+	want := d.Tag(input)
+	got := r.Tag(input)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: aot matches differ on %q\naot %v\ndfa %v", label, input, got, want)
+	}
+	if r.Errors != d.Errors || r.Collisions != d.Collisions {
+		t.Fatalf("%s: counters differ on %q: aot (%d errs, %d coll), dfa (%d errs, %d coll)",
+			label, input, r.Errors, r.Collisions, d.Errors, d.Collisions)
+	}
+}
+
+func TestRunnerMatchesDFAOnBuiltins(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(), grammar.XMLRPCFull(),
+	} {
+		for name, opts := range optionMatrix() {
+			spec := mustSpec(t, g, opts)
+			prog, err := Compile(spec, Config{})
+			if err != nil {
+				t.Fatalf("%s/%s: aot compile: %v", g.Name, name, err)
+			}
+			d := stream.NewDFA(spec, stream.DFAConfig{})
+			r := prog.NewRunner()
+			for i, input := range diffInputs(spec, 7, 6) {
+				checkAgainstDFA(t, d, r, input, fmt.Sprintf("%s/%s/#%d", g.Name, name, i))
+			}
+		}
+	}
+}
+
+func TestRunnerMatchesDFAOnRandomGrammars(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		g := workload.RandomGrammar(seed)
+		spec := mustSpec(t, g, core.Options{})
+		prog, err := Compile(spec, Config{})
+		if err != nil {
+			// Random grammars may legitimately exceed the state budget;
+			// those fall back to the lazy path by design.
+			if strings.Contains(err.Error(), "does not close") {
+				continue
+			}
+			t.Fatalf("seed %d: aot compile: %v", seed, err)
+		}
+		d := stream.NewDFA(spec, stream.DFAConfig{})
+		r := prog.NewRunner()
+		for i, input := range diffInputs(spec, seed+3, 4) {
+			checkAgainstDFA(t, d, r, input, fmt.Sprintf("seed%d/#%d", seed, i))
+		}
+	}
+}
+
+// TestRunnerChunkingInvariance streams one input in random chunk sizes and
+// asserts detections are identical to the whole-buffer pass — the held
+// final byte and skip-ahead re-entry must not depend on chunk boundaries.
+func TestRunnerChunkingInvariance(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	prog, err := Compile(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(spec, 5, workload.SentenceOptions{MaxDepth: 8})
+	rng := rand.New(rand.NewSource(55))
+	r := prog.NewRunner()
+	for trial := 0; trial < 10; trial++ {
+		text, _ := gen.Sentence()
+		want := r.Tag(text)
+		r.Reset()
+		var got []stream.Match
+		r.OnMatch = func(m stream.Match) { got = append(got, m) }
+		for off := 0; off < len(text); {
+			n := 1 + rng.Intn(9)
+			if off+n > len(text) {
+				n = len(text) - off
+			}
+			r.Write(text[off : off+n])
+			off += n
+		}
+		r.Close()
+		r.OnMatch = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: chunked %v, whole %v", trial, got, want)
+		}
+	}
+}
+
+// accelInputs builds run-heavy inputs that park the automaton in
+// accelerable states, as the lazy DFA's accel tests do.
+func accelInputs(spec *core.Spec, seed int64) [][]byte {
+	gen := workload.NewGenerator(spec, seed, workload.SentenceOptions{MaxDepth: 6})
+	runs := [][]byte{
+		[]byte(strings.Repeat(" ", 4096)),
+		[]byte(strings.Repeat("\n", 2048)),
+		[]byte(strings.Repeat("z", 4096)),
+		[]byte(strings.Repeat("\xee", 2048)),
+		[]byte(strings.Repeat("ab", 1024)),
+	}
+	var out [][]byte
+	for _, run := range runs {
+		a, _ := gen.Sentence()
+		b, _ := gen.Sentence()
+		var buf []byte
+		buf = append(buf, run...)
+		buf = append(buf, a...)
+		buf = append(buf, run...)
+		buf = append(buf, b...)
+		buf = append(buf, run...)
+		out = append(out, buf)
+	}
+	return out
+}
+
+// TestRunnerAccelMatchesUnaccelerated runs the option matrix over
+// run-heavy inputs: accelerated aot == unaccelerated aot == lazy DFA.
+func TestRunnerAccelMatchesUnaccelerated(t *testing.T) {
+	for _, g := range []*grammar.Grammar{
+		grammar.BalancedParens(), grammar.IfThenElse(), grammar.XMLRPC(), grammar.XMLRPCFull(),
+	} {
+		for name, opts := range optionMatrix() {
+			spec := mustSpec(t, g, opts)
+			acc, err := Compile(spec, Config{})
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", g.Name, name, err)
+			}
+			plain, err := Compile(spec, Config{NoAccel: true})
+			if err != nil {
+				t.Fatalf("%s/%s: compile noaccel: %v", g.Name, name, err)
+			}
+			d := stream.NewDFA(spec, stream.DFAConfig{})
+			for i, input := range accelInputs(spec, 17) {
+				label := fmt.Sprintf("%s/%s/run#%d", g.Name, name, i)
+				checkAgainstDFA(t, d, acc.NewRunner(), input, label+"/accel")
+				checkAgainstDFA(t, d, plain.NewRunner(), input, label+"/noaccel")
+			}
+		}
+	}
+}
+
+// TestCompileBudget checks the hard offline bound: a grammar that does not
+// close within MaxStates is a compile error, never a silent reset.
+func TestCompileBudget(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	if _, err := Compile(spec, Config{MaxStates: 2}); err == nil {
+		t.Fatal("Compile closed XML-RPC within 2 states; want budget error")
+	} else if !strings.Contains(err.Error(), "does not close") {
+		t.Fatalf("budget error = %v; want 'does not close within'", err)
+	}
+	prog, err := Compile(spec, Config{})
+	if err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+	if prog.Stats().States > stream.DefaultDFAMaxStates {
+		t.Fatalf("closed in %d states, above the default bound", prog.Stats().States)
+	}
+}
+
+// TestCompileStats sanity-checks the synthesis report every compile emits.
+func TestCompileStats(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	prog, err := Compile(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stats()
+	if st.States < 2 {
+		t.Errorf("States = %d, want >= 2", st.States)
+	}
+	if st.Classes < 2 || st.Classes > 256 {
+		t.Errorf("Classes = %d, want 2..256", st.Classes)
+	}
+	if st.TableBytes < st.States*st.Classes*4 {
+		t.Errorf("TableBytes = %d, below the raw transition table %d", st.TableBytes, st.States*st.Classes*4)
+	}
+	if st.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", st.Duration)
+	}
+	det := prog.Det()
+	if len(det.Trans) != st.States*st.Classes {
+		t.Errorf("len(Trans) = %d, want states*classes = %d", len(det.Trans), st.States*st.Classes)
+	}
+	// Every reference must decode within bounds.
+	check := func(r int32, restricted bool, where string) {
+		switch {
+		case r >= 0:
+			if int(r) >= st.States {
+				t.Fatalf("%s: plain ref %d out of %d states", where, r, st.States)
+			}
+		case int(^r) < len(det.Effects):
+			// effect
+		default:
+			if restricted {
+				t.Fatalf("%s: conditional ref inside a conditional row", where)
+			}
+			row := int(^r) - len(det.Effects)
+			if (row+1)*(st.Classes+1) > len(det.Cond) {
+				t.Fatalf("%s: cond row %d out of bounds", where, row)
+			}
+		}
+	}
+	for i, r := range det.Trans {
+		check(r, false, fmt.Sprintf("Trans[%d]", i))
+	}
+	for i, r := range det.Cond {
+		check(r, true, fmt.Sprintf("Cond[%d]", i))
+	}
+	for i, ef := range det.Effects {
+		if int(ef.Next) >= st.States {
+			t.Fatalf("Effects[%d].Next = %d out of %d states", i, ef.Next, st.States)
+		}
+		if len(ef.Collide) != len(ef.Emits) {
+			t.Fatalf("Effects[%d]: %d collide flags for %d emits", i, len(ef.Collide), len(ef.Emits))
+		}
+	}
+}
+
+func TestRunnerWriteAfterClose(t *testing.T) {
+	spec := mustSpec(t, grammar.IfThenElse(), core.Options{})
+	prog, err := Compile(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.NewRunner()
+	r.Write([]byte("go"))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+}
+
+// TestRunnersShareProgram checks concurrent-mint safety cheaply: two
+// runners over one Program produce identical independent results.
+func TestRunnersShareProgram(t *testing.T) {
+	spec := mustSpec(t, grammar.XMLRPC(), core.Options{FreeRunningStart: true})
+	prog, err := Compile(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(spec, 9, workload.SentenceOptions{MaxDepth: 6})
+	text, _ := gen.Sentence()
+	a, b := prog.NewRunner(), prog.NewRunner()
+	if got, want := a.Tag(text), b.Tag(text); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sibling runners disagree: %v vs %v", got, want)
+	}
+}

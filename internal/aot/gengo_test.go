@@ -1,0 +1,147 @@
+package aot
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"cfgtag/internal/aot/goldengen"
+	"cfgtag/internal/core"
+	"cfgtag/internal/grammar"
+	"cfgtag/internal/stream"
+	"cfgtag/internal/workload"
+)
+
+// goldenDet regenerates the flattened automaton exactly as the committed
+// golden package was produced (cfggen -gen-go -grammar grammars/xmlrpc.y
+// -free-running -package goldengen).
+func goldenDet(t *testing.T) *stream.Det {
+	t.Helper()
+	src, err := os.ReadFile("../../grammars/xmlrpc.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Parse("grammars/xmlrpc.y", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.Compile(g, core.Options{FreeRunningStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := stream.Determinize(spec, stream.DetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// TestGenGoGoldenCurrent regenerates the committed golden package and
+// asserts byte identity: generated code can never drift from the live
+// determinizer (the same check CI runs via git diff in codegen-check).
+func TestGenGoGoldenCurrent(t *testing.T) {
+	det := goldenDet(t)
+	want, err := os.ReadFile("goldengen/goldengen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenGo(det, GenOptions{Package: "goldengen", Grammar: "grammars/xmlrpc.y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("goldengen/goldengen.go is stale; regenerate with:\n" +
+			"  go run ./cmd/cfggen -gen-go -grammar grammars/xmlrpc.y -free-running -package goldengen -o internal/aot/goldengen/goldengen.go")
+	}
+}
+
+// TestGenGoDeterministic: the same Det must always render byte-identical
+// source (no map iteration, no timestamps) or the CI diff gate flaps.
+func TestGenGoDeterministic(t *testing.T) {
+	det := goldenDet(t)
+	a, err := GenGo(det, GenOptions{Package: "p", Grammar: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenGo(det, GenOptions{Package: "p", Grammar: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("GenGo output differs across runs on the same Det")
+	}
+}
+
+// TestGoldenMatchesDFA runs the committed generated package against the
+// lazy DFA on realistic XML-RPC traffic, junk bytes and random chunk
+// splits: identical matches, identical counters.
+func TestGoldenMatchesDFA(t *testing.T) {
+	det := goldenDet(t)
+	d := stream.NewDFA(det.Spec(), stream.DFAConfig{})
+	gen := workload.NewGenerator(det.Spec(), 13, workload.SentenceOptions{MaxDepth: 8})
+	rng := rand.New(rand.NewSource(77))
+	var inputs [][]byte
+	for i := 0; i < 8; i++ {
+		text, _ := gen.Sentence()
+		inputs = append(inputs, text)
+		if len(text) > 2 {
+			bad := append([]byte(nil), text...)
+			bad[rng.Intn(len(bad))] = '@'
+			inputs = append(inputs, bad)
+		}
+	}
+	junk := make([]byte, 512)
+	for i := range junk {
+		junk[i] = byte(rng.Intn(256))
+	}
+	inputs = append(inputs, junk)
+
+	g := goldengen.New()
+	for trial, input := range inputs {
+		want := d.Tag(input)
+		// Whole-buffer pass.
+		got := g.Tag(input)
+		compareGolden(t, trial, "whole", got, want, g, d)
+		// Chunk-straddling pass through the same Tagger.
+		g.Reset()
+		var chunked []goldengen.Match
+		g.OnMatch = func(m goldengen.Match) { chunked = append(chunked, m) }
+		for off := 0; off < len(input); {
+			n := 1 + rng.Intn(9)
+			if off+n > len(input) {
+				n = len(input) - off
+			}
+			g.Write(input[off : off+n])
+			off += n
+		}
+		g.Close()
+		g.OnMatch = nil
+		compareGolden(t, trial, "chunked", chunked, want, g, d)
+	}
+}
+
+func compareGolden(t *testing.T, trial int, mode string, got []goldengen.Match, want []stream.Match, g *goldengen.Tagger, d *stream.DFA) {
+	t.Helper()
+	conv := make([]stream.Match, len(got))
+	for i, m := range got {
+		conv[i] = stream.Match{InstanceID: m.InstanceID, End: m.End}
+	}
+	if len(conv) == 0 && len(want) == 0 {
+		// reflect.DeepEqual(nil, []T{}) is false; both empty is equal here.
+	} else if !reflect.DeepEqual(conv, want) {
+		t.Fatalf("trial %d (%s): golden %v, dfa %v", trial, mode, conv, want)
+	}
+	if g.Errors != d.Errors || g.Collisions != d.Collisions {
+		t.Fatalf("trial %d (%s): golden counters (%d errs, %d coll), dfa (%d errs, %d coll)",
+			trial, mode, g.Errors, g.Collisions, d.Errors, d.Collisions)
+	}
+}
+
+// TestGenGoNeedsPackage covers the one generator usage error.
+func TestGenGoNeedsPackage(t *testing.T) {
+	if _, err := GenGo(goldenDet(t), GenOptions{}); err == nil {
+		t.Fatal("GenGo without a package name succeeded")
+	}
+}

@@ -1,15 +1,16 @@
-// Package runtime unifies the repo's four execution paths — the
+// Package runtime unifies the repo's six execution paths — the
 // bit-parallel stream engine, its lazily-determinized DFA compilation, the
-// gate-level simulation and the LL(1) predictive-parser baseline — behind
+// ahead-of-time compiled table path, the gate-level simulation, the LL(1)
+// predictive-parser baseline and the Earley exact-language oracle — behind
 // one streaming Backend contract, and runs Backends at scale in a sharded
 // pipeline (Source → N tagger shards → Sink) in the style of stream
 // processors like Benthos.
 //
-// A Backend recognizes one stream. All four implementations emit
+// A Backend recognizes one stream. All six implementations emit
 // stream.Match events with absolute offsets, so they are interchangeable
 // and differentially testable (see Conformance). The tagging paths accept
-// the documented FSA superset of the grammar; the parser path accepts the
-// grammar exactly and reports the difference as a Close error.
+// the documented FSA superset of the grammar; the parser and Earley paths
+// accept the grammar exactly and report the difference as a Close error.
 package runtime
 
 import (
@@ -110,6 +111,12 @@ type Hooks struct {
 	// backend reports the hits/misses/resets accrued since its previous
 	// report once per stream Close. Other backends never call it.
 	CacheStats func(shard int, hits, misses, resets int64)
+	// CompileStats observes ahead-of-time compile cost: each aot backend
+	// reports its shared program's synthesis report (states, classes,
+	// table bytes, compile duration) once at mint. The values describe
+	// the program, not the stream, so metric targets should treat them
+	// as gauges. Other backends never call it.
+	CompileStats func(shard int, s stream.CompileStats)
 	// PanicRecovered observes every panic the pipeline recovers; origin
 	// names the guarded call ("Feed", "Close", "Matches" or "Deliver").
 	PanicRecovered func(shard int, origin string)
@@ -178,6 +185,12 @@ func (h *Hooks) collision(shard int, pos int64, a, b int) {
 func (h *Hooks) cacheStats(shard int, hits, misses, resets int64) {
 	if h != nil && h.CacheStats != nil {
 		h.CacheStats(shard, hits, misses, resets)
+	}
+}
+
+func (h *Hooks) compileStats(shard int, s stream.CompileStats) {
+	if h != nil && h.CompileStats != nil {
+		h.CompileStats(shard, s)
 	}
 }
 
@@ -282,6 +295,13 @@ type MetricCounters struct {
 	breakerOpens  atomicInt64
 	breakerSheds  atomicInt64
 	breakerOpen   atomicInt64 // gauge: workers currently open
+
+	// AOT synthesis-report gauges, idempotently rewritten at each backend
+	// mint (they describe the tenant's current compiled program).
+	aotStates     atomicInt64
+	aotClasses    atomicInt64
+	aotTableBytes atomicInt64
+	aotCompileNS  atomicInt64
 }
 
 // Hooks returns a Hooks wiring every event into the counters.
@@ -298,6 +318,12 @@ func (c *MetricCounters) Hooks() *Hooks {
 			c.cacheHits.Add(hits)
 			c.cacheMisses.Add(misses)
 			c.cacheResets.Add(resets)
+		},
+		CompileStats: func(_ int, s stream.CompileStats) {
+			c.aotStates.Store(int64(s.States))
+			c.aotClasses.Store(int64(s.Classes))
+			c.aotTableBytes.Store(int64(s.TableBytes))
+			c.aotCompileNS.Store(s.Duration.Nanoseconds())
 		},
 		PanicRecovered:    func(int, string) { c.panics.Add(1) },
 		Quarantined:       func(int, string) { c.quarantined.Add(1) },
@@ -373,11 +399,25 @@ func (c *MetricCounters) Snapshot() (counters Counters, maxQueueDepth int) {
 	}, int(c.maxQueue.Load())
 }
 
-// atomicInt64 adds a monotonic Max to the standard atomic counter.
+// Compile returns the most recently reported AOT synthesis report: zero
+// until an aot backend is minted against these counters, then the current
+// program's states, classes, table bytes and compile duration.
+func (c *MetricCounters) Compile() stream.CompileStats {
+	return stream.CompileStats{
+		States:     int(c.aotStates.Load()),
+		Classes:    int(c.aotClasses.Load()),
+		TableBytes: int(c.aotTableBytes.Load()),
+		Duration:   time.Duration(c.aotCompileNS.Load()),
+	}
+}
+
+// atomicInt64 adds a monotonic Max (and a gauge Store) to the standard
+// atomic counter.
 type atomicInt64 struct{ v atomic.Int64 }
 
-func (a *atomicInt64) Add(n int64) { a.v.Add(n) }
-func (a *atomicInt64) Load() int64 { return a.v.Load() }
+func (a *atomicInt64) Add(n int64)   { a.v.Add(n) }
+func (a *atomicInt64) Load() int64   { return a.v.Load() }
+func (a *atomicInt64) Store(n int64) { a.v.Store(n) }
 
 func (a *atomicInt64) Max(n int64) {
 	for {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"cfgtag/internal/aot"
 	"cfgtag/internal/core"
 	"cfgtag/internal/grammar"
 	"cfgtag/internal/stream"
@@ -37,7 +38,7 @@ type ConformanceOptions struct {
 	WrapFactory func(Factory) Factory
 }
 
-// Conformance differentially tests the five Backend implementations on
+// Conformance differentially tests the six Backend implementations on
 // one grammar: every generated conforming sentence is fed to all backends
 // in random chunkings and the results are compared under the documented
 // relation —
@@ -50,6 +51,10 @@ type ConformanceOptions struct {
 //     forces the overflow/reset path on every input (whose state count
 //     must also never exceed the configured bound), and with skip-ahead
 //     acceleration disabled,
+//   - the ahead-of-time compiled path must agree with the stream engine
+//     (and therefore the lazy DFA) exactly, matches and counters alike,
+//     both with and without skip-ahead acceleration — aot == dfa is the
+//     offline determinizer's contract, chunk-straddling splits included,
 //   - the Earley oracle must accept every conforming sentence — on any
 //     grammar class, not just LL(1) — and its tags must be a subset of
 //     the stream path's tags (the FSA accepts a superset of the
@@ -86,6 +91,14 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 		return fmt.Errorf("conformance %s: earley factory: %w", g.Name, err)
 	}
 	parserF, _ := ParserFactory(spec) // nil factory when the grammar is not LL(1)
+	aotF, err := AOTFactory(spec, 0)
+	if err != nil {
+		return fmt.Errorf("conformance %s: aot factory: %w", g.Name, err)
+	}
+	aotPlainF, err := AOTFactoryConfig(spec, aot.Config{NoAccel: true})
+	if err != nil {
+		return fmt.Errorf("conformance %s: aot noaccel factory: %w", g.Name, err)
+	}
 	fs := backendSet{
 		tagger:     taggerF,
 		gate:       gateF,
@@ -94,10 +107,12 @@ func Conformance(g *grammar.Grammar, seed int64, opts ConformanceOptions) error 
 		dfa:        DFAFactory(spec, 0),
 		dfaTiny:    DFAFactory(spec, 2), // forces cache overflow + reset on real traffic
 		dfaNoAccel: DFAFactoryConfig(spec, stream.DFAConfig{NoAccel: true}),
+		aot:        aotF,
+		aotNoAccel: aotPlainF,
 		exact:      opts.ExactOracle,
 	}
 	if opts.WrapFactory != nil {
-		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.earley, &fs.dfa, &fs.dfaTiny, &fs.dfaNoAccel} {
+		for _, f := range []*Factory{&fs.tagger, &fs.gate, &fs.earley, &fs.dfa, &fs.dfaTiny, &fs.dfaNoAccel, &fs.aot, &fs.aotNoAccel} {
 			*f = opts.WrapFactory(*f)
 		}
 		if fs.parser != nil {
@@ -130,6 +145,7 @@ type backendSet struct {
 	earley               Factory
 	dfa, dfaTiny         Factory
 	dfaNoAccel           Factory
+	aot, aotNoAccel      Factory
 	exact                bool
 }
 
@@ -237,7 +253,12 @@ func compareAll(name string, text []byte, rng *rand.Rand, maxChunk int, fs backe
 	for _, v := range []struct {
 		variant string
 		f       Factory
-	}{{"dfa", fs.dfa}, {"dfa-tiny", fs.dfaTiny}, {"dfa-noaccel", fs.dfaNoAccel}} {
+	}{
+		{"dfa", fs.dfa}, {"dfa-tiny", fs.dfaTiny}, {"dfa-noaccel", fs.dfaNoAccel},
+		// checkDFA compares against the stream reference; aot == dfa
+		// follows from dfa == stream, which checkDFA asserts above.
+		{"aot", fs.aot}, {"aot-noaccel", fs.aotNoAccel},
+	} {
 		errs = append(errs, checkDFA(name, v.variant, text, sw, v.f, rng, maxChunk)...)
 	}
 

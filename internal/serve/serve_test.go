@@ -37,6 +37,7 @@ type testEnv struct {
 // tenantSpec declares one test tenant.
 type tenantSpec struct {
 	name       string
+	backend    string // execution path ("" = dfa)
 	quota      cfgtag.QuotaConfig
 	shards     int
 	maxStreams int           // per-shard evicting cap
@@ -57,11 +58,15 @@ func startEnv(t *testing.T, wrap *cfgtag.PlatformConfig, tenants ...tenantSpec) 
 		if shards == 0 {
 			shards = 2
 		}
+		backend := ts.backend
+		if backend == "" {
+			backend = "dfa"
+		}
 		cfg.Tenants = append(cfg.Tenants, cfgtag.TenantDef{
 			Name:       ts.name,
 			Grammar:    testGrammar,
 			Options:    []string{"free-running-start"},
-			Backend:    "dfa",
+			Backend:    backend,
 			Shards:     shards,
 			Queue:      256,
 			MaxStreams: ts.maxStreams,
@@ -334,6 +339,44 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+}
+
+// TestServeAOTTenantMetrics runs a tenant on the ahead-of-time compiled
+// backend over the network: its output must match the DFA oracle byte
+// for byte (aot == dfa is the determinizer's contract), and /metrics
+// must expose the per-tenant compile-cost gauges.
+func TestServeAOTTenantMetrics(t *testing.T) {
+	env := startEnv(t, nil,
+		tenantSpec{name: "ahead", backend: "aot"},
+		tenantSpec{name: "alpha"})
+	want := oracleText(t, []byte(testPayload))
+	tcpStream(t, env.tcpAddr, "alpha", "d1", []byte(testPayload))
+	got := tcpStream(t, env.tcpAddr, "ahead", "s1", []byte(testPayload))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aot tenant output mismatch:\n got %q\nwant %q", got, want)
+	}
+	resp, err := http.Get("http://" + env.httpAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`cfgtag_aot_states{tenant="ahead"} `,
+		`cfgtag_aot_classes{tenant="ahead"} `,
+		`cfgtag_aot_table_bytes{tenant="ahead"} `,
+		`cfgtag_aot_compile_seconds{tenant="ahead"} `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// A DFA tenant that never minted an AOT backend must not emit the
+	// compile gauges at all.
+	if strings.Contains(text, `cfgtag_aot_states{tenant="alpha"}`) {
+		t.Errorf("metrics leak aot gauges for non-aot tenant in:\n%s", text)
 	}
 }
 

@@ -1,0 +1,307 @@
+// Offline determinization: the ahead-of-time closure of the lazy DFA.
+//
+// The lazy cache (dfa.go) determinizes on demand — each (state, byte-class)
+// edge is filled by an NFA step the first time live traffic crosses it.
+// Determinize runs that same construction to closure offline: breadth-first
+// over every reachable hash-consed (active, pending) state, every byte
+// class, and — for figure-7 conditional edges — every lookahead class
+// including end-of-stream. The fills are performed by the exact fillEdge /
+// fillCond / buildOutcome code the lazy path runs, so the closed automaton
+// is the lazy DFA's fixpoint by construction, not by re-implementation.
+//
+// The result is flattened into the form an ahead-of-time executor (package
+// aot) or a source-code generator wants: one contiguous []int32 transition
+// table indexed state*NumClasses+class, a deduplicated effect list for the
+// transitions that emit/collide/recover, and per-lookahead conditional rows
+// for the edges whose accept candidates depend on the next byte. Skip-ahead
+// acceleration plans are carried over per state.
+//
+// Unlike the lazy cache, which resets wholesale and rebuilds from live
+// traffic when MaxStates overflows, exceeding the bound offline is a
+// compile error: ahead-of-time compilation promises no fills and no resets
+// at runtime, so a grammar that does not close within budget must fall back
+// to the lazy path instead.
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"cfgtag/internal/core"
+)
+
+// DetConfig tunes offline determinization.
+type DetConfig struct {
+	// MaxStates bounds the closed state count (0 = DefaultDFAMaxStates,
+	// minimum 2). Exceeding it fails Determinize with an error.
+	MaxStates int
+	// NoAccel disables the skip-ahead acceleration plans. The accelerated
+	// and unaccelerated tables are byte-for-byte equivalent; the switch
+	// exists for differential testing and benchmarking.
+	NoAccel bool
+}
+
+// CompileStats describes one offline determinization: the closed state
+// count, the byte-equivalence class count, the estimated flattened table
+// footprint and the wall-clock compile time. It is the figure operators
+// see per tenant on reload (the hardware analogue is a synthesis report).
+type CompileStats struct {
+	States     int
+	Classes    int
+	TableBytes int
+	Duration   time.Duration
+}
+
+// DetEffect is everything one event-carrying transition does beyond the
+// state move: the cycle's emissions in NFA bit order (deduplicated per
+// instance), the aligned collision flags (always against the cycle's first
+// emission) and the section 5.2 recovery verdict.
+type DetEffect struct {
+	Next      int32
+	Emits     []int32
+	Collide   []bool
+	Recovered bool
+}
+
+// DetAccel is one state's skip-ahead plan, mirroring the lazy path's
+// dfaAccel: Boring[c] reports byte class c inert for the state (as consumed
+// byte and as lookahead), Lits holds the interesting byte values when few
+// enough for a literal scan, and Table is the membership fallback when they
+// span too many values. Exactly one of Lits/Table is meaningful; both empty
+// means the state absorbs every byte.
+type DetAccel struct {
+	Boring []bool
+	Lits   []byte
+	Table  *[256]bool
+}
+
+// Scan returns the index of the first interesting byte at or after i, or
+// len(p) when the rest of the chunk is boring.
+func (a *DetAccel) Scan(p []byte, i int) int {
+	d := dfaAccel{boring: a.Boring, lits: a.Lits, table: a.Table}
+	return d.scan(p, i)
+}
+
+// Det is a fully determinized, flattened tagger automaton.
+//
+// Trans[s*NumClasses+c] holds the transition reference for consuming a byte
+// of class c in state s. A reference r decodes as
+//
+//	r >= 0                   plain move to state r, no events
+//	e := ^r; e < len(Effects) event transition Effects[e]
+//	otherwise                conditional edge: row e-len(Effects) of Cond
+//
+// A conditional row spans NumClasses+1 slots indexed by the lookahead
+// byte's class (last slot = end of stream); its entries are restricted
+// references — plain state or effect, never conditional. Close consumes
+// the held final byte through the end-of-stream slot, exactly as the lazy
+// DFA's EOS lookahead.
+type Det struct {
+	ClassOf    [256]uint16
+	NumClasses int
+	Start      int32
+	Trans      []int32
+	Effects    []DetEffect
+	Cond       []int32
+	// Accel[s] is state s's skip-ahead plan, nil when the state does not
+	// qualify (or NoAccel was set).
+	Accel []*DetAccel
+	Stats CompileStats
+
+	spec *core.Spec
+}
+
+// Spec returns the specification the automaton was compiled from.
+func (d *Det) Spec() *core.Spec { return d.spec }
+
+// detCell is a pre-encoding transition target: the reference layout of
+// Det.Trans depends on the final effect count, so cells are collected in
+// tagged form and encoded once the closure is complete.
+type detCell struct {
+	kind int8 // 0 = plain state, 1 = effect, 2 = conditional row
+	idx  int32
+}
+
+// Determinize compiles spec and runs the lazy-DFA construction to closure,
+// returning the flattened automaton. It fails when the grammar does not
+// close within cfg.MaxStates states.
+func Determinize(spec *core.Spec, cfg DetConfig) (*Det, error) {
+	return determinize(compile(spec), cfg)
+}
+
+func determinize(e *engine, cfg DetConfig) (*Det, error) {
+	began := time.Now()
+	max := cfg.MaxStates
+	if max <= 0 {
+		max = DefaultDFAMaxStates
+	}
+	if max < 2 {
+		max = 2
+	}
+	// The internal cache's bound sits above the offline budget so its
+	// reset policy can never engage: the budget check below aborts first
+	// (fills insert at most one state each, and every fill is checked).
+	cache := newDFACache(e, DFAConfig{MaxStates: max + 2, NoAccel: cfg.NoAccel})
+
+	ids := make(map[*dfaState]int32)
+	var order []*dfaState
+	add := func(st *dfaState) int32 {
+		if id, ok := ids[st]; ok {
+			return id
+		}
+		id := int32(len(order))
+		ids[st] = id
+		order = append(order, st)
+		return id
+	}
+
+	var (
+		cells      []detCell
+		effects    []DetEffect
+		effectIdx  = make(map[string]int32)
+		condRows   [][]detCell
+		condRowIdx = make(map[string]int32)
+	)
+	// outcomeCell resolves one filled outcome to a plain-or-effect cell,
+	// interning the effect and enqueueing the successor state.
+	outcomeCell := func(out *dfaOutcome) detCell {
+		next := add(out.next)
+		if !out.hasEvents {
+			return detCell{kind: 0, idx: next}
+		}
+		key := fmt.Sprint(next, out.emits, out.collide, out.recovered)
+		id, ok := effectIdx[key]
+		if !ok {
+			id = int32(len(effects))
+			effectIdx[key] = id
+			effects = append(effects, DetEffect{
+				Next:      next,
+				Emits:     append([]int32(nil), out.emits...),
+				Collide:   append([]bool(nil), out.collide...),
+				Recovered: out.recovered,
+			})
+		}
+		return detCell{kind: 1, idx: id}
+	}
+
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	add(cache.start.Load())
+	budget := func() error {
+		if cache.States() > max {
+			return fmt.Errorf("stream: determinize: grammar does not close within %d states (MaxStates); use the lazy dfa path", max)
+		}
+		return nil
+	}
+	for qi := 0; qi < len(order); qi++ {
+		st := order[qi]
+		for cls := 0; cls < e.numClasses; cls++ {
+			edge := st.rows[cls].Load()
+			if edge == nil {
+				edge = cache.fillEdge(st, cls, nil)
+				if err := budget(); err != nil {
+					return nil, err
+				}
+			}
+			if edge.nextActive == nil {
+				// Lookahead-independent: one shared outcome in every slot.
+				cells = append(cells, outcomeCell(edge.outs[0].Load()))
+				continue
+			}
+			row := make([]detCell, e.numClasses+1)
+			same := true
+			for look := 0; look <= e.numClasses; look++ {
+				out := edge.outs[look].Load()
+				if out == nil {
+					out = cache.fillCond(st, edge, cls, look, nil)
+					if err := budget(); err != nil {
+						return nil, err
+					}
+				}
+				row[look] = outcomeCell(out)
+				if row[look] != row[0] {
+					same = false
+				}
+			}
+			if same {
+				// Conditional in mask terms but not in outcome: collapse to
+				// the single shared cell so the hot loop never row-indexes.
+				cells = append(cells, row[0])
+				continue
+			}
+			key := fmt.Sprint(row)
+			id, ok := condRowIdx[key]
+			if !ok {
+				id = int32(len(condRows))
+				condRowIdx[key] = id
+				condRows = append(condRows, row)
+			}
+			cells = append(cells, detCell{kind: 2, idx: id})
+		}
+	}
+
+	// Encode: effect references are ^effect, conditional references are
+	// ^(len(effects)+row) — both fixed now that the closure is complete.
+	nEff := int32(len(effects))
+	encode := func(c detCell) int32 {
+		switch c.kind {
+		case 0:
+			return c.idx
+		case 1:
+			return ^c.idx
+		default:
+			return ^(nEff + c.idx)
+		}
+	}
+	d := &Det{
+		ClassOf:    e.classOf,
+		NumClasses: e.numClasses,
+		Start:      0,
+		Trans:      make([]int32, len(cells)),
+		Effects:    effects,
+		Cond:       make([]int32, 0, len(condRows)*(e.numClasses+1)),
+		Accel:      make([]*DetAccel, len(order)),
+		spec:       e.spec,
+	}
+	for i, c := range cells {
+		d.Trans[i] = encode(c)
+	}
+	for _, row := range condRows {
+		for _, c := range row {
+			// Restricted by construction: outcomeCell never yields kind 2.
+			d.Cond = append(d.Cond, encode(c))
+		}
+	}
+	for i, st := range order {
+		if st.accel != nil {
+			d.Accel[i] = &DetAccel{Boring: st.accel.boring, Lits: st.accel.lits, Table: st.accel.table}
+		}
+	}
+	d.Stats = CompileStats{
+		States:     len(order),
+		Classes:    e.numClasses,
+		TableBytes: d.tableBytes(),
+		Duration:   time.Since(began),
+	}
+	return d, nil
+}
+
+// tableBytes estimates the flattened automaton's resident footprint: the
+// transition and conditional tables, the effect list and the acceleration
+// plans. It is the figure charged to tenant memory budgets.
+func (d *Det) tableBytes() int {
+	n := 512 + 4*len(d.Trans) + 4*len(d.Cond)
+	for _, ef := range d.Effects {
+		n += 24 + 4*len(ef.Emits) + len(ef.Collide)
+	}
+	for _, a := range d.Accel {
+		if a == nil {
+			continue
+		}
+		n += 24 + len(a.Boring) + len(a.Lits)
+		if a.Table != nil {
+			n += 256
+		}
+	}
+	return n
+}

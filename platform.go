@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cfgtag/internal/aot"
 	"cfgtag/internal/runtime"
 	"cfgtag/internal/stream"
 )
@@ -111,7 +112,11 @@ type TenantDef struct {
 	// "recover-restart", "recover-resync".
 	Options []string `json:"options,omitempty"`
 	// Backend selects the execution path: "stream" (default), "dfa",
-	// "gates", "parser" or "earley".
+	// "aot", "gates", "parser" or "earley". The aot path determinizes
+	// the grammar to closure at tenant construction (and at each Reload)
+	// — compile once per version, amortized over every stream — and
+	// fails construction when the grammar does not close within the
+	// default state budget.
 	Backend string `json:"backend,omitempty"`
 	// Shards is the tenant's pipeline width (0 = GOMAXPROCS).
 	Shards int `json:"shards,omitempty"`
@@ -176,6 +181,7 @@ var backendKinds = map[string]BackendKind{
 	"":       StreamBackend,
 	"stream": StreamBackend,
 	"dfa":    DFABackend,
+	"aot":    AOTBackend,
 	"gates":  GatesBackend,
 	"parser": ParserBackend,
 	"earley": EarleyBackend,
@@ -335,9 +341,12 @@ func (t *TenantDef) limits(mem *MemGauge) StreamLimits {
 
 // buildFactory builds one factory version with the tenant's limits. The
 // dfa path charges its shared transition cache to the memory gauge for
-// the version's lifetime; the returned release discharges that charge
-// when the version retires (nil when there is nothing to release), so
-// zero-downtime reloads do not accrete gauge drift.
+// the version's lifetime; the aot path determinizes the grammar here —
+// once per version, so Reload amortizes the compile fleet-wide — and
+// charges its flattened tables the same way. The returned release
+// discharges that charge when the version retires (nil when there is
+// nothing to release), so zero-downtime reloads do not accrete gauge
+// drift.
 func buildFactory(engine *Engine, kind BackendKind, lim StreamLimits) (runtime.Factory, func(), error) {
 	if kind == DFABackend && lim.Mem != nil {
 		var charged atomic.Int64
@@ -345,6 +354,20 @@ func buildFactory(engine *Engine, kind BackendKind, lim StreamLimits) (runtime.F
 		cfg := stream.DFAConfig{MemDelta: func(d int64) { charged.Add(d); mem.Add(d) }}
 		f := runtime.DFAFactoryLimits(engine.spec, cfg, lim)
 		return f, func() { mem.Add(-charged.Swap(0)) }, nil
+	}
+	if kind == AOTBackend {
+		prog, err := aot.Compile(engine.spec, aot.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		var release func()
+		if lim.Mem != nil {
+			mem := lim.Mem
+			bytes := int64(prog.Stats().TableBytes)
+			mem.Add(bytes)
+			release = func() { mem.Add(-bytes) }
+		}
+		return runtime.AOTProgramFactory(prog, lim), release, nil
 	}
 	f, err := engine.factoryLimits(kind, lim)
 	return f, nil, err
@@ -609,6 +632,15 @@ func (p *Platform) Metrics(tenant string) (BackendCounters, int, error) {
 // Faults reports the tenant's fault-tolerance totals.
 func (p *Platform) Faults(tenant string) (FaultStats, error) {
 	return p.reg.Faults(tenant)
+}
+
+// CompileStats reports the tenant's most recent AOT synthesis report —
+// states, byte classes, table bytes and compile duration of the current
+// program, rewritten on each Reload. Zero for tenants on other backends
+// (they compile nothing ahead of time) and for aot tenants that have not
+// minted a stream yet.
+func (p *Platform) CompileStats(tenant string) (CompileStats, error) {
+	return p.reg.CompileStats(tenant)
 }
 
 // LiveStreams reports the tenant's admitted live-stream count (tracked

@@ -2,8 +2,8 @@
 # bench.sh — benchmark-regression rail.
 #
 # Runs the guarded throughput benchmarks (BenchmarkStream, BenchmarkDFA,
-# BenchmarkShardedPipeline, BenchmarkPipelineOverload, BenchmarkTenantGrid,
-# BenchmarkServeTCP),
+# BenchmarkAOT, BenchmarkShardedPipeline, BenchmarkPipelineOverload,
+# BenchmarkTenantGrid, BenchmarkServeTCP),
 # compares per-benchmark median MB/s against the
 # committed BENCH_baseline.json, and fails when any benchmark drops below
 # (100 - tolerance_pct)% of its baseline median. When benchstat is on PATH
@@ -32,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 BASE=BENCH_baseline.json
 OUT=${BENCH_OUT:-bench_out}
-PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkShardedPipeline|BenchmarkPipelineOverload|BenchmarkTenantGrid|BenchmarkServeTCP)$'
+PATTERN='^(BenchmarkStream|BenchmarkDFA|BenchmarkDFASparse|BenchmarkAOT|BenchmarkAOTSparse|BenchmarkShardedPipeline|BenchmarkPipelineOverload|BenchmarkTenantGrid|BenchmarkServeTCP)$'
 
 UPDATE=0
 CPUPROF=0
